@@ -1,0 +1,61 @@
+//! Property-based tests for the MLP and baseline estimators.
+
+use gradest_baselines::mlp::{Activation, Mlp, TrainConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forward_pass_is_finite_and_deterministic(
+        seed in 0u64..1000,
+        x in prop::collection::vec(-5.0..5.0f64, 3),
+    ) {
+        let net = Mlp::new(&[3, 8, 1], Activation::Tanh, seed);
+        let a = net.forward(&x);
+        let b = net.forward(&x);
+        prop_assert_eq!(a.clone(), b);
+        prop_assert!(a[0].is_finite());
+    }
+
+    #[test]
+    fn training_never_explodes(
+        seed in 0u64..200,
+        slope in -2.0..2.0f64,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 60.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![slope * x[0]]).collect();
+        let mut net = Mlp::new(&[1, 6, 1], Activation::Tanh, seed);
+        net.train(&xs, &ys, &TrainConfig { epochs: 30, ..Default::default() });
+        let mse = net.mse(&xs, &ys);
+        prop_assert!(mse.is_finite());
+        prop_assert!(mse < 10.0, "MSE {mse}");
+    }
+
+    #[test]
+    fn training_improves_or_holds_fit(
+        seed in 0u64..100,
+        freq in 0.5..4.0f64,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 80.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![(freq * x[0]).sin()]).collect();
+        let mut net = Mlp::new(&[1, 10, 1], Activation::Tanh, seed);
+        let before = net.mse(&xs, &ys);
+        net.train(&xs, &ys, &TrainConfig { epochs: 60, ..Default::default() });
+        let after = net.mse(&xs, &ys);
+        prop_assert!(after <= before * 1.05, "before {before} after {after}");
+    }
+
+    #[test]
+    fn relu_and_tanh_nets_both_handle_any_input(
+        x in prop::collection::vec(-100.0..100.0f64, 2),
+        seed in 0u64..50,
+    ) {
+        for act in [Activation::Relu, Activation::Tanh] {
+            let net = Mlp::new(&[2, 5, 2], act, seed);
+            let y = net.forward(&x);
+            prop_assert_eq!(y.len(), 2);
+            prop_assert!(y.iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Ablation A1: literal Eq 5 predict vs gravity-compensated predict.
+use gradest_bench::experiments::ablations;
+
+fn main() {
+    let r = ablations::run_gravity(31);
+    ablations::print_report_gravity(&r);
+}

@@ -1,0 +1,7 @@
+//! Ablation A2: Eq 2 lane-change velocity correction on/off.
+use gradest_bench::experiments::ablations;
+
+fn main() {
+    let r = ablations::run_lane_correction(33);
+    ablations::print_report_lane(&r);
+}

@@ -1,0 +1,7 @@
+//! Ablation A3: backward RTS smoothing vs forward-only filtering.
+use gradest_bench::experiments::ablations;
+
+fn main() {
+    let r = ablations::run_rts(31);
+    ablations::print_report_rts(&r);
+}

@@ -1,0 +1,7 @@
+//! Extended six-estimator comparison (beyond the paper's three methods).
+use gradest_bench::experiments::extended;
+
+fn main() {
+    let r = extended::run(11);
+    extended::print_report(&r);
+}

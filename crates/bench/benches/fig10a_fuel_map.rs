@@ -1,0 +1,7 @@
+//! Regenerates Figure 10(a) (city fuel-consumption map).
+use gradest_bench::experiments::fig10;
+
+fn main() {
+    let r = fig10::run(42);
+    fig10::print_report_fuel(&r);
+}

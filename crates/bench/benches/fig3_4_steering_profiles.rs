@@ -1,0 +1,7 @@
+//! Regenerates Figures 3-4 (lane-change steering-rate profiles).
+use gradest_bench::experiments::fig3_4;
+
+fn main() {
+    let r = fig3_4::run(40);
+    fig3_4::print_report(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 5 (lane change vs S-curve discrimination).
+use gradest_bench::experiments::fig5;
+
+fn main() {
+    let r = fig5::run(50);
+    fig5::print_report(&r);
+}

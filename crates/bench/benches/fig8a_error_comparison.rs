@@ -1,0 +1,7 @@
+//! Regenerates Figure 8(a) (OPS/EKF/ANN error along the red road).
+use gradest_bench::experiments::fig8a;
+
+fn main() {
+    let r = fig8a::run_averaged(&[11, 12, 13]);
+    fig8a::print_report(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 8(b) (error CDFs vs number of fused tracks).
+use gradest_bench::experiments::fig8b;
+
+fn main() {
+    let r = fig8b::run(21);
+    fig8b::print_report(&r);
+}

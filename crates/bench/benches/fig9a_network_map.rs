@@ -1,0 +1,7 @@
+//! Regenerates Figure 9(a) (city-scale gradient map).
+use gradest_bench::experiments::fig9;
+
+fn main() {
+    let r = fig9::run(&fig9::Fig9Config::default());
+    fig9::print_report_map(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 9(b) (city-scale error CDFs + 22% headline).
+use gradest_bench::experiments::fig9;
+
+fn main() {
+    let r = fig9::run(&fig9::Fig9Config::default());
+    fig9::print_report_cdf(&r);
+}

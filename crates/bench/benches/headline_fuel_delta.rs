@@ -1,0 +1,7 @@
+//! Regenerates the +33.4% fuel/emission headline (Section IV-C).
+use gradest_bench::experiments::headline_fuel;
+
+fn main() {
+    let r = headline_fuel::run(42);
+    headline_fuel::print_report(&r);
+}

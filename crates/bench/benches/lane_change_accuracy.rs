@@ -1,0 +1,7 @@
+//! Lane-change detector precision/recall evaluation.
+use gradest_bench::experiments::lane_accuracy;
+
+fn main() {
+    let r = lane_accuracy::run(8, 700);
+    lane_accuracy::print_report(&r);
+}

@@ -1,0 +1,7 @@
+//! Checks the introduction's motivating fuel-vs-gradient citations.
+use gradest_bench::experiments::motivating;
+
+fn main() {
+    let r = motivating::run();
+    motivating::print_report(&r);
+}

@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of the estimation kernels (P1–P4): EKF
+//! step throughput, LOWESS smoothing, the lane-change detector, and track
+//! fusion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gradest_core::ekf::{EkfConfig, GradientEkf};
+use gradest_core::fusion::fuse_tracks;
+use gradest_core::lane_change::LaneChangeDetector;
+use gradest_core::steering::{smooth_profile, SmoothedProfile};
+use gradest_core::track::GradientTrack;
+use gradest_emissions::FuelModel;
+use std::hint::black_box;
+
+fn ekf_step(c: &mut Criterion) {
+    c.bench_function("ekf_predict_update", |b| {
+        let mut ekf = GradientEkf::new(EkfConfig::default(), 15.0);
+        b.iter(|| {
+            ekf.predict(black_box(0.5), 0.02);
+            ekf.update(black_box(15.0), 0.05);
+            black_box(ekf.theta())
+        });
+    });
+}
+
+fn lowess_smoothing(c: &mut Criterion) {
+    // 60 s of 50 Hz steering data.
+    let raw: Vec<(f64, f64)> = (0..3000)
+        .map(|i| {
+            let t = i as f64 * 0.02;
+            (t, 0.02 * (t * 7.3).sin() + 0.1 * (t / 8.0).sin())
+        })
+        .collect();
+    c.bench_function("lowess_smooth_3000", |b| {
+        b.iter(|| black_box(smooth_profile(black_box(&raw), 0.8)));
+    });
+}
+
+fn lane_change_detection(c: &mut Criterion) {
+    let dt = 0.02;
+    let profile = SmoothedProfile {
+        t: (0..6000).map(|i| i as f64 * dt).collect(),
+        w: (0..6000)
+            .map(|i| {
+                let t = i as f64 * dt;
+                if (30.0..34.0).contains(&t) {
+                    0.15 * (std::f64::consts::TAU * (t - 30.0) / 4.0).sin()
+                } else {
+                    0.003 * (t * 9.1).sin()
+                }
+            })
+            .collect(),
+    };
+    let det = LaneChangeDetector::default();
+    c.bench_function("lane_change_detect_6000", |b| {
+        b.iter(|| black_box(det.detect(black_box(&profile), &|_| 12.0)));
+    });
+}
+
+fn track_fusion(c: &mut Criterion) {
+    let mk = |offset: f64| {
+        let mut t = GradientTrack::new("t");
+        for i in 0..10_000 {
+            t.push(i as f64, 0.03 + offset, 1e-4 + offset.abs());
+        }
+        t
+    };
+    let tracks = vec![mk(0.0), mk(0.002), mk(-0.001), mk(0.004)];
+    c.bench_function("fuse_4_tracks_10000", |b| {
+        b.iter_batched(
+            || tracks.clone(),
+            |t| black_box(fuse_tracks(&t).expect("aligned")),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn pipeline_end_to_end(c: &mut Criterion) {
+    use gradest_core::pipeline::{EstimatorConfig, GradientEstimator};
+    use gradest_geo::generate::red_road;
+    use gradest_geo::Route;
+    use gradest_sensors::suite::{SensorConfig, SensorSuite};
+    use gradest_sim::trip::{simulate_trip, TripConfig};
+    // One full red-road trip (~140 s of driving at 50 Hz).
+    let route = Route::new(vec![red_road()]).expect("valid route");
+    let traj = simulate_trip(&route, &TripConfig::default(), 7);
+    let log = SensorSuite::new(SensorConfig::default()).run(&traj, 7);
+    let estimator = GradientEstimator::new(EstimatorConfig::default());
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("estimate_full_red_road_trip", |b| {
+        b.iter(|| black_box(estimator.estimate(black_box(&log), Some(&route))));
+    });
+    group.finish();
+}
+
+fn vsp_eval(c: &mut Criterion) {
+    let model = FuelModel::default();
+    c.bench_function("vsp_fuel_rate", |b| {
+        b.iter(|| black_box(model.fuel_rate_gph(black_box(11.1), black_box(0.3), black_box(0.04))));
+    });
+}
+
+criterion_group!(
+    benches,
+    ekf_step,
+    lowess_smoothing,
+    lane_change_detection,
+    track_fusion,
+    pipeline_end_to_end,
+    vsp_eval
+);
+criterion_main!(benches);

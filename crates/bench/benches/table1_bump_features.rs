@@ -1,0 +1,7 @@
+//! Regenerates Table I (bump features of the 10-driver steering study).
+use gradest_bench::experiments::table1;
+
+fn main() {
+    let r = table1::run(10);
+    table1::print_report(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table II (vehicle fuel-model parameters).
+use gradest_bench::experiments::table2;
+
+fn main() {
+    let r = table2::run();
+    table2::print_report(&r);
+}

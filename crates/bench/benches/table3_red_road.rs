@@ -1,0 +1,7 @@
+//! Regenerates Table III (red-road sections).
+use gradest_bench::experiments::table3;
+
+fn main() {
+    let r = table3::run();
+    table3::print_report(&r);
+}

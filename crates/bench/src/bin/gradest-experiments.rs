@@ -1,0 +1,75 @@
+//! Runs the paper's full evaluation sequentially from one binary.
+//!
+//! ```text
+//! cargo run --release -p gradest-bench --bin gradest-experiments           # everything
+//! cargo run --release -p gradest-bench --bin gradest-experiments -- fig8  # name filter
+//! ```
+//!
+//! Identical to running the individual bench targets; this entry point
+//! exists for users who want the complete evaluation (and its JSON
+//! artifacts under `target/experiment-results/`) in one command.
+
+use gradest_bench::experiments::*;
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let wants = |name: &str| {
+        filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()))
+    };
+    let mut ran = 0usize;
+
+    let mut run_exp = |name: &str, f: &mut dyn FnMut()| {
+        if wants(name) {
+            println!("\n################ {name} ################");
+            f();
+            ran += 1;
+        }
+    };
+
+    run_exp("table1_bump_features", &mut || table1::print_report(&table1::run(10)));
+    run_exp("table2_vehicle_params", &mut || table2::print_report(&table2::run()));
+    run_exp("table3_red_road", &mut || table3::print_report(&table3::run()));
+    run_exp("fig3_4_steering_profiles", &mut || fig3_4::print_report(&fig3_4::run(40)));
+    run_exp("fig5_lane_vs_scurve", &mut || fig5::print_report(&fig5::run(50)));
+    run_exp("fig8a_error_comparison", &mut || {
+        fig8a::print_report(&fig8a::run_averaged(&[11, 12, 13]))
+    });
+    run_exp("fig8b_track_fusion_cdf", &mut || fig8b::print_report(&fig8b::run(21)));
+    run_exp("fig9_network", &mut || {
+        let r = fig9::run(&fig9::Fig9Config::default());
+        fig9::print_report_map(&r);
+        fig9::print_report_cdf(&r);
+    });
+    run_exp("fig10_maps", &mut || {
+        let r = fig10::run(42);
+        fig10::print_report_fuel(&r);
+        fig10::print_report_co2(&r);
+    });
+    run_exp("headline_fuel_delta", &mut || {
+        headline_fuel::print_report(&headline_fuel::run(42))
+    });
+    run_exp("motivating_factors", &mut || {
+        motivating::print_report(&motivating::run())
+    });
+    run_exp("lane_change_accuracy", &mut || {
+        lane_accuracy::print_report(&lane_accuracy::run(8, 700))
+    });
+    run_exp("ablation_gravity_term", &mut || {
+        ablations::print_report_gravity(&ablations::run_gravity(31))
+    });
+    run_exp("ablation_lane_correction", &mut || {
+        ablations::print_report_lane(&ablations::run_lane_correction(33))
+    });
+    run_exp("ablation_rts_smoothing", &mut || {
+        ablations::print_report_rts(&ablations::run_rts(31))
+    });
+    run_exp("extended_baselines", &mut || {
+        extended::print_report(&extended::run(11))
+    });
+
+    if ran == 0 {
+        eprintln!("no experiment matches filter {filter:?}");
+        std::process::exit(1);
+    }
+    println!("\n{ran} experiment group(s) complete.");
+}

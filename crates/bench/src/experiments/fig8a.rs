@@ -1,0 +1,139 @@
+//! Figure 8(a) — absolute estimation error along the red road for the
+//! proposed system (OPS), the altitude-EKF baseline, and the ANN
+//! baseline. The paper reports MREs of 11.9 % / 20.3 % / 31.6 %.
+
+use crate::report::{pct, print_table, save_json};
+use crate::scenarios::{red_road_drive, train_ann};
+use gradest_baselines::altitude_ekf::AltitudeEkf;
+use gradest_core::eval::track_mre;
+use gradest_core::track::GradientTrack;
+use gradest_geo::refgrade::{reference_profile, GradientProfile};
+use serde::{Deserialize, Serialize};
+
+/// Burn-in distance excluded from error statistics, metres.
+pub const SKIP_M: f64 = 100.0;
+
+/// Figure 8(a) result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8a {
+    /// `(s, |err| OPS, |err| EKF, |err| ANN)` every ~50 m, degrees.
+    pub error_series: Vec<(f64, f64, f64, f64)>,
+    /// MRE of the proposed system.
+    pub mre_ops: f64,
+    /// MRE of the altitude-EKF baseline.
+    pub mre_ekf: f64,
+    /// MRE of the ANN baseline.
+    pub mre_ann: f64,
+}
+
+/// Scores one track against the reference profile at ~50 m checkpoints.
+fn sample_errors(track: &GradientTrack, truth: &GradientProfile, length: f64) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    let mut s = SKIP_M;
+    while s < length {
+        if let Some(th) = track.theta_at(s) {
+            out.push((s, (th - truth.theta_at(s)).abs().to_degrees()));
+        }
+        s += 50.0;
+    }
+    out
+}
+
+/// Runs the three estimators over one red-road drive.
+pub fn run(seed: u64) -> Fig8a {
+    let drive = red_road_drive(seed);
+    let road = drive.route.roads()[0].clone();
+    let truth = reference_profile(&road, 1.0, |_| 0.0);
+    let length = drive.route.length();
+
+    // OPS.
+    let ops = drive.ops();
+    // Altitude EKF baseline.
+    let ekf_track = AltitudeEkf::default().estimate(&drive.log);
+    // ANN baseline, trained on a separate survey drive of the same road.
+    let ann = train_ann(&drive.route, seed ^ 0x5EED);
+    let ann_track = ann.estimate(&drive.log);
+
+    let ops_err = sample_errors(&ops.fused, &truth, length);
+    let ekf_err = sample_errors(&ekf_track, &truth, length);
+    let ann_err = sample_errors(&ann_track, &truth, length);
+    let n = ops_err.len().min(ekf_err.len()).min(ann_err.len());
+    let error_series = (0..n)
+        .map(|i| (ops_err[i].0, ops_err[i].1, ekf_err[i].1, ann_err[i].1))
+        .collect();
+
+    Fig8a {
+        error_series,
+        mre_ops: track_mre(&ops.fused, &truth, SKIP_M).expect("nonempty overlap"),
+        mre_ekf: track_mre(&ekf_track, &truth, SKIP_M).expect("nonempty overlap"),
+        mre_ann: track_mre(&ann_track, &truth, SKIP_M).expect("nonempty overlap"),
+    }
+}
+
+/// Averages the MREs over several seeds (the paper averages over runs).
+pub fn run_averaged(seeds: &[u64]) -> Fig8a {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let runs: Vec<Fig8a> = seeds.iter().map(|&s| run(s)).collect();
+    let mean = |f: &dyn Fn(&Fig8a) -> f64| {
+        runs.iter().map(|r| f(r)).sum::<f64>() / runs.len() as f64
+    };
+    Fig8a {
+        error_series: runs[0].error_series.clone(),
+        mre_ops: mean(&|r| r.mre_ops),
+        mre_ekf: mean(&|r| r.mre_ekf),
+        mre_ann: mean(&|r| r.mre_ann),
+    }
+}
+
+/// Prints the error series and MRE summary.
+pub fn print_report(r: &Fig8a) {
+    let rows: Vec<Vec<String>> = r
+        .error_series
+        .iter()
+        .map(|(s, a, b, c)| {
+            vec![
+                format!("{s:.0}"),
+                format!("{a:.2}"),
+                format!("{b:.2}"),
+                format!("{c:.2}"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 8(a) — absolute estimation error along the red road (degrees)",
+        &["s (m)", "OPS", "EKF", "ANN"],
+        &rows,
+    );
+    print_table(
+        "Fig 8(a) — Mean Relative Errors (paper: OPS 11.9%, EKF 20.3%, ANN 31.6%)",
+        &["OPS", "EKF", "ANN"],
+        &[vec![pct(r.mre_ops), pct(r.mre_ekf), pct(r.mre_ann)]],
+    );
+    save_json("fig8a_error_comparison", r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper() {
+        let r = run(11);
+        assert!(!r.error_series.is_empty());
+        // The paper's ordering: OPS < EKF < ANN.
+        assert!(
+            r.mre_ops < r.mre_ekf,
+            "OPS {} !< EKF {}",
+            r.mre_ops,
+            r.mre_ekf
+        );
+        assert!(
+            r.mre_ekf < r.mre_ann,
+            "EKF {} !< ANN {}",
+            r.mre_ekf,
+            r.mre_ann
+        );
+        // OPS lands in a plausible band around the paper's 11.9 %.
+        assert!(r.mre_ops < 0.45, "OPS MRE {}", r.mre_ops);
+    }
+}

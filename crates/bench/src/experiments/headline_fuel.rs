@@ -1,0 +1,91 @@
+//! §IV-C headline — fuel consumption and emission estimates rise by
+//! ~33.4 % once road gradient is considered.
+
+use crate::report::{pct, print_table, save_json};
+use gradest_emissions::map::{EmissionMap, FuelMap};
+use gradest_emissions::{FuelModel, Species, TrafficModel};
+use gradest_geo::generate::city_network;
+use serde::{Deserialize, Serialize};
+
+/// Headline result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineFuel {
+    /// Network traverse fuel with gradient, gallons.
+    pub fuel_with_gradient_gal: f64,
+    /// Network traverse fuel at θ = 0, gallons.
+    pub fuel_flat_gal: f64,
+    /// Relative increase (paper: +33.4 %).
+    pub fuel_increase: f64,
+    /// CO₂ t/h with gradient.
+    pub co2_with_gradient_tph: f64,
+    /// CO₂ t/h at θ = 0.
+    pub co2_flat_tph: f64,
+    /// Relative CO₂ increase (close to, but not identical to, the fuel
+    /// increase: CO₂ weights each road by its traffic volume).
+    pub co2_increase: f64,
+}
+
+/// Computes the with/without-gradient comparison at 40 km/h.
+pub fn run(network_seed: u64) -> HeadlineFuel {
+    let network = city_network(network_seed);
+    let model = FuelModel::default();
+    let v = 40.0 / 3.6;
+    let with = FuelMap::compute(&network, &model, v, |r, s| r.gradient_at(s));
+    let flat = FuelMap::compute(&network, &model, v, |_, _| 0.0);
+    let traffic = TrafficModel::default();
+    let co2_with = EmissionMap::compute(&network, &with, &traffic, Species::Co2, v)
+        .total_tons_per_hour(&network);
+    let co2_flat = EmissionMap::compute(&network, &flat, &traffic, Species::Co2, v)
+        .total_tons_per_hour(&network);
+    let f_with = with.total_traverse_fuel_gal();
+    let f_flat = flat.total_traverse_fuel_gal();
+    HeadlineFuel {
+        fuel_with_gradient_gal: f_with,
+        fuel_flat_gal: f_flat,
+        fuel_increase: f_with / f_flat - 1.0,
+        co2_with_gradient_tph: co2_with,
+        co2_flat_tph: co2_flat,
+        co2_increase: co2_with / co2_flat - 1.0,
+    }
+}
+
+/// Prints the headline comparison.
+pub fn print_report(r: &HeadlineFuel) {
+    print_table(
+        "§IV-C — fuel & CO₂ with vs without gradient (paper: +33.4%)",
+        &["quantity", "flat", "with gradient", "increase"],
+        &[
+            vec![
+                "traverse fuel (gal)".into(),
+                format!("{:.2}", r.fuel_flat_gal),
+                format!("{:.2}", r.fuel_with_gradient_gal),
+                pct(r.fuel_increase),
+            ],
+            vec![
+                "CO₂ (t/h)".into(),
+                format!("{:.2}", r.co2_flat_tph),
+                format!("{:.2}", r.co2_with_gradient_tph),
+                pct(r.co2_increase),
+            ],
+        ],
+    );
+    save_json("headline_fuel_delta", r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_raises_estimates_materially() {
+        let r = run(42);
+        // Tens of percent, the paper's ballpark (+33.4 %).
+        assert!(
+            r.fuel_increase > 0.10 && r.fuel_increase < 1.0,
+            "fuel increase {}",
+            r.fuel_increase
+        );
+        assert!(r.co2_increase > 0.05, "CO2 increase {}", r.co2_increase);
+        assert!(r.fuel_with_gradient_gal > r.fuel_flat_gal);
+    }
+}

@@ -1,0 +1,134 @@
+//! Lane-change detection accuracy ("the results also demonstrate the
+//! accuracy of our lane change detection", §IV).
+//!
+//! Precision/recall over labelled simulated drives, plus the S-curve
+//! false-positive stress test.
+
+use crate::report::{pct, print_table, save_json};
+use crate::scenarios::Drive;
+use gradest_geo::generate::{s_curve_road, two_lane_straight};
+use gradest_geo::Route;
+use serde::{Deserialize, Serialize};
+
+/// Detector accuracy result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaneAccuracy {
+    /// Ground-truth maneuvers across all drives.
+    pub events: usize,
+    /// Detections matched to a ground-truth maneuver.
+    pub true_positives: usize,
+    /// Detections with no matching maneuver.
+    pub false_positives: usize,
+    /// Maneuvers with no matching detection.
+    pub false_negatives: usize,
+    /// Matched detections with the correct direction.
+    pub direction_correct: usize,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// Detections on S-curve-only drives (should be 0).
+    pub s_curve_false_positives: usize,
+}
+
+/// Runs `drives` labelled drives plus S-curve stress drives.
+pub fn run(drives: usize, seed: u64) -> LaneAccuracy {
+    let mut events = 0usize;
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fname = 0usize;
+    let mut dir_ok = 0usize;
+
+    for i in 0..drives as u64 {
+        let drive = Drive::simulate(
+            Route::new(vec![two_lane_straight(8000.0)]).expect("valid route"),
+            seed + i,
+            0.8,
+            Vec::new(),
+        );
+        let est = drive.ops();
+        events += drive.traj.events().len();
+        let mut matched = vec![false; drive.traj.events().len()];
+        for det in &est.detections {
+            let hit = drive.traj.events().iter().enumerate().find(|(_, e)| {
+                det.t_start < e.end_t + 1.5 && det.t_end > e.start_t - 1.5
+            });
+            match hit {
+                Some((idx, e)) if !matched[idx] => {
+                    matched[idx] = true;
+                    tp += 1;
+                    if det.direction == e.direction {
+                        dir_ok += 1;
+                    }
+                }
+                Some(_) => fp += 1, // double detection of the same event
+                None => fp += 1,
+            }
+        }
+        fname += matched.iter().filter(|m| !**m).count();
+    }
+
+    // S-curve stress: unmapped S-curve roads, no maneuvers; every
+    // detection is a false positive.
+    let mut s_fp = 0usize;
+    for i in 0..3u64 {
+        let drive = Drive::simulate(
+            Route::new(vec![s_curve_road(100.0 + 40.0 * i as f64, 45.0)]).expect("valid route"),
+            seed ^ (0xCC << i),
+            0.0,
+            Vec::new(),
+        );
+        // No map: the worst case for S-curve confusion.
+        let est = gradest_core::pipeline::GradientEstimator::new(Default::default())
+            .estimate(&drive.log, None);
+        s_fp += est.detections.len();
+    }
+
+    let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 1.0 };
+    let recall = if events > 0 { tp as f64 / events as f64 } else { 1.0 };
+    LaneAccuracy {
+        events,
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fname,
+        direction_correct: dir_ok,
+        precision,
+        recall,
+        s_curve_false_positives: s_fp,
+    }
+}
+
+/// Prints the accuracy summary.
+pub fn print_report(r: &LaneAccuracy) {
+    print_table(
+        "Lane-change detection accuracy",
+        &["events", "TP", "FP", "FN", "dir OK", "precision", "recall", "S-curve FP"],
+        &[vec![
+            r.events.to_string(),
+            r.true_positives.to_string(),
+            r.false_positives.to_string(),
+            r.false_negatives.to_string(),
+            r.direction_correct.to_string(),
+            pct(r.precision),
+            pct(r.recall),
+            r.s_curve_false_positives.to_string(),
+        ]],
+    );
+    save_json("lane_change_accuracy", r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_is_accurate_on_simulated_drives() {
+        let r = run(3, 700);
+        assert!(r.events >= 5, "only {} events", r.events);
+        assert!(r.precision > 0.8, "precision {}", r.precision);
+        assert!(r.recall > 0.7, "recall {}", r.recall);
+        // Matched detections get the direction right.
+        assert_eq!(r.direction_correct, r.true_positives);
+        assert_eq!(r.s_curve_false_positives, 0);
+    }
+}

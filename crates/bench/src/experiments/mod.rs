@@ -1,0 +1,21 @@
+//! Experiment implementations, one module per paper artifact.
+//!
+//! Every experiment exposes a `run(...) -> <Result>` function returning a
+//! serializable result struct, and a `print_report(&<Result>)` that
+//! renders the paper's rows/series. Bench targets call both; unit and
+//! integration tests assert on the result structs.
+
+pub mod ablations;
+pub mod extended;
+pub mod fig10;
+pub mod fig3_4;
+pub mod fig5;
+pub mod fig8a;
+pub mod fig8b;
+pub mod fig9;
+pub mod headline_fuel;
+pub mod lane_accuracy;
+pub mod motivating;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,83 @@
+//! The introduction's motivating claims, checked against this
+//! implementation's fuel model:
+//!
+//! * Frey et al. \[2\]: fuel consumption rises ~40 % when the gradient
+//!   goes from 0° to 5°.
+//! * Boriboonsomsin & Barth \[3\]: vs a flat route, a downhill route cuts
+//!   fuel ~2×, an uphill route costs 1.5–2×.
+
+use crate::report::{print_table, save_json};
+use gradest_emissions::FuelModel;
+use serde::{Deserialize, Serialize};
+
+/// Motivating-claims result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Motivating {
+    /// Fuel rate at 0°, gal/h (40 km/h cruise).
+    pub flat_gph: f64,
+    /// Fuel rate at 5°, gal/h.
+    pub climb5_gph: f64,
+    /// Frey ratio (5° / 0°; paper's citation: ≥ 1.4).
+    pub frey_ratio: f64,
+    /// Per-km fuel on a +2.5° route relative to flat (Boriboonsomsin
+    /// uphill factor; citation: 1.5–2).
+    pub uphill_factor: f64,
+    /// Per-km fuel on a −2.5° route relative to flat (citation: ~0.5).
+    pub downhill_factor: f64,
+}
+
+/// Evaluates the intro's citations at a 40 km/h cruise with ±2.5° routes.
+pub fn run() -> Motivating {
+    let model = FuelModel::default();
+    let v = 40.0 / 3.6;
+    let flat = model.fuel_rate_gph(v, 0.0, 0.0);
+    let climb5 = model.fuel_rate_gph(v, 0.0, 5.0f64.to_radians());
+    let up = model.fuel_per_km(v, 0.0, 2.5f64.to_radians());
+    let down = model.fuel_per_km(v, 0.0, -2.5f64.to_radians());
+    let flat_km = model.fuel_per_km(v, 0.0, 0.0);
+    Motivating {
+        flat_gph: flat,
+        climb5_gph: climb5,
+        frey_ratio: climb5 / flat,
+        uphill_factor: up / flat_km,
+        downhill_factor: down / flat_km,
+    }
+}
+
+/// Prints the motivating-claims check.
+pub fn print_report(r: &Motivating) {
+    print_table(
+        "Motivating claims (paper §I citations) — model check at 40 km/h",
+        &["quantity", "cited", "measured"],
+        &[
+            vec!["fuel ×, 0°→5° (Frey [2])".into(), "≥1.4".into(), format!("{:.2}", r.frey_ratio)],
+            vec![
+                "uphill route × (Boriboonsomsin [3])".into(),
+                "1.5–2".into(),
+                format!("{:.2}", r.uphill_factor),
+            ],
+            vec![
+                "downhill route × (Boriboonsomsin [3])".into(),
+                "~0.5".into(),
+                format!("{:.2}", r.downhill_factor),
+            ],
+        ],
+    );
+    save_json("motivating_factors", r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intro_citations_hold_in_the_model() {
+        let r = run();
+        // Frey: ≥ +40 % from 0° to 5°.
+        assert!(r.frey_ratio >= 1.4, "Frey ratio {}", r.frey_ratio);
+        // Boriboonsomsin: uphill costs extra, downhill saves materially.
+        assert!(r.uphill_factor > 1.5, "uphill factor {}", r.uphill_factor);
+        assert!(r.downhill_factor < 0.7, "downhill factor {}", r.downhill_factor);
+        assert!(r.flat_gph > 0.0 && r.climb5_gph > r.flat_gph);
+    }
+}

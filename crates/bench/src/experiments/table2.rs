@@ -1,0 +1,69 @@
+//! Table II — vehicle parameters of the fuel model, plus derived sanity
+//! values.
+
+use crate::report::{print_table, save_json};
+use gradest_emissions::FuelModel;
+use serde::{Deserialize, Serialize};
+
+/// Table II result: the coefficients in use plus two derived fuel rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// The model (Table II coefficients).
+    pub model: FuelModel,
+    /// Fuel rate at 40 km/h on flat ground, gal/h.
+    pub flat_40kmh_gph: f64,
+    /// Fuel rate at 40 km/h on a 5° climb, gal/h.
+    pub climb5_40kmh_gph: f64,
+}
+
+/// Evaluates the Table II model.
+pub fn run() -> Table2 {
+    let model = FuelModel::default();
+    let v = 40.0 / 3.6;
+    Table2 {
+        model,
+        flat_40kmh_gph: model.fuel_rate_gph(v, 0.0, 0.0),
+        climb5_40kmh_gph: model.fuel_rate_gph(v, 0.0, 5.0f64.to_radians()),
+    }
+}
+
+/// Prints Table II and the derived rates.
+pub fn print_report(r: &Table2) {
+    print_table(
+        "Table II — vehicle parameters (paper: GGE 0.0545, A 4.7887, B 21.2903, C 0.3925, D 3.6000, m 1.479)",
+        &["GGE", "A", "B", "C", "D", "m"],
+        &[vec![
+            format!("{:.4}", r.model.gge),
+            format!("{:.4}", r.model.a),
+            format!("{:.4}", r.model.b),
+            format!("{:.4}", r.model.c),
+            format!("{:.4}", r.model.d),
+            format!("{:.3}", r.model.mass_mg),
+        ]],
+    );
+    println!(
+        "derived: 40 km/h flat {:.3} gal/h, 40 km/h on 5° {:.3} gal/h ({:+.0}%)",
+        r.flat_40kmh_gph,
+        r.climb5_40kmh_gph,
+        (r.climb5_40kmh_gph / r.flat_40kmh_gph - 1.0) * 100.0
+    );
+    save_json("table2_vehicle_params", r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters_match_table_ii() {
+        let r = run();
+        assert_eq!(r.model.gge, 0.0545);
+        assert_eq!(r.model.a, 4.7887);
+        assert_eq!(r.model.b, 21.2903);
+        assert_eq!(r.model.c, 0.3925);
+        assert_eq!(r.model.d, 3.6);
+        assert_eq!(r.model.mass_mg, 1.479);
+        // Frey et al. (paper ref [2]): 0° → 5° raises fuel use ≥ 40 %.
+        assert!(r.climb5_40kmh_gph / r.flat_40kmh_gph > 1.4);
+    }
+}

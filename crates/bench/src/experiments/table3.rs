@@ -1,0 +1,94 @@
+//! Table III — the red road's section signs and lane counts.
+
+use crate::report::{print_table, save_json};
+use gradest_geo::generate::{red_road, red_road_sections};
+use serde::{Deserialize, Serialize};
+
+/// One section row of Table III.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Section {
+    /// Section label ("0-1" … "6-7").
+    pub label: String,
+    /// Section length, metres.
+    pub length_m: f64,
+    /// Measured gradient at the section midpoint, radians.
+    pub gradient_mid: f64,
+    /// `+` for uphill, `-` for downhill (from the generated geometry).
+    pub sign: char,
+    /// Lane count.
+    pub lanes: u32,
+}
+
+/// Table III result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3 {
+    /// The seven sections.
+    pub sections: Vec<Section>,
+    /// Total road length, metres (paper: 2 160 m).
+    pub total_length_m: f64,
+}
+
+/// Measures the generated red road against the Table III layout.
+pub fn run() -> Table3 {
+    let road = red_road();
+    let specs = red_road_sections();
+    let mut s0 = 0.0;
+    let mut sections = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let mid = s0 + spec.length_m / 2.0;
+        let g = road.gradient_at(mid);
+        sections.push(Section {
+            label: format!("{i}-{}", i + 1),
+            length_m: spec.length_m,
+            gradient_mid: g,
+            sign: if g >= 0.0 { '+' } else { '-' },
+            lanes: road.lanes_at(mid),
+        });
+        s0 += spec.length_m;
+    }
+    Table3 { sections, total_length_m: road.length() }
+}
+
+/// Prints the Table III layout.
+pub fn print_report(r: &Table3) {
+    let rows: Vec<Vec<String>> = vec![
+        std::iter::once("up/down".to_string())
+            .chain(r.sections.iter().map(|s| s.sign.to_string()))
+            .collect(),
+        std::iter::once("lanes".to_string())
+            .chain(r.sections.iter().map(|s| s.lanes.to_string()))
+            .collect(),
+        std::iter::once("grade (°)".to_string())
+            .chain(r.sections.iter().map(|s| format!("{:.1}", s.gradient_mid.to_degrees())))
+            .collect(),
+        std::iter::once("length (m)".to_string())
+            .chain(r.sections.iter().map(|s| format!("{:.0}", s.length_m)))
+            .collect(),
+    ];
+    let mut headers: Vec<&str> = vec!["section"];
+    let labels: Vec<String> = r.sections.iter().map(|s| s.label.clone()).collect();
+    headers.extend(labels.iter().map(|s| s.as_str()));
+    print_table(
+        "Table III — red road sections (paper: signs + - + - + - +, lanes 1 1 1 1 2 2 1, total 2.16 km)",
+        &headers,
+        &rows,
+    );
+    println!("total length: {:.0} m", r.total_length_m);
+    save_json("table3_red_road", r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table_iii() {
+        let r = run();
+        assert_eq!(r.sections.len(), 7);
+        let signs: String = r.sections.iter().map(|s| s.sign).collect();
+        assert_eq!(signs, "+-+-+-+");
+        let lanes: Vec<u32> = r.sections.iter().map(|s| s.lanes).collect();
+        assert_eq!(lanes, vec![1, 1, 1, 1, 2, 2, 1]);
+        assert!((r.total_length_m - 2160.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Cloud-side multi-vehicle track aggregation.
+//!
+//! Section III-C3 closes with: "After a vehicle obtains the road gradient
+//! of a road, it can upload it to the cloud and the cloud can use the
+//! track fusion algorithm to fuse road gradient results from different
+//! vehicles, which produces more accurate road gradient." This module is
+//! that service: vehicles upload per-road [`GradientTrack`]s; the
+//! aggregator keeps, per road and per arc cell, the running
+//! inverse-variance (convex combination) fusion — mathematically identical
+//! to batching Eq (6) over all uploads.
+
+use crate::track::GradientTrack;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-cell running fusion state: `Σ θ/P` and `Σ 1/P`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+struct Cell {
+    weighted_theta: f64,
+    inv_variance: f64,
+    uploads: u32,
+}
+
+/// One road's accumulated profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RoadAccumulator {
+    /// Arc cells at `grid_ds` spacing, indexed by `floor(s/ds)`.
+    cells: Vec<Cell>,
+}
+
+/// The cloud aggregation service.
+///
+/// # Example
+///
+/// ```
+/// use gradest_core::cloud::CloudAggregator;
+/// use gradest_core::track::GradientTrack;
+///
+/// let mut cloud = CloudAggregator::new(5.0);
+/// let mut t = GradientTrack::new("vehicle-1");
+/// t.push(0.0, 0.03, 1e-4);
+/// t.push(5.0, 0.035, 1e-4);
+/// cloud.upload(17, &t);
+/// let profile = cloud.road_profile(17).expect("road known");
+/// assert_eq!(profile.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudAggregator {
+    grid_ds: f64,
+    roads: HashMap<u64, RoadAccumulator>,
+    uploads: u64,
+}
+
+impl CloudAggregator {
+    /// Creates an aggregator with the given arc-cell spacing (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid_ds <= 0`.
+    pub fn new(grid_ds: f64) -> Self {
+        assert!(grid_ds > 0.0, "grid spacing must be positive");
+        CloudAggregator { grid_ds, roads: HashMap::new(), uploads: 0 }
+    }
+
+    /// Number of roads with at least one upload.
+    pub fn road_count(&self) -> usize {
+        self.roads.len()
+    }
+
+    /// Total uploads received.
+    pub fn upload_count(&self) -> u64 {
+        self.uploads
+    }
+
+    /// Ingests one vehicle's track for a road. Each estimate lands in the
+    /// arc cell containing its position and joins the running convex
+    /// combination. Estimates with non-positive variance are skipped.
+    pub fn upload(&mut self, road_id: u64, track: &GradientTrack) {
+        if track.is_empty() {
+            return;
+        }
+        self.uploads += 1;
+        let acc = self
+            .roads
+            .entry(road_id)
+            .or_insert_with(|| RoadAccumulator { cells: Vec::new() });
+        for ((s, theta), var) in track
+            .s
+            .iter()
+            .zip(&track.theta)
+            .zip(&track.variance)
+        {
+            if *var <= 0.0 || !theta.is_finite() || !s.is_finite() || *s < 0.0 {
+                continue;
+            }
+            let idx = (*s / self.grid_ds) as usize;
+            if acc.cells.len() <= idx {
+                acc.cells.resize(idx + 1, Cell::default());
+            }
+            let cell = &mut acc.cells[idx];
+            cell.weighted_theta += theta / var;
+            cell.inv_variance += 1.0 / var;
+            cell.uploads += 1;
+        }
+    }
+
+    /// The fused profile of a road, or `None` if the road is unknown.
+    /// Cells that never received an estimate are skipped.
+    pub fn road_profile(&self, road_id: u64) -> Option<GradientTrack> {
+        let acc = self.roads.get(&road_id)?;
+        let mut track = GradientTrack::new(format!("cloud-road-{road_id}"));
+        for (i, cell) in acc.cells.iter().enumerate() {
+            if cell.inv_variance <= 0.0 {
+                continue;
+            }
+            let s = (i as f64 + 0.5) * self.grid_ds;
+            track.push(s, cell.weighted_theta / cell.inv_variance, 1.0 / cell.inv_variance);
+        }
+        if track.is_empty() {
+            None
+        } else {
+            Some(track)
+        }
+    }
+
+    /// Number of vehicles' estimates that contributed to the road's cell
+    /// containing `s` (coverage diagnostics).
+    pub fn coverage_at(&self, road_id: u64, s: f64) -> u32 {
+        let Some(acc) = self.roads.get(&road_id) else {
+            return 0;
+        };
+        let idx = (s.max(0.0) / self.grid_ds) as usize;
+        acc.cells.get(idx).map(|c| c.uploads).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn track(theta: f64, var: f64, n: usize) -> GradientTrack {
+        let mut t = GradientTrack::new("v");
+        for i in 0..n {
+            t.push(i as f64 * 5.0, theta, var);
+        }
+        t
+    }
+
+    #[test]
+    fn single_upload_round_trips() {
+        let mut cloud = CloudAggregator::new(5.0);
+        cloud.upload(1, &track(0.04, 1e-4, 10));
+        assert_eq!(cloud.road_count(), 1);
+        assert_eq!(cloud.upload_count(), 1);
+        let p = cloud.road_profile(1).unwrap();
+        for th in &p.theta {
+            assert!((th - 0.04).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fusion_weights_by_variance() {
+        let mut cloud = CloudAggregator::new(5.0);
+        cloud.upload(1, &track(0.00, 1e-2, 10)); // vague vehicle
+        cloud.upload(1, &track(0.10, 1e-6, 10)); // confident vehicle
+        let p = cloud.road_profile(1).unwrap();
+        for th in &p.theta {
+            assert!((th - 0.10).abs() < 1e-3, "fused {th}");
+        }
+        // Fused variance below the best contributor.
+        for v in &p.variance {
+            assert!(*v < 1e-6);
+        }
+    }
+
+    #[test]
+    fn incremental_equals_batch_mean_for_equal_variances() {
+        let mut cloud = CloudAggregator::new(5.0);
+        for theta in [0.02, 0.04, 0.06] {
+            cloud.upload(9, &track(theta, 1e-4, 4));
+        }
+        let p = cloud.road_profile(9).unwrap();
+        for th in &p.theta {
+            assert!((th - 0.04).abs() < 1e-12);
+        }
+        assert_eq!(cloud.coverage_at(9, 7.0), 3);
+    }
+
+    #[test]
+    fn unknown_road_and_empty_inputs() {
+        let mut cloud = CloudAggregator::new(5.0);
+        assert!(cloud.road_profile(404).is_none());
+        cloud.upload(5, &GradientTrack::new("empty"));
+        assert_eq!(cloud.upload_count(), 0);
+        assert_eq!(cloud.coverage_at(5, 0.0), 0);
+    }
+
+    #[test]
+    fn sparse_cells_are_skipped() {
+        let mut cloud = CloudAggregator::new(5.0);
+        let mut t = GradientTrack::new("v");
+        t.push(2.0, 0.01, 1e-4);
+        t.push(52.0, 0.02, 1e-4); // gap of 10 cells
+        cloud.upload(2, &t);
+        let p = cloud.road_profile(2).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!((p.s[0] - 2.5).abs() < 1e-12);
+        assert!((p.s[1] - 52.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_estimates_are_ignored() {
+        let mut cloud = CloudAggregator::new(5.0);
+        let mut t = GradientTrack::new("v");
+        t.push(0.0, f64::NAN, 1e-4);
+        t.s.push(5.0);
+        t.theta.push(0.02);
+        t.variance.push(-1.0); // corrupted upload
+        cloud.upload(3, &t);
+        assert!(cloud.road_profile(3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "grid spacing")]
+    fn zero_grid_rejected() {
+        let _ = CloudAggregator::new(0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Filter health diagnostics: innovation monitoring and divergence
+//! detection.
+//!
+//! A deployed estimator must know when to distrust itself — a remounted
+//! phone, a failed sensor, or a model mismatch all show up first in the
+//! innovation stream. This module implements the standard Normalized
+//! Innovation Squared (NIS) consistency test over a sliding window, plus
+//! a divergence latch.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Health verdict of a monitored filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterHealth {
+    /// Innovations are consistent with the filter's covariance.
+    Healthy,
+    /// Innovations run persistently hot (underestimated noise or model
+    /// mismatch) — estimates remain usable but variances are optimistic.
+    Inconsistent,
+    /// Innovations are far outside bounds; estimates should be discarded
+    /// and the filter re-initialized.
+    Diverged,
+}
+
+/// Configuration of the innovation monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Sliding window length (number of updates).
+    pub window: usize,
+    /// Mean-NIS threshold above which the filter is flagged
+    /// [`FilterHealth::Inconsistent`]. For a 1-D measurement the
+    /// consistent mean is 1.0; 2.5 allows healthy transients.
+    pub inconsistent_nis: f64,
+    /// Mean-NIS threshold for [`FilterHealth::Diverged`].
+    pub diverged_nis: f64,
+    /// Consecutive windows over the divergence threshold required to
+    /// latch divergence.
+    pub diverge_patience: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window: 50,
+            inconsistent_nis: 2.5,
+            diverged_nis: 10.0,
+            diverge_patience: 3,
+        }
+    }
+}
+
+/// Sliding-window NIS monitor for a scalar-measurement filter.
+///
+/// Feed every update's innovation and innovation variance
+/// (`S = H·P·Hᵀ + R`); read the verdict any time.
+///
+/// # Example
+///
+/// ```
+/// use gradest_core::diagnostics::{InnovationMonitor, MonitorConfig, FilterHealth};
+///
+/// let mut mon = InnovationMonitor::new(MonitorConfig::default());
+/// for _ in 0..100 {
+///     mon.record(0.1, 0.04); // innovations ≈ consistent with S = 0.04
+/// }
+/// assert_eq!(mon.health(), FilterHealth::Healthy);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InnovationMonitor {
+    config: MonitorConfig,
+    nis: VecDeque<f64>,
+    hot_windows: usize,
+    diverged_latched: bool,
+    updates: u64,
+}
+
+impl InnovationMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero or thresholds are not ordered.
+    pub fn new(config: MonitorConfig) -> Self {
+        assert!(config.window > 0, "window must be nonzero");
+        assert!(
+            config.diverged_nis > config.inconsistent_nis && config.inconsistent_nis > 0.0,
+            "thresholds must be 0 < inconsistent < diverged"
+        );
+        InnovationMonitor {
+            config,
+            nis: VecDeque::new(),
+            hot_windows: 0,
+            diverged_latched: false,
+            updates: 0,
+        }
+    }
+
+    /// Records one measurement update's innovation and innovation
+    /// variance `S`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `s <= 0`.
+    pub fn record(&mut self, innovation: f64, s: f64) {
+        debug_assert!(s > 0.0, "innovation variance must be positive");
+        self.updates += 1;
+        let nis = innovation * innovation / s;
+        self.nis.push_back(nis);
+        if self.nis.len() > self.config.window {
+            self.nis.pop_front();
+        }
+        if self.nis.len() == self.config.window {
+            let mean = self.mean_nis();
+            if mean > self.config.diverged_nis {
+                self.hot_windows += 1;
+                if self.hot_windows >= self.config.diverge_patience * self.config.window {
+                    self.diverged_latched = true;
+                }
+            } else {
+                self.hot_windows = 0;
+            }
+        }
+    }
+
+    /// Mean NIS over the current window (0 before any updates).
+    pub fn mean_nis(&self) -> f64 {
+        if self.nis.is_empty() {
+            return 0.0;
+        }
+        self.nis.iter().sum::<f64>() / self.nis.len() as f64
+    }
+
+    /// Updates observed so far.
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// Current verdict. Divergence latches until [`InnovationMonitor::reset`].
+    pub fn health(&self) -> FilterHealth {
+        if self.diverged_latched {
+            return FilterHealth::Diverged;
+        }
+        if self.nis.len() < self.config.window {
+            return FilterHealth::Healthy; // not enough evidence yet
+        }
+        let mean = self.mean_nis();
+        if mean > self.config.inconsistent_nis {
+            FilterHealth::Inconsistent
+        } else {
+            FilterHealth::Healthy
+        }
+    }
+
+    /// Clears all state (e.g. after re-initializing the filter).
+    pub fn reset(&mut self) {
+        self.nis.clear();
+        self.hot_windows = 0;
+        self.diverged_latched = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mon() -> InnovationMonitor {
+        InnovationMonitor::new(MonitorConfig::default())
+    }
+
+    #[test]
+    fn consistent_innovations_are_healthy() {
+        let mut m = mon();
+        // Innovations with variance exactly S: deterministic ±1σ.
+        for i in 0..500 {
+            let inn = if i % 2 == 0 { 0.2 } else { -0.2 };
+            m.record(inn, 0.04);
+        }
+        assert_eq!(m.health(), FilterHealth::Healthy);
+        assert!((m.mean_nis() - 1.0).abs() < 0.05);
+        assert_eq!(m.update_count(), 500);
+    }
+
+    #[test]
+    fn hot_innovations_flag_inconsistency() {
+        let mut m = mon();
+        for _ in 0..100 {
+            m.record(0.4, 0.04); // 2σ every time → NIS = 4
+        }
+        assert_eq!(m.health(), FilterHealth::Inconsistent);
+    }
+
+    #[test]
+    fn wild_innovations_latch_divergence() {
+        let mut m = mon();
+        for _ in 0..(3 * 50 + 50) {
+            m.record(2.0, 0.04); // NIS = 100
+        }
+        assert_eq!(m.health(), FilterHealth::Diverged);
+        // Latched even after things calm down.
+        for _ in 0..500 {
+            m.record(0.01, 0.04);
+        }
+        assert_eq!(m.health(), FilterHealth::Diverged);
+        m.reset();
+        assert_eq!(m.health(), FilterHealth::Healthy);
+    }
+
+    #[test]
+    fn brief_transients_do_not_diverge() {
+        let mut m = mon();
+        // Healthy baseline…
+        for i in 0..200 {
+            let inn = if i % 2 == 0 { 0.2 } else { -0.2 };
+            m.record(inn, 0.04);
+        }
+        // …a short shock (a pothole)…
+        for _ in 0..20 {
+            m.record(1.5, 0.04);
+        }
+        // …healthy again.
+        for i in 0..200 {
+            let inn = if i % 2 == 0 { 0.2 } else { -0.2 };
+            m.record(inn, 0.04);
+        }
+        assert_ne!(m.health(), FilterHealth::Diverged);
+        assert_eq!(m.health(), FilterHealth::Healthy);
+    }
+
+    #[test]
+    fn health_is_optimistic_before_evidence() {
+        let mut m = mon();
+        m.record(10.0, 0.01); // single huge innovation
+        assert_eq!(m.health(), FilterHealth::Healthy);
+    }
+
+    #[test]
+    fn detects_a_broken_sensor_through_the_ekf() {
+        use crate::ekf::{EkfConfig, GradientEkf};
+        use gradest_math::GRAVITY;
+        // EKF on a 2° road; the speed sensor develops a 5 m/s fault.
+        let theta = 2.0f64.to_radians();
+        let mut ekf = GradientEkf::new(EkfConfig::default(), 15.0);
+        let mut m = mon();
+        let r: f64 = 0.05;
+        let mut worst = FilterHealth::Healthy;
+        for i in 0..6000 {
+            ekf.predict(GRAVITY * theta.sin(), 0.02);
+            if i % 5 == 0 {
+                let fault = if i > 3000 { 5.0 } else { 0.0 };
+                let meas = 15.0 + fault;
+                let s = ekf.covariance().m[0][0] + r;
+                m.record(meas - ekf.velocity(), s);
+                ekf.update(meas, r);
+                if m.health() != FilterHealth::Healthy {
+                    worst = m.health();
+                }
+            }
+        }
+        // The fault transient drags the windowed NIS far out of bounds —
+        // the monitor must flag it while it lasts (the EKF then swallows
+        // the step, so the flag is transient unless divergence latched).
+        assert_ne!(worst, FilterHealth::Healthy);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn bad_thresholds_rejected() {
+        let _ = InnovationMonitor::new(MonitorConfig {
+            inconsistent_nis: 5.0,
+            diverged_nis: 2.0,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,100 @@
+//! Evaluation helpers: scoring tracks against ground-truth profiles.
+//!
+//! The paper reports per-measurement **absolute estimation error**
+//! (estimate − ground truth at the same position) and the **Mean Relative
+//! Error** over a road; these helpers compute both for any track.
+
+use crate::track::GradientTrack;
+use gradest_geo::GradientProfile;
+
+/// Absolute errors `|θ̂(s) − θ(s)|` (radians) at every track sample,
+/// skipping the first `skip_m` metres (filter burn-in).
+pub fn absolute_errors(track: &GradientTrack, truth: &GradientProfile, skip_m: f64) -> Vec<f64> {
+    track
+        .s
+        .iter()
+        .zip(&track.theta)
+        .filter(|(s, _)| **s >= skip_m)
+        .map(|(s, th)| (th - truth.theta_at(*s)).abs())
+        .collect()
+}
+
+/// Mean Relative Error of a track against truth:
+/// `mean(|θ̂ − θ|)/mean(|θ|)` over samples past `skip_m`.
+///
+/// Returns `None` when the overlap is empty or the truth is identically
+/// zero over it.
+pub fn track_mre(track: &GradientTrack, truth: &GradientProfile, skip_m: f64) -> Option<f64> {
+    let pairs: Vec<(f64, f64)> = track
+        .s
+        .iter()
+        .zip(&track.theta)
+        .filter(|(s, _)| **s >= skip_m)
+        .map(|(s, th)| (*th, truth.theta_at(*s)))
+        .collect();
+    if pairs.is_empty() {
+        return None;
+    }
+    let denom = pairs.iter().map(|(_, t)| t.abs()).sum::<f64>() / pairs.len() as f64;
+    if denom <= f64::EPSILON {
+        return None;
+    }
+    let mae = pairs.iter().map(|(e, t)| (e - t).abs()).sum::<f64>() / pairs.len() as f64;
+    Some(mae / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GradientProfile {
+        GradientProfile::new(vec![0.0, 500.0, 1000.0], vec![0.05, 0.05, 0.05]).unwrap()
+    }
+
+    fn track_with_error(err: f64) -> GradientTrack {
+        let mut t = GradientTrack::new("t");
+        for i in 0..100 {
+            t.push(i as f64 * 10.0, 0.05 + err, 1e-4);
+        }
+        t
+    }
+
+    #[test]
+    fn perfect_track_has_zero_error() {
+        let t = track_with_error(0.0);
+        let errs = absolute_errors(&t, &truth(), 0.0);
+        assert!(errs.iter().all(|e| *e < 1e-12));
+        assert_eq!(track_mre(&t, &truth(), 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn constant_offset_gives_expected_mre() {
+        let t = track_with_error(0.005);
+        let mre = track_mre(&t, &truth(), 0.0).unwrap();
+        assert!((mre - 0.1).abs() < 1e-9, "MRE {mre}");
+    }
+
+    #[test]
+    fn skip_meters_excludes_burn_in() {
+        let mut t = GradientTrack::new("t");
+        t.push(10.0, 1.0, 1e-4); // wild burn-in sample
+        t.push(200.0, 0.05, 1e-4);
+        let errs = absolute_errors(&t, &truth(), 100.0);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0] < 1e-12);
+    }
+
+    #[test]
+    fn empty_overlap_returns_none() {
+        let mut t = GradientTrack::new("t");
+        t.push(10.0, 0.05, 1e-4);
+        assert!(track_mre(&t, &truth(), 1e6).is_none());
+    }
+
+    #[test]
+    fn zero_truth_returns_none() {
+        let flat = GradientProfile::new(vec![0.0, 100.0], vec![0.0, 0.0]).unwrap();
+        let t = track_with_error(0.0);
+        assert!(track_mre(&t, &flat, 0.0).is_none());
+    }
+}

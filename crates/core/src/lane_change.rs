@@ -1,0 +1,459 @@
+//! Lane-change detection (paper Section III-B, Algorithm 1).
+//!
+//! A lane change shows up in the smoothed steering-rate profile as a pair
+//! of opposite-sign **bumps** (positive→negative for a left change,
+//! negative→positive for a right change). Detection proceeds exactly as
+//! Algorithm 1:
+//!
+//! 1. find candidate bumps whose peak magnitude ≥ δ and whose dwell time
+//!    above `0.7·δ` ≥ T (the Table I features);
+//! 2. pair consecutive opposite-sign bumps;
+//! 3. discriminate from S-curves via the horizontal displacement of Eq 1
+//!    — accept only when `W ≤ 3·W_lane`;
+//! 4. correct the longitudinal velocity through Eq 2,
+//!    `v_L = v·cos(Σ w_steer·Ω)`.
+
+use crate::steering::SmoothedProfile;
+use gradest_sim::LaneChangeDirection;
+use serde::{Deserialize, Serialize};
+
+/// Detector thresholds.
+///
+/// The δ/T defaults are the minima from this repository's Table I
+/// reproduction (simulated 10-driver steering study, 15–65 km/h); the
+/// paper's own minima (δ = 0.1167 rad/s, T = 1.383 s) come from its human
+/// drivers, whose bumps are flatter than our sinusoidal maneuvers.
+/// `lane_width_m` and the `3·W_lane` rule are the paper's.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaneChangeConfig {
+    /// Minimum peak steering-rate magnitude δ, rad/s.
+    pub delta_threshold: f64,
+    /// Minimum dwell time above `0.7·peak`, seconds (T).
+    pub t_threshold: f64,
+    /// Lane width `W_lane`, metres (paper: 3.65 m).
+    pub lane_width_m: f64,
+    /// Maximum gap between paired bumps, seconds.
+    pub max_pair_gap_s: f64,
+    /// Candidate-run floor as a fraction of δ (runs are segmented where
+    /// `|w|` exceeds this).
+    pub noise_floor_frac: f64,
+    /// LOWESS smoothing window applied before detection, seconds.
+    pub smoothing_window_s: f64,
+}
+
+impl Default for LaneChangeConfig {
+    fn default() -> Self {
+        LaneChangeConfig {
+            delta_threshold: 0.085,
+            t_threshold: 0.55,
+            lane_width_m: 3.65,
+            max_pair_gap_s: 3.0,
+            noise_floor_frac: 0.5,
+            smoothing_window_s: 0.8,
+        }
+    }
+}
+
+/// One detected bump in the steering profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bump {
+    /// +1.0 for a positive (counter-clockwise) bump, −1.0 for negative.
+    pub sign: f64,
+    /// Peak magnitude, rad/s.
+    pub peak: f64,
+    /// Dwell time above `0.7·peak`, seconds.
+    pub dwell_s: f64,
+    /// Bump start time, seconds.
+    pub t_start: f64,
+    /// Bump end time, seconds.
+    pub t_end: f64,
+}
+
+/// A detected lane change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaneChangeDetection {
+    /// Detected direction (first bump positive → left).
+    pub direction: LaneChangeDirection,
+    /// Start of the first bump, seconds.
+    pub t_start: f64,
+    /// End of the second bump, seconds.
+    pub t_end: f64,
+    /// Horizontal displacement `W` from Eq 1, metres (signed: positive
+    /// left).
+    pub displacement_m: f64,
+}
+
+/// The Algorithm 1 detector.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LaneChangeDetector {
+    config: LaneChangeConfig,
+}
+
+impl LaneChangeDetector {
+    /// Creates a detector with the given thresholds.
+    pub fn new(config: LaneChangeConfig) -> Self {
+        LaneChangeDetector { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LaneChangeConfig {
+        &self.config
+    }
+
+    /// Finds candidate bumps: contiguous single-sign runs of the profile
+    /// above the noise floor whose peak ≥ δ and dwell above `0.7·peak`
+    /// ≥ T.
+    pub fn find_bumps(&self, profile: &SmoothedProfile) -> Vec<Bump> {
+        let cfg = &self.config;
+        if profile.len() < 2 {
+            return Vec::new();
+        }
+        let dt = profile.dt();
+        let floor = cfg.noise_floor_frac * cfg.delta_threshold;
+        let mut bumps = Vec::new();
+        let mut run_start: Option<(usize, f64)> = None; // (index, sign)
+        let n = profile.w.len();
+        for i in 0..=n {
+            let (w, ended) = if i < n { (profile.w[i], false) } else { (0.0, true) };
+            match run_start {
+                Some((start, sign)) if ended || w * sign <= floor => {
+                    // Run closed at i (exclusive).
+                    let slice = &profile.w[start..i];
+                    let peak = slice.iter().map(|v| v * sign).fold(f64::MIN, f64::max);
+                    let dwell =
+                        slice.iter().filter(|&&v| v * sign >= 0.7 * peak).count() as f64 * dt;
+                    if peak >= cfg.delta_threshold && dwell >= cfg.t_threshold {
+                        bumps.push(Bump {
+                            sign,
+                            peak,
+                            dwell_s: dwell,
+                            t_start: profile.t[start],
+                            t_end: profile.t[i - 1],
+                        });
+                    }
+                    // A sample of the opposite sign may immediately open a
+                    // new run.
+                    run_start = if !ended && w.abs() > floor {
+                        Some((i, w.signum()))
+                    } else {
+                        None
+                    };
+                }
+                None if !ended && w.abs() > floor => {
+                    run_start = Some((i, w.signum()));
+                }
+                _ => {}
+            }
+        }
+        bumps
+    }
+
+    /// Horizontal displacement over `[t0, t1]` (paper Eq 1):
+    /// `W = Σ v_i·Ω·sin(Σ_{j≤i} w_j·Ω)`, using the profile's steering
+    /// rates and a velocity lookup.
+    pub fn displacement(
+        &self,
+        profile: &SmoothedProfile,
+        v_at: &dyn Fn(f64) -> f64,
+        t0: f64,
+        t1: f64,
+    ) -> f64 {
+        let dt = profile.dt();
+        let mut alpha = 0.0;
+        let mut w_total = 0.0;
+        for (t, w) in profile.t.iter().zip(&profile.w) {
+            if *t < t0 || *t > t1 {
+                continue;
+            }
+            alpha += w * dt;
+            w_total += v_at(*t) * dt * alpha.sin();
+        }
+        w_total
+    }
+
+    /// Runs Algorithm 1 over a smoothed profile: bump detection, pairing,
+    /// and S-curve discrimination. `v_at` supplies the measured vehicle
+    /// speed at a given time (for Eq 1).
+    pub fn detect(
+        &self,
+        profile: &SmoothedProfile,
+        v_at: &dyn Fn(f64) -> f64,
+    ) -> Vec<LaneChangeDetection> {
+        let cfg = &self.config;
+        let bumps = self.find_bumps(profile);
+        let mut detections = Vec::new();
+        let mut held: Option<Bump> = None; // STATE: None = no-bump
+        for bump in bumps {
+            match held {
+                None => held = Some(bump),
+                Some(prev) => {
+                    let gap = bump.t_start - prev.t_end;
+                    if prev.sign == bump.sign || gap > cfg.max_pair_gap_s {
+                        // Same sign or stale: keep the newer bump.
+                        held = Some(bump);
+                        continue;
+                    }
+                    let w = self.displacement(profile, v_at, prev.t_start, bump.t_end);
+                    if w.abs() <= 3.0 * cfg.lane_width_m {
+                        detections.push(LaneChangeDetection {
+                            direction: if prev.sign > 0.0 {
+                                LaneChangeDirection::Left
+                            } else {
+                                LaneChangeDirection::Right
+                            },
+                            t_start: prev.t_start,
+                            t_end: bump.t_end,
+                            displacement_m: w,
+                        });
+                        held = None; // STATE back to no-bump
+                    } else {
+                        // S-curve: discard the pair but keep the newer
+                        // bump as a potential first half of the next pair.
+                        held = Some(bump);
+                    }
+                }
+            }
+        }
+        detections
+    }
+
+    /// Eq 2: corrects a velocity series to longitudinal velocity inside
+    /// each detection window: `v_L = v·cos(Σ w_steer·Ω)` with the steering
+    /// angle accumulated from the window start. Outside windows the input
+    /// is returned unchanged.
+    ///
+    /// `v` must be sampled at the profile's timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != profile.len()`.
+    pub fn correct_velocity(
+        &self,
+        profile: &SmoothedProfile,
+        detections: &[LaneChangeDetection],
+        v: &[f64],
+    ) -> Vec<f64> {
+        assert_eq!(v.len(), profile.len(), "velocity series must match profile");
+        let dt = if profile.len() >= 2 { profile.dt() } else { 0.0 };
+        let mut out = v.to_vec();
+        for det in detections {
+            let mut alpha = 0.0;
+            for i in 0..profile.len() {
+                let t = profile.t[i];
+                if t < det.t_start || t > det.t_end {
+                    continue;
+                }
+                alpha += profile.w[i] * dt;
+                out[i] = v[i] * alpha.cos();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steering::smooth_profile;
+    use std::f64::consts::PI;
+
+    const RATE: f64 = 50.0;
+
+    /// Builds a profile with a full-sine lane-change signature at `t0`.
+    fn maneuver_profile(
+        amp: f64,
+        duration: f64,
+        t0: f64,
+        total: f64,
+        sign: f64,
+    ) -> Vec<(f64, f64)> {
+        let dt = 1.0 / RATE;
+        (0..(total / dt) as usize)
+            .map(|i| {
+                let t = i as f64 * dt;
+                let w = if (t0..t0 + duration).contains(&t) {
+                    sign * amp * (2.0 * PI * (t - t0) / duration).sin()
+                } else {
+                    0.0
+                };
+                (t, w)
+            })
+            .collect()
+    }
+
+    fn det() -> LaneChangeDetector {
+        LaneChangeDetector::new(LaneChangeConfig::default())
+    }
+
+    #[test]
+    fn detects_left_lane_change() {
+        let raw = maneuver_profile(0.15, 4.0, 10.0, 30.0, 1.0);
+        let prof = smooth_profile(&raw, 0.6);
+        let v_at = |_t: f64| 12.0;
+        let found = det().detect(&prof, &v_at);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].direction, LaneChangeDirection::Left);
+        assert!((found[0].t_start - 10.0).abs() < 0.5);
+        assert!((found[0].t_end - 14.0).abs() < 0.5);
+        // Displacement ≈ v·A·D²/2π = 12·0.15·16/6.28 ≈ 4.6 m < 3·W_lane.
+        assert!(found[0].displacement_m > 0.0);
+        assert!(found[0].displacement_m.abs() <= 3.0 * 3.65);
+    }
+
+    #[test]
+    fn detects_right_lane_change() {
+        let raw = maneuver_profile(0.15, 4.0, 10.0, 30.0, -1.0);
+        let prof = smooth_profile(&raw, 0.6);
+        let found = det().detect(&prof, &|_| 12.0);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].direction, LaneChangeDirection::Right);
+        assert!(found[0].displacement_m < 0.0);
+    }
+
+    #[test]
+    fn weak_bumps_are_ignored() {
+        // Amplitude below δ.
+        let raw = maneuver_profile(0.04, 4.0, 10.0, 30.0, 1.0);
+        let prof = smooth_profile(&raw, 0.6);
+        assert!(det().detect(&prof, &|_| 12.0).is_empty());
+    }
+
+    #[test]
+    fn short_spikes_are_ignored() {
+        // Strong but too brief: dwell above 0.7·peak ≈ 0.25·0.8 = 0.2 s < T.
+        let raw = maneuver_profile(0.3, 0.8, 10.0, 30.0, 1.0);
+        let prof = smooth_profile(&raw, 0.2);
+        assert!(det().detect(&prof, &|_| 12.0).is_empty());
+    }
+
+    #[test]
+    fn same_sign_bumps_do_not_pair() {
+        // Two positive half-sine bumps (e.g. two successive left turns).
+        let dt = 1.0 / RATE;
+        let raw: Vec<(f64, f64)> = (0..(40.0 / dt) as usize)
+            .map(|i| {
+                let t = i as f64 * dt;
+                let w = if (10.0..12.0).contains(&t) {
+                    0.2 * (PI * (t - 10.0) / 2.0).sin()
+                } else if (15.0..17.0).contains(&t) {
+                    0.2 * (PI * (t - 15.0) / 2.0).sin()
+                } else {
+                    0.0
+                };
+                (t, w)
+            })
+            .collect();
+        let prof = smooth_profile(&raw, 0.4);
+        assert!(det().detect(&prof, &|_| 12.0).is_empty());
+    }
+
+    #[test]
+    fn s_curve_rejected_by_displacement() {
+        // An S-curve: same two-bump shape but much longer (road-scale)
+        // duration → displacement far exceeds 3·W_lane.
+        let raw = maneuver_profile(0.12, 30.0, 10.0, 60.0, 1.0);
+        let prof = smooth_profile(&raw, 1.0);
+        let v_at = |_t: f64| 12.0;
+        let d = det();
+        // The bumps themselves are found…
+        assert_eq!(d.find_bumps(&prof).len(), 2);
+        // …but Eq 1 kills the pairing: W ≈ v·A·D²/2π ≈ 206 m.
+        // (Pairing also fails on the gap test; widen it to isolate Eq 1.)
+        let wide = LaneChangeDetector::new(LaneChangeConfig {
+            max_pair_gap_s: 60.0,
+            ..LaneChangeConfig::default()
+        });
+        assert!(wide.detect(&prof, &v_at).is_empty());
+    }
+
+    #[test]
+    fn distant_bumps_do_not_pair() {
+        let dt = 1.0 / RATE;
+        // Positive bump at 10 s, negative at 30 s: gap ≫ max_pair_gap.
+        let raw: Vec<(f64, f64)> = (0..(50.0 / dt) as usize)
+            .map(|i| {
+                let t = i as f64 * dt;
+                let w = if (10.0..12.0).contains(&t) {
+                    0.2 * (PI * (t - 10.0) / 2.0).sin()
+                } else if (30.0..32.0).contains(&t) {
+                    -0.2 * (PI * (t - 30.0) / 2.0).sin()
+                } else {
+                    0.0
+                };
+                (t, w)
+            })
+            .collect();
+        let prof = smooth_profile(&raw, 0.4);
+        assert!(det().detect(&prof, &|_| 12.0).is_empty());
+    }
+
+    #[test]
+    fn multiple_lane_changes_all_found() {
+        let dt = 1.0 / RATE;
+        let mut raw: Vec<(f64, f64)> = (0..(80.0 / dt) as usize)
+            .map(|i| (i as f64 * dt, 0.0))
+            .collect();
+        // Left change at 10 s, right change at 40 s.
+        for (t, w) in raw.iter_mut() {
+            if (10.0..14.0).contains(t) {
+                *w = 0.15 * (2.0 * PI * (*t - 10.0) / 4.0).sin();
+            } else if (40.0..44.0).contains(t) {
+                *w = -0.15 * (2.0 * PI * (*t - 40.0) / 4.0).sin();
+            }
+        }
+        let prof = smooth_profile(&raw, 0.6);
+        let found = det().detect(&prof, &|_| 12.0);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].direction, LaneChangeDirection::Left);
+        assert_eq!(found[1].direction, LaneChangeDirection::Right);
+    }
+
+    #[test]
+    fn displacement_matches_closed_form() {
+        let raw = maneuver_profile(0.15, 4.0, 5.0, 15.0, 1.0);
+        let prof = smooth_profile(&raw, 0.3);
+        let d = det();
+        let w = d.displacement(&prof, &|_| 12.0, 5.0, 9.0);
+        let closed = 12.0 * 0.15 * 16.0 / (2.0 * PI);
+        assert!((w - closed).abs() < 0.35, "W = {w}, closed form {closed}");
+    }
+
+    #[test]
+    fn velocity_correction_reduces_speed_in_window() {
+        let raw = maneuver_profile(0.15, 4.0, 10.0, 30.0, 1.0);
+        let prof = smooth_profile(&raw, 0.6);
+        let d = det();
+        let v: Vec<f64> = vec![12.0; prof.len()];
+        let found = d.detect(&prof, &|_| 12.0);
+        let corrected = d.correct_velocity(&prof, &found, &v);
+        // Mid-maneuver, the steering angle peaks and v_L < v.
+        let mid_idx = prof.t.iter().position(|&t| t >= 12.0).unwrap();
+        assert!(corrected[mid_idx] < 12.0);
+        assert!(corrected[mid_idx] > 11.5); // cos of a small angle
+        // Outside the window, untouched.
+        assert_eq!(corrected[100], 12.0);
+        let last = prof.len() - 1;
+        assert_eq!(corrected[last], 12.0);
+    }
+
+    #[test]
+    fn flat_noise_profile_yields_nothing() {
+        let dt = 1.0 / RATE;
+        let raw: Vec<(f64, f64)> = (0..(60.0 / dt) as usize)
+            .map(|i| {
+                let t = i as f64 * dt;
+                (t, 0.01 * (t * 13.7).sin())
+            })
+            .collect();
+        let prof = smooth_profile(&raw, 0.6);
+        assert!(det().find_bumps(&prof).is_empty());
+        assert!(det().detect(&prof, &|_| 12.0).is_empty());
+    }
+
+    #[test]
+    fn empty_profile_is_handled() {
+        let prof = SmoothedProfile { t: vec![], w: vec![] };
+        assert!(det().find_bumps(&prof).is_empty());
+        assert!(det().detect(&prof, &|_| 12.0).is_empty());
+    }
+}

@@ -1,0 +1,528 @@
+//! Streaming (online) gradient estimation.
+//!
+//! [`pipeline::GradientEstimator`](crate::pipeline::GradientEstimator)
+//! processes a recorded trip after the fact; a phone in a vehicle works
+//! sample-by-sample. [`OnlineEstimator`] is the causal variant: push
+//! sensor samples as they arrive, read the fused gradient at any moment.
+//!
+//! Differences from the batch pipeline, all forced by causality:
+//!
+//! * steering smoothing is a trailing moving average instead of LOWESS
+//!   (which needs future samples);
+//! * the Eq-2 velocity correction is applied *during* a suspected
+//!   maneuver (steering-angle accumulation starts when a bump opens)
+//!   rather than retroactively after detection;
+//! * the accelerometer-integrated velocity source is omitted — it needs
+//!   acausal drift correction to be useful.
+
+use crate::diagnostics::{FilterHealth, InnovationMonitor, MonitorConfig};
+use crate::ekf::GradientEkf;
+use crate::fusion::fuse_values;
+use crate::lane_change::LaneChangeDetection;
+use crate::pipeline::EstimatorConfig;
+use crate::track::GradientTrack;
+use gradest_math::angle::wrap_pi;
+use gradest_sensors::samples::{GpsSample, ImuSample, SpeedSample};
+use gradest_sensors::MapMatcher;
+use gradest_geo::Route;
+use gradest_sim::LaneChangeDirection;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A streaming velocity source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OnlineSource {
+    /// GPS Doppler speed.
+    Gps,
+    /// Speedometer app.
+    Speedometer,
+    /// CAN-bus wheel speed.
+    CanBus,
+}
+
+/// One fused output sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineEstimate {
+    /// Time of the estimate, seconds.
+    pub t: f64,
+    /// Arc position (odometer, GPS-anchored when a map is known), metres.
+    pub s: f64,
+    /// Fused gradient estimate θ, radians.
+    pub theta: f64,
+    /// Fused variance, rad².
+    pub variance: f64,
+}
+
+/// Internal per-source filter state.
+#[derive(Debug, Clone)]
+struct SourceState {
+    source: OnlineSource,
+    ekf: GradientEkf,
+    r: f64,
+    initialized: bool,
+    monitor: InnovationMonitor,
+}
+
+/// Internal streaming bump/maneuver state.
+#[derive(Debug, Clone, Default)]
+struct ManeuverState {
+    /// Sign of the currently open bump run (0 = none).
+    run_sign: f64,
+    run_peak: f64,
+    run_start_t: f64,
+    run_dwell: f64,
+    /// A completed bump waiting for its opposite partner.
+    held: Option<(f64, f64, f64)>, // (sign, t_start, t_end)
+    /// Steering angle accumulated since the suspected maneuver began.
+    alpha: f64,
+    accumulating: bool,
+}
+
+/// The streaming estimator.
+///
+/// # Example
+///
+/// ```no_run
+/// use gradest_core::online::OnlineEstimator;
+/// use gradest_core::pipeline::EstimatorConfig;
+/// # let imu_stream: Vec<gradest_sensors::ImuSample> = vec![];
+/// let mut est = OnlineEstimator::new(EstimatorConfig::default(), None);
+/// for sample in imu_stream {
+///     est.push_imu(sample);
+///     if let Some(e) = est.latest() {
+///         println!("θ = {:.2}° at {:.0} m", e.theta.to_degrees(), e.s);
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineEstimator {
+    config: EstimatorConfig,
+    map: Option<Route>,
+    sources: Vec<SourceState>,
+    /// Trailing steering-rate window for the causal smoother.
+    steering_window: VecDeque<(f64, f64)>,
+    /// Last smoothed steering value and its time.
+    smoothed: f64,
+    /// Current w_road estimate from the last map-matched fix.
+    w_road: f64,
+    /// Odometer (median-source) arc position.
+    s: f64,
+    last_imu_t: Option<f64>,
+    /// Latest speed (for displacement and Eq-2).
+    last_speed: f64,
+    maneuver: ManeuverState,
+    detections: Vec<LaneChangeDetection>,
+    /// Fused history.
+    track: GradientTrack,
+    matcher_last_s: f64,
+}
+
+impl OnlineEstimator {
+    /// Creates a streaming estimator. `map` enables road-curvature
+    /// subtraction and GPS arc anchoring.
+    pub fn new(config: EstimatorConfig, map: Option<Route>) -> Self {
+        let mk = |source: OnlineSource, r: f64| SourceState {
+            source,
+            ekf: GradientEkf::new(config.ekf, 10.0),
+            r,
+            initialized: false,
+            monitor: InnovationMonitor::new(MonitorConfig::default()),
+        };
+        let sources = vec![
+            mk(OnlineSource::Gps, config.r_gps),
+            mk(OnlineSource::Speedometer, config.r_speedometer),
+            mk(OnlineSource::CanBus, config.r_can),
+        ];
+        OnlineEstimator {
+            config,
+            map,
+            sources,
+            steering_window: VecDeque::new(),
+            smoothed: 0.0,
+            w_road: 0.0,
+            s: 0.0,
+            last_imu_t: None,
+            last_speed: 10.0,
+            maneuver: ManeuverState::default(),
+            detections: Vec::new(),
+            track: GradientTrack::new("online-fused"),
+            matcher_last_s: 0.0,
+        }
+    }
+
+    /// Pushes one IMU sample: advances every source EKF, the odometer,
+    /// and the streaming lane-change state machine.
+    pub fn push_imu(&mut self, sample: ImuSample) {
+        let dt = match self.last_imu_t {
+            Some(prev) if sample.t > prev => sample.t - prev,
+            Some(_) => return, // out-of-order: drop
+            None => {
+                self.last_imu_t = Some(sample.t);
+                0.02
+            }
+        };
+        self.last_imu_t = Some(sample.t);
+
+        for src in &mut self.sources {
+            src.ekf.predict(sample.accel_long, dt);
+        }
+
+        // Causal steering smoothing: trailing moving average.
+        let w_steer_raw = sample.gyro_z - self.w_road;
+        self.steering_window.push_back((sample.t, w_steer_raw));
+        let window_s = self.config.lane_change.smoothing_window_s.max(0.1);
+        while let Some(&(t0, _)) = self.steering_window.front() {
+            if sample.t - t0 > window_s {
+                self.steering_window.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.smoothed = self.steering_window.iter().map(|p| p.1).sum::<f64>()
+            / self.steering_window.len() as f64;
+
+        self.step_maneuver_machine(sample.t, dt);
+
+        // Odometer from the current fused velocity.
+        let v_fused = self.fused_velocity();
+        self.s += v_fused * dt;
+
+        // Record the fused gradient.
+        let (theta, var) = self.fused_theta();
+        let s_mono = self
+            .track
+            .s
+            .last()
+            .map_or(self.s, |&last| self.s.max(last));
+        self.s = s_mono;
+        self.track.push(s_mono, theta, var.max(1e-12));
+    }
+
+    /// Pushes a GPS fix: velocity measurement, w_road refresh, and arc
+    /// anchoring (when a map is present and the fix is valid).
+    pub fn push_gps(&mut self, fix: GpsSample) {
+        if !fix.valid {
+            return;
+        }
+        self.update_source(OnlineSource::Gps, fix.speed_mps);
+        if let Some(route) = &self.map {
+            let mut matcher = MapMatcher::new(route);
+            // Restore matcher continuity.
+            let _ = matcher.match_s(route.point_at(self.matcher_last_s.min(route.length())));
+            let s_gps = matcher.match_s(fix.position);
+            self.matcher_last_s = s_gps;
+            self.w_road = route.heading_rate_at(s_gps, 12.0) * fix.speed_mps;
+            self.s += 0.35 * (s_gps - self.s);
+            if let Some(&last) = self.track.s.last() {
+                self.s = self.s.max(last);
+            }
+        }
+    }
+
+    /// Pushes a scalar speed sample from the speedometer or CAN bus.
+    pub fn push_speed(&mut self, source: OnlineSource, sample: SpeedSample) {
+        self.update_source(source, sample.speed_mps);
+    }
+
+    /// Latest fused estimate, if any samples have been consumed.
+    pub fn latest(&self) -> Option<OnlineEstimate> {
+        let t = self.last_imu_t?;
+        let (theta, variance) = self.fused_theta();
+        Some(OnlineEstimate { t, s: self.s, theta, variance })
+    }
+
+    /// Lane changes detected so far.
+    pub fn detections(&self) -> &[LaneChangeDetection] {
+        &self.detections
+    }
+
+    /// Consumes the estimator, returning the fused history track.
+    pub fn into_track(self) -> GradientTrack {
+        self.track
+    }
+
+    fn update_source(&mut self, source: OnlineSource, speed: f64) {
+        self.last_speed = speed.max(0.0);
+        // Eq-2, causal form: during a suspected maneuver scale by cos α.
+        let corrected = if self.maneuver.accumulating && !self.config.disable_lane_correction {
+            self.last_speed * self.maneuver.alpha.cos()
+        } else {
+            self.last_speed
+        };
+        for src in &mut self.sources {
+            if src.source == source {
+                if !src.initialized {
+                    src.ekf = GradientEkf::new(self.config.ekf, corrected);
+                    src.initialized = true;
+                } else {
+                    let innovation = corrected - src.ekf.velocity();
+                    let s_var = src.ekf.covariance().m[0][0] + src.r;
+                    src.monitor.record(innovation, s_var);
+                    src.ekf.update(corrected, src.r);
+                }
+            }
+        }
+    }
+
+    /// Worst filter-health verdict across the velocity sources (NIS
+    /// innovation monitoring; see [`crate::diagnostics`]).
+    pub fn health(&self) -> FilterHealth {
+        let mut worst = FilterHealth::Healthy;
+        for src in &self.sources {
+            match (src.monitor.health(), worst) {
+                (FilterHealth::Diverged, _) => return FilterHealth::Diverged,
+                (FilterHealth::Inconsistent, FilterHealth::Healthy) => {
+                    worst = FilterHealth::Inconsistent;
+                }
+                _ => {}
+            }
+        }
+        worst
+    }
+
+    fn fused_theta(&self) -> (f64, f64) {
+        let values: Vec<(f64, f64)> = self
+            .sources
+            .iter()
+            .map(|s| (s.ekf.theta(), s.ekf.theta_variance().max(1e-12)))
+            .collect();
+        fuse_values(&values)
+    }
+
+    fn fused_velocity(&self) -> f64 {
+        let n = self.sources.len() as f64;
+        self.sources.iter().map(|s| s.ekf.velocity()).sum::<f64>() / n
+    }
+
+    /// Streaming version of the Algorithm 1 state machine.
+    fn step_maneuver_machine(&mut self, t: f64, dt: f64) {
+        let cfg = &self.config.lane_change;
+        let floor = cfg.noise_floor_frac * cfg.delta_threshold;
+        let w = self.smoothed;
+        let m = &mut self.maneuver;
+
+        // Steering-angle accumulation for the causal Eq-2 correction.
+        if m.accumulating {
+            m.alpha = wrap_pi(m.alpha + w * dt);
+        }
+
+        if m.run_sign == 0.0 {
+            if w.abs() > floor {
+                m.run_sign = w.signum();
+                m.run_peak = w.abs();
+                m.run_start_t = t;
+                m.run_dwell = 0.0;
+                if !m.accumulating {
+                    m.accumulating = true;
+                    m.alpha = 0.0;
+                }
+            } else if m.accumulating && m.held.is_none() {
+                // Flat again with no bump pending: stop accumulating.
+                m.accumulating = false;
+                m.alpha = 0.0;
+            }
+            // Expire a stale held bump.
+            if let Some((_, _, t_end)) = m.held {
+                if t - t_end > cfg.max_pair_gap_s {
+                    m.held = None;
+                    m.accumulating = false;
+                    m.alpha = 0.0;
+                }
+            }
+            return;
+        }
+
+        // A run is open.
+        if w * m.run_sign > floor {
+            m.run_peak = m.run_peak.max(w.abs());
+            if w.abs() >= 0.7 * m.run_peak {
+                m.run_dwell += dt;
+            }
+            return;
+        }
+
+        // Run closed: qualify it as a bump.
+        let qualified = m.run_peak >= cfg.delta_threshold && m.run_dwell >= cfg.t_threshold;
+        let closed = (m.run_sign, m.run_start_t, t);
+        m.run_sign = 0.0;
+        if !qualified {
+            return;
+        }
+        match m.held {
+            None => m.held = Some(closed),
+            Some((held_sign, held_start, held_end)) => {
+                if held_sign != closed.0 && closed.1 - held_end <= cfg.max_pair_gap_s {
+                    // Displacement over the pair: v·sin(α) accumulated —
+                    // approximate with the current α trajectory.
+                    let displacement = self.last_speed
+                        * self.maneuver.alpha.sin()
+                        * (t - held_start).max(0.1)
+                        / 2.0;
+                    // The α-based estimate is crude; prefer the small-angle
+                    // closed form when in range.
+                    let w_est = if displacement.abs() > 1e-6 {
+                        displacement
+                    } else {
+                        self.maneuver.alpha * self.last_speed
+                    };
+                    if w_est.abs() <= 3.0 * self.config.lane_change.lane_width_m
+                        || self.maneuver.alpha.abs() < 0.25
+                    {
+                        self.detections.push(LaneChangeDetection {
+                            direction: if held_sign > 0.0 {
+                                LaneChangeDirection::Left
+                            } else {
+                                LaneChangeDirection::Right
+                            },
+                            t_start: held_start,
+                            t_end: t,
+                            displacement_m: w_est,
+                        });
+                    }
+                    self.maneuver.held = None;
+                    self.maneuver.accumulating = false;
+                    self.maneuver.alpha = 0.0;
+                } else {
+                    self.maneuver.held = Some(closed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradest_geo::generate::{straight_road, two_lane_straight};
+    use gradest_sensors::suite::{SensorConfig, SensorSuite};
+    use gradest_sim::driver::DriverProfile;
+    use gradest_sim::trip::{simulate_trip, TripConfig};
+
+    /// Streams a recorded log through the online estimator in timestamp
+    /// order.
+    fn stream(log: &gradest_sensors::SensorLog, map: Option<Route>) -> OnlineEstimator {
+        let mut est = OnlineEstimator::new(EstimatorConfig::default(), map);
+        let mut gi = 0usize;
+        let mut si = 0usize;
+        let mut ci = 0usize;
+        for imu in &log.imu {
+            while gi < log.gps.len() && log.gps[gi].t <= imu.t {
+                est.push_gps(log.gps[gi]);
+                gi += 1;
+            }
+            while si < log.speedometer.len() && log.speedometer[si].t <= imu.t {
+                est.push_speed(OnlineSource::Speedometer, log.speedometer[si]);
+                si += 1;
+            }
+            while ci < log.can.len() && log.can[ci].t <= imu.t {
+                est.push_speed(OnlineSource::CanBus, log.can[ci]);
+                ci += 1;
+            }
+            est.push_imu(*imu);
+        }
+        est
+    }
+
+    #[test]
+    fn online_tracks_constant_gradient() {
+        let route = Route::new(vec![straight_road(2000.0, 3.0)]).unwrap();
+        let cfg = TripConfig {
+            driver: DriverProfile { lane_change_rate_per_km: 0.0, ..Default::default() },
+            ..Default::default()
+        };
+        let traj = simulate_trip(&route, &cfg, 71);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 71);
+        let est = stream(&log, Some(route.clone()));
+        let latest = est.latest().unwrap();
+        assert!(
+            (latest.theta.to_degrees() - 3.0).abs() < 0.5,
+            "final θ {}°",
+            latest.theta.to_degrees()
+        );
+        assert!((latest.s - 2000.0).abs() < 60.0, "odometer {}", latest.s);
+        let track = est.into_track();
+        assert!(!track.is_empty());
+        for w in track.s.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn online_close_to_batch_on_red_road() {
+        use crate::pipeline::GradientEstimator;
+        let route = Route::new(vec![gradest_geo::generate::red_road()]).unwrap();
+        let cfg = TripConfig::default();
+        let traj = simulate_trip(&route, &cfg, 72);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 72);
+        let online = stream(&log, Some(route.clone())).into_track();
+        let batch = GradientEstimator::new(EstimatorConfig::default())
+            .estimate(&log, Some(&route));
+        // Compare on a common grid.
+        let mut diffs = Vec::new();
+        let mut s = 200.0;
+        while s < 2000.0 {
+            if let (Some(a), Some(b)) = (online.theta_at(s), batch.fused.theta_at(s)) {
+                diffs.push((a - b).abs().to_degrees());
+            }
+            s += 50.0;
+        }
+        let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        assert!(mean < 0.5, "online vs batch mean divergence {mean}°");
+    }
+
+    #[test]
+    fn online_detects_lane_changes() {
+        let route = Route::new(vec![two_lane_straight(8000.0)]).unwrap();
+        let cfg = TripConfig {
+            driver: DriverProfile { lane_change_rate_per_km: 1.0, ..Default::default() },
+            ..Default::default()
+        };
+        let traj = simulate_trip(&route, &cfg, 73);
+        assert!(!traj.events().is_empty());
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 73);
+        let est = stream(&log, Some(route));
+        // At least half the maneuvers are caught, with correct directions
+        // on matches.
+        let mut matched = 0;
+        for det in est.detections() {
+            if let Some(e) = traj
+                .events()
+                .iter()
+                .find(|e| det.t_start < e.end_t + 2.0 && det.t_end > e.start_t - 2.0)
+            {
+                matched += 1;
+                assert_eq!(det.direction, e.direction);
+            }
+        }
+        assert!(
+            matched * 2 >= traj.events().len(),
+            "matched {matched}/{}",
+            traj.events().len()
+        );
+    }
+
+    #[test]
+    fn out_of_order_imu_is_dropped() {
+        let mut est = OnlineEstimator::new(EstimatorConfig::default(), None);
+        let mk = |t: f64| ImuSample { t, accel_long: 0.0, accel_lat: 0.0, gyro_z: 0.0 };
+        est.push_imu(mk(1.0));
+        est.push_imu(mk(2.0));
+        let before = est.latest().unwrap();
+        est.push_imu(mk(1.5)); // stale
+        let after = est.latest().unwrap();
+        assert_eq!(before.t, after.t);
+    }
+
+    #[test]
+    fn invalid_gps_is_ignored() {
+        let mut est = OnlineEstimator::new(EstimatorConfig::default(), None);
+        est.push_gps(GpsSample {
+            t: 1.0,
+            position: gradest_math::Vec2::ZERO,
+            speed_mps: 99.0,
+            heading: 0.0,
+            valid: false,
+        });
+        assert!(est.latest().is_none());
+    }
+}

@@ -1,0 +1,554 @@
+//! The end-to-end gradient estimation pipeline (paper Figure 1).
+//!
+//! [`GradientEstimator::estimate`] consumes one trip's [`SensorLog`] and
+//! produces per-source [`GradientTrack`]s plus their Eq-6 fusion:
+//!
+//! 1. steering profile from the coordinate alignment system (+ LOWESS);
+//! 2. lane-change detection (Algorithm 1) and Eq-2 velocity correction;
+//! 3. one EKF per velocity source (GPS, speedometer, CAN, accelerometer),
+//!    predicting with the measured longitudinal acceleration at IMU rate
+//!    and updating with that source's velocity measurements;
+//! 4. track fusion by convex combination.
+
+use crate::ekf::{EkfConfig, GradientEkf};
+use crate::fusion::fuse_tracks;
+use crate::lane_change::{LaneChangeConfig, LaneChangeDetection, LaneChangeDetector};
+use crate::smoother::{rts_smooth, RtsStep};
+use crate::steering::{smooth_profile, SmoothedProfile};
+use crate::track::GradientTrack;
+use gradest_geo::Route;
+use gradest_math::interp::interp1;
+use gradest_sensors::alignment::{steering_rate_profile, MapMatcher};
+use gradest_sensors::suite::SensorLog;
+use serde::{Deserialize, Serialize};
+
+/// A velocity source feeding one EKF track (Section III-C3: "vehicle
+/// velocity can be obtained through different ways such as GPS data,
+/// speedometer and accelerometer", plus CAN-bus over Bluetooth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VelocitySource {
+    /// GPS Doppler speed (1 Hz, outage-prone).
+    Gps,
+    /// Speedometer app (10 Hz, slight scale bias).
+    Speedometer,
+    /// CAN-bus wheel speed (20 Hz, quantized).
+    CanBus,
+    /// Velocity integrated from the accelerometer, drift-corrected toward
+    /// GPS with a slow complementary filter.
+    Accelerometer,
+}
+
+impl VelocitySource {
+    /// All four sources, in the paper's order.
+    pub const ALL: [VelocitySource; 4] = [
+        VelocitySource::Gps,
+        VelocitySource::Speedometer,
+        VelocitySource::CanBus,
+        VelocitySource::Accelerometer,
+    ];
+
+    /// Human-readable label used on tracks.
+    pub fn label(self) -> &'static str {
+        match self {
+            VelocitySource::Gps => "gps",
+            VelocitySource::Speedometer => "speedometer",
+            VelocitySource::CanBus => "can-bus",
+            VelocitySource::Accelerometer => "accelerometer",
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// EKF model and tuning.
+    pub ekf: EkfConfig,
+    /// Lane-change detector thresholds.
+    pub lane_change: LaneChangeConfig,
+    /// Which velocity sources to run (one EKF track each).
+    pub sources: Vec<VelocitySource>,
+    /// Arc spacing of the fused output grid, metres.
+    pub track_ds: f64,
+    /// Measurement variance for GPS speed, (m/s)².
+    pub r_gps: f64,
+    /// Measurement variance for the speedometer, (m/s)².
+    pub r_speedometer: f64,
+    /// Measurement variance for CAN wheel speed, (m/s)².
+    pub r_can: f64,
+    /// Measurement variance for accelerometer-integrated velocity,
+    /// (m/s)².
+    pub r_accelerometer: f64,
+    /// Complementary-filter time constant pulling the integrated
+    /// accelerometer velocity toward GPS, seconds.
+    pub accel_blend_tau_s: f64,
+    /// Disable the Eq-2 lane-change velocity correction (ablation).
+    pub disable_lane_correction: bool,
+    /// Apply a backward RTS smoothing pass over each track (batch-mode
+    /// accuracy; the paper's filter is forward-only — disable for strict
+    /// paper fidelity or causal comparisons).
+    pub rts_smoothing: bool,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            ekf: EkfConfig::default(),
+            lane_change: LaneChangeConfig::default(),
+            sources: VelocitySource::ALL.to_vec(),
+            track_ds: 5.0,
+            r_gps: 0.15,
+            r_speedometer: 0.04,
+            r_can: 0.01,
+            r_accelerometer: 1.5,
+            accel_blend_tau_s: 3.0,
+            disable_lane_correction: false,
+            rts_smoothing: true,
+        }
+    }
+}
+
+/// Output of one trip's estimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientEstimate {
+    /// Per-source tracks, aligned on the fused grid.
+    pub tracks: Vec<GradientTrack>,
+    /// The Eq-6 fusion of all tracks.
+    pub fused: GradientTrack,
+    /// Detected lane changes.
+    pub detections: Vec<LaneChangeDetection>,
+    /// Estimated distance travelled, metres (median across sources).
+    pub distance_m: f64,
+}
+
+/// The end-to-end estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientEstimator {
+    config: EstimatorConfig,
+}
+
+impl GradientEstimator {
+    /// Creates an estimator.
+    pub fn new(config: EstimatorConfig) -> Self {
+        GradientEstimator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline over one trip.
+    ///
+    /// `map` is the known road geometry used to derive `w_road` for the
+    /// steering profile; pass `None` on unmapped roads (lane-change
+    /// detection then relies entirely on the Eq-1 displacement test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log carries fewer than two IMU samples.
+    pub fn estimate(&self, log: &SensorLog, map: Option<&Route>) -> GradientEstimate {
+        assert!(log.imu.len() >= 2, "need at least two IMU samples");
+        let cfg = &self.config;
+        let dt = log.imu_dt();
+
+        // 1. Steering profile.
+        let raw_profile = steering_rate_profile(&log.imu, &log.gps, map);
+        let profile = smooth_profile(&raw_profile, cfg.lane_change.smoothing_window_s);
+
+        // 2. Lane-change detection; Eq 1 uses the speedometer (fallback:
+        //    GPS, then a constant urban speed).
+        let v_lookup = make_speed_lookup(log);
+        let detector = LaneChangeDetector::new(cfg.lane_change);
+        let detections = detector.detect(&profile, &v_lookup);
+        // Steering angle α(t) within detection windows (zero elsewhere),
+        // for the Eq-2 correction of arbitrary-time measurements.
+        let alpha = steering_angle_series(&profile, &detections);
+
+        // 3. One EKF per source.
+        let mut tracks = Vec::new();
+        let mut distances = Vec::new();
+        for &source in &cfg.sources {
+            let measurements = self.measurement_series(log, source);
+            let r = match source {
+                VelocitySource::Gps => cfg.r_gps,
+                VelocitySource::Speedometer => cfg.r_speedometer,
+                VelocitySource::CanBus => cfg.r_can,
+                VelocitySource::Accelerometer => cfg.r_accelerometer,
+            };
+            let track =
+                self.run_ekf_track(log, &measurements, r, source.label(), &profile, &alpha, dt, map);
+            if let Some(&d) = track.s.last() {
+                distances.push(d);
+            }
+            tracks.push(track);
+        }
+
+        // 4. Fuse on a common grid.
+        distances.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        let length = distances.first().copied().unwrap_or(0.0);
+        let aligned: Vec<GradientTrack> = tracks
+            .iter()
+            .filter(|t| !t.is_empty())
+            .map(|t| t.resample(length, cfg.track_ds))
+            .collect();
+        let fused = fuse_tracks(&aligned).unwrap_or_else(|_| GradientTrack::new("fused"));
+        let distance_m = if distances.is_empty() {
+            0.0
+        } else {
+            distances[distances.len() / 2]
+        };
+
+        GradientEstimate { tracks: aligned, fused, detections, distance_m }
+    }
+
+    /// Builds the `(t, v)` measurement series for one source.
+    fn measurement_series(&self, log: &SensorLog, source: VelocitySource) -> Vec<(f64, f64)> {
+        match source {
+            VelocitySource::Gps => log
+                .gps
+                .iter()
+                .filter(|g| g.valid)
+                .map(|g| (g.t, g.speed_mps))
+                .collect(),
+            VelocitySource::Speedometer => {
+                log.speedometer.iter().map(|s| (s.t, s.speed_mps)).collect()
+            }
+            VelocitySource::CanBus => log.can.iter().map(|s| (s.t, s.speed_mps)).collect(),
+            VelocitySource::Accelerometer => self.integrate_accel_velocity(log),
+        }
+    }
+
+    /// Velocity from the accelerometer: raw integration of the
+    /// longitudinal specific force, drift-corrected toward the latest GPS
+    /// speed with time constant `accel_blend_tau_s`. Emitted at 10 Hz.
+    fn integrate_accel_velocity(&self, log: &SensorLog) -> Vec<(f64, f64)> {
+        let tau = self.config.accel_blend_tau_s.max(1.0);
+        let mut gps_iter = log.gps.iter().filter(|g| g.valid).peekable();
+        let mut latest_gps: Option<f64> = None;
+        let mut v = log
+            .gps
+            .iter()
+            .find(|g| g.valid)
+            .map(|g| g.speed_mps)
+            .unwrap_or(10.0);
+        let mut out = Vec::new();
+        let mut last_t = log.imu.first().map(|s| s.t).unwrap_or(0.0);
+        let mut next_emit = last_t;
+        for imu in &log.imu {
+            let dt = (imu.t - last_t).max(0.0);
+            last_t = imu.t;
+            while let Some(g) = gps_iter.peek() {
+                if g.t <= imu.t {
+                    latest_gps = Some(g.speed_mps);
+                    gps_iter.next();
+                } else {
+                    break;
+                }
+            }
+            // Integrate the specific force (contains the g·sinθ leak —
+            // that is exactly why this is the worst source) and bleed
+            // toward GPS.
+            v += imu.accel_long * dt;
+            if let Some(g) = latest_gps {
+                v += (g - v) * (dt / tau);
+            }
+            v = v.max(0.0);
+            if imu.t >= next_emit {
+                out.push((imu.t, v));
+                next_emit += 0.1;
+            }
+        }
+        out
+    }
+
+    /// Runs one EKF over the trip for one measurement stream, producing an
+    /// arc-indexed track.
+    ///
+    /// Arc positioning integrates the EKF velocity (odometry) and, when a
+    /// map and valid GPS fixes are available, anchors the odometer to the
+    /// map-matched GPS position — the phone records a position with every
+    /// estimate, so pure dead-reckoning drift (≈1 % of distance from the
+    /// speedometer's scale error) would be an artificial handicap.
+    #[allow(clippy::too_many_arguments)]
+    fn run_ekf_track(
+        &self,
+        log: &SensorLog,
+        measurements: &[(f64, f64)],
+        r: f64,
+        label: &str,
+        profile: &SmoothedProfile,
+        alpha: &[f64],
+        dt: f64,
+        map: Option<&Route>,
+    ) -> GradientTrack {
+        let v0 = measurements.first().map(|m| m.1).unwrap_or(10.0);
+        let mut ekf = GradientEkf::new(self.config.ekf, v0);
+        let mut track = GradientTrack::new(label);
+        let mut history: Vec<RtsStep> = Vec::new();
+        let mut s = 0.0;
+        let mut m_idx = 0usize;
+        let mut gps_idx = 0usize;
+        let mut matcher = map.map(MapMatcher::new);
+        for imu in &log.imu {
+            let f = ekf.predict_returning_jacobian(imu.accel_long, dt);
+            let x_pred = gradest_math::Vec2::new(ekf.velocity(), ekf.theta());
+            let p_pred = ekf.covariance();
+            while m_idx < measurements.len() && measurements[m_idx].0 <= imu.t {
+                let (mt, mv) = measurements[m_idx];
+                // Eq 2: longitudinal velocity during detected lane changes.
+                let corrected = if self.config.disable_lane_correction {
+                    mv
+                } else {
+                    mv * alpha_at(profile, alpha, mt).cos()
+                };
+                ekf.update(corrected, r);
+                m_idx += 1;
+            }
+            s += ekf.velocity() * dt;
+            // Anchor the odometer to map-matched GPS.
+            while gps_idx < log.gps.len() && log.gps[gps_idx].t <= imu.t {
+                let fix = &log.gps[gps_idx];
+                gps_idx += 1;
+                if !fix.valid {
+                    continue;
+                }
+                if let Some(m) = matcher.as_mut() {
+                    let s_gps = m.match_s(fix.position);
+                    s += 0.35 * (s_gps - s);
+                }
+            }
+            // Track arc positions must not regress.
+            if let Some(&last) = track.s.last() {
+                s = s.max(last);
+            }
+            track.push(s, ekf.theta(), ekf.theta_variance().max(1e-12));
+            if self.config.rts_smoothing {
+                history.push(RtsStep {
+                    x_pred,
+                    p_pred,
+                    x_filt: gradest_math::Vec2::new(ekf.velocity(), ekf.theta()),
+                    p_filt: ekf.covariance(),
+                    f,
+                });
+            }
+        }
+        if self.config.rts_smoothing {
+            for (i, (x, p)) in rts_smooth(&history).into_iter().enumerate() {
+                track.theta[i] = x.y;
+                track.variance[i] = p.m[1][1].max(1e-12);
+            }
+        }
+        track
+    }
+}
+
+/// Builds a `v(t)` lookup from the best available speed stream.
+fn make_speed_lookup(log: &SensorLog) -> Box<dyn Fn(f64) -> f64> {
+    let (ts, vs): (Vec<f64>, Vec<f64>) = if !log.speedometer.is_empty() {
+        log.speedometer.iter().map(|s| (s.t, s.speed_mps)).unzip()
+    } else {
+        log.gps
+            .iter()
+            .filter(|g| g.valid)
+            .map(|g| (g.t, g.speed_mps))
+            .unzip()
+    };
+    if ts.len() < 2 {
+        return Box::new(|_| 10.0);
+    }
+    Box::new(move |t| interp1(&ts, &vs, t).unwrap_or(10.0))
+}
+
+/// Steering angle α(t) aligned with the profile: accumulated `w·Ω` inside
+/// each detection window, zero elsewhere (the Eq-2 integrand).
+fn steering_angle_series(profile: &SmoothedProfile, detections: &[LaneChangeDetection]) -> Vec<f64> {
+    let mut alpha = vec![0.0; profile.len()];
+    if profile.len() < 2 {
+        return alpha;
+    }
+    let dt = profile.dt();
+    for det in detections {
+        let mut acc = 0.0;
+        for i in 0..profile.len() {
+            let t = profile.t[i];
+            if t < det.t_start || t > det.t_end {
+                continue;
+            }
+            acc += profile.w[i] * dt;
+            alpha[i] = acc;
+        }
+    }
+    alpha
+}
+
+/// Nearest-sample α lookup at measurement time `t`.
+fn alpha_at(profile: &SmoothedProfile, alpha: &[f64], t: f64) -> f64 {
+    if profile.is_empty() {
+        return 0.0;
+    }
+    let idx = profile.t.partition_point(|&pt| pt < t);
+    let idx = idx.min(alpha.len() - 1);
+    alpha[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradest_geo::generate::{red_road, straight_road, two_lane_straight};
+    use gradest_geo::Route;
+    use gradest_sensors::suite::{SensorConfig, SensorSuite};
+    use gradest_sim::driver::DriverProfile;
+    use gradest_sim::trip::{simulate_trip, TripConfig};
+
+    fn run(route: &Route, trip_seed: u64, sensor_seed: u64, lc_rate: f64) -> GradientEstimate {
+        let cfg = TripConfig {
+            driver: DriverProfile { lane_change_rate_per_km: lc_rate, ..Default::default() },
+            ..Default::default()
+        };
+        let traj = simulate_trip(route, &cfg, trip_seed);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, sensor_seed);
+        GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(route))
+    }
+
+    #[test]
+    fn constant_gradient_recovered() {
+        let route = Route::new(vec![straight_road(2000.0, 3.0)]).unwrap();
+        let est = run(&route, 1, 1, 0.0);
+        assert_eq!(est.tracks.len(), 4);
+        // Fused estimate over the second half of the road ≈ 3°.
+        let late: Vec<f64> = est
+            .fused
+            .s
+            .iter()
+            .zip(&est.fused.theta)
+            .filter(|(s, _)| **s > 1000.0)
+            .map(|(_, th)| th.to_degrees())
+            .collect();
+        assert!(!late.is_empty());
+        let mean = late.iter().sum::<f64>() / late.len() as f64;
+        assert!((mean - 3.0).abs() < 0.5, "fused mean {mean}°");
+    }
+
+    #[test]
+    fn distance_estimate_close_to_route_length() {
+        let route = Route::new(vec![straight_road(1500.0, 1.0)]).unwrap();
+        let est = run(&route, 2, 2, 0.0);
+        assert!(
+            (est.distance_m - 1500.0).abs() < 60.0,
+            "distance {}",
+            est.distance_m
+        );
+    }
+
+    #[test]
+    fn tracks_are_aligned_for_fusion() {
+        let route = Route::new(vec![straight_road(800.0, 2.0)]).unwrap();
+        let est = run(&route, 3, 3, 0.0);
+        for t in &est.tracks {
+            assert_eq!(t.s.len(), est.fused.s.len());
+        }
+        // Fused variance never exceeds the best individual track.
+        for i in 0..est.fused.len() {
+            let best = est
+                .tracks
+                .iter()
+                .map(|t| t.variance[i])
+                .fold(f64::MAX, f64::min);
+            assert!(est.fused.variance[i] <= best + 1e-15);
+        }
+    }
+
+    #[test]
+    fn lane_changes_detected_on_multilane_road() {
+        let route = Route::new(vec![two_lane_straight(6000.0)]).unwrap();
+        let cfg = TripConfig {
+            driver: DriverProfile { lane_change_rate_per_km: 1.0, ..Default::default() },
+            ..Default::default()
+        };
+        let traj = simulate_trip(&route, &cfg, 5);
+        assert!(!traj.events().is_empty(), "simulation produced no maneuvers");
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 5);
+        let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+        assert!(
+            !est.detections.is_empty(),
+            "expected detections for {} events",
+            traj.events().len()
+        );
+        // Directions match ground truth for matched events.
+        for det in &est.detections {
+            let matched = traj.events().iter().find(|e| {
+                det.t_start < e.end_t + 1.0 && det.t_end > e.start_t - 1.0
+            });
+            if let Some(e) = matched {
+                assert_eq!(det.direction, e.direction, "direction mismatch at {}", det.t_start);
+            }
+        }
+    }
+
+    #[test]
+    fn red_road_fused_beats_worst_track() {
+        let route = Route::new(vec![red_road()]).unwrap();
+        let est = run(&route, 7, 7, 0.224);
+        let truth_err = |t: &GradientTrack| {
+            let errs: Vec<f64> = t
+                .s
+                .iter()
+                .zip(&t.theta)
+                .filter(|(s, _)| **s > 100.0)
+                .map(|(s, th)| (th - route.gradient_at(*s)).abs())
+                .collect();
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        let fused_err = truth_err(&est.fused);
+        let worst = est
+            .tracks
+            .iter()
+            .map(truth_err)
+            .fold(0.0f64, f64::max);
+        assert!(fused_err < worst, "fused {fused_err} vs worst {worst}");
+        // And it is decent in absolute terms (< 0.8° mean on a road whose
+        // sections average ±2.4°).
+        assert!(fused_err.to_degrees() < 0.8, "fused err {}°", fused_err.to_degrees());
+    }
+
+    #[test]
+    fn subset_of_sources_supported() {
+        let route = Route::new(vec![straight_road(600.0, 2.0)]).unwrap();
+        let cfg_trip = TripConfig {
+            driver: DriverProfile { lane_change_rate_per_km: 0.0, ..Default::default() },
+            ..Default::default()
+        };
+        let traj = simulate_trip(&route, &cfg_trip, 8);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 8);
+        let cfg = EstimatorConfig {
+            sources: vec![VelocitySource::CanBus],
+            ..Default::default()
+        };
+        let est = GradientEstimator::new(cfg).estimate(&log, Some(&route));
+        assert_eq!(est.tracks.len(), 1);
+        assert_eq!(est.tracks[0].label, "can-bus");
+        assert!(!est.fused.is_empty());
+    }
+
+    #[test]
+    fn works_without_map() {
+        let route = Route::new(vec![straight_road(800.0, -2.0)]).unwrap();
+        let cfg_trip = TripConfig {
+            driver: DriverProfile { lane_change_rate_per_km: 0.0, ..Default::default() },
+            ..Default::default()
+        };
+        let traj = simulate_trip(&route, &cfg_trip, 9);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 9);
+        let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, None);
+        let late: Vec<f64> = est
+            .fused
+            .s
+            .iter()
+            .zip(&est.fused.theta)
+            .filter(|(s, _)| **s > 400.0)
+            .map(|(_, th)| th.to_degrees())
+            .collect();
+        let mean = late.iter().sum::<f64>() / late.len() as f64;
+        assert!((mean + 2.0).abs() < 0.5, "fused mean {mean}°");
+    }
+}

@@ -1,0 +1,291 @@
+//! Road-level fuel and emission maps (Figures 10(a) and 10(b)) and
+//! per-route fuel integration.
+
+use crate::factors::Species;
+use crate::traffic::TrafficModel;
+use crate::vsp::FuelModel;
+use gradest_geo::{Road, RoadNetwork, Route};
+use serde::{Deserialize, Serialize};
+
+/// Fuel statistics for one road.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoadFuel {
+    /// Road id.
+    pub road_id: u64,
+    /// Road length, metres.
+    pub length_m: f64,
+    /// Mean per-vehicle fuel rate along the road, gallon/hour
+    /// (Figure 10(a)'s quantity).
+    pub mean_fuel_gph: f64,
+    /// Per-vehicle fuel to traverse the road, gallons.
+    pub traverse_fuel_gal: f64,
+}
+
+/// Emission statistics for one road.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoadEmission {
+    /// Road id.
+    pub road_id: u64,
+    /// Hourly traffic volume used, vehicles/hour.
+    pub hourly_volume: f64,
+    /// Emission intensity, tons per km of road per hour
+    /// (Figure 10(b)'s quantity).
+    pub tons_per_km_per_hour: f64,
+}
+
+/// A per-road fuel map over a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuelMap {
+    /// One entry per network edge, in edge order.
+    pub roads: Vec<RoadFuel>,
+}
+
+impl FuelMap {
+    /// Computes per-road fuel at a fixed cruise speed, sampling the
+    /// gradient every 10 m through `gradient_at(road, s)` — pass the
+    /// estimated profile (or ground truth, or `|_, _| 0.0` for the
+    /// no-gradient ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_mps <= 0`.
+    pub fn compute(
+        network: &RoadNetwork,
+        model: &FuelModel,
+        speed_mps: f64,
+        mut gradient_at: impl FnMut(&Road, f64) -> f64,
+    ) -> FuelMap {
+        assert!(speed_mps > 0.0, "speed must be positive");
+        let roads = network
+            .edges()
+            .iter()
+            .map(|e| {
+                let road = &e.road;
+                let mut s = 5.0;
+                let mut total_rate = 0.0;
+                let mut n = 0usize;
+                while s < road.length() {
+                    let theta = gradient_at(road, s);
+                    total_rate += model.fuel_rate_gph(speed_mps, 0.0, theta);
+                    n += 1;
+                    s += 10.0;
+                }
+                let mean_rate = if n > 0 { total_rate / n as f64 } else { 0.0 };
+                let hours = road.length() / speed_mps / 3600.0;
+                RoadFuel {
+                    road_id: road.id(),
+                    length_m: road.length(),
+                    mean_fuel_gph: mean_rate,
+                    traverse_fuel_gal: mean_rate * hours,
+                }
+            })
+            .collect();
+        FuelMap { roads }
+    }
+
+    /// Total fuel to traverse every road once, gallons.
+    pub fn total_traverse_fuel_gal(&self) -> f64 {
+        self.roads.iter().map(|r| r.traverse_fuel_gal).sum()
+    }
+
+    /// Mean of the per-road fuel rates, gallon/hour.
+    pub fn mean_rate_gph(&self) -> f64 {
+        if self.roads.is_empty() {
+            return 0.0;
+        }
+        self.roads.iter().map(|r| r.mean_fuel_gph).sum::<f64>() / self.roads.len() as f64
+    }
+}
+
+/// A per-road emission map over a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmissionMap {
+    /// Pollutant mapped.
+    pub species: Species,
+    /// One entry per network edge, in edge order.
+    pub roads: Vec<RoadEmission>,
+}
+
+impl EmissionMap {
+    /// Combines a fuel map with traffic volumes into emission intensity
+    /// per road: `vehicles/hour × gallons/km × F` (Figure 10(b)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fuel map's road count differs from the network's.
+    pub fn compute(
+        network: &RoadNetwork,
+        fuel: &FuelMap,
+        traffic: &TrafficModel,
+        species: Species,
+        speed_mps: f64,
+    ) -> EmissionMap {
+        assert_eq!(
+            network.edge_count(),
+            fuel.roads.len(),
+            "fuel map does not match network"
+        );
+        let v_kmh = speed_mps * 3.6;
+        let roads = network
+            .edges()
+            .iter()
+            .zip(&fuel.roads)
+            .map(|(e, f)| {
+                let volume = traffic.hourly_volume(&e.road);
+                let gal_per_km = f.mean_fuel_gph / v_kmh;
+                RoadEmission {
+                    road_id: e.road.id(),
+                    hourly_volume: volume,
+                    tons_per_km_per_hour: species.emission_tons(volume * gal_per_km),
+                }
+            })
+            .collect();
+        EmissionMap { species, roads }
+    }
+
+    /// Network-total emission rate in tons/hour (intensity × length).
+    pub fn total_tons_per_hour(&self, network: &RoadNetwork) -> f64 {
+        self.roads
+            .iter()
+            .zip(network.edges())
+            .map(|(r, e)| r.tons_per_km_per_hour * e.road.length() / 1000.0)
+            .sum()
+    }
+}
+
+/// Integrates per-vehicle fuel along a route at a steady cruise speed,
+/// sampling the gradient lookup every 10 m. Used by eco-routing cost
+/// functions.
+///
+/// # Panics
+///
+/// Panics if `speed_mps <= 0`.
+pub fn route_fuel_gal(
+    route: &Route,
+    model: &FuelModel,
+    speed_mps: f64,
+    mut gradient_at: impl FnMut(f64) -> f64,
+) -> f64 {
+    assert!(speed_mps > 0.0, "speed must be positive");
+    let mut s = 5.0;
+    let mut total = 0.0;
+    while s < route.length() {
+        let theta = gradient_at(s);
+        let rate = model.fuel_rate_gph(speed_mps, 0.0, theta);
+        let hours = 10.0 / speed_mps / 3600.0;
+        total += rate * hours;
+        s += 10.0;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradest_geo::generate::{city_network, straight_road};
+
+    const V40: f64 = 40.0 / 3.6;
+
+    #[test]
+    fn fuel_map_covers_all_edges() {
+        let net = city_network(5);
+        let model = FuelModel::default();
+        let map = FuelMap::compute(&net, &model, V40, |r, s| r.gradient_at(s));
+        assert_eq!(map.roads.len(), net.edge_count());
+        assert!(map.roads.iter().all(|r| r.mean_fuel_gph > 0.0));
+        assert!(map.total_traverse_fuel_gal() > 0.0);
+    }
+
+    #[test]
+    fn gradient_aware_map_burns_more_than_flat() {
+        // Hilly network with idle-floored downhills: ignoring gradient
+        // underestimates total fuel (the paper's +33.4 % headline).
+        let net = city_network(5);
+        let model = FuelModel::default();
+        let with = FuelMap::compute(&net, &model, V40, |r, s| r.gradient_at(s));
+        let without = FuelMap::compute(&net, &model, V40, |_, _| 0.0);
+        let ratio = with.total_traverse_fuel_gal() / without.total_traverse_fuel_gal();
+        assert!(ratio > 1.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn uphill_roads_rank_highest() {
+        let net = city_network(5);
+        let model = FuelModel::default();
+        let map = FuelMap::compute(&net, &model, V40, |r, s| r.gradient_at(s));
+        // The steepest-climb road should burn more than the flattest road.
+        let mean_grad = |e: &gradest_geo::network::NetworkEdge| {
+            let mut s = 5.0;
+            let (mut acc, mut n) = (0.0, 0);
+            while s < e.road.length() {
+                acc += e.road.gradient_at(s);
+                n += 1;
+                s += 10.0;
+            }
+            acc / n as f64
+        };
+        let grads: Vec<f64> = net.edges().iter().map(mean_grad).collect();
+        let steepest = grads
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let flattest = grads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        assert!(
+            map.roads[steepest].mean_fuel_gph > map.roads[flattest].mean_fuel_gph,
+            "steepest {} vs flattest {}",
+            map.roads[steepest].mean_fuel_gph,
+            map.roads[flattest].mean_fuel_gph
+        );
+    }
+
+    #[test]
+    fn emission_map_scales_with_traffic() {
+        let net = city_network(5);
+        let model = FuelModel::default();
+        let fuel = FuelMap::compute(&net, &model, V40, |r, s| r.gradient_at(s));
+        let base = TrafficModel::default();
+        let double = TrafficModel { scale: 2.0, seed: 0 };
+        let e1 = EmissionMap::compute(&net, &fuel, &base, Species::Co2, V40);
+        let e2 = EmissionMap::compute(&net, &fuel, &double, Species::Co2, V40);
+        let t1 = e1.total_tons_per_hour(&net);
+        let t2 = e2.total_tons_per_hour(&net);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        assert!(t1 > 0.0);
+    }
+
+    #[test]
+    fn co2_dwarfs_pm25() {
+        let net = city_network(5);
+        let model = FuelModel::default();
+        let fuel = FuelMap::compute(&net, &model, V40, |r, s| r.gradient_at(s));
+        let tm = TrafficModel::default();
+        let co2 = EmissionMap::compute(&net, &fuel, &tm, Species::Co2, V40);
+        let pm = EmissionMap::compute(&net, &fuel, &tm, Species::Pm25, V40);
+        let r = co2.total_tons_per_hour(&net) / pm.total_tons_per_hour(&net);
+        assert!((r - 8908.0 / 0.084).abs() / r < 1e-9);
+    }
+
+    #[test]
+    fn route_fuel_matches_closed_form_on_straight_road() {
+        let road = straight_road(3600.0 * V40, 0.0); // exactly 1 h at 40 km/h
+        let route = Route::new(vec![road]).unwrap();
+        let model = FuelModel::default();
+        let total = route_fuel_gal(&route, &model, V40, |_| 0.0);
+        let rate = model.fuel_rate_gph(V40, 0.0, 0.0);
+        assert!((total - rate).abs() / rate < 0.01, "{total} vs {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_rejected() {
+        let net = city_network(5);
+        let _ = FuelMap::compute(&net, &FuelModel::default(), 0.0, |_, _| 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Trip-level fuel and emission reporting.
+//!
+//! The map modules (Figure 10) work at a fixed cruise speed; real trips
+//! accelerate, idle, climb and descend. This module integrates the full
+//! Eq (7) over a recorded speed/gradient history and breaks the burn down
+//! by driving regime — the report a fleet or eco-driving app would show
+//! after each trip.
+
+use crate::factors::Species;
+use crate::vsp::FuelModel;
+use serde::{Deserialize, Serialize};
+
+/// One input sample of the trip history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TripSample {
+    /// Interval covered by this sample, seconds.
+    pub dt: f64,
+    /// Speed, m/s.
+    pub v: f64,
+    /// Acceleration, m/s².
+    pub a: f64,
+    /// Road gradient θ, radians.
+    pub theta: f64,
+}
+
+/// Fuel burned per driving regime, gallons.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RegimeBreakdown {
+    /// Near-stationary (v < 1 m/s).
+    pub idling: f64,
+    /// Climbing (θ > +0.5°).
+    pub climbing: f64,
+    /// Descending (θ < −0.5°).
+    pub descending: f64,
+    /// Everything else (flat cruising / accelerating).
+    pub flat: f64,
+}
+
+/// A completed trip report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TripReport {
+    /// Total fuel, gallons.
+    pub fuel_gal: f64,
+    /// Fuel a flat-earth model would have estimated, gallons.
+    pub fuel_flat_gal: f64,
+    /// Distance, km.
+    pub distance_km: f64,
+    /// Duration, hours.
+    pub duration_h: f64,
+    /// Fuel economy, miles per gallon.
+    pub mpg: f64,
+    /// CO₂ emitted, kg.
+    pub co2_kg: f64,
+    /// PM2.5 emitted, grams.
+    pub pm25_g: f64,
+    /// Regime breakdown.
+    pub regimes: RegimeBreakdown,
+}
+
+/// Threshold separating "flat" from climbing/descending, radians (0.5°).
+const GRADE_EPS: f64 = 0.00873;
+
+/// Builds a report from a trip history.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn report(model: &FuelModel, samples: &[TripSample]) -> TripReport {
+    assert!(!samples.is_empty(), "trip report needs samples");
+    let mut fuel = 0.0;
+    let mut fuel_flat = 0.0;
+    let mut dist = 0.0;
+    let mut dur = 0.0;
+    let mut regimes = RegimeBreakdown::default();
+    for s in samples {
+        let g = model.fuel_rate_gph(s.v, s.a, s.theta) * s.dt / 3600.0;
+        fuel += g;
+        fuel_flat += model.fuel_rate_gph(s.v, s.a, 0.0) * s.dt / 3600.0;
+        dist += s.v * s.dt;
+        dur += s.dt;
+        if s.v < 1.0 {
+            regimes.idling += g;
+        } else if s.theta > GRADE_EPS {
+            regimes.climbing += g;
+        } else if s.theta < -GRADE_EPS {
+            regimes.descending += g;
+        } else {
+            regimes.flat += g;
+        }
+    }
+    let miles = dist / 1609.344;
+    TripReport {
+        fuel_gal: fuel,
+        fuel_flat_gal: fuel_flat,
+        distance_km: dist / 1000.0,
+        duration_h: dur / 3600.0,
+        mpg: if fuel > 1e-12 { miles / fuel } else { f64::INFINITY },
+        co2_kg: Species::Co2.emission_g(fuel) / 1000.0,
+        pm25_g: Species::Pm25.emission_g(fuel),
+        regimes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cruise(v: f64, theta: f64, seconds: f64) -> Vec<TripSample> {
+        (0..(seconds as usize)).map(|_| TripSample { dt: 1.0, v, a: 0.0, theta }).collect()
+    }
+
+    #[test]
+    fn flat_cruise_report_is_consistent() {
+        let model = FuelModel::default();
+        let r = report(&model, &cruise(40.0 / 3.6, 0.0, 3600.0));
+        assert!((r.distance_km - 40.0).abs() < 0.1);
+        assert!((r.duration_h - 1.0).abs() < 1e-9);
+        let rate = model.fuel_rate_gph(40.0 / 3.6, 0.0, 0.0);
+        assert!((r.fuel_gal - rate).abs() < 1e-6);
+        assert!((r.fuel_gal - r.fuel_flat_gal).abs() < 1e-12);
+        // A city cruise lands in a plausible mpg band for this model.
+        assert!((20.0..90.0).contains(&r.mpg), "mpg {}", r.mpg);
+        // Everything booked under "flat".
+        assert!(r.regimes.idling == 0.0 && r.regimes.climbing == 0.0);
+        assert!((r.regimes.flat - r.fuel_gal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hilly_trip_books_regimes_and_exceeds_flat_model() {
+        let model = FuelModel::default();
+        let mut samples = cruise(12.0, 3.0f64.to_radians(), 600.0);
+        samples.extend(cruise(12.0, -3.0f64.to_radians(), 600.0));
+        samples.extend(cruise(0.3, 0.0, 120.0)); // a red light
+        let r = report(&model, &samples);
+        assert!(r.regimes.climbing > r.regimes.descending);
+        assert!(r.regimes.idling > 0.0);
+        assert!(
+            r.fuel_gal > r.fuel_flat_gal,
+            "gradient-aware {} vs flat {}",
+            r.fuel_gal,
+            r.fuel_flat_gal
+        );
+        // Descending books the idle floor.
+        let floor = model.idle_floor_gph * 600.0 / 3600.0;
+        assert!((r.regimes.descending - floor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emissions_are_proportional_to_fuel() {
+        let model = FuelModel::default();
+        let r = report(&model, &cruise(15.0, 0.01, 1800.0));
+        assert!((r.co2_kg - r.fuel_gal * 8.908).abs() < 1e-9);
+        assert!((r.pm25_g - r.fuel_gal * 0.084).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regime_fuel_sums_to_total() {
+        let model = FuelModel::default();
+        let mut samples = cruise(10.0, 0.02, 300.0);
+        samples.extend(cruise(0.0, 0.0, 60.0));
+        samples.extend(cruise(14.0, -0.03, 300.0));
+        let r = report(&model, &samples);
+        let sum = r.regimes.idling + r.regimes.climbing + r.regimes.descending + r.regimes.flat;
+        assert!((sum - r.fuel_gal).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empty_trip_panics() {
+        let _ = report(&FuelModel::default(), &[]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Gradient-aware velocity-profile optimization.
+//!
+//! The paper's introduction motivates gradient estimation with "vehicle
+//! velocity optimization and driving route planning" (its Eq-3 source,
+//! Ozatay et al., is a cloud-based DP velocity optimizer). This module
+//! implements that application on top of the estimated gradient profile:
+//! a dynamic program over discretized (position, speed) states minimizing
+//! `fuel + λ·time` subject to speed limits and comfortable acceleration.
+
+use crate::vsp::FuelModel;
+use serde::{Deserialize, Serialize};
+
+/// Optimizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VelocityOptConfig {
+    /// Position step, metres.
+    pub ds: f64,
+    /// Speed grid floor, m/s.
+    pub v_min: f64,
+    /// Speed grid ceiling, m/s (also the hard speed limit).
+    pub v_max: f64,
+    /// Speed grid resolution, m/s.
+    pub v_step: f64,
+    /// Time value λ, gallons per hour of travel time — trades fuel
+    /// against trip time (0 = hypermiling, large = rush).
+    pub time_value_gal_per_hour: f64,
+    /// Maximum acceleration magnitude between steps, m/s².
+    pub max_accel: f64,
+}
+
+impl Default for VelocityOptConfig {
+    fn default() -> Self {
+        VelocityOptConfig {
+            ds: 50.0,
+            v_min: 5.0,
+            v_max: 16.7, // 60 km/h
+            v_step: 0.5,
+            time_value_gal_per_hour: 0.5,
+            max_accel: 1.2,
+        }
+    }
+}
+
+/// An optimized velocity profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VelocityProfile {
+    /// Positions, metres (ends at the route length).
+    pub s: Vec<f64>,
+    /// Optimal speed entering each position, m/s.
+    pub v: Vec<f64>,
+    /// Total fuel, gallons.
+    pub fuel_gal: f64,
+    /// Total travel time, seconds.
+    pub time_s: f64,
+}
+
+/// Errors from the optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VelocityOptError {
+    /// The configuration grid is degenerate.
+    BadConfig(&'static str),
+    /// The route is shorter than one position step.
+    RouteTooShort,
+}
+
+impl std::fmt::Display for VelocityOptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VelocityOptError::BadConfig(msg) => write!(f, "bad optimizer config: {msg}"),
+            VelocityOptError::RouteTooShort => write!(f, "route shorter than one step"),
+        }
+    }
+}
+
+impl std::error::Error for VelocityOptError {}
+
+/// Optimizes the speed profile over a route of `length_m` with gradient
+/// lookup `theta_at(s)`, minimizing `fuel + λ·time` by dynamic
+/// programming (backward pass over position, states = speed grid).
+///
+/// # Errors
+///
+/// Returns [`VelocityOptError`] for degenerate configs or routes.
+pub fn optimize(
+    model: &FuelModel,
+    length_m: f64,
+    mut theta_at: impl FnMut(f64) -> f64,
+    cfg: &VelocityOptConfig,
+) -> Result<VelocityProfile, VelocityOptError> {
+    if !(cfg.ds > 0.0) || !(cfg.v_step > 0.0) || !(cfg.max_accel > 0.0) {
+        return Err(VelocityOptError::BadConfig("steps must be positive"));
+    }
+    if !(cfg.v_max > cfg.v_min) || cfg.v_min <= 0.0 {
+        return Err(VelocityOptError::BadConfig("need 0 < v_min < v_max"));
+    }
+    let n_pos = (length_m / cfg.ds).floor() as usize;
+    if n_pos == 0 {
+        return Err(VelocityOptError::RouteTooShort);
+    }
+    let n_v = ((cfg.v_max - cfg.v_min) / cfg.v_step).floor() as usize + 1;
+    let speed = |j: usize| cfg.v_min + j as f64 * cfg.v_step;
+
+    // cost[j] = minimal cost-to-go from position i with entry speed v_j.
+    let mut cost = vec![0.0f64; n_v];
+    let mut choice = vec![vec![0usize; n_v]; n_pos];
+    for i in (0..n_pos).rev() {
+        let s_mid = (i as f64 + 0.5) * cfg.ds;
+        let theta = theta_at(s_mid);
+        let mut next_cost = vec![f64::INFINITY; n_v];
+        for j in 0..n_v {
+            let v0 = speed(j);
+            for (k, cost_k) in cost.iter().enumerate() {
+                let v1 = speed(k);
+                // Kinematic feasibility: a = (v1² − v0²)/(2·ds).
+                let a = (v1 * v1 - v0 * v0) / (2.0 * cfg.ds);
+                if a.abs() > cfg.max_accel {
+                    continue;
+                }
+                let v_avg = 0.5 * (v0 + v1);
+                let dt = cfg.ds / v_avg;
+                let fuel = model.fuel_rate_gph(v_avg, a, theta) * dt / 3600.0;
+                let time_cost = cfg.time_value_gal_per_hour * dt / 3600.0;
+                let total = fuel + time_cost + cost_k;
+                if total < next_cost[j] {
+                    next_cost[j] = total;
+                    choice[i][j] = k;
+                }
+            }
+        }
+        cost = next_cost;
+    }
+
+    // Best entry speed, then forward replay.
+    let (mut j, _) = cost
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs"))
+        .expect("nonempty grid");
+    if cost[j].is_infinite() {
+        return Err(VelocityOptError::BadConfig("no feasible profile (accel too tight)"));
+    }
+    let mut s_out = Vec::with_capacity(n_pos + 1);
+    let mut v_out = Vec::with_capacity(n_pos + 1);
+    let mut fuel_total = 0.0;
+    let mut time_total = 0.0;
+    for (i, row) in choice.iter().enumerate() {
+        let v0 = speed(j);
+        s_out.push(i as f64 * cfg.ds);
+        v_out.push(v0);
+        let k = row[j];
+        let v1 = speed(k);
+        let a = (v1 * v1 - v0 * v0) / (2.0 * cfg.ds);
+        let v_avg = 0.5 * (v0 + v1);
+        let dt = cfg.ds / v_avg;
+        let theta = theta_at((i as f64 + 0.5) * cfg.ds);
+        fuel_total += model.fuel_rate_gph(v_avg, a, theta) * dt / 3600.0;
+        time_total += dt;
+        j = k;
+    }
+    s_out.push(n_pos as f64 * cfg.ds);
+    v_out.push(speed(j));
+
+    Ok(VelocityProfile { s: s_out, v: v_out, fuel_gal: fuel_total, time_s: time_total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(_: f64) -> f64 {
+        0.0
+    }
+
+    #[test]
+    fn flat_road_settles_on_one_speed() {
+        let model = FuelModel::default();
+        let p = optimize(&model, 3000.0, flat, &VelocityOptConfig::default()).unwrap();
+        assert_eq!(p.s.len(), p.v.len());
+        // Interior speeds are constant on a featureless road.
+        let mid = &p.v[10..p.v.len() - 10];
+        let first = mid[0];
+        assert!(mid.iter().all(|v| (v - first).abs() < 1e-9), "{mid:?}");
+        assert!(p.fuel_gal > 0.0);
+        assert!(p.time_s > 0.0);
+    }
+
+    #[test]
+    fn higher_time_value_drives_faster() {
+        let model = FuelModel::default();
+        let slow_cfg = VelocityOptConfig { time_value_gal_per_hour: 0.1, ..Default::default() };
+        let fast_cfg = VelocityOptConfig { time_value_gal_per_hour: 5.0, ..Default::default() };
+        let slow = optimize(&model, 3000.0, flat, &slow_cfg).unwrap();
+        let fast = optimize(&model, 3000.0, flat, &fast_cfg).unwrap();
+        assert!(fast.time_s < slow.time_s);
+        assert!(fast.fuel_gal > slow.fuel_gal);
+    }
+
+    #[test]
+    fn downhill_speed_is_free() {
+        // Under Eq (7) the gradient fuel term `B·m·v·sinθ` is proportional
+        // to speed, so per-km climb fuel is speed-independent — the DP's
+        // real lever is the idle floor on downhills: descending fuel is a
+        // constant gal/h, so covering the descent faster is strictly
+        // cheaper. 1 km flat, 1 km of −5°, 1 km flat, hypermiler driver.
+        let theta = |s: f64| if (1000.0..2000.0).contains(&s) { -5.0f64.to_radians() } else { 0.0 };
+        let model = FuelModel::default();
+        let cfg = VelocityOptConfig { time_value_gal_per_hour: 0.02, ..Default::default() };
+        let p = optimize(&model, 3000.0, theta, &cfg).unwrap();
+        let avg = |lo: f64, hi: f64| {
+            let vals: Vec<f64> = p
+                .s
+                .iter()
+                .zip(&p.v)
+                .filter(|(s, _)| **s >= lo && **s < hi)
+                .map(|(_, v)| *v)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let v_flat = avg(200.0, 900.0);
+        let v_down = avg(1200.0, 1900.0);
+        assert!(
+            v_down > v_flat + 1.0,
+            "downhill speed {v_down} should exceed flat speed {v_flat}"
+        );
+    }
+
+    #[test]
+    fn gradient_aware_plan_beats_flat_plan_on_hills() {
+        // Evaluate both plans under the TRUE hilly cost: the plan computed
+        // with gradient knowledge must not burn more.
+        let theta = |s: f64| 0.05 * (s / 300.0).sin();
+        let model = FuelModel::default();
+        let cfg = VelocityOptConfig::default();
+        let aware = optimize(&model, 4000.0, theta, &cfg).unwrap();
+        let blind = optimize(&model, 4000.0, flat, &cfg).unwrap();
+        // Re-cost the blind plan on the true terrain.
+        let mut blind_fuel = 0.0;
+        for (i, w) in blind.v.windows(2).enumerate() {
+            let v_avg = 0.5 * (w[0] + w[1]);
+            let a = (w[1] * w[1] - w[0] * w[0]) / (2.0 * cfg.ds);
+            let dt = cfg.ds / v_avg;
+            blind_fuel += model.fuel_rate_gph(v_avg, a, theta((i as f64 + 0.5) * cfg.ds)) * dt / 3600.0;
+        }
+        assert!(
+            aware.fuel_gal <= blind_fuel + 1e-9,
+            "aware {} vs blind {}",
+            aware.fuel_gal,
+            blind_fuel
+        );
+    }
+
+    #[test]
+    fn respects_speed_bounds_and_accel() {
+        let model = FuelModel::default();
+        let cfg = VelocityOptConfig::default();
+        let p = optimize(&model, 2000.0, flat, &cfg).unwrap();
+        for v in &p.v {
+            assert!(*v >= cfg.v_min - 1e-9 && *v <= cfg.v_max + 1e-9);
+        }
+        for w in p.v.windows(2) {
+            let a = (w[1] * w[1] - w[0] * w[0]) / (2.0 * cfg.ds);
+            assert!(a.abs() <= cfg.max_accel + 1e-9);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let model = FuelModel::default();
+        let bad = VelocityOptConfig { v_min: 10.0, v_max: 5.0, ..Default::default() };
+        assert!(matches!(
+            optimize(&model, 1000.0, flat, &bad),
+            Err(VelocityOptError::BadConfig(_))
+        ));
+        assert!(matches!(
+            optimize(&model, 10.0, flat, &VelocityOptConfig::default()),
+            Err(VelocityOptError::RouteTooShort)
+        ));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the fuel and emission models.
+
+use gradest_emissions::velocity_opt::{optimize, VelocityOptConfig};
+use gradest_emissions::{FuelModel, Species};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fuel_rate_is_monotone_in_gradient(
+        v in 2.0..30.0f64,
+        a in -1.0..1.0f64,
+        th1 in -0.1..0.1f64,
+        th2 in -0.1..0.1f64,
+    ) {
+        let m = FuelModel::default();
+        let (lo, hi) = if th1 < th2 { (th1, th2) } else { (th2, th1) };
+        prop_assert!(m.fuel_rate_gph(v, a, lo) <= m.fuel_rate_gph(v, a, hi) + 1e-12);
+    }
+
+    #[test]
+    fn fuel_rate_never_below_idle_floor(
+        v in 0.0..35.0f64,
+        a in -3.0..3.0f64,
+        th in -0.15..0.15f64,
+    ) {
+        let m = FuelModel::default();
+        prop_assert!(m.fuel_rate_gph(v, a, th) >= m.idle_floor_gph);
+    }
+
+    #[test]
+    fn emissions_scale_linearly(fuel in 0.0..100.0f64, k in 0.0..10.0f64) {
+        for species in [Species::Co2, Species::Pm25] {
+            let single = species.emission_g(fuel);
+            let scaled = species.emission_g(fuel * k);
+            prop_assert!((scaled - single * k).abs() < 1e-6);
+            prop_assert!(single >= 0.0);
+        }
+    }
+
+    #[test]
+    fn trip_fuel_is_additive(
+        n1 in 1usize..50,
+        n2 in 1usize..50,
+        v in 3.0..25.0f64,
+        th in -0.08..0.08f64,
+    ) {
+        let m = FuelModel::default();
+        let mk = |n: usize| -> Vec<(f64, f64, f64, f64)> {
+            (0..n).map(|_| (1.0, v, 0.0, th)).collect()
+        };
+        let a = m.trip_fuel_gal(&mk(n1));
+        let b = m.trip_fuel_gal(&mk(n2));
+        let both = m.trip_fuel_gal(&mk(n1 + n2));
+        prop_assert!((a + b - both).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimizer_cost_never_exceeds_constant_speed_plan(
+        amp in 0.0..0.05f64,
+        wavelength in 200.0..800.0f64,
+    ) {
+        // The DP optimum must be at least as good (in fuel + time value)
+        // as the best constant-speed plan on the same terrain.
+        let model = FuelModel::default();
+        let cfg = VelocityOptConfig { v_step: 1.0, ..Default::default() };
+        let theta = move |s: f64| amp * (s / wavelength).sin();
+        let length = 2000.0;
+        let plan = optimize(&model, length, theta, &cfg).unwrap();
+        let plan_cost = plan.fuel_gal + cfg.time_value_gal_per_hour * plan.time_s / 3600.0;
+        // Constant-speed candidates on the DP's own grid.
+        let mut best_const = f64::INFINITY;
+        let mut v = cfg.v_min;
+        while v <= cfg.v_max {
+            let mut fuel = 0.0;
+            let mut time = 0.0;
+            let mut s = cfg.ds / 2.0;
+            while s < (length / cfg.ds).floor() * cfg.ds {
+                let dt = cfg.ds / v;
+                fuel += model.fuel_rate_gph(v, 0.0, theta(s)) * dt / 3600.0;
+                time += dt;
+                s += cfg.ds;
+            }
+            best_const = best_const.min(fuel + cfg.time_value_gal_per_hour * time / 3600.0);
+            v += cfg.v_step;
+        }
+        prop_assert!(
+            plan_cost <= best_const + 1e-9,
+            "DP cost {plan_cost} vs best constant {best_const}"
+        );
+    }
+
+    #[test]
+    fn fuel_per_km_times_speed_is_rate(
+        v in 1.0..30.0f64,
+        th in -0.1..0.1f64,
+    ) {
+        let m = FuelModel::default();
+        let per_km = m.fuel_per_km(v, 0.0, th);
+        let rate = m.fuel_rate_gph(v, 0.0, th);
+        prop_assert!((per_km * v * 3.6 - rate).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,337 @@
+//! Procedural road presets and the synthetic city network.
+//!
+//! These stand in for the paper's Charlottesville test roads (see
+//! DESIGN.md's substitution table):
+//!
+//! * [`red_road`] — the 2.16 km "red road" of Figure 7(b)/Table III, with
+//!   seven alternating uphill/downhill sections and lane counts
+//!   1, 1, 1, 1, 2, 2, 1.
+//! * [`s_curve_road`] — an S-shaped road used to validate lane-change vs.
+//!   S-curve discrimination (Figure 5).
+//! * [`city_network`] — a ~165 km city road network over rolling-hills
+//!   terrain (Figure 7(a) stand-in).
+
+use crate::network::RoadNetwork;
+use crate::polyline::Polyline;
+use crate::road::{build_from_sections, Road, RoadClass, SectionSpec};
+use crate::terrain::hilly_terrain;
+use gradest_math::Vec2;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A straight single-lane road of the given length and constant gradient.
+///
+/// # Panics
+///
+/// Panics if `length_m < 10`.
+pub fn straight_road(length_m: f64, gradient_deg: f64) -> Road {
+    assert!(length_m >= 10.0, "road too short");
+    build_from_sections(
+        100,
+        "straight",
+        Vec2::ZERO,
+        0.0,
+        &[SectionSpec { length_m, gradient_deg, lanes: 1, curvature: 0.0 }],
+        5.0,
+        100.0,
+        RoadClass::Collector.default_speed_limit(),
+        RoadClass::Collector,
+    )
+    .expect("valid straight road spec")
+}
+
+/// The section specification of the Table III red road.
+///
+/// Lengths sum to 2 160 m; gradient signs alternate `+ − + − + − +` and
+/// lane counts are `1 1 1 1 2 2 1`, exactly as Table III reports. Gradient
+/// magnitudes (unreported in the paper) are set in the 1.5°–3.5° range the
+/// paper's motivating studies discuss.
+pub fn red_road_sections() -> [SectionSpec; 7] {
+    [
+        SectionSpec { length_m: 320.0, gradient_deg: 2.8, lanes: 1, curvature: 0.0 },
+        SectionSpec { length_m: 290.0, gradient_deg: -2.2, lanes: 1, curvature: 0.002 },
+        SectionSpec { length_m: 340.0, gradient_deg: 3.4, lanes: 1, curvature: 0.0 },
+        SectionSpec { length_m: 300.0, gradient_deg: -1.8, lanes: 1, curvature: -0.002 },
+        SectionSpec { length_m: 330.0, gradient_deg: 2.4, lanes: 2, curvature: 0.0 },
+        SectionSpec { length_m: 280.0, gradient_deg: -2.6, lanes: 2, curvature: 0.001 },
+        SectionSpec { length_m: 300.0, gradient_deg: 1.9, lanes: 1, curvature: 0.0 },
+    ]
+}
+
+/// The 2.16 km "red road" of Figure 7(b) / Table III.
+pub fn red_road() -> Road {
+    build_from_sections(
+        1,
+        "red-road",
+        Vec2::ZERO,
+        0.3, // arbitrary initial bearing
+        &red_road_sections(),
+        5.0,
+        174.0, // Charlottesville-ish base altitude
+        RoadClass::Arterial.default_speed_limit(),
+        RoadClass::Arterial,
+    )
+    .expect("red road spec is valid")
+}
+
+/// An S-shaped road (left bend then right bend) with the given bend radius
+/// and sweep angle, flat, flanked by straight approaches.
+///
+/// The lateral displacement across the S is much larger than a lane width,
+/// which is exactly the property the paper's Figure 5 discrimination
+/// exploits.
+///
+/// # Panics
+///
+/// Panics if `radius_m < 10` or `sweep_deg` not in `(0, 90]`.
+pub fn s_curve_road(radius_m: f64, sweep_deg: f64) -> Road {
+    assert!(radius_m >= 10.0, "S-curve radius too small");
+    assert!(sweep_deg > 0.0 && sweep_deg <= 90.0, "sweep must be in (0, 90] degrees");
+    let arc = radius_m * sweep_deg.to_radians();
+    let k = 1.0 / radius_m;
+    build_from_sections(
+        2,
+        "s-curve",
+        Vec2::ZERO,
+        0.0,
+        &[
+            SectionSpec { length_m: 150.0, gradient_deg: 0.0, lanes: 1, curvature: 0.0 },
+            SectionSpec { length_m: arc, gradient_deg: 0.0, lanes: 1, curvature: k },
+            SectionSpec { length_m: arc, gradient_deg: 0.0, lanes: 1, curvature: -k },
+            SectionSpec { length_m: 150.0, gradient_deg: 0.0, lanes: 1, curvature: 0.0 },
+        ],
+        5.0,
+        100.0,
+        RoadClass::Collector.default_speed_limit(),
+        RoadClass::Collector,
+    )
+    .expect("s-curve spec is valid")
+}
+
+/// A long straight two-lane road, for lane-change experiments.
+pub fn two_lane_straight(length_m: f64) -> Road {
+    build_from_sections(
+        3,
+        "two-lane",
+        Vec2::ZERO,
+        0.0,
+        &[SectionSpec { length_m, gradient_deg: 0.0, lanes: 2, curvature: 0.0 }],
+        10.0,
+        100.0,
+        RoadClass::Arterial.default_speed_limit(),
+        RoadClass::Arterial,
+    )
+    .expect("two-lane spec is valid")
+}
+
+/// Generates a synthetic city road network: a jittered 9×10 grid of
+/// intersections (~1 km spacing) over rolling-hills terrain, totalling
+/// ≈165 km of road — the scale of the paper's Figure 7(a) evaluation
+/// (164.8 km). Deterministic in `seed`.
+///
+/// Every third row/column is an arterial (2 lanes per direction, where the
+/// lane-change experiments happen); remaining roads alternate collector
+/// and local class.
+pub fn city_network(seed: u64) -> RoadNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let terrain = hilly_terrain(seed);
+    let rows = 9usize;
+    let cols = 10usize;
+    let spacing = 1000.0;
+
+    let mut net = RoadNetwork::new();
+    let mut node_ids = vec![vec![0usize; cols]; rows];
+    for (r, row_ids) in node_ids.iter_mut().enumerate() {
+        for (c, id) in row_ids.iter_mut().enumerate() {
+            let jitter = Vec2::new(rng.gen_range(-80.0..80.0), rng.gen_range(-80.0..80.0));
+            let p = Vec2::new(c as f64 * spacing, r as f64 * spacing) + jitter;
+            *id = net.add_node(p);
+        }
+    }
+
+    let mut edge_id = 1000u64;
+    let mut add_road = |net: &mut RoadNetwork, a: usize, b: usize, class: RoadClass| {
+        let pa = net.nodes()[a];
+        let pb = net.nodes()[b];
+        // Gentle bow: perpendicular sinusoidal offset vanishing at the
+        // endpoints, so roads are curved but still meet the nodes exactly.
+        let n = ((pb - pa).norm() / 50.0).ceil() as usize;
+        let perp = (pb - pa)
+            .rotated(std::f64::consts::FRAC_PI_2)
+            .normalized()
+            .expect("distinct nodes");
+        let amp: f64 = rng.gen_range(-60.0..60.0);
+        let pts: Vec<Vec2> = (0..=n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                pa.lerp(pb, t) + perp * (amp * (std::f64::consts::PI * t).sin())
+            })
+            .collect();
+        let line = Polyline::new(pts).expect("bowed centerline is valid");
+        edge_id += 1;
+        let road = Road::over_terrain(
+            edge_id,
+            format!("st-{edge_id}"),
+            &line,
+            &terrain,
+            10.0,
+            class.default_lanes(),
+            class,
+        )
+        .expect("draped road is valid");
+        net.add_edge(a, b, road).expect("endpoints coincide with nodes");
+    };
+
+    for r in 0..rows {
+        for c in 0..cols {
+            // Horizontal edge to the east neighbour.
+            if c + 1 < cols {
+                let class = if r % 3 == 0 {
+                    RoadClass::Arterial
+                } else if r % 2 == 0 {
+                    RoadClass::Collector
+                } else {
+                    RoadClass::Local
+                };
+                add_road(&mut net, node_ids[r][c], node_ids[r][c + 1], class);
+            }
+            // Vertical edge to the north neighbour.
+            if r + 1 < rows {
+                let class = if c % 3 == 0 {
+                    RoadClass::Arterial
+                } else if c % 2 == 0 {
+                    RoadClass::Collector
+                } else {
+                    RoadClass::Local
+                };
+                add_road(&mut net, node_ids[r][c], node_ids[r + 1][c], class);
+            }
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn red_road_matches_table_iii() {
+        let road = red_road();
+        let secs = red_road_sections();
+        // Total length 2.16 km.
+        let total: f64 = secs.iter().map(|s| s.length_m).sum();
+        assert!((total - 2160.0).abs() < 1e-9);
+        assert!((road.length() - 2160.0).abs() < 1.0);
+        // Alternating gradient signs + − + − + − + at section midpoints.
+        let mut s = 0.0;
+        for (i, sec) in secs.iter().enumerate() {
+            let mid = s + sec.length_m / 2.0;
+            let th = road.gradient_at(mid);
+            let expect_sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            assert!(
+                th * expect_sign > 0.0,
+                "section {i} gradient sign wrong: {th}"
+            );
+            // Lane counts per Table III.
+            let lanes_expect = [1, 1, 1, 1, 2, 2, 1][i];
+            assert_eq!(road.lanes_at(mid), lanes_expect, "section {i} lanes");
+            s += sec.length_m;
+        }
+    }
+
+    #[test]
+    fn red_road_gradient_magnitudes_match_spec() {
+        let road = red_road();
+        let secs = red_road_sections();
+        let mut s = 0.0;
+        for sec in &secs {
+            let mid = s + sec.length_m / 2.0;
+            assert!(
+                (road.gradient_at(mid).to_degrees() - sec.gradient_deg).abs() < 0.1,
+                "at {mid}"
+            );
+            s += sec.length_m;
+        }
+    }
+
+    #[test]
+    fn s_curve_geometry() {
+        let road = s_curve_road(120.0, 45.0);
+        // Heading returns to initial after the S.
+        let h0 = road.heading_at(10.0);
+        let h1 = road.heading_at(road.length() - 10.0);
+        assert!((h0 - h1).abs() < 0.05, "{h0} vs {h1}");
+        // Net lateral displacement much larger than a lane width.
+        let start = road.point_at(0.0);
+        let end = road.point_at(road.length());
+        let lateral = (end - start).y.abs();
+        assert!(lateral > 3.0 * 3.65, "lateral displacement {lateral}");
+        // Curvature sign flips between the two arcs.
+        let arc = 120.0 * 45.0f64.to_radians();
+        let k1 = road.heading_rate_at(150.0 + arc / 2.0, 20.0);
+        let k2 = road.heading_rate_at(150.0 + 1.5 * arc, 20.0);
+        assert!(k1 > 0.0 && k2 < 0.0, "curvatures {k1} {k2}");
+    }
+
+    #[test]
+    fn straight_road_flat_defaults() {
+        let r = straight_road(500.0, 0.0);
+        assert_eq!(r.gradient_at(250.0), 0.0);
+        assert_eq!(r.lanes_at(250.0), 1);
+    }
+
+    #[test]
+    fn city_network_scale_and_connectivity() {
+        let net = city_network(42);
+        assert_eq!(net.node_count(), 90);
+        assert_eq!(net.edge_count(), 9 * 9 + 10 * 8);
+        let km = net.total_length_km();
+        assert!((150.0..185.0).contains(&km), "network is {km} km");
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn city_network_is_deterministic() {
+        let a = city_network(7);
+        let b = city_network(7);
+        assert_eq!(a.total_length_km(), b.total_length_km());
+        let c = city_network(8);
+        assert_ne!(a.total_length_km(), c.total_length_km());
+    }
+
+    #[test]
+    fn city_network_gradients_are_plausible() {
+        let net = city_network(42);
+        let mut max_th: f64 = 0.0;
+        for e in net.edges() {
+            let mut s = 5.0;
+            while s < e.road.length() {
+                max_th = max_th.max(e.road.gradient_at(s).abs());
+                s += 50.0;
+            }
+        }
+        let deg = max_th.to_degrees();
+        assert!(deg < 6.5, "max gradient {deg}°");
+        assert!(deg > 1.0, "terrain should not be flat: {deg}°");
+    }
+
+    #[test]
+    fn city_network_has_multi_lane_arterials() {
+        let net = city_network(42);
+        assert!(net
+            .edges()
+            .iter()
+            .any(|e| e.road.class() == RoadClass::Arterial && e.road.lanes_at(100.0) >= 2));
+    }
+
+    #[test]
+    fn city_network_routes_exist() {
+        let net = city_network(42);
+        let route = net
+            .route_between(0, net.node_count() - 1, |r| r.length())
+            .expect("grid is connected");
+        // Corner to corner: at least the Manhattan distance.
+        assert!(route.length() > 15_000.0);
+    }
+}

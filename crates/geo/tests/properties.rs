@@ -1,0 +1,157 @@
+//! Property-based tests for geometry, roads, and profiles.
+
+use gradest_geo::latlon::{LatLon, LocalFrame};
+use gradest_geo::refgrade::{reference_profile, GradientProfile};
+use gradest_geo::road::{build_from_sections, RoadClass, SectionSpec};
+use gradest_geo::{Polyline, Route};
+use gradest_math::Vec2;
+use proptest::prelude::*;
+
+fn section_strategy() -> impl Strategy<Value = SectionSpec> {
+    (100.0..800.0f64, -5.0..5.0f64, 1u32..3, -0.002..0.002f64).prop_map(
+        |(length_m, gradient_deg, lanes, curvature)| SectionSpec {
+            length_m,
+            gradient_deg,
+            lanes,
+            curvature,
+        },
+    )
+}
+
+fn road_from(secs: &[SectionSpec]) -> gradest_geo::Road {
+    build_from_sections(
+        1,
+        "prop",
+        Vec2::ZERO,
+        0.0,
+        secs,
+        10.0,
+        100.0,
+        13.0,
+        RoadClass::Collector,
+    )
+    .expect("valid generated sections")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn local_frame_round_trip(
+        lat in -60.0..60.0f64,
+        lon in -179.0..179.0f64,
+        x in -20_000.0..20_000.0f64,
+        y in -20_000.0..20_000.0f64,
+    ) {
+        let frame = LocalFrame::new(LatLon::new(lat, lon));
+        let p = Vec2::new(x, y);
+        let back = frame.to_local(frame.to_latlon(p));
+        prop_assert!((back - p).norm() < 1e-5);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(
+        a in (-60.0..60.0f64, -179.0..179.0f64),
+        b in (-60.0..60.0f64, -179.0..179.0f64),
+        c in (-60.0..60.0f64, -179.0..179.0f64),
+    ) {
+        let pa = LatLon::new(a.0, a.1);
+        let pb = LatLon::new(b.0, b.1);
+        let pc = LatLon::new(c.0, c.1);
+        let ab = pa.haversine_distance(pb);
+        let bc = pb.haversine_distance(pc);
+        let ac = pa.haversine_distance(pc);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn polyline_point_at_is_on_path(pts_seed in 1u64..500, q in 0.0..1.0f64) {
+        // Random walk polyline.
+        let mut s = pts_seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / u32::MAX as f64) - 0.5
+        };
+        let mut p = Vec2::ZERO;
+        let mut pts = vec![p];
+        for _ in 0..10 {
+            p += Vec2::new(20.0 + 50.0 * next().abs(), 60.0 * next());
+            pts.push(p);
+        }
+        let line = Polyline::new(pts).unwrap();
+        let probe = line.point_at(q * line.length());
+        // The probed point is within the path's bounding box.
+        let (lo_x, hi_x) = line.points().iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| {
+            (lo.min(p.x), hi.max(p.x))
+        });
+        prop_assert!(probe.x >= lo_x - 1e-9 && probe.x <= hi_x + 1e-9);
+        // And consecutive probes advance monotonically in arc length.
+        let earlier = line.point_at(0.5 * q * line.length());
+        prop_assert!((probe - earlier).norm() <= line.length() + 1e-9);
+    }
+
+    #[test]
+    fn road_altitude_consistent_with_gradient(secs in prop::collection::vec(section_strategy(), 1..5)) {
+        let road = road_from(&secs);
+        // Integrating gradient_at over the road recovers the altitude gain.
+        let mut gain = 0.0;
+        let ds = 2.0;
+        let mut s = ds / 2.0;
+        while s < road.length() {
+            gain += road.gradient_at(s).tan() * ds;
+            s += ds;
+        }
+        let truth = road.altitude_at(road.length()) - road.altitude_at(0.0);
+        prop_assert!((gain - truth).abs() < 0.02 * road.length().max(100.0) * 0.05 + 1.0,
+            "gain {gain} vs truth {truth}");
+    }
+
+    #[test]
+    fn reversed_road_round_trips(secs in prop::collection::vec(section_strategy(), 1..4)) {
+        let road = road_from(&secs);
+        let twice = road.reversed().reversed();
+        prop_assert!((twice.length() - road.length()).abs() < 1e-9);
+        for frac in [0.1, 0.5, 0.9] {
+            let s = frac * road.length();
+            prop_assert!((twice.altitude_at(s) - road.altitude_at(s)).abs() < 1e-9);
+            prop_assert_eq!(twice.lanes_at(s), road.lanes_at(s));
+        }
+    }
+
+    #[test]
+    fn reference_profile_round_trips_altitude(secs in prop::collection::vec(section_strategy(), 1..4)) {
+        let road = road_from(&secs);
+        let profile = reference_profile(&road, 1.0, |_| 0.0);
+        let gain = profile.altitude_gain(road.length());
+        let truth = road.altitude_at(road.length()) - road.altitude_at(0.0);
+        prop_assert!((gain - truth).abs() < 1.0, "gain {gain} vs {truth}");
+    }
+
+    #[test]
+    fn route_locate_is_inverse_of_offsets(secs in prop::collection::vec(section_strategy(), 1..4), frac in 0.0..1.0f64) {
+        let road = road_from(&secs);
+        let route = Route::new(vec![road]).unwrap();
+        let s = frac * route.length();
+        let (idx, on_road) = route.locate(s);
+        prop_assert_eq!(idx, 0);
+        prop_assert!((on_road - s).abs() < 1e-9);
+        // Point lookup agrees between route and road.
+        let via_route = route.point_at(s);
+        let via_road = route.roads()[0].point_at(on_road);
+        prop_assert!((via_route - via_road).norm() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_profile_interpolation_is_bounded(
+        thetas in prop::collection::vec(-0.1..0.1f64, 2..20),
+        q in 0.0..1.0f64,
+    ) {
+        let s: Vec<f64> = (0..thetas.len()).map(|i| i as f64 * 10.0).collect();
+        let len = *s.last().unwrap();
+        let p = GradientProfile::new(s, thetas.clone()).unwrap();
+        let v = p.theta_at(q * len);
+        let lo = thetas.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = thetas.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Angle arithmetic helpers.
+//!
+//! Headings, steering angles, and road directions constantly wrap around
+//! ±π; these helpers centralize the wrapping rules so every crate agrees.
+
+use std::f64::consts::PI;
+
+/// Wraps an angle to the half-open interval `(-π, π]`.
+///
+/// # Example
+///
+/// ```
+/// use gradest_math::angle::wrap_pi;
+/// use std::f64::consts::PI;
+/// assert!((wrap_pi(3.0 * PI) - PI).abs() < 1e-12);
+/// assert!((wrap_pi(-3.0 * PI / 2.0) - PI / 2.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn wrap_pi(angle: f64) -> f64 {
+    let mut a = angle % (2.0 * PI);
+    if a <= -PI {
+        a += 2.0 * PI;
+    } else if a > PI {
+        a -= 2.0 * PI;
+    }
+    a
+}
+
+/// Wraps an angle to `[0, 2π)`.
+#[inline]
+pub fn wrap_two_pi(angle: f64) -> f64 {
+    let mut a = angle % (2.0 * PI);
+    if a < 0.0 {
+        a += 2.0 * PI;
+    }
+    a
+}
+
+/// Signed smallest difference `a - b`, wrapped to `(-π, π]`.
+///
+/// This is the correct way to subtract two headings: the result is the
+/// rotation that takes `b` to `a`.
+#[inline]
+pub fn angle_diff(a: f64, b: f64) -> f64 {
+    wrap_pi(a - b)
+}
+
+/// Unwraps a sequence of wrapped angles into a continuous signal
+/// (inverse of repeatedly applying [`wrap_pi`]).
+///
+/// Consecutive jumps larger than π are interpreted as wrap-arounds.
+/// Returns an empty vector for empty input.
+pub fn unwrap_angles(angles: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(angles.len());
+    let mut offset = 0.0;
+    for (i, &a) in angles.iter().enumerate() {
+        if i > 0 {
+            let prev_raw = angles[i - 1];
+            let d = a - prev_raw;
+            if d > PI {
+                offset -= 2.0 * PI;
+            } else if d < -PI {
+                offset += 2.0 * PI;
+            }
+        }
+        out.push(a + offset);
+    }
+    out
+}
+
+/// Converts degrees to radians.
+#[inline]
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * PI / 180.0
+}
+
+/// Converts radians to degrees.
+#[inline]
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn wrap_pi_basics() {
+        assert!((wrap_pi(0.0)).abs() < EPS);
+        assert!((wrap_pi(PI) - PI).abs() < EPS);
+        assert!((wrap_pi(-PI) - PI).abs() < EPS); // -π maps to π in (-π, π]
+        assert!((wrap_pi(2.0 * PI)).abs() < EPS);
+        assert!((wrap_pi(5.0 * PI / 2.0) - PI / 2.0).abs() < EPS);
+        assert!((wrap_pi(-5.0 * PI / 2.0) + PI / 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn wrap_pi_stays_in_range() {
+        for i in -100..=100 {
+            let a = wrap_pi(i as f64 * 0.37);
+            assert!(a > -PI - EPS && a <= PI + EPS, "{a} out of range");
+        }
+    }
+
+    #[test]
+    fn wrap_two_pi_basics() {
+        assert!((wrap_two_pi(-0.1) - (2.0 * PI - 0.1)).abs() < EPS);
+        assert!((wrap_two_pi(2.0 * PI)).abs() < EPS);
+        for i in -100..=100 {
+            let a = wrap_two_pi(i as f64 * 0.53);
+            assert!((0.0..2.0 * PI + EPS).contains(&a));
+        }
+    }
+
+    #[test]
+    fn angle_diff_crossing_wrap() {
+        // 10° heading minus 350° heading should be +20°, not -340°.
+        let a = deg_to_rad(10.0);
+        let b = deg_to_rad(350.0);
+        assert!((angle_diff(a, b) - deg_to_rad(20.0)).abs() < EPS);
+        assert!((angle_diff(b, a) + deg_to_rad(20.0)).abs() < EPS);
+    }
+
+    #[test]
+    fn unwrap_reconstructs_continuous_ramp() {
+        // A continuously increasing heading, observed wrapped.
+        let truth: Vec<f64> = (0..200).map(|i| i as f64 * 0.1).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&a| wrap_pi(a)).collect();
+        let unwrapped = unwrap_angles(&wrapped);
+        for (t, u) in truth.iter().zip(&unwrapped) {
+            // Unwrapped signal may differ by a constant multiple of 2π
+            // from the original; here it starts at the same point so it
+            // matches exactly.
+            assert!((t - u).abs() < 1e-9, "{t} vs {u}");
+        }
+    }
+
+    #[test]
+    fn unwrap_handles_decreasing_ramp() {
+        let truth: Vec<f64> = (0..200).map(|i| -(i as f64) * 0.1).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&a| wrap_pi(a)).collect();
+        let unwrapped = unwrap_angles(&wrapped);
+        for (t, u) in truth.iter().zip(&unwrapped) {
+            assert!((t - u).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unwrap_empty_and_single() {
+        assert!(unwrap_angles(&[]).is_empty());
+        assert_eq!(unwrap_angles(&[1.25]), vec![1.25]);
+    }
+
+    #[test]
+    fn deg_rad_round_trip() {
+        for d in [-720.0, -90.0, 0.0, 45.0, 360.5] {
+            assert!((rad_to_deg(deg_to_rad(d)) - d).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Linear interpolation and time-series resampling.
+//!
+//! Sensor streams arrive at different rates (IMU 50 Hz, GPS 1 Hz, CAN
+//! 10 Hz); the estimation pipeline resamples them onto a common clock with
+//! these routines.
+
+use crate::{MathError, MathResult};
+
+/// Scalar linear interpolation: `a` at `t = 0`, `b` at `t = 1`.
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Interpolates `ys` sampled at strictly increasing `xs` at query point `x`.
+///
+/// Values outside the domain are clamped to the boundary samples
+/// (constant extrapolation), which is the conservative choice for sensor
+/// streams.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for empty inputs,
+/// [`MathError::DimensionMismatch`] when `xs` and `ys` lengths differ, and
+/// [`MathError::InvalidArgument`] when `xs` is not strictly increasing or
+/// `x` is NaN.
+pub fn interp1(xs: &[f64], ys: &[f64], x: f64) -> MathResult<f64> {
+    validate_series(xs, ys)?;
+    if x.is_nan() {
+        return Err(MathError::InvalidArgument { context: "query point is NaN" });
+    }
+    if x <= xs[0] {
+        return Ok(ys[0]);
+    }
+    if x >= xs[xs.len() - 1] {
+        return Ok(ys[ys.len() - 1]);
+    }
+    // Binary search for the bracketing interval.
+    let idx = match xs.binary_search_by(|v| v.partial_cmp(&x).expect("xs validated finite")) {
+        Ok(i) => return Ok(ys[i]),
+        Err(i) => i,
+    };
+    let (x0, x1) = (xs[idx - 1], xs[idx]);
+    let t = (x - x0) / (x1 - x0);
+    Ok(lerp(ys[idx - 1], ys[idx], t))
+}
+
+/// Interpolates a series at many query points at once.
+///
+/// # Errors
+///
+/// Same as [`interp1`].
+pub fn interp_many(xs: &[f64], ys: &[f64], queries: &[f64]) -> MathResult<Vec<f64>> {
+    queries.iter().map(|&q| interp1(xs, ys, q)).collect()
+}
+
+/// Resamples `(xs, ys)` onto a uniform grid of `n` points spanning
+/// `[xs.first(), xs.last()]`.
+///
+/// # Errors
+///
+/// Same as [`interp1`], plus [`MathError::InvalidArgument`] when `n < 2`.
+pub fn resample_uniform(xs: &[f64], ys: &[f64], n: usize) -> MathResult<(Vec<f64>, Vec<f64>)> {
+    validate_series(xs, ys)?;
+    if n < 2 {
+        return Err(MathError::InvalidArgument { context: "resample needs n >= 2" });
+    }
+    let x0 = xs[0];
+    let x1 = xs[xs.len() - 1];
+    let step = (x1 - x0) / (n - 1) as f64;
+    let grid: Vec<f64> = (0..n).map(|i| x0 + step * i as f64).collect();
+    let vals = interp_many(xs, ys, &grid)?;
+    Ok((grid, vals))
+}
+
+fn validate_series(xs: &[f64], ys: &[f64]) -> MathResult<()> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput { context: "interpolation abscissae" });
+    }
+    if xs.len() != ys.len() {
+        return Err(MathError::DimensionMismatch { context: "interp xs/ys lengths" });
+    }
+    for w in xs.windows(2) {
+        if !(w[1] > w[0]) {
+            return Err(MathError::InvalidArgument {
+                context: "abscissae must be strictly increasing and finite",
+            });
+        }
+    }
+    if xs.iter().any(|v| !v.is_finite()) {
+        return Err(MathError::InvalidArgument { context: "non-finite abscissa" });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(2.0, 4.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 4.0, 1.0), 4.0);
+        assert_eq!(lerp(2.0, 4.0, 0.5), 3.0);
+    }
+
+    #[test]
+    fn interp1_midpoints_and_knots() {
+        let xs = [0.0, 1.0, 3.0];
+        let ys = [0.0, 10.0, 30.0];
+        assert_eq!(interp1(&xs, &ys, 0.5).unwrap(), 5.0);
+        assert_eq!(interp1(&xs, &ys, 1.0).unwrap(), 10.0);
+        assert_eq!(interp1(&xs, &ys, 2.0).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn interp1_clamps_out_of_range() {
+        let xs = [0.0, 1.0];
+        let ys = [5.0, 7.0];
+        assert_eq!(interp1(&xs, &ys, -1.0).unwrap(), 5.0);
+        assert_eq!(interp1(&xs, &ys, 2.0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn interp1_single_point() {
+        assert_eq!(interp1(&[1.0], &[9.0], 0.0).unwrap(), 9.0);
+        assert_eq!(interp1(&[1.0], &[9.0], 5.0).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn interp1_rejects_bad_input() {
+        assert!(interp1(&[], &[], 0.0).is_err());
+        assert!(interp1(&[0.0, 1.0], &[0.0], 0.5).is_err());
+        assert!(interp1(&[0.0, 0.0], &[1.0, 2.0], 0.0).is_err());
+        assert!(interp1(&[1.0, 0.0], &[1.0, 2.0], 0.5).is_err());
+        assert!(interp1(&[0.0, 1.0], &[1.0, 2.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn resample_uniform_linear_function_is_exact() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let (grid, vals) = resample_uniform(&xs, &ys, 25).unwrap();
+        assert_eq!(grid.len(), 25);
+        for (x, y) in grid.iter().zip(&vals) {
+            assert!((y - (3.0 * x + 1.0)).abs() < 1e-12);
+        }
+        assert_eq!(grid[0], 0.0);
+        assert_eq!(grid[24], 9.0);
+    }
+
+    #[test]
+    fn resample_uniform_needs_two_points() {
+        assert!(resample_uniform(&[0.0, 1.0], &[0.0, 1.0], 1).is_err());
+    }
+
+    #[test]
+    fn interp_many_matches_pointwise() {
+        let xs = [0.0, 2.0];
+        let ys = [0.0, 4.0];
+        let out = interp_many(&xs, &ys, &[0.5, 1.0, 1.5]).unwrap();
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,134 @@
+//! # gradest-math
+//!
+//! Small, dependency-light numerical foundation for the `gradest` workspace:
+//!
+//! * [`vec`](mod@vec) — fixed-size 2- and 3-vectors over `f64`.
+//! * [`mat`] — fixed-size 2×2 and 3×3 matrices (the EKF state is 2–3D).
+//! * [`dmatrix`] — dynamically sized dense row-major matrices with
+//!   Gauss–Jordan inversion and Cholesky factorization (used by the ANN
+//!   baseline and track fusion).
+//! * [`lowess`] — local regression smoothing (the paper's Section III-B
+//!   steering-rate smoother, citing Loader's *Local Regression and
+//!   Likelihood*).
+//! * [`stats`] — summary statistics, error metrics (MRE/MAE/RMSE), empirical
+//!   CDFs, and histograms used throughout the evaluation harness.
+//! * [`interp`] — linear interpolation and time-series resampling.
+//! * [`angle`] — angle wrapping/unwrap helpers for heading arithmetic.
+//! * [`signal`] — finite differences, cumulative integration, moving
+//!   averages.
+//!
+//! The workspace deliberately hand-rolls this instead of depending on
+//! `nalgebra`: every consumer needs at most 3×3 fixed algebra or small dense
+//! matrices, and keeping the kernel ~1 kLoC makes the offline build trivial
+//! to audit.
+//!
+//! # Example
+//!
+//! ```
+//! use gradest_math::mat::Mat2;
+//! use gradest_math::vec::Vec2;
+//!
+//! let a = Mat2::new(2.0, 1.0, 1.0, 3.0);
+//! let x = Vec2::new(1.0, -1.0);
+//! let b = a * x;
+//! let solved = a.inverse().expect("well conditioned") * b;
+//! assert!((solved - x).norm() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod angle;
+pub mod dmatrix;
+pub mod interp;
+pub mod lowess;
+pub mod mat;
+pub mod rot3;
+pub mod signal;
+pub mod stats;
+pub mod vec;
+
+pub use dmatrix::DMatrix;
+pub use mat::{Mat2, Mat3};
+pub use rot3::Rot3;
+pub use vec::{Vec2, Vec3};
+
+/// Standard gravity in m/s², shared by dynamics, sensors, and estimators.
+pub const GRAVITY: f64 = 9.80665;
+
+/// Convenient result alias for fallible numeric routines.
+pub type MathResult<T> = Result<T, MathError>;
+
+/// Errors produced by numeric kernels in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// A matrix inversion or factorization met a (near-)singular matrix.
+    Singular {
+        /// Pivot magnitude that failed the tolerance check.
+        pivot: f64,
+    },
+    /// Cholesky factorization met a non-positive-definite matrix.
+    NotPositiveDefinite {
+        /// Index of the failing diagonal entry.
+        index: usize,
+    },
+    /// Dimensions of operands do not agree.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        context: &'static str,
+    },
+    /// The input slice was empty where at least one element is required.
+    EmptyInput {
+        /// Which routine rejected the input.
+        context: &'static str,
+    },
+    /// An input value was outside the routine's domain (NaN, negative, ...).
+    InvalidArgument {
+        /// Human-readable description of the violation.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for MathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MathError::Singular { pivot } => {
+                write!(f, "matrix is singular or near-singular (pivot {pivot:e})")
+            }
+            MathError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite (diagonal index {index})")
+            }
+            MathError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            MathError::EmptyInput { context } => write!(f, "empty input: {context}"),
+            MathError::InvalidArgument { context } => write!(f, "invalid argument: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errs = [
+            MathError::Singular { pivot: 1e-30 },
+            MathError::NotPositiveDefinite { index: 2 },
+            MathError::DimensionMismatch { context: "a*b" },
+            MathError::EmptyInput { context: "mean" },
+            MathError::InvalidArgument { context: "negative variance" },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn gravity_is_standard() {
+        assert!((GRAVITY - 9.80665).abs() < 1e-12);
+    }
+}

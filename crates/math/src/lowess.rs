@@ -1,0 +1,282 @@
+//! LOWESS — locally weighted scatterplot smoothing (local regression).
+//!
+//! Section III-B of the paper smooths the measured steering-rate profile
+//! with "the local regression method \[Loader 2006\]" before extracting lane
+//! change bumps. This module implements the classic Cleveland LOWESS
+//! estimator: for every abscissa, fit a weighted degree-1 polynomial over
+//! the nearest-neighbour window using tricube weights, with optional
+//! robustifying iterations that downweight outliers via bisquare weights.
+
+use crate::{MathError, MathResult};
+
+/// Configuration for [`lowess`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowessConfig {
+    /// Fraction of the data used in each local window, in `(0, 1]`.
+    /// Larger values smooth more.
+    pub fraction: f64,
+    /// Number of robustifying iterations (0 = plain LOWESS).
+    pub robust_iterations: usize,
+}
+
+impl Default for LowessConfig {
+    fn default() -> Self {
+        // fraction 0.1 keeps lane-change bumps (~seconds wide at 50 Hz)
+        // intact while killing sample-level sensor noise.
+        LowessConfig { fraction: 0.1, robust_iterations: 0 }
+    }
+}
+
+impl LowessConfig {
+    /// Creates a config with the given window fraction and no robustness
+    /// iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn with_fraction(fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "LOWESS fraction must be in (0, 1], got {fraction}"
+        );
+        LowessConfig { fraction, robust_iterations: 0 }
+    }
+
+    /// Sets the number of robustifying iterations.
+    pub fn robust(mut self, iterations: usize) -> Self {
+        self.robust_iterations = iterations;
+        self
+    }
+}
+
+/// Smooths `ys` sampled at strictly increasing `xs` with LOWESS.
+///
+/// Returns the smoothed value at every input abscissa.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for empty input,
+/// [`MathError::DimensionMismatch`] when lengths differ, and
+/// [`MathError::InvalidArgument`] when `xs` is not strictly increasing or
+/// `fraction` is out of `(0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use gradest_math::lowess::{lowess, LowessConfig};
+///
+/// // Noisy ramp: LOWESS recovers the trend.
+/// let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| x + if (*x as usize) % 2 == 0 { 0.5 } else { -0.5 }).collect();
+/// let smooth = lowess(&xs, &ys, LowessConfig::with_fraction(0.2))?;
+/// // Interior points are close to the noise-free ramp.
+/// assert!((smooth[50] - 50.0).abs() < 0.2);
+/// # Ok::<(), gradest_math::MathError>(())
+/// ```
+pub fn lowess(xs: &[f64], ys: &[f64], config: LowessConfig) -> MathResult<Vec<f64>> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput { context: "lowess input" });
+    }
+    if xs.len() != ys.len() {
+        return Err(MathError::DimensionMismatch { context: "lowess xs/ys lengths" });
+    }
+    if !(config.fraction > 0.0 && config.fraction <= 1.0) {
+        return Err(MathError::InvalidArgument { context: "lowess fraction not in (0, 1]" });
+    }
+    for w in xs.windows(2) {
+        if !(w[1] > w[0]) {
+            return Err(MathError::InvalidArgument {
+                context: "lowess abscissae must be strictly increasing",
+            });
+        }
+    }
+    let n = xs.len();
+    if n == 1 {
+        return Ok(vec![ys[0]]);
+    }
+    let window = ((config.fraction * n as f64).ceil() as usize).clamp(2, n);
+
+    let mut robust_weights = vec![1.0; n];
+    let mut fitted = vec![0.0; n];
+
+    for iteration in 0..=config.robust_iterations {
+        for i in 0..n {
+            fitted[i] = fit_local(xs, ys, &robust_weights, i, window);
+        }
+        if iteration == config.robust_iterations {
+            break;
+        }
+        // Bisquare robustness weights from the residuals. The scale is the
+        // median absolute residual floored by a fraction of the mean: with a
+        // mostly-perfect fit the median collapses to ~0 and an unfloored
+        // scale would zero out every point near an outlier, preventing the
+        // iteration from ever recovering.
+        let mut abs_res: Vec<f64> = ys.iter().zip(&fitted).map(|(y, f)| (y - f).abs()).collect();
+        let mut sorted = abs_res.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("residuals finite"));
+        let median = sorted[n / 2];
+        let mean = abs_res.iter().sum::<f64>() / n as f64;
+        let scale = median.max(0.25 * mean);
+        if scale <= f64::EPSILON {
+            break; // perfect fit; further iterations change nothing
+        }
+        for (w, r) in robust_weights.iter_mut().zip(abs_res.drain(..)) {
+            let u = r / (6.0 * scale);
+            *w = if u >= 1.0 { 0.0 } else { (1.0 - u * u).powi(2) };
+        }
+    }
+    Ok(fitted)
+}
+
+/// Weighted degree-1 local fit evaluated at `xs[i]`, using the `window`
+/// nearest neighbours (by abscissa distance) and tricube × robustness
+/// weights.
+fn fit_local(xs: &[f64], ys: &[f64], robust: &[f64], i: usize, window: usize) -> f64 {
+    let n = xs.len();
+    let x0 = xs[i];
+
+    // Nearest-neighbour window [lo, hi) of size `window` around i.
+    let mut lo = i.saturating_sub(window - 1);
+    let mut hi = (lo + window).min(n);
+    lo = hi.saturating_sub(window);
+    // Slide the window towards the side with closer points.
+    while hi < n && (xs[hi] - x0) < (x0 - xs[lo]) {
+        lo += 1;
+        hi += 1;
+    }
+
+    let max_dist = (x0 - xs[lo]).abs().max((xs[hi - 1] - x0).abs()).max(f64::EPSILON);
+
+    // Weighted least squares for y = a + b (x - x0); fitted value is `a`.
+    let (mut sw, mut swx, mut swy, mut swxx, mut swxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for k in lo..hi {
+        let d = ((xs[k] - x0) / max_dist).abs();
+        let tricube = if d >= 1.0 { 0.0 } else { (1.0 - d * d * d).powi(3) };
+        let w = tricube * robust[k];
+        if w == 0.0 {
+            continue;
+        }
+        let dx = xs[k] - x0;
+        sw += w;
+        swx += w * dx;
+        swy += w * ys[k];
+        swxx += w * dx * dx;
+        swxy += w * dx * ys[k];
+    }
+    if sw == 0.0 {
+        return ys[i]; // all weights vanished; fall back to the raw sample
+    }
+    let denom = sw * swxx - swx * swx;
+    if denom.abs() < 1e-12 * sw.max(1.0) {
+        // Degenerate (e.g. window of two identical abscissae): weighted mean.
+        swy / sw
+    } else {
+        (swxx * swy - swx * swxy) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x - 3.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn linear_data_is_reproduced_exactly() {
+        let (xs, ys) = ramp(50);
+        let out = lowess(&xs, &ys, LowessConfig::with_fraction(0.3)).unwrap();
+        for (o, y) in out.iter().zip(&ys) {
+            assert!((o - y).abs() < 1e-9, "{o} vs {y}");
+        }
+    }
+
+    #[test]
+    fn constant_data_is_reproduced() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys = vec![4.2; 20];
+        let out = lowess(&xs, &ys, LowessConfig::default()).unwrap();
+        for o in out {
+            assert!((o - 4.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn alternating_noise_is_removed() {
+        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x + if (*x as usize) % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let out = lowess(&xs, &ys, LowessConfig::with_fraction(0.1)).unwrap();
+        // Interior points: noise mostly gone.
+        for i in 20..180 {
+            assert!((out[i] - xs[i]).abs() < 0.3, "i={i} out={}", out[i]);
+        }
+    }
+
+    #[test]
+    fn robust_iterations_suppress_outlier() {
+        let xs: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.clone();
+        ys[30] = 500.0; // gross outlier
+        let plain = lowess(&xs, &ys, LowessConfig::with_fraction(0.3)).unwrap();
+        let robust = lowess(&xs, &ys, LowessConfig::with_fraction(0.3).robust(3)).unwrap();
+        let plain_err = (plain[29] - 29.0).abs();
+        let robust_err = (robust[29] - 29.0).abs();
+        assert!(
+            robust_err < plain_err,
+            "robust {robust_err} should beat plain {plain_err}"
+        );
+        assert!(robust_err < 1.0);
+    }
+
+    #[test]
+    fn preserves_sine_shape() {
+        // A lane-change-like bump must survive smoothing.
+        let n = 500;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.02).collect(); // 10 s at 50 Hz
+        let bump = |t: f64| {
+            if (2.0..6.0).contains(&t) {
+                0.12 * (std::f64::consts::PI * (t - 2.0) / 2.0).sin()
+            } else {
+                0.0
+            }
+        };
+        let ys: Vec<f64> = xs.iter().map(|&t| bump(t)).collect();
+        let out = lowess(&xs, &ys, LowessConfig::with_fraction(0.05)).unwrap();
+        // Peak magnitude preserved within 10%.
+        let peak = out.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((peak - 0.12).abs() < 0.012, "peak {peak}");
+    }
+
+    #[test]
+    fn single_and_two_points() {
+        assert_eq!(
+            lowess(&[1.0], &[2.0], LowessConfig::default()).unwrap(),
+            vec![2.0]
+        );
+        let out = lowess(&[0.0, 1.0], &[0.0, 2.0], LowessConfig::with_fraction(1.0)).unwrap();
+        for (o, y) in out.iter().zip(&[0.0, 2.0]) {
+            assert!((o - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(lowess(&[], &[], LowessConfig::default()).is_err());
+        assert!(lowess(&[0.0, 1.0], &[0.0], LowessConfig::default()).is_err());
+        assert!(lowess(&[1.0, 0.0], &[0.0, 1.0], LowessConfig::default()).is_err());
+        let bad = LowessConfig { fraction: 0.0, robust_iterations: 0 };
+        assert!(lowess(&[0.0, 1.0], &[0.0, 1.0], bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn with_fraction_panics_on_invalid() {
+        let _ = LowessConfig::with_fraction(1.5);
+    }
+}

@@ -1,0 +1,502 @@
+//! Fixed-size 2- and 3-vectors over `f64`.
+//!
+//! These are plain value types used for EKF states, planar positions, and
+//! body-frame sensor axes. All operations are `#[inline]`-friendly and
+//! allocation-free.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A 2-vector over `f64`.
+///
+/// # Example
+///
+/// ```
+/// use gradest_math::vec::Vec2;
+/// let v = Vec2::new(3.0, 4.0);
+/// assert_eq!(v.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// First component.
+    pub x: f64,
+    /// Second component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Dot product with another vector.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// 2D cross product magnitude (`x1*y2 - y1*x2`).
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Returns the unit vector in the same direction, or `None` for the zero
+    /// vector.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n > 0.0 {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    /// Rotates the vector counter-clockwise by `angle` radians.
+    #[inline]
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// Angle of the vector measured counter-clockwise from the +x axis.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Unit vector at `angle` radians counter-clockwise from the +x axis.
+    #[inline]
+    pub fn from_angle(angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(c, s)
+    }
+
+    /// Componentwise linear interpolation: `self` at `t = 0`, `other` at
+    /// `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+
+    /// True if every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl Index<usize> for Vec2 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            _ => panic!("Vec2 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec2 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            _ => panic!("Vec2 index out of range: {i}"),
+        }
+    }
+}
+
+impl From<[f64; 2]> for Vec2 {
+    #[inline]
+    fn from(a: [f64; 2]) -> Self {
+        Vec2::new(a[0], a[1])
+    }
+}
+
+impl From<Vec2> for [f64; 2] {
+    #[inline]
+    fn from(v: Vec2) -> Self {
+        [v.x, v.y]
+    }
+}
+
+/// A 3-vector over `f64`, used for body-frame sensor axes
+/// (`X_B`, `Y_B`, `Z_B` in the paper's Figure 2).
+///
+/// # Example
+///
+/// ```
+/// use gradest_math::vec::Vec3;
+/// let gravity = Vec3::new(0.0, 0.0, -9.81);
+/// assert!((gravity.norm() - 9.81).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// First component.
+    pub x: f64,
+    /// Second component.
+    pub y: f64,
+    /// Third component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product with another vector.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product with another vector.
+    #[inline]
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Returns the unit vector in the same direction, or `None` for the zero
+    /// vector.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n > 0.0 {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    /// True if every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    #[inline]
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -4.0);
+        assert_eq!(a + b, Vec2::new(4.0, -2.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 6.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn vec2_dot_cross() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn vec2_rotation_preserves_norm() {
+        let v = Vec2::new(3.0, 4.0);
+        let r = v.rotated(1.234);
+        assert!((r.norm() - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn vec2_rotation_quarter_turn() {
+        let v = Vec2::new(1.0, 0.0);
+        let r = v.rotated(std::f64::consts::FRAC_PI_2);
+        assert!((r.x).abs() < EPS);
+        assert!((r.y - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn vec2_angle_round_trip() {
+        for &a in &[-3.0, -1.5, 0.0, 0.7, 2.9] {
+            let v = Vec2::from_angle(a);
+            assert!((v.angle() - a).abs() < EPS);
+            assert!((v.norm() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn vec2_normalized_zero_is_none() {
+        assert!(Vec2::ZERO.normalized().is_none());
+        let n = Vec2::new(0.0, -2.0).normalized().unwrap();
+        assert!((n.y + 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn vec2_lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn vec2_indexing() {
+        let mut v = Vec2::new(5.0, 6.0);
+        assert_eq!(v[0], 5.0);
+        assert_eq!(v[1], 6.0);
+        v[1] = 9.0;
+        assert_eq!(v.y, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vec2_index_out_of_range_panics() {
+        let v = Vec2::ZERO;
+        let _ = v[2];
+    }
+
+    #[test]
+    fn vec3_cross_right_handed() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = x.cross(y);
+        assert_eq!(z, Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(y.cross(x), Vec3::new(0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn vec3_arithmetic_and_norm() {
+        let a = Vec3::new(1.0, 2.0, 2.0);
+        assert_eq!(a.norm(), 3.0);
+        assert_eq!(a + a, a * 2.0);
+        assert_eq!(a - a, Vec3::ZERO);
+        assert_eq!((a / 2.0) * 2.0, a);
+    }
+
+    #[test]
+    fn vec3_normalized() {
+        assert!(Vec3::ZERO.normalized().is_none());
+        let n = Vec3::new(0.0, 3.0, 4.0).normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn array_conversions() {
+        let v2: Vec2 = [1.0, 2.0].into();
+        let a2: [f64; 2] = v2.into();
+        assert_eq!(a2, [1.0, 2.0]);
+        let v3: Vec3 = [1.0, 2.0, 3.0].into();
+        let a3: [f64; 3] = v3.into();
+        assert_eq!(a3, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn finiteness_checks() {
+        assert!(Vec2::new(1.0, 2.0).is_finite());
+        assert!(!Vec2::new(f64::NAN, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+}

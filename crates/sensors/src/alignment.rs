@@ -1,0 +1,273 @@
+//! The smartphone coordinate alignment system (paper Section III-A).
+//!
+//! The phone frame `X_B Y_B Z_B` is aligned with the road frame
+//! `X_E Y_E Z_E`: face-up, `Y_B` along the driving direction. The
+//! angular-velocity sensor then measures the vehicle direction change rate
+//! `ŵ_vehicle`, and the **steering rate** — the signal the lane-change
+//! detector needs — is
+//!
+//! ```text
+//! w_steer = ŵ_vehicle − w_road
+//! ```
+//!
+//! where `w_road` is the road-direction change rate obtained from road
+//! geography (map geometry at the map-matched GPS position). When no map
+//! is available (or GPS is out), `w_road` is unknown and road curvature
+//! leaks into the steering profile — which is exactly why the paper needs
+//! the Figure 5 displacement test to tell S-curves from lane changes.
+
+use crate::samples::{GpsSample, ImuSample};
+use gradest_geo::Route;
+use gradest_math::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// Residual misalignment between the phone and the vehicle after the
+/// calibration of \[14\] (Section III-A); radians.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhoneMount {
+    /// Pitch residual (rotation about `X_B`): leaks `g·sin(ε)` into the
+    /// longitudinal accelerometer.
+    pub pitch_error_rad: f64,
+    /// Roll residual (rotation about `Y_B`): leaks gravity into the
+    /// lateral axis.
+    pub roll_error_rad: f64,
+}
+
+impl Default for PhoneMount {
+    fn default() -> Self {
+        // ~0.1° residuals — what the compensation method of [14] leaves.
+        PhoneMount { pitch_error_rad: 0.0017, roll_error_rad: 0.0026 }
+    }
+}
+
+impl PhoneMount {
+    /// A perfectly calibrated mount.
+    pub const PERFECT: PhoneMount = PhoneMount { pitch_error_rad: 0.0, roll_error_rad: 0.0 };
+}
+
+/// Projects GPS fixes onto a known route (map matching) to recover arc
+/// position and road-direction change rate.
+#[derive(Debug, Clone)]
+pub struct MapMatcher<'a> {
+    route: &'a Route,
+    last_s: f64,
+}
+
+impl<'a> MapMatcher<'a> {
+    /// Creates a matcher starting at the route origin.
+    pub fn new(route: &'a Route) -> Self {
+        MapMatcher { route, last_s: 0.0 }
+    }
+
+    /// Matches a planar position to an arc position on the route.
+    ///
+    /// Searches a forward window around the previous match (vehicles drive
+    /// forward; GPS arrives at ≥1 Hz), refining to 1 m resolution.
+    pub fn match_s(&mut self, position: Vec2) -> f64 {
+        let lo = (self.last_s - 30.0).max(0.0);
+        let hi = (self.last_s + 120.0).min(self.route.length());
+        // Coarse 5 m scan, then 1 m refinement around the best candidate.
+        let mut best_s = lo;
+        let mut best_d = f64::INFINITY;
+        let mut s = lo;
+        while s <= hi {
+            let d = (self.route.point_at(s) - position).norm_squared();
+            if d < best_d {
+                best_d = d;
+                best_s = s;
+            }
+            s += 5.0;
+        }
+        let lo2 = (best_s - 5.0).max(0.0);
+        let hi2 = (best_s + 5.0).min(self.route.length());
+        let mut s = lo2;
+        while s <= hi2 {
+            let d = (self.route.point_at(s) - position).norm_squared();
+            if d < best_d {
+                best_d = d;
+                best_s = s;
+            }
+            s += 1.0;
+        }
+        self.last_s = best_s;
+        best_s
+    }
+
+    /// Road-direction change rate `w_road` (rad/s) for a vehicle at
+    /// `position` moving at `speed` m/s: map-matched curvature × speed.
+    pub fn w_road(&mut self, position: Vec2, speed: f64) -> f64 {
+        let s = self.match_s(position);
+        self.route.heading_rate_at(s, 12.0) * speed
+    }
+}
+
+/// A steering-rate profile at IMU rate: `(t, w_steer)` pairs.
+pub type SteeringProfile = Vec<(f64, f64)>;
+
+/// Computes the steering-rate profile `w_steer = ŵ_vehicle − w_road`.
+///
+/// `route` is the map used to derive `w_road`: between valid GPS fixes the
+/// last map-matched `w_road` is held; while GPS is invalid it is held for
+/// up to 3 s and then decays to 0 (the road geometry is unknown). Pass
+/// `None` to model an unmapped road — `w_road` is then 0 everywhere and
+/// road curvature appears in the steering profile (the paper's S-curve
+/// confusion case).
+pub fn steering_rate_profile(
+    imu: &[ImuSample],
+    gps: &[GpsSample],
+    route: Option<&Route>,
+) -> SteeringProfile {
+    // Precompute w_road at each fix time.
+    let mut fix_times = Vec::new();
+    let mut fix_wroad = Vec::new();
+    if let Some(route) = route {
+        let mut matcher = MapMatcher::new(route);
+        let mut last_valid_t = f64::NEG_INFINITY;
+        let mut last_w = 0.0;
+        for fix in gps {
+            let w = if fix.valid {
+                last_valid_t = fix.t;
+                last_w = matcher.w_road(fix.position, fix.speed_mps);
+                last_w
+            } else if fix.t - last_valid_t <= 3.0 {
+                last_w
+            } else {
+                0.0
+            };
+            fix_times.push(fix.t);
+            fix_wroad.push(w);
+        }
+    }
+    let mut out = Vec::with_capacity(imu.len());
+    let mut cursor = 0usize;
+    for s in imu {
+        // Linearly interpolate w_road between fixes (clamped at the ends);
+        // a zero-order hold would inject sign-flip transients at curve
+        // transitions that look like steering bumps.
+        let w_road = if fix_times.is_empty() {
+            0.0
+        } else if s.t <= fix_times[0] {
+            fix_wroad[0]
+        } else if s.t >= *fix_times.last().expect("nonempty") {
+            *fix_wroad.last().expect("nonempty")
+        } else {
+            while cursor + 1 < fix_times.len() && fix_times[cursor + 1] <= s.t {
+                cursor += 1;
+            }
+            let (t0, t1) = (fix_times[cursor], fix_times[cursor + 1]);
+            let u = ((s.t - t0) / (t1 - t0)).clamp(0.0, 1.0);
+            fix_wroad[cursor] * (1.0 - u) + fix_wroad[cursor + 1] * u
+        };
+        out.push((s.t, s.gyro_z - w_road));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{SensorConfig, SensorSuite};
+    use gradest_geo::generate::{s_curve_road, straight_road, two_lane_straight};
+    use gradest_sim::driver::DriverProfile;
+    use gradest_sim::trip::{simulate_trip, TripConfig};
+
+    fn quiet_cfg() -> TripConfig {
+        TripConfig {
+            driver: DriverProfile { lane_change_rate_per_km: 0.0, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn map_matcher_tracks_progress() {
+        let route = Route::new(vec![straight_road(2000.0, 1.0)]).unwrap();
+        let mut m = MapMatcher::new(&route);
+        for s_true in [0.0, 25.0, 60.0, 110.0, 180.0] {
+            let pos = route.point_at(s_true) + Vec2::new(2.0, -1.5); // GPS-ish error
+            let s_hat = m.match_s(pos);
+            assert!((s_hat - s_true).abs() < 5.0, "{s_hat} vs {s_true}");
+        }
+    }
+
+    #[test]
+    fn map_matcher_handles_curves() {
+        let route = Route::new(vec![s_curve_road(100.0, 60.0)]).unwrap();
+        let mut m = MapMatcher::new(&route);
+        let mut s_true = 0.0;
+        while s_true < route.length() {
+            let s_hat = m.match_s(route.point_at(s_true));
+            assert!((s_hat - s_true).abs() < 3.0, "{s_hat} vs {s_true}");
+            s_true += 20.0;
+        }
+    }
+
+    #[test]
+    fn steering_profile_is_flat_on_straight_road() {
+        let route = Route::new(vec![straight_road(1500.0, 2.0)]).unwrap();
+        let traj = simulate_trip(&route, &quiet_cfg(), 31);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 31);
+        let prof = steering_rate_profile(&log.imu, &log.gps, Some(&route));
+        let max = prof.iter().map(|(_, w)| w.abs()).fold(0.0f64, f64::max);
+        // Only gyro noise remains: well below the paper's δ = 0.1167.
+        assert!(max < 0.08, "max |w_steer| = {max}");
+    }
+
+    #[test]
+    fn steering_profile_cancels_road_curvature_with_map() {
+        let route = Route::new(vec![s_curve_road(150.0, 50.0)]).unwrap();
+        let traj = simulate_trip(&route, &quiet_cfg(), 32);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 32);
+        let with_map = steering_rate_profile(&log.imu, &log.gps, Some(&route));
+        let without_map = steering_rate_profile(&log.imu, &log.gps, None);
+        let rms = |p: &SteeringProfile| {
+            (p.iter().map(|(_, w)| w * w).sum::<f64>() / p.len() as f64).sqrt()
+        };
+        // Without the map, the S-curve yaw shows up at full strength; with
+        // it, most is cancelled (narrow residual transients remain at the
+        // curve transitions because w_road updates at GPS rate).
+        assert!(rms(&without_map) > 1.8 * rms(&with_map),
+            "with={} without={}", rms(&with_map), rms(&without_map));
+    }
+
+    #[test]
+    fn lane_change_bumps_survive_map_subtraction() {
+        let route = Route::new(vec![two_lane_straight(4000.0)]).unwrap();
+        let cfg = TripConfig {
+            driver: DriverProfile { lane_change_rate_per_km: 1.0, ..Default::default() },
+            ..Default::default()
+        };
+        let traj = simulate_trip(&route, &cfg, 33);
+        assert!(!traj.events().is_empty());
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 33);
+        let prof = steering_rate_profile(&log.imu, &log.gps, Some(&route));
+        let ev = traj.events()[0];
+        // Peak |w_steer| inside the first maneuver approximates its
+        // commanded amplitude.
+        let peak_in_event = prof
+            .iter()
+            .filter(|(t, _)| *t >= ev.start_t && *t <= ev.end_t)
+            .map(|(_, w)| w.abs())
+            .fold(0.0f64, f64::max);
+        assert!(peak_in_event > 0.05, "peak {peak_in_event}");
+    }
+
+    #[test]
+    fn profile_without_gps_uses_raw_gyro() {
+        let route = Route::new(vec![straight_road(800.0, 0.0)]).unwrap();
+        let traj = simulate_trip(&route, &quiet_cfg(), 34);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 34);
+        let prof = steering_rate_profile(&log.imu, &[], Some(&route));
+        for ((t, w), imu) in prof.iter().zip(&log.imu) {
+            assert_eq!(*t, imu.t);
+            assert_eq!(*w, imu.gyro_z);
+        }
+    }
+
+    #[test]
+    fn mount_default_is_small() {
+        let m = PhoneMount::default();
+        assert!(m.pitch_error_rad.abs() < 0.01);
+        assert!(m.roll_error_rad.abs() < 0.01);
+        assert_eq!(PhoneMount::PERFECT.pitch_error_rad, 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Phone-mount calibration — the compensation method the paper cites as
+//! \[14\] (Paefgen & Kehr, "Driving behavior analysis with smartphones").
+//!
+//! Given raw phone-frame IMU data, recover the mount rotation
+//! (vehicle-from-phone) in two steps:
+//!
+//! 1. **Up axis** — while parked, the accelerometer measures pure gravity;
+//!    the mean specific force direction is the vehicle's up axis in phone
+//!    coordinates.
+//! 2. **Forward axis** — while driving, longitudinal accelerations and
+//!    decelerations dominate the horizontal specific force; regressing the
+//!    gravity-orthogonal accel against the speed derivative recovers the
+//!    forward axis (with the correct sign, because acceleration correlates
+//!    positively with `v̇`).
+//!
+//! `left = forward × up` completes the right-handed vehicle basis.
+
+use crate::raw::RawImuSample;
+use crate::samples::ImuSample;
+use gradest_math::{Rot3, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Calibration failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CalibrationError {
+    /// Not enough samples to calibrate.
+    InsufficientData,
+    /// No stationary period found (needed for the gravity estimate).
+    NoStationaryPeriod,
+    /// The drive contains no longitudinal accelerations to regress on.
+    NoLongitudinalExcitation,
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::InsufficientData => write!(f, "not enough IMU samples"),
+            CalibrationError::NoStationaryPeriod => {
+                write!(f, "no stationary period for the gravity estimate")
+            }
+            CalibrationError::NoLongitudinalExcitation => {
+                write!(f, "no longitudinal acceleration events to orient against")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Estimates the mount rotation (vehicle-from-phone) from raw IMU data
+/// and a vehicle speed series `(t, v)` on the same clock.
+///
+/// # Errors
+///
+/// Returns [`CalibrationError`] when the data cannot support either
+/// estimation step.
+pub fn estimate_mount(
+    raw: &[RawImuSample],
+    speed: &[(f64, f64)],
+) -> Result<Rot3, CalibrationError> {
+    if raw.len() < 100 || speed.len() < 10 {
+        return Err(CalibrationError::InsufficientData);
+    }
+
+    // --- Step 1: up axis from stationary gravity. ---
+    // Stationary = speed below 0.3 m/s around the sample time.
+    let mut speed_idx = 0usize;
+    let speed_at = |idx: &mut usize, t: f64| -> f64 {
+        while *idx + 1 < speed.len() && speed[*idx + 1].0 <= t {
+            *idx += 1;
+        }
+        speed[*idx].1
+    };
+    let mut up_sum = Vec3::ZERO;
+    let mut n_still = 0usize;
+    for s in raw {
+        if speed_at(&mut speed_idx, s.t) < 0.3 {
+            up_sum += s.accel;
+            n_still += 1;
+        }
+    }
+    if n_still < 50 {
+        return Err(CalibrationError::NoStationaryPeriod);
+    }
+    let up = (up_sum / n_still as f64)
+        .normalized()
+        .ok_or(CalibrationError::NoStationaryPeriod)?;
+
+    // --- Step 2: forward axis from the v̇-correlated horizontal accel. ---
+    // Numeric speed derivative on the speed clock.
+    let mut fwd_sum = Vec3::ZERO;
+    let mut excitation = 0.0;
+    let mut raw_idx = 0usize;
+    for w in speed.windows(2) {
+        let (t0, v0) = w[0];
+        let (t1, v1) = w[1];
+        let dt = t1 - t0;
+        if dt <= 0.0 {
+            continue;
+        }
+        let vdot = (v1 - v0) / dt;
+        if vdot.abs() < 0.15 {
+            continue; // coasting tells us nothing about direction
+        }
+        // Mean phone accel over the interval.
+        let mut acc = Vec3::ZERO;
+        let mut n = 0usize;
+        while raw_idx < raw.len() && raw[raw_idx].t < t1 {
+            if raw[raw_idx].t >= t0 {
+                acc += raw[raw_idx].accel;
+                n += 1;
+            }
+            raw_idx += 1;
+        }
+        if n == 0 {
+            continue;
+        }
+        let mean = acc / n as f64;
+        // Remove the gravity component, keep the horizontal part, weight
+        // by v̇ so braking (negative v̇, backward force) also votes for
+        // +forward.
+        let horiz = mean - up * mean.dot(up);
+        fwd_sum += horiz * vdot;
+        excitation += vdot * vdot;
+    }
+    if excitation < 1.0 {
+        return Err(CalibrationError::NoLongitudinalExcitation);
+    }
+    let fwd_raw = fwd_sum
+        .normalized()
+        .ok_or(CalibrationError::NoLongitudinalExcitation)?;
+    // Re-orthogonalize against up.
+    let fwd = (fwd_raw - up * fwd_raw.dot(up))
+        .normalized()
+        .ok_or(CalibrationError::NoLongitudinalExcitation)?;
+    let left = fwd.cross(up);
+
+    // Columns = vehicle axes in phone coordinates = phone-from-vehicle.
+    let phone_from_vehicle = Rot3::from_basis(left, fwd, up);
+    Ok(phone_from_vehicle.inverse())
+}
+
+/// Rotates raw phone-frame samples into aligned vehicle-frame
+/// [`ImuSample`]s using a mount estimate, optionally shifting timestamps
+/// by `-t_offset` (the stationary preamble length) so they land on the
+/// trip clock.
+pub fn apply_mount(raw: &[RawImuSample], mount: &Rot3, t_offset: f64) -> Vec<ImuSample> {
+    raw.iter()
+        .filter(|s| s.t >= t_offset)
+        .map(|s| {
+            let f_v = mount.rotate(s.accel);
+            let w_v = mount.rotate(s.gyro);
+            ImuSample {
+                t: s.t - t_offset,
+                accel_long: f_v.y,
+                accel_lat: f_v.x,
+                gyro_z: w_v.z,
+            }
+        })
+        .collect()
+}
+
+/// Residual misalignment angle (radians) between an estimated mount and
+/// the true one — the calibration quality metric.
+pub fn misalignment(estimated: &Rot3, truth: &Rot3) -> f64 {
+    (estimated.inverse() * *truth).angle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseSpec;
+    use crate::raw::{simulate_raw_imu, RawImuConfig};
+    use gradest_geo::generate::straight_road;
+    use gradest_geo::Route;
+    use gradest_math::GRAVITY;
+    use gradest_sim::driver::DriverProfile;
+    use gradest_sim::trip::{simulate_trip, TripConfig, Trajectory};
+
+    fn wandering_traj(seed: u64) -> Trajectory {
+        // Strong speed wander => plenty of longitudinal excitation.
+        let route = Route::new(vec![straight_road(2500.0, 2.0)]).unwrap();
+        let cfg = TripConfig {
+            driver: DriverProfile {
+                lane_change_rate_per_km: 0.0,
+                wander_amp_mps: 2.5,
+                wander_period_s: 25.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        simulate_trip(&route, &cfg, seed)
+    }
+
+    /// Speed series on the raw clock (preamble + trip), from ground truth.
+    fn speed_series(traj: &Trajectory, preamble: f64) -> Vec<(f64, f64)> {
+        let mut out = vec![(0.0, 0.0), (preamble * 0.9, 0.0)];
+        out.extend(
+            traj.samples()
+                .iter()
+                .step_by(5)
+                .map(|s| (s.t + preamble, s.speed_mps)),
+        );
+        out
+    }
+
+    #[test]
+    fn recovers_a_tilted_mount() {
+        let traj = wandering_traj(5);
+        let mount = Rot3::from_euler(0.6, 0.25, -0.35); // a phone tossed on the seat
+        let cfg = RawImuConfig { mount, ..Default::default() };
+        let raw = simulate_raw_imu(&traj, &cfg, 5);
+        let speeds = speed_series(&traj, cfg.stationary_s);
+        let est = estimate_mount(&raw, &speeds).expect("calibration succeeds");
+        let err = misalignment(&est, &mount);
+        assert!(err < 0.05, "misalignment {:.2}°", err.to_degrees());
+    }
+
+    #[test]
+    fn identity_mount_estimates_near_identity() {
+        let traj = wandering_traj(6);
+        let cfg = RawImuConfig::default();
+        let raw = simulate_raw_imu(&traj, &cfg, 6);
+        let speeds = speed_series(&traj, cfg.stationary_s);
+        let est = estimate_mount(&raw, &speeds).unwrap();
+        assert!(est.angle() < 0.05, "estimated {:.2}°", est.angle().to_degrees());
+    }
+
+    #[test]
+    fn aligned_output_matches_reference_frame() {
+        let traj = wandering_traj(7);
+        let mount = Rot3::from_euler(-0.4, 0.2, 0.3);
+        let cfg = RawImuConfig {
+            mount,
+            accel_noise: NoiseSpec::CLEAN,
+            gyro_noise: NoiseSpec::CLEAN,
+            ..Default::default()
+        };
+        let raw = simulate_raw_imu(&traj, &cfg, 7);
+        let speeds = speed_series(&traj, cfg.stationary_s);
+        let est = estimate_mount(&raw, &speeds).unwrap();
+        let aligned = apply_mount(&raw, &est, cfg.stationary_s);
+        // Mean aligned longitudinal specific force over the cruise ≈
+        // g·sin(2°) (constant-gradient road, wander averages out).
+        let n = aligned.len();
+        let mid = &aligned[n / 4..3 * n / 4];
+        let mean = mid.iter().map(|s| s.accel_long).sum::<f64>() / mid.len() as f64;
+        let expect = GRAVITY * 2.0f64.to_radians().sin();
+        assert!((mean - expect).abs() < 0.06, "mean {mean} expect {expect}");
+        // Timestamps shifted onto the trip clock.
+        assert!(aligned[0].t >= 0.0 && aligned[0].t < 0.1);
+    }
+
+    #[test]
+    fn errors_without_stationary_data() {
+        let traj = wandering_traj(8);
+        let cfg = RawImuConfig { stationary_s: 0.0, ..Default::default() };
+        let raw = simulate_raw_imu(&traj, &cfg, 8);
+        // Speed series says "always moving".
+        let speeds: Vec<(f64, f64)> =
+            traj.samples().iter().step_by(5).map(|s| (s.t, s.speed_mps.max(1.0))).collect();
+        assert_eq!(
+            estimate_mount(&raw, &speeds).unwrap_err(),
+            CalibrationError::NoStationaryPeriod
+        );
+    }
+
+    #[test]
+    fn errors_on_insufficient_data() {
+        assert_eq!(
+            estimate_mount(&[], &[]).unwrap_err(),
+            CalibrationError::InsufficientData
+        );
+    }
+
+    #[test]
+    fn misalignment_metric_basics() {
+        let a = Rot3::from_euler(0.1, 0.0, 0.0);
+        assert!(misalignment(&a, &a) < 1e-9);
+        let b = Rot3::from_euler(0.1 + 0.05, 0.0, 0.0);
+        assert!((misalignment(&a, &b) - 0.05).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Composable sensor-noise models.
+//!
+//! Every smartphone sensor in the paper suffers "measuring noise and drift
+//! noise"; we model those as white Gaussian noise plus a bias random walk,
+//! with optional output quantization.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Draws a standard-normal sample via Box–Muller.
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Static description of a sensor channel's error behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseSpec {
+    /// White (measuring) noise standard deviation, in output units.
+    pub white_sd: f64,
+    /// Bias random-walk intensity, output units per √second
+    /// (the paper's "drift noise").
+    pub bias_walk_sd: f64,
+    /// Standard deviation of the initial bias, output units.
+    pub bias_init_sd: f64,
+    /// Output quantization step (0 = none).
+    pub quantization: f64,
+    /// Constant multiplicative scale error (1.0 = perfect scale).
+    pub scale: f64,
+}
+
+impl NoiseSpec {
+    /// A perfectly clean channel.
+    pub const CLEAN: NoiseSpec = NoiseSpec {
+        white_sd: 0.0,
+        bias_walk_sd: 0.0,
+        bias_init_sd: 0.0,
+        quantization: 0.0,
+        scale: 1.0,
+    };
+
+    /// White-noise-only channel.
+    pub fn white(sd: f64) -> Self {
+        NoiseSpec { white_sd: sd, ..NoiseSpec::CLEAN }
+    }
+}
+
+/// Stateful noise channel instantiated from a [`NoiseSpec`].
+#[derive(Debug, Clone)]
+pub struct NoiseChannel {
+    spec: NoiseSpec,
+    bias: f64,
+}
+
+impl NoiseChannel {
+    /// Instantiates a channel, drawing its initial bias from `rng`.
+    pub fn new(spec: NoiseSpec, rng: &mut StdRng) -> Self {
+        let bias = spec.bias_init_sd * gaussian(rng);
+        NoiseChannel { spec, bias }
+    }
+
+    /// Corrupts a true value measured after `dt` seconds since the last
+    /// sample: advances the bias walk, applies scale error, adds bias and
+    /// white noise, then quantizes.
+    pub fn corrupt(&mut self, truth: f64, dt: f64, rng: &mut StdRng) -> f64 {
+        if self.spec.bias_walk_sd > 0.0 && dt > 0.0 {
+            self.bias += self.spec.bias_walk_sd * dt.sqrt() * gaussian(rng);
+        }
+        let mut v = truth * self.spec.scale + self.bias + self.spec.white_sd * gaussian(rng);
+        if self.spec.quantization > 0.0 {
+            v = (v / self.spec.quantization).round() * self.spec.quantization;
+        }
+        v
+    }
+
+    /// Current bias (for tests and diagnostics).
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn clean_channel_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ch = NoiseChannel::new(NoiseSpec::CLEAN, &mut rng);
+        for &v in &[0.0, 1.5, -3.25] {
+            assert_eq!(ch.corrupt(v, 0.1, &mut rng), v);
+        }
+    }
+
+    #[test]
+    fn white_noise_statistics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ch = NoiseChannel::new(NoiseSpec::white(0.5), &mut rng);
+        let n = 10_000;
+        let errs: Vec<f64> = (0..n).map(|_| ch.corrupt(10.0, 0.1, &mut rng) - 10.0).collect();
+        let sd = (errs.iter().map(|e| e * e).sum::<f64>() / n as f64).sqrt();
+        assert!((sd - 0.5).abs() < 0.03, "sd {sd}");
+    }
+
+    #[test]
+    fn bias_walk_accumulates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = NoiseSpec { bias_walk_sd: 0.1, ..NoiseSpec::CLEAN };
+        let mut ch = NoiseChannel::new(spec, &mut rng);
+        // After 1000 s of walking, the bias magnitude should typically be
+        // on the order of 0.1·√1000 ≈ 3.2 — i.e., visibly nonzero.
+        for _ in 0..10_000 {
+            let _ = ch.corrupt(0.0, 0.1, &mut rng);
+        }
+        assert!(ch.bias().abs() > 0.05, "bias {}", ch.bias());
+    }
+
+    #[test]
+    fn quantization_rounds_to_grid() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = NoiseSpec { quantization: 0.25, ..NoiseSpec::CLEAN };
+        let mut ch = NoiseChannel::new(spec, &mut rng);
+        assert_eq!(ch.corrupt(1.1, 0.1, &mut rng), 1.0);
+        assert_eq!(ch.corrupt(1.13, 0.1, &mut rng), 1.25);
+    }
+
+    #[test]
+    fn scale_error_multiplies() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let spec = NoiseSpec { scale: 1.02, ..NoiseSpec::CLEAN };
+        let mut ch = NoiseChannel::new(spec, &mut rng);
+        assert!((ch.corrupt(10.0, 0.1, &mut rng) - 10.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initial_bias_is_seeded() {
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let spec = NoiseSpec { bias_init_sd: 0.3, ..NoiseSpec::CLEAN };
+        let a = NoiseChannel::new(spec, &mut rng1);
+        let b = NoiseChannel::new(spec, &mut rng2);
+        assert_eq!(a.bias(), b.bias());
+        assert_ne!(a.bias(), 0.0);
+    }
+}

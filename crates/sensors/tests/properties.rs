@@ -1,0 +1,79 @@
+//! Property-based tests for sensor noise models and map matching.
+
+use gradest_geo::generate::straight_road;
+use gradest_geo::Route;
+use gradest_math::Vec2;
+use gradest_sensors::alignment::MapMatcher;
+use gradest_sensors::noise::{NoiseChannel, NoiseSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn white_noise_is_unbiased(sd in 0.01..2.0f64, truth in -50.0..50.0f64, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ch = NoiseChannel::new(NoiseSpec::white(sd), &mut rng);
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| ch.corrupt(truth, 0.1, &mut rng)).sum::<f64>() / n as f64;
+        // Standard error of the mean is sd/√n; allow 5 sigma.
+        prop_assert!((mean - truth).abs() < 5.0 * sd / (n as f64).sqrt() + 1e-9,
+            "mean {mean} truth {truth}");
+    }
+
+    #[test]
+    fn quantization_error_is_bounded(step in 0.01..1.0f64, truth in -10.0..10.0f64, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = NoiseSpec { quantization: step, ..NoiseSpec::CLEAN };
+        let mut ch = NoiseChannel::new(spec, &mut rng);
+        let out = ch.corrupt(truth, 0.1, &mut rng);
+        prop_assert!((out - truth).abs() <= step / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn scale_error_is_multiplicative(scale in 0.9..1.1f64, truth in -100.0..100.0f64) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = NoiseSpec { scale, ..NoiseSpec::CLEAN };
+        let mut ch = NoiseChannel::new(spec, &mut rng);
+        prop_assert!((ch.corrupt(truth, 0.1, &mut rng) - truth * scale).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_walk_variance_grows_linearly(sd in 0.01..0.5f64, seed in 0u64..50) {
+        // After T seconds the walk variance is sd²·T; check the magnitude
+        // is plausible across seeds (within 6σ of the expected spread).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = NoiseSpec { bias_walk_sd: sd, ..NoiseSpec::CLEAN };
+        let mut ch = NoiseChannel::new(spec, &mut rng);
+        let t_total = 100.0;
+        let dt = 0.1;
+        for _ in 0..(t_total / dt) as usize {
+            let _ = ch.corrupt(0.0, dt, &mut rng);
+        }
+        let expect_sd = sd * t_total.sqrt();
+        prop_assert!(ch.bias().abs() < 6.0 * expect_sd, "bias {} vs σ {expect_sd}", ch.bias());
+    }
+
+    #[test]
+    fn map_matcher_error_is_bounded_by_gps_noise(
+        s_true in 0.0..1800.0f64,
+        ex in -5.0..5.0f64,
+        ey in -5.0..5.0f64,
+    ) {
+        let route = Route::new(vec![straight_road(2000.0, 1.0)]).unwrap();
+        let mut m = MapMatcher::new(&route);
+        // Warm the matcher along the route up to the query point.
+        let mut s = 0.0;
+        while s < s_true {
+            m.match_s(route.point_at(s));
+            s += 50.0;
+        }
+        let matched = m.match_s(route.point_at(s_true) + Vec2::new(ex, ey));
+        // On a straight road the arc error is bounded by the along-track
+        // GPS error plus the 1 m refinement grid.
+        prop_assert!((matched - s_true).abs() <= ex.abs() + 2.0,
+            "matched {matched} vs {s_true}");
+    }
+}

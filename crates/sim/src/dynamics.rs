@@ -1,0 +1,156 @@
+//! Longitudinal dynamics integration and drive-force control.
+
+use crate::vehicle::VehicleParams;
+use serde::{Deserialize, Serialize};
+
+/// Longitudinal vehicle state: speed along the vehicle's axis.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LongState {
+    /// Speed, m/s (never negative; the simulator does not reverse).
+    pub speed_mps: f64,
+    /// Acceleration applied over the last step, m/s².
+    pub accel_mps2: f64,
+    /// Tractive force applied over the last step, N.
+    pub drive_force_n: f64,
+}
+
+/// A proportional speed controller with force and jerk limits — the
+/// "driver's right foot". Produces the tractive force that tracks a target
+/// speed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedController {
+    /// Proportional gain, N per (m/s) of speed error.
+    pub gain_n_per_mps: f64,
+    /// Maximum force slew rate, N/s (limits jerk).
+    pub max_force_rate_n_per_s: f64,
+}
+
+impl Default for SpeedController {
+    fn default() -> Self {
+        SpeedController { gain_n_per_mps: 900.0, max_force_rate_n_per_s: 8000.0 }
+    }
+}
+
+impl SpeedController {
+    /// Computes the next tractive force for tracking `target_mps`, slewing
+    /// from `prev_force_n` and clamping to the vehicle's force limits.
+    pub fn force(
+        &self,
+        params: &VehicleParams,
+        state: &LongState,
+        target_mps: f64,
+        theta: f64,
+        prev_force_n: f64,
+        dt: f64,
+    ) -> f64 {
+        // Feed-forward the force that holds the current speed on this
+        // gradient, plus proportional correction.
+        let hold = params.required_force(0.0, state.speed_mps, theta);
+        let desired = hold + self.gain_n_per_mps * (target_mps - state.speed_mps);
+        let clamped = desired.clamp(-params.max_brake_force_n, params.max_drive_force_n);
+        let max_delta = self.max_force_rate_n_per_s * dt;
+        prev_force_n + (clamped - prev_force_n).clamp(-max_delta, max_delta)
+    }
+}
+
+/// Advances the longitudinal state one step of `dt` seconds under
+/// tractive force `force_n` on gradient `theta`, using semi-implicit Euler.
+/// Speed is floored at zero (no reversing).
+pub fn step(params: &VehicleParams, state: &LongState, force_n: f64, theta: f64, dt: f64) -> LongState {
+    let a = params.acceleration(force_n, state.speed_mps, theta);
+    let mut v = state.speed_mps + a * dt;
+    let a_applied = if v < 0.0 {
+        // Stop exactly at zero within the step.
+        let a_stop = -state.speed_mps / dt;
+        v = 0.0;
+        a_stop
+    } else {
+        a
+    };
+    LongState { speed_mps: v, accel_mps2: a_applied, drive_force_n: force_n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_constant_force_accelerates() {
+        let p = VehicleParams::default();
+        let mut st = LongState { speed_mps: 10.0, ..Default::default() };
+        for _ in 0..100 {
+            st = step(&p, &st, 2000.0, 0.0, 0.02);
+        }
+        assert!(st.speed_mps > 10.0);
+        assert!(st.accel_mps2 > 0.0);
+    }
+
+    #[test]
+    fn step_never_reverses() {
+        let p = VehicleParams::default();
+        let mut st = LongState { speed_mps: 1.0, ..Default::default() };
+        for _ in 0..200 {
+            st = step(&p, &st, -p.max_brake_force_n, 0.0, 0.02);
+        }
+        assert_eq!(st.speed_mps, 0.0);
+    }
+
+    #[test]
+    fn controller_converges_to_target_on_flat() {
+        let p = VehicleParams::default();
+        let c = SpeedController::default();
+        let mut st = LongState { speed_mps: 5.0, ..Default::default() };
+        let mut f = 0.0;
+        for _ in 0..(120.0f64 / 0.02) as usize {
+            f = c.force(&p, &st, 20.0, 0.0, f, 0.02);
+            st = step(&p, &st, f, 0.0, 0.02);
+        }
+        assert!((st.speed_mps - 20.0).abs() < 0.2, "v = {}", st.speed_mps);
+    }
+
+    #[test]
+    fn controller_holds_speed_on_gradient() {
+        let p = VehicleParams::default();
+        let c = SpeedController::default();
+        let theta = 0.06; // steep 3.4° climb
+        let mut st = LongState { speed_mps: 15.0, ..Default::default() };
+        let mut f = p.required_force(0.0, 15.0, theta);
+        for _ in 0..(60.0f64 / 0.02) as usize {
+            f = c.force(&p, &st, 15.0, theta, f, 0.02);
+            st = step(&p, &st, f, theta, 0.02);
+        }
+        assert!((st.speed_mps - 15.0).abs() < 0.1, "v = {}", st.speed_mps);
+        // Holding speed uphill needs sustained positive force.
+        assert!(st.drive_force_n > p.grade_force(theta) * 0.9);
+    }
+
+    #[test]
+    fn controller_respects_force_limits() {
+        let p = VehicleParams::default();
+        let c = SpeedController::default();
+        let st = LongState { speed_mps: 0.0, ..Default::default() };
+        // Huge target: force must saturate at max_drive_force after slewing.
+        let mut f = 0.0;
+        for _ in 0..100 {
+            f = c.force(&p, &st, 100.0, 0.0, f, 0.02);
+        }
+        assert!(f <= p.max_drive_force_n + 1e-9);
+        // Huge negative target: saturates at brake limit.
+        let mut f = 0.0;
+        let st = LongState { speed_mps: 30.0, ..Default::default() };
+        for _ in 0..200 {
+            f = c.force(&p, &st, 0.0, 0.0, f, 0.02);
+        }
+        assert!(f >= -p.max_brake_force_n - 1e-9);
+    }
+
+    #[test]
+    fn controller_slews_force_gradually() {
+        let p = VehicleParams::default();
+        let c = SpeedController::default();
+        let st = LongState { speed_mps: 10.0, ..Default::default() };
+        let f1 = c.force(&p, &st, 30.0, 0.0, 0.0, 0.02);
+        // One 20 ms step can move force by at most 160 N.
+        assert!(f1.abs() <= c.max_force_rate_n_per_s * 0.02 + 1e-9);
+    }
+}

@@ -1,0 +1,301 @@
+//! Powertrain: gears, engine speed, and torque.
+//!
+//! The paper's Eq (3) estimates gradient from **driving torque** `M`, and
+//! its discussion of prior work turns on how hard real-time `M` is to
+//! obtain: the active gear "is changed frequently in practice and
+//! difficult to measure in real time", gearbox access "is only available
+//! in premium cars". This module models that substrate: a 5-speed
+//! automatic with a torque-converter-free shift schedule, engine speed
+//! from gear kinematics, and the torque split `M = F·r` to
+//! `engine torque = M / (gear·final·η)`.
+
+use crate::vehicle::VehicleParams;
+use serde::{Deserialize, Serialize};
+
+/// A stepped-gear powertrain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Powertrain {
+    /// Gear ratios, first to top (engine rev per wheel rev, before the
+    /// final drive).
+    pub gear_ratios: Vec<f64>,
+    /// Final drive ratio.
+    pub final_drive: f64,
+    /// Driveline efficiency in `(0, 1]`.
+    pub efficiency: f64,
+    /// Upshift engine speed, rpm.
+    pub upshift_rpm: f64,
+    /// Downshift engine speed, rpm.
+    pub downshift_rpm: f64,
+    /// Idle engine speed, rpm.
+    pub idle_rpm: f64,
+}
+
+impl Default for Powertrain {
+    fn default() -> Self {
+        // A mid-2000s 5-speed automatic sedan (the paper's Altima era).
+        Powertrain {
+            gear_ratios: vec![3.83, 2.36, 1.53, 1.02, 0.77],
+            final_drive: 3.55,
+            efficiency: 0.92,
+            upshift_rpm: 2600.0,
+            downshift_rpm: 1300.0,
+            idle_rpm: 700.0,
+        }
+    }
+}
+
+impl Powertrain {
+    /// Number of gears.
+    pub fn gears(&self) -> usize {
+        self.gear_ratios.len()
+    }
+
+    /// Engine speed (rpm) at vehicle speed `v` in `gear` (1-based),
+    /// floored at idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gear` is 0 or beyond the gear count.
+    pub fn engine_rpm(&self, params: &VehicleParams, v: f64, gear: usize) -> f64 {
+        assert!(gear >= 1 && gear <= self.gears(), "gear {gear} out of range");
+        let wheel_rps = v / (2.0 * std::f64::consts::PI * params.wheel_radius_m);
+        let rpm = wheel_rps * 60.0 * self.gear_ratios[gear - 1] * self.final_drive;
+        rpm.max(self.idle_rpm)
+    }
+
+    /// The gear an automatic transmission would hold at speed `v`,
+    /// starting the search from `current` (1-based) and applying shift
+    /// hysteresis.
+    pub fn select_gear(&self, params: &VehicleParams, v: f64, current: usize) -> usize {
+        let mut gear = current.clamp(1, self.gears());
+        // Upshift while over-revving.
+        while gear < self.gears() && self.engine_rpm(params, v, gear) > self.upshift_rpm {
+            gear += 1;
+        }
+        // Downshift while lugging.
+        while gear > 1 && self.engine_rpm(params, v, gear) < self.downshift_rpm {
+            gear -= 1;
+        }
+        gear
+    }
+
+    /// Engine torque (N·m) delivering tractive force `force_n` at the
+    /// wheels in `gear`: `τ_e = F·r / (i_g·i_f·η)` (η only assists under
+    /// power; braking torque is returned as-is, negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gear` is out of range.
+    pub fn engine_torque(&self, params: &VehicleParams, force_n: f64, gear: usize) -> f64 {
+        assert!(gear >= 1 && gear <= self.gears(), "gear {gear} out of range");
+        let overall = self.gear_ratios[gear - 1] * self.final_drive;
+        let wheel_torque = force_n * params.wheel_radius_m;
+        if force_n >= 0.0 {
+            wheel_torque / (overall * self.efficiency)
+        } else {
+            wheel_torque / overall
+        }
+    }
+
+    /// Inverse: driving torque at the wheels (`M` of Eq 3, N·m) from an
+    /// engine torque reading in `gear` — what a CAN/OBD torque signal
+    /// yields after the driveline.
+    pub fn wheel_torque_from_engine(&self, engine_torque: f64, gear: usize) -> f64 {
+        assert!(gear >= 1 && gear <= self.gears(), "gear {gear} out of range");
+        let overall = self.gear_ratios[gear - 1] * self.final_drive;
+        if engine_torque >= 0.0 {
+            engine_torque * overall * self.efficiency
+        } else {
+            engine_torque * overall
+        }
+    }
+}
+
+/// Per-sample powertrain state derived from a completed trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowertrainSample {
+    /// Time since trip start, seconds.
+    pub t: f64,
+    /// Active gear (1-based).
+    pub gear: usize,
+    /// Engine speed, rpm.
+    pub engine_rpm: f64,
+    /// Engine torque, N·m.
+    pub engine_torque: f64,
+    /// Driving torque at the wheels (`M` of the paper's Eq 3), N·m.
+    pub wheel_torque: f64,
+}
+
+/// Annotates a trajectory with gear, engine speed, and torque — the
+/// gearbox signals the paper says are "difficult to measure in real time"
+/// and only available in premium cars. Ground truth for any torque-based
+/// estimator.
+pub fn annotate(
+    traj: &crate::trip::Trajectory,
+    params: &VehicleParams,
+    pt: &Powertrain,
+) -> Vec<PowertrainSample> {
+    let mut gear = 1usize;
+    traj.samples()
+        .iter()
+        .map(|s| {
+            gear = pt.select_gear(params, s.speed_mps, gear);
+            // Tractive force the dynamics actually applied: invert the
+            // longitudinal force balance at the recorded state.
+            let force = params.required_force(s.accel_mps2, s.speed_mps, s.theta);
+            PowertrainSample {
+                t: s.t,
+                gear,
+                engine_rpm: pt.engine_rpm(params, s.speed_mps, gear),
+                engine_torque: pt.engine_torque(params, force, gear),
+                wheel_torque: force * params.wheel_radius_m,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Powertrain, VehicleParams) {
+        (Powertrain::default(), VehicleParams::default())
+    }
+
+    #[test]
+    fn rpm_scales_with_speed_and_gear() {
+        let (pt, vp) = setup();
+        let low = pt.engine_rpm(&vp, 10.0, 1);
+        let high_gear = pt.engine_rpm(&vp, 10.0, 5);
+        assert!(low > high_gear, "1st gear revs higher than 5th");
+        assert!(pt.engine_rpm(&vp, 20.0, 3) > pt.engine_rpm(&vp, 10.0, 3));
+        // Parked: idle.
+        assert_eq!(pt.engine_rpm(&vp, 0.0, 1), pt.idle_rpm);
+    }
+
+    #[test]
+    fn rpm_magnitudes_are_automotive() {
+        let (pt, vp) = setup();
+        // 100 km/h in top gear: ~2000-3000 rpm for this class of car.
+        let rpm = pt.engine_rpm(&vp, 27.8, 5);
+        assert!((1500.0..3500.0).contains(&rpm), "rpm {rpm}");
+    }
+
+    #[test]
+    fn automatic_upshifts_with_speed() {
+        let (pt, vp) = setup();
+        let mut gear = 1;
+        let mut gears_seen = vec![1];
+        for v in 1..=30 {
+            let g = pt.select_gear(&vp, v as f64, gear);
+            if g != gear {
+                gears_seen.push(g);
+            }
+            gear = g;
+        }
+        // Monotone upshifts through (most of) the box.
+        for w in gears_seen.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(*gears_seen.last().unwrap() >= 4, "top gear by 30 m/s");
+    }
+
+    #[test]
+    fn automatic_downshifts_when_slowing() {
+        let (pt, vp) = setup();
+        let top = pt.select_gear(&vp, 28.0, 1);
+        let slowed = pt.select_gear(&vp, 4.0, top);
+        assert!(slowed < top);
+    }
+
+    #[test]
+    fn hysteresis_prevents_shift_hunting() {
+        let (pt, vp) = setup();
+        // At a speed between the shift thresholds, the chosen gear
+        // depends on the current gear (stable band).
+        let mut hold_speeds = 0;
+        for v in 5..25 {
+            let v = v as f64;
+            let from_low = pt.select_gear(&vp, v, 1);
+            let from_high = pt.select_gear(&vp, v, 5);
+            if from_low != from_high {
+                hold_speeds += 1;
+            }
+        }
+        assert!(hold_speeds > 3, "hysteresis band should exist");
+    }
+
+    #[test]
+    fn torque_round_trips_through_the_driveline() {
+        let (pt, vp) = setup();
+        for &force in &[500.0, 1500.0, 3000.0] {
+            for gear in 1..=pt.gears() {
+                let te = pt.engine_torque(&vp, force, gear);
+                let back = pt.wheel_torque_from_engine(te, gear);
+                assert!(
+                    (back - force * vp.wheel_radius_m).abs() < 1e-9,
+                    "force {force} gear {gear}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_torque_magnitudes_are_plausible() {
+        let (pt, vp) = setup();
+        // Cruise at 15 m/s on flat ground: ~360 N tractive force.
+        let f = vp.required_force(0.0, 15.0, 0.0);
+        let gear = pt.select_gear(&vp, 15.0, 3);
+        let te = pt.engine_torque(&vp, f, gear);
+        assert!((10.0..120.0).contains(&te), "cruise engine torque {te} N·m");
+    }
+
+    #[test]
+    fn braking_torque_is_negative() {
+        let (pt, vp) = setup();
+        assert!(pt.engine_torque(&vp, -2000.0, 3) < 0.0);
+    }
+
+    #[test]
+    fn annotate_tracks_a_trip() {
+        use gradest_geo::generate::straight_road;
+        use gradest_geo::Route;
+        use crate::driver::DriverProfile;
+        use crate::trip::{simulate_trip, TripConfig};
+        let route = Route::new(vec![straight_road(2000.0, 2.0)]).unwrap();
+        let cfg = TripConfig {
+            driver: DriverProfile { lane_change_rate_per_km: 0.0, ..Default::default() },
+            ..Default::default()
+        };
+        let traj = simulate_trip(&route, &cfg, 5);
+        let (pt, vp) = setup();
+        let annotated = annotate(&traj, &vp, &pt);
+        assert_eq!(annotated.len(), traj.samples().len());
+        // Gears shift through the box and shift counts stay human.
+        let max_gear = annotated.iter().map(|a| a.gear).max().unwrap();
+        assert!(max_gear >= 3, "top gear reached {max_gear}");
+        let shifts = annotated.windows(2).filter(|w| w[1].gear != w[0].gear).count();
+        assert!(shifts < 40, "{shifts} shifts over one trip (hunting?)");
+        // RPM stays in automotive bounds and torque round-trips.
+        for a in annotated.iter().step_by(100) {
+            assert!((600.0..5000.0).contains(&a.engine_rpm), "rpm {}", a.engine_rpm);
+            let back = pt.wheel_torque_from_engine(a.engine_torque, a.gear);
+            assert!((back - a.wheel_torque).abs() < 1e-9);
+        }
+        // The paper's Eq 3 recovers the gradient from the annotated M at
+        // cruise points (the torque-based premium-car method).
+        let mid = &annotated[annotated.len() / 2];
+        let truth = traj.samples()[annotated.len() / 2];
+        let est = vp
+            .gradient_from_states(mid.wheel_torque, truth.speed_mps, truth.accel_mps2)
+            .expect("in range");
+        assert!((est - truth.theta).abs() < 3e-3, "Eq3 {est} vs {}", truth.theta);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_gear_panics() {
+        let (pt, vp) = setup();
+        let _ = pt.engine_rpm(&vp, 10.0, 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Car-following traffic: the Intelligent Driver Model (IDM).
+//!
+//! Urban driving is rarely free-flow; a lead vehicle shapes the ego
+//! vehicle's speed profile, producing the stop-and-go accelerations that
+//! stress gradient estimation. [`IdmFollower`] computes the classic IDM
+//! acceleration, and [`LeadVehicle`] scripts a lead car along the route.
+
+use serde::{Deserialize, Serialize};
+
+/// IDM parameters (Treiber's standard urban car values).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdmParams {
+    /// Desired (free-flow) speed, m/s.
+    pub desired_speed: f64,
+    /// Minimum bumper-to-bumper gap, metres.
+    pub min_gap: f64,
+    /// Desired time headway, seconds.
+    pub time_headway: f64,
+    /// Maximum acceleration, m/s².
+    pub max_accel: f64,
+    /// Comfortable deceleration, m/s².
+    pub comfortable_decel: f64,
+    /// Acceleration exponent δ.
+    pub delta: f64,
+}
+
+impl Default for IdmParams {
+    fn default() -> Self {
+        IdmParams {
+            desired_speed: 13.9, // 50 km/h
+            min_gap: 2.0,
+            time_headway: 1.5,
+            max_accel: 1.4,
+            comfortable_decel: 2.0,
+            delta: 4.0,
+        }
+    }
+}
+
+/// The IDM car-following law.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct IdmFollower {
+    /// Model parameters.
+    pub params: IdmParams,
+}
+
+impl IdmFollower {
+    /// Creates a follower with the given parameters.
+    pub fn new(params: IdmParams) -> Self {
+        IdmFollower { params }
+    }
+
+    /// IDM acceleration for ego speed `v`, gap `s` to the leader
+    /// (bumper-to-bumper, metres), and speed difference
+    /// `dv = v − v_lead` (positive when closing).
+    ///
+    /// With no leader, pass `s = f64::INFINITY` and `dv = 0`.
+    pub fn acceleration(&self, v: f64, gap: f64, dv: f64) -> f64 {
+        let p = &self.params;
+        let free = 1.0 - (v / p.desired_speed).max(0.0).powf(p.delta);
+        if !gap.is_finite() {
+            return p.max_accel * free;
+        }
+        let gap = gap.max(0.01);
+        let s_star = p.min_gap
+            + (v * p.time_headway + v * dv / (2.0 * (p.max_accel * p.comfortable_decel).sqrt()))
+                .max(0.0);
+        p.max_accel * (free - (s_star / gap).powi(2))
+    }
+}
+
+/// A scripted lead vehicle: position along the route over time, with a
+/// periodic slow-down (e.g. bus stops / queue waves).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeadVehicle {
+    /// Lead's initial arc position, metres ahead of the ego start.
+    pub initial_s: f64,
+    /// Cruise speed, m/s.
+    pub cruise_speed: f64,
+    /// Slow speed during a slow-down phase, m/s.
+    pub slow_speed: f64,
+    /// Period of the cruise/slow cycle, seconds.
+    pub cycle_s: f64,
+    /// Fraction of the cycle spent slow, in `[0, 1]`.
+    pub slow_fraction: f64,
+}
+
+impl Default for LeadVehicle {
+    fn default() -> Self {
+        LeadVehicle {
+            initial_s: 40.0,
+            cruise_speed: 12.0,
+            slow_speed: 3.0,
+            cycle_s: 60.0,
+            slow_fraction: 0.25,
+        }
+    }
+}
+
+impl LeadVehicle {
+    /// Lead speed at time `t`.
+    pub fn speed_at(&self, t: f64) -> f64 {
+        let phase = (t / self.cycle_s).fract();
+        if phase < self.slow_fraction {
+            self.slow_speed
+        } else {
+            self.cruise_speed
+        }
+    }
+
+    /// Lead arc position at time `t` (piecewise-constant speed
+    /// integration).
+    pub fn position_at(&self, t: f64) -> f64 {
+        let full_cycles = (t / self.cycle_s).floor();
+        let per_cycle = self.cycle_s
+            * (self.slow_fraction * self.slow_speed
+                + (1.0 - self.slow_fraction) * self.cruise_speed);
+        let rem = t - full_cycles * self.cycle_s;
+        let slow_span = self.slow_fraction * self.cycle_s;
+        let rem_dist = if rem <= slow_span {
+            rem * self.slow_speed
+        } else {
+            slow_span * self.slow_speed + (rem - slow_span) * self.cruise_speed
+        };
+        self.initial_s + full_cycles * per_cycle + rem_dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_flow_converges_to_desired_speed() {
+        let idm = IdmFollower::default();
+        let mut v: f64 = 5.0;
+        for _ in 0..20_000 {
+            v += idm.acceleration(v, f64::INFINITY, 0.0) * 0.02;
+        }
+        assert!((v - idm.params.desired_speed).abs() < 0.1, "v = {v}");
+    }
+
+    #[test]
+    fn closing_on_a_slow_leader_brakes() {
+        let idm = IdmFollower::default();
+        // 14 m/s closing at +8 m/s with 20 m gap: hard braking.
+        let a = idm.acceleration(14.0, 20.0, 8.0);
+        assert!(a < -2.0, "a = {a}");
+    }
+
+    #[test]
+    fn huge_gap_behaves_like_free_flow() {
+        let idm = IdmFollower::default();
+        let free = idm.acceleration(10.0, f64::INFINITY, 0.0);
+        let far = idm.acceleration(10.0, 1e6, 0.0);
+        assert!((free - far).abs() < 1e-3);
+    }
+
+    #[test]
+    fn equilibrium_gap_is_headway_based() {
+        // Following at equal speed: acceleration ≈ 0 at s ≈ s₀ + v·T
+        // (with the free-road term's correction).
+        let idm = IdmFollower::default();
+        let v = 10.0;
+        // Find the zero crossing by bisection.
+        let (mut lo, mut hi) = (5.0, 200.0);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if idm.acceleration(v, mid, 0.0) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let eq_gap = 0.5 * (lo + hi);
+        let naive = idm.params.min_gap + v * idm.params.time_headway;
+        assert!(eq_gap > naive, "equilibrium gap {eq_gap} vs naive {naive}");
+        assert!(eq_gap < 2.0 * naive);
+    }
+
+    #[test]
+    fn follower_simulation_never_collides() {
+        let idm = IdmFollower::default();
+        let lead = LeadVehicle::default();
+        let dt = 0.02;
+        let mut s = 0.0;
+        let mut v: f64 = 10.0;
+        let mut min_gap = f64::INFINITY;
+        let mut t = 0.0;
+        for _ in 0..(600.0 / dt) as usize {
+            let lead_s = lead.position_at(t);
+            let lead_v = lead.speed_at(t);
+            let gap = lead_s - s - 4.5; // vehicle length
+            let a = idm.acceleration(v, gap, v - lead_v);
+            v = (v + a * dt).max(0.0);
+            s += v * dt;
+            t += dt;
+            min_gap = min_gap.min(gap);
+        }
+        assert!(min_gap > 0.3, "minimum gap {min_gap}");
+    }
+
+    #[test]
+    fn lead_vehicle_position_is_continuous_and_monotone() {
+        let lead = LeadVehicle::default();
+        let mut prev = lead.position_at(0.0);
+        let mut t = 0.05;
+        while t < 300.0 {
+            let cur = lead.position_at(t);
+            assert!(cur >= prev, "position regressed at t={t}");
+            assert!(cur - prev < 1.0, "jump at t={t}: {} -> {}", prev, cur);
+            prev = cur;
+            t += 0.05;
+        }
+    }
+
+    #[test]
+    fn lead_cycle_phases() {
+        let lead = LeadVehicle::default();
+        assert_eq!(lead.speed_at(1.0), lead.slow_speed);
+        assert_eq!(lead.speed_at(30.0), lead.cruise_speed);
+        assert_eq!(lead.speed_at(61.0), lead.slow_speed);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for vehicle dynamics and maneuvers.
+
+use gradest_sim::dynamics::{step, LongState, SpeedController};
+use gradest_sim::maneuver::{LaneChangeDirection, LaneChangeManeuver};
+use gradest_sim::vehicle::VehicleParams;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn acceleration_force_inverse(
+        v in 0.0..40.0f64,
+        theta in -0.15..0.15f64,
+        a in -4.0..4.0f64,
+    ) {
+        let p = VehicleParams::default();
+        let f = p.required_force(a, v, theta);
+        prop_assert!((p.acceleration(f, v, theta) - a).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eq3_inverts_forward_model(
+        v in 1.0..35.0f64,
+        theta in -0.12..0.12f64,
+        a in -2.0..2.0f64,
+    ) {
+        let p = VehicleParams::default();
+        let f = p.required_force(a, v, theta);
+        let m = p.torque_from_force(f);
+        if let Some(est) = p.gradient_from_states(m, v, a) {
+            // Eq 3 folds rolling resistance into the constant β; the
+            // recovery error is bounded by the small-angle approximation.
+            prop_assert!((est - theta).abs() < 5e-3, "θ {theta} est {est}");
+        }
+    }
+
+    #[test]
+    fn speed_never_negative_under_any_force(
+        v0 in 0.0..30.0f64,
+        force in -15_000.0..5_000.0f64,
+        theta in -0.1..0.1f64,
+    ) {
+        let p = VehicleParams::default();
+        let mut st = LongState { speed_mps: v0, ..Default::default() };
+        for _ in 0..500 {
+            st = step(&p, &st, force, theta, 0.02);
+            prop_assert!(st.speed_mps >= 0.0);
+            prop_assert!(st.speed_mps.is_finite());
+        }
+    }
+
+    #[test]
+    fn controller_converges_to_reachable_targets(
+        v0 in 2.0..25.0f64,
+        target in 5.0..25.0f64,
+        theta in -0.05..0.05f64,
+    ) {
+        let p = VehicleParams::default();
+        let c = SpeedController::default();
+        let mut st = LongState { speed_mps: v0, ..Default::default() };
+        let mut f = 0.0;
+        for _ in 0..(180.0f64 / 0.02) as usize {
+            f = c.force(&p, &st, target, theta, f, 0.02);
+            st = step(&p, &st, f, theta, 0.02);
+        }
+        prop_assert!((st.speed_mps - target).abs() < 0.5,
+            "v = {} target {target}", st.speed_mps);
+    }
+
+    #[test]
+    fn maneuver_displacement_close_to_target(
+        v in 4.0..20.0f64,
+        d in 3.0..7.0f64,
+        left in any::<bool>(),
+    ) {
+        let dir = if left { LaneChangeDirection::Left } else { LaneChangeDirection::Right };
+        let m = LaneChangeManeuver::for_displacement(dir, 3.65, v, d);
+        // Numeric integration of the lateral displacement.
+        let dt = 1e-3;
+        let mut alpha = 0.0;
+        let mut lateral = 0.0;
+        let steps = (d / dt) as usize;
+        for i in 0..steps {
+            alpha += m.steering_rate(i as f64 * dt) * dt;
+            lateral += v * alpha.sin() * dt;
+        }
+        // Small-angle approximation error grows with α; stay within 8 %.
+        prop_assert!((lateral.abs() - 3.65).abs() < 0.3, "lateral {lateral}");
+        prop_assert_eq!(lateral > 0.0, left);
+        // Steering angle returns to ~0 (vehicle parallel to road again).
+        prop_assert!(alpha.abs() < 5e-3, "residual α {alpha}");
+    }
+
+    #[test]
+    fn maneuver_predicted_displacement_matches_formula(
+        v in 4.0..20.0f64,
+        d in 3.0..7.0f64,
+    ) {
+        let m = LaneChangeManeuver::for_displacement(LaneChangeDirection::Left, 3.65, v, d);
+        prop_assert!((m.predicted_displacement(v) - 3.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dwell_fraction_is_constant_for_sine(
+        v in 4.0..20.0f64,
+        d in 3.0..7.0f64,
+        frac in 0.1..0.95f64,
+    ) {
+        let m = LaneChangeManeuver::for_displacement(LaneChangeDirection::Right, 3.65, v, d);
+        let t = m.time_above(frac);
+        // Closed form: (π − 2 asin f)/π · D/2, independent of v.
+        let expect = (std::f64::consts::PI - 2.0 * frac.asin()) / std::f64::consts::PI * d / 2.0;
+        prop_assert!((t - expect).abs() < 1e-9);
+        prop_assert!(t > 0.0 && t < d / 2.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Multi-vehicle cloud fusion: several vehicles drive the same road,
+//! upload their gradient tracks, and the cloud's convex-combination
+//! fusion converges toward ground truth as uploads accumulate
+//! (Section III-C3's closing application).
+//!
+//! ```text
+//! cargo run --release --example cloud_fusion
+//! ```
+
+use gradest::core::cloud::CloudAggregator;
+use gradest::core::eval::track_mre;
+use gradest::prelude::*;
+
+fn main() {
+    let route = Route::new(vec![red_road()]).expect("red road is drivable");
+    let road_id = route.roads()[0].id();
+    let truth = reference_profile(&route.roads()[0], 1.0, |_| 0.0);
+    let estimator = GradientEstimator::new(EstimatorConfig::default());
+
+    let mut cloud = CloudAggregator::new(5.0);
+    println!("vehicles uploading gradient tracks for road {road_id}:");
+    println!("  fleet size   cloud MRE");
+    for vehicle in 0..8u64 {
+        // Each vehicle: its own trip, its own sensor noise.
+        let traj = simulate_trip(&route, &TripConfig::default(), 900 + vehicle);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 900 + vehicle);
+        let est = estimator.estimate(&log, Some(&route));
+        cloud.upload(road_id, &est.fused);
+
+        let profile = cloud.road_profile(road_id).expect("road has uploads");
+        let mre = track_mre(&profile, &truth, 100.0).expect("overlap");
+        println!("  {:10}   {:8.1}%", vehicle + 1, mre * 100.0);
+    }
+
+    let profile = cloud.road_profile(road_id).expect("road has uploads");
+    println!(
+        "\nfinal cloud profile: {} cells, coverage at 1 km = {} vehicles",
+        profile.len(),
+        cloud.coverage_at(road_id, 1000.0)
+    );
+    println!("\n  s (m)   cloud θ°   true θ°");
+    let mut s = 200.0;
+    while s < route.length() {
+        println!(
+            "  {s:5.0}   {:8.2}   {:7.2}",
+            profile.theta_at(s).unwrap_or(0.0).to_degrees(),
+            truth.theta_at(s).to_degrees()
+        );
+        s += 300.0;
+    }
+}

@@ -1,0 +1,67 @@
+//! Eco-routing: the paper's motivating application. Compare the
+//! shortest-distance route against the minimum-fuel route once gradients
+//! are known — on hilly terrain they genuinely differ.
+//!
+//! ```text
+//! cargo run --release --example eco_route
+//! ```
+
+use gradest::emissions::map::route_fuel_gal;
+use gradest::emissions::{FuelModel, Species};
+use gradest::prelude::*;
+
+fn main() {
+    let network = city_network(42);
+    let model = FuelModel::default();
+    let cruise = 40.0 / 3.6;
+    let (from, to) = (0usize, 89usize); // opposite corners of the city
+
+    // Cost 1: distance.
+    let shortest = network
+        .route_between(from, to, |r| r.length())
+        .expect("connected city");
+
+    // Cost 2: fuel — gradient-aware per-road traverse fuel. Direction
+    // matters: climbing a road costs more than descending it, so the cost
+    // is evaluated in the orientation the edge would be driven.
+    let fuel_cost = |r: &gradest::geo::Road, forward: bool| {
+        let mut s = 5.0;
+        let mut total = 0.0;
+        while s < r.length() {
+            let theta = if forward {
+                r.gradient_at(s)
+            } else {
+                -r.gradient_at(r.length() - s)
+            };
+            let rate = model.fuel_rate_gph(cruise, 0.0, theta);
+            total += rate * (10.0 / cruise / 3600.0);
+            s += 10.0;
+        }
+        total
+    };
+    let greenest = network
+        .route_between_directed(from, to, fuel_cost)
+        .expect("connected city");
+
+    let fuel_of = |route: &Route| route_fuel_gal(route, &model, cruise, |s| route.gradient_at(s));
+    let f_short = fuel_of(&shortest);
+    let f_green = fuel_of(&greenest);
+
+    println!("shortest route: {:.2} km, {:.4} gal", shortest.length() / 1000.0, f_short);
+    println!("eco route:      {:.2} km, {:.4} gal", greenest.length() / 1000.0, f_green);
+    let saved = f_short - f_green;
+    println!(
+        "fuel saved: {:.4} gal ({:.1}%), CO₂ avoided: {:.0} g",
+        saved,
+        saved / f_short * 100.0,
+        Species::Co2.emission_g(saved.max(0.0))
+    );
+
+    // The cost of ignoring gradient when planning: evaluate the
+    // flat-earth "shortest" plan with the true gradient-aware burn.
+    let f_short_flat_est = route_fuel_gal(&shortest, &model, cruise, |_| 0.0);
+    println!(
+        "\nplanning blind to gradient underestimates the shortest route's burn by {:.1}%",
+        (f_short / f_short_flat_est - 1.0) * 100.0
+    );
+}

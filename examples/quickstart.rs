@@ -1,0 +1,62 @@
+//! Quickstart: estimate the gradient profile of one road from simulated
+//! smartphone data and compare it against ground truth.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gradest::core::eval::track_mre;
+use gradest::prelude::*;
+
+fn main() {
+    // 1. A road with known ground truth: the paper's 2.16 km "red road"
+    //    (Table III): seven sections of alternating gradient, some with
+    //    two lanes.
+    let route = Route::new(vec![red_road()]).expect("red road is drivable");
+    println!(
+        "route: {:.2} km, gradient at 500 m = {:.2}°",
+        route.length() / 1000.0,
+        route.gradient_at(500.0).to_degrees()
+    );
+
+    // 2. Drive it: vehicle dynamics + a driver who wanders speed and
+    //    changes lanes at the naturalistic rate.
+    let traj = simulate_trip(&route, &TripConfig::default(), 7);
+    println!(
+        "trip: {:.1} s, {} lane change(s)",
+        traj.duration_s(),
+        traj.events().len()
+    );
+
+    // 3. Record it through smartphone-grade sensors (50 Hz IMU, 1 Hz GPS,
+    //    noisy barometer, CAN over Bluetooth).
+    let log = SensorSuite::new(SensorConfig::default()).run(&traj, 7);
+
+    // 4. Estimate: steering-rate alignment, lane-change detection, one
+    //    EKF per velocity source, convex-combination track fusion.
+    let estimator = GradientEstimator::new(EstimatorConfig::default());
+    let estimate = estimator.estimate(&log, Some(&route));
+    println!(
+        "estimated {:.2} km with {} tracks, {} lane change(s) detected",
+        estimate.distance_m / 1000.0,
+        estimate.tracks.len(),
+        estimate.detections.len()
+    );
+
+    // 5. Score against the Section III-D reference profile.
+    let truth = reference_profile(&route.roads()[0], 1.0, |_| 0.0);
+    let mre = track_mre(&estimate.fused, &truth, 100.0).expect("overlapping profiles");
+    println!("fused-track MRE vs ground truth: {:.1}%", mre * 100.0);
+
+    println!("\n  s (m)   estimated θ°   true θ°");
+    let mut s = 100.0;
+    while s < route.length() {
+        let est = estimate.fused.theta_at(s).unwrap_or(0.0);
+        println!(
+            "  {s:5.0}   {:12.2}   {:7.2}",
+            est.to_degrees(),
+            truth.theta_at(s).to_degrees()
+        );
+        s += 200.0;
+    }
+}

@@ -1,0 +1,60 @@
+//! # gradest — road gradient estimation using smartphones
+//!
+//! A Rust implementation of *"Road Gradient Estimation Using Smartphones:
+//! Towards Accurate Estimation on Fuel Consumption and Air Pollution
+//! Emission on Roads"* (ICDCS 2019): estimate the gradient of every road
+//! a vehicle drives using only smartphone sensors, then feed the gradient
+//! map into fuel-consumption and emission models.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] — the estimation pipeline: EKF over the vehicle state-space
+//!   equation, lane-change detection, track fusion.
+//! * [`geo`] — roads, routes, terrain, networks, and ground-truth
+//!   gradient profiling.
+//! * [`sim`] — vehicle dynamics and the trip simulator.
+//! * [`sensors`] — smartphone sensor models and coordinate alignment.
+//! * [`baselines`] — the altitude-EKF and ANN comparison methods.
+//! * [`emissions`] — VSP fuel model, emission factors, traffic maps.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gradest::prelude::*;
+//!
+//! // A road with known ground truth (Table III's red road)…
+//! let route = Route::new(vec![red_road()]).unwrap();
+//! // …a simulated drive over it…
+//! let traj = simulate_trip(&route, &TripConfig::default(), 7);
+//! // …recorded through smartphone-grade sensors…
+//! let log = SensorSuite::new(SensorConfig::default()).run(&traj, 7);
+//! // …and estimated from those sensors alone.
+//! let estimate = GradientEstimator::new(EstimatorConfig::default())
+//!     .estimate(&log, Some(&route));
+//! assert!(!estimate.fused.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gradest_baselines as baselines;
+pub use gradest_core as core;
+pub use gradest_emissions as emissions;
+pub use gradest_geo as geo;
+pub use gradest_math as math;
+pub use gradest_sensors as sensors;
+pub use gradest_sim as sim;
+
+/// Convenience re-exports for the common end-to-end flow.
+pub mod prelude {
+    pub use gradest_core::pipeline::{
+        EstimatorConfig, GradientEstimate, GradientEstimator, VelocitySource,
+    };
+    pub use gradest_core::track::GradientTrack;
+    pub use gradest_geo::generate::{city_network, red_road, s_curve_road, two_lane_straight};
+    pub use gradest_geo::refgrade::{reference_profile, GradientProfile};
+    pub use gradest_geo::{RoadNetwork, Route};
+    pub use gradest_sensors::suite::{SensorConfig, SensorLog, SensorSuite};
+    pub use gradest_sim::trip::{simulate_trip, Trajectory, TripConfig};
+    pub use gradest_sim::VehicleParams;
+}

@@ -1,0 +1,28 @@
+//! Smoke tests over the experiment harness: the cheap experiments run
+//! end-to-end and reproduce the paper's qualitative claims.
+
+use gradest_bench::experiments::{fig5, headline_fuel, table2, table3};
+
+#[test]
+fn table2_and_table3_match_paper() {
+    let t2 = table2::run();
+    assert_eq!(t2.model.gge, 0.0545);
+    let t3 = table3::run();
+    assert_eq!(
+        t3.sections.iter().map(|s| s.sign).collect::<String>(),
+        "+-+-+-+"
+    );
+}
+
+#[test]
+fn fig5_discrimination_headline() {
+    let r = fig5::run(50);
+    assert!(r.lane_change.detections >= 1);
+    assert_eq!(r.s_curve.detections, 0);
+}
+
+#[test]
+fn fuel_headline_direction() {
+    let r = headline_fuel::run(42);
+    assert!(r.fuel_increase > 0.1, "fuel increase {}", r.fuel_increase);
+}

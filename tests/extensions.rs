@@ -1,0 +1,216 @@
+//! Integration tests for the extension subsystems: mount calibration,
+//! streaming estimation, cloud fusion, DEM terrain, traffic, velocity
+//! optimization, and GeoJSON export — each wired through the full
+//! pipeline, not in isolation.
+
+use gradest::core::eval::track_mre;
+use gradest::core::online::{OnlineEstimator, OnlineSource};
+use gradest::prelude::*;
+
+#[test]
+fn calibrated_raw_imu_feeds_the_pipeline() {
+    use gradest::math::Rot3;
+    use gradest::sensors::calibration::{apply_mount, estimate_mount, misalignment};
+    use gradest::sensors::raw::{simulate_raw_imu, RawImuConfig};
+
+    let route = Route::new(vec![red_road()]).unwrap();
+    let traj = simulate_trip(&route, &TripConfig::default(), 81);
+    // A phone tossed at an arbitrary angle.
+    let mount = Rot3::from_euler(0.8, -0.3, 0.4);
+    let raw_cfg = RawImuConfig { mount, ..Default::default() };
+    let raw = simulate_raw_imu(&traj, &raw_cfg, 81);
+
+    // Speed for calibration: preamble at rest + the speedometer.
+    let suite_log = SensorSuite::new(SensorConfig::default()).run(&traj, 81);
+    let mut speeds = vec![(0.0, 0.0), (raw_cfg.stationary_s * 0.9, 0.0)];
+    speeds.extend(
+        suite_log
+            .speedometer
+            .iter()
+            .map(|s| (s.t + raw_cfg.stationary_s, s.speed_mps)),
+    );
+    let est_mount = estimate_mount(&raw, &speeds).expect("calibration succeeds");
+    assert!(
+        misalignment(&est_mount, &mount).to_degrees() < 3.0,
+        "mount error {:.2}°",
+        misalignment(&est_mount, &mount).to_degrees()
+    );
+
+    // Replace the suite's aligned IMU with the calibrated raw stream and
+    // run the full pipeline.
+    let mut log = suite_log;
+    log.imu = apply_mount(&raw, &est_mount, raw_cfg.stationary_s);
+    let estimate = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+    let truth = reference_profile(&route.roads()[0], 1.0, |_| 0.0);
+    let mre = track_mre(&estimate.fused, &truth, 100.0).unwrap();
+    assert!(mre < 0.6, "calibrated-pipeline MRE {mre}");
+}
+
+#[test]
+fn online_estimator_matches_batch_within_tolerance() {
+    let route = Route::new(vec![red_road()]).unwrap();
+    let traj = simulate_trip(&route, &TripConfig::default(), 82);
+    let log = SensorSuite::new(SensorConfig::default()).run(&traj, 82);
+
+    let mut online = OnlineEstimator::new(EstimatorConfig::default(), Some(route.clone()));
+    let (mut gi, mut si, mut ci) = (0usize, 0usize, 0usize);
+    for imu in &log.imu {
+        while gi < log.gps.len() && log.gps[gi].t <= imu.t {
+            online.push_gps(log.gps[gi]);
+            gi += 1;
+        }
+        while si < log.speedometer.len() && log.speedometer[si].t <= imu.t {
+            online.push_speed(OnlineSource::Speedometer, log.speedometer[si]);
+            si += 1;
+        }
+        while ci < log.can.len() && log.can[ci].t <= imu.t {
+            online.push_speed(OnlineSource::CanBus, log.can[ci]);
+            ci += 1;
+        }
+        online.push_imu(*imu);
+    }
+    let truth = reference_profile(&route.roads()[0], 1.0, |_| 0.0);
+    let online_track = online.into_track();
+    let mre = track_mre(&online_track, &truth, 150.0).unwrap();
+    assert!(mre < 0.6, "online MRE {mre}");
+}
+
+#[test]
+fn cloud_fleet_beats_mean_vehicle() {
+    use gradest::core::cloud::CloudAggregator;
+    let route = Route::new(vec![red_road()]).unwrap();
+    let road_id = route.roads()[0].id();
+    let truth = reference_profile(&route.roads()[0], 1.0, |_| 0.0);
+    let estimator = GradientEstimator::new(EstimatorConfig::default());
+    let mut cloud = CloudAggregator::new(5.0);
+    let mut solo = Vec::new();
+    for seed in 0..5u64 {
+        let traj = simulate_trip(&route, &TripConfig::default(), 300 + seed);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 300 + seed);
+        let est = estimator.estimate(&log, Some(&route));
+        solo.push(track_mre(&est.fused, &truth, 100.0).unwrap());
+        cloud.upload(road_id, &est.fused);
+    }
+    let fleet = cloud.road_profile(road_id).unwrap();
+    let fleet_mre = track_mre(&fleet, &truth, 100.0).unwrap();
+    let mean_solo = solo.iter().sum::<f64>() / solo.len() as f64;
+    assert!(
+        fleet_mre < mean_solo,
+        "fleet {fleet_mre} vs mean solo {mean_solo}"
+    );
+    assert_eq!(cloud.upload_count(), 5);
+}
+
+#[test]
+fn dem_backed_city_supports_the_pipeline() {
+    use gradest::geo::dem::DemTerrain;
+    use gradest::geo::road::{Road, RoadClass};
+    use gradest::geo::terrain::hilly_terrain;
+    use gradest::geo::Polyline;
+    use gradest::math::Vec2;
+
+    // Bake analytic terrain into a raster, drape a road, drive it.
+    let dem = DemTerrain::sample_from(&hilly_terrain(9), Vec2::ZERO, 20.0, 150, 150);
+    let line = Polyline::new(vec![Vec2::new(50.0, 50.0), Vec2::new(2500.0, 2300.0)]).unwrap();
+    let road = Road::over_terrain(1, "dem-road", &line, &dem, 10.0, 1, RoadClass::Collector).unwrap();
+    let route = Route::new(vec![road]).unwrap();
+    let traj = simulate_trip(&route, &TripConfig::default(), 83);
+    let log = SensorSuite::new(SensorConfig::default()).run(&traj, 83);
+    let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+    let truth = reference_profile(&route.roads()[0], 1.0, |_| 0.0);
+    let mre = track_mre(&est.fused, &truth, 100.0).unwrap();
+    assert!(mre < 0.8, "DEM-road MRE {mre}");
+}
+
+#[test]
+fn stop_and_go_traffic_does_not_break_estimation() {
+    use gradest::sim::trip::TrafficConfig;
+    let route = Route::new(vec![gradest::geo::generate::straight_road(3000.0, 2.5)]).unwrap();
+    let cfg = TripConfig {
+        traffic: Some(TrafficConfig::default()),
+        driver: gradest::sim::driver::DriverProfile {
+            lane_change_rate_per_km: 0.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let traj = simulate_trip(&route, &cfg, 84);
+    let log = SensorSuite::new(SensorConfig::default()).run(&traj, 84);
+    let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+    // Jammed trips make speed near-zero at times; the estimator stays
+    // sane and still finds the grade.
+    let late: Vec<f64> = est
+        .fused
+        .s
+        .iter()
+        .zip(&est.fused.theta)
+        .filter(|(s, _)| **s > 1500.0)
+        .map(|(_, th)| th.to_degrees())
+        .collect();
+    assert!(!late.is_empty());
+    let mean = late.iter().sum::<f64>() / late.len() as f64;
+    assert!((mean - 2.5).abs() < 0.7, "jammed-grade estimate {mean}°");
+}
+
+#[test]
+fn velocity_optimizer_consumes_estimated_gradients() {
+    use gradest::emissions::velocity_opt::{optimize, VelocityOptConfig};
+    use gradest::emissions::FuelModel;
+    let route = Route::new(vec![red_road()]).unwrap();
+    let traj = simulate_trip(&route, &TripConfig::default(), 85);
+    let log = SensorSuite::new(SensorConfig::default()).run(&traj, 85);
+    let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+    // Plan with the ESTIMATED profile; evaluate under the TRUE one.
+    let model = FuelModel::default();
+    let cfg = VelocityOptConfig::default();
+    let plan = optimize(&model, est.distance_m, |s| est.fused.theta_at(s).unwrap_or(0.0), &cfg)
+        .expect("optimizer succeeds");
+    assert!(plan.fuel_gal > 0.0);
+    // Re-cost under truth: the estimate is good enough that the plan's
+    // claimed fuel is close to its true fuel.
+    let mut true_fuel = 0.0;
+    for (i, w) in plan.v.windows(2).enumerate() {
+        let v_avg = 0.5 * (w[0] + w[1]);
+        let a = (w[1] * w[1] - w[0] * w[0]) / (2.0 * cfg.ds);
+        let dt = cfg.ds / v_avg;
+        let s_mid = (i as f64 + 0.5) * cfg.ds;
+        true_fuel += model.fuel_rate_gph(v_avg, a, route.gradient_at(s_mid)) * dt / 3600.0;
+    }
+    let rel = (plan.fuel_gal - true_fuel).abs() / true_fuel;
+    assert!(rel < 0.1, "planned vs true fuel differ by {:.1}%", rel * 100.0);
+}
+
+#[test]
+fn geojson_round_trip_contains_gradient_overlay() {
+    use gradest::geo::geojson::network_to_geojson;
+    use gradest::geo::latlon::{LatLon, LocalFrame};
+    let network = city_network(12);
+    let frame = LocalFrame::new(LatLon::new(38.0293, -78.4767));
+    let s = network_to_geojson(&network, &frame, |_, r| Some(r.gradient_at(100.0).to_degrees()));
+    let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+    assert_eq!(
+        v["features"].as_array().unwrap().len(),
+        network.edge_count()
+    );
+    assert!(v["features"][0]["properties"]["value"].is_number());
+}
+
+#[test]
+fn configs_round_trip_through_serde() {
+    // Every public config type survives JSON round trips (deployment
+    // configs are files).
+    let est = EstimatorConfig::default();
+    let s = serde_json::to_string(&est).unwrap();
+    let back: EstimatorConfig = serde_json::from_str(&s).unwrap();
+    assert_eq!(est, back);
+
+    let trip = TripConfig::default();
+    let s = serde_json::to_string(&trip).unwrap();
+    let back: TripConfig = serde_json::from_str(&s).unwrap();
+    assert_eq!(trip, back);
+
+    let sensors = SensorConfig::default();
+    let s = serde_json::to_string(&sensors).unwrap();
+    let back: SensorConfig = serde_json::from_str(&s).unwrap();
+    assert_eq!(sensors, back);
+}

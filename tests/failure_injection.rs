@@ -1,0 +1,149 @@
+//! Failure-injection integration tests: degraded sensors, outages, and
+//! extreme inputs must degrade accuracy gracefully, never crash or
+//! produce non-finite output.
+
+use gradest::core::eval::track_mre;
+use gradest::core::pipeline::VelocitySource;
+use gradest::geo::generate::straight_road;
+use gradest::prelude::*;
+
+fn base_drive(route: &Route, seed: u64, cfg: SensorConfig) -> SensorLog {
+    let traj = simulate_trip(route, &TripConfig::default(), seed);
+    SensorSuite::new(cfg).run(&traj, seed)
+}
+
+fn assert_estimate_sane(est: &gradest::core::pipeline::GradientEstimate) {
+    assert!(!est.fused.is_empty());
+    for th in &est.fused.theta {
+        assert!(th.is_finite());
+        assert!(th.abs() <= 0.5);
+    }
+    for v in &est.fused.variance {
+        assert!(*v > 0.0 && v.is_finite());
+    }
+}
+
+#[test]
+fn long_gps_outage_is_survivable() {
+    let route = Route::new(vec![red_road()]).unwrap();
+    let mut cfg = SensorConfig::default();
+    // GPS dead for 2 minutes mid-trip.
+    cfg.gps_outages = vec![(30.0, 150.0)];
+    let log = base_drive(&route, 61, cfg);
+    let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+    assert_estimate_sane(&est);
+    let truth = reference_profile(&route.roads()[0], 1.0, |_| 0.0);
+    let mre = track_mre(&est.fused, &truth, 100.0).unwrap();
+    assert!(mre < 0.8, "MRE {mre} under long outage");
+}
+
+#[test]
+fn gps_dead_for_entire_trip() {
+    let route = Route::new(vec![straight_road(1500.0, 2.0)]).unwrap();
+    let mut cfg = SensorConfig::default();
+    cfg.gps_outages = vec![(0.0, 1e9)];
+    let log = base_drive(&route, 62, cfg);
+    // All fixes invalid: GPS track gets no updates, others carry the load.
+    let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+    assert_estimate_sane(&est);
+}
+
+#[test]
+fn single_source_only_still_works() {
+    let route = Route::new(vec![straight_road(1200.0, -3.0)]).unwrap();
+    let log = base_drive(&route, 63, SensorConfig::default());
+    for source in VelocitySource::ALL {
+        let est = GradientEstimator::new(EstimatorConfig {
+            sources: vec![source],
+            ..Default::default()
+        })
+        .estimate(&log, Some(&route));
+        assert_estimate_sane(&est);
+    }
+}
+
+#[test]
+fn very_noisy_sensors_degrade_gracefully() {
+    use gradest::sensors::noise::NoiseSpec;
+    let route = Route::new(vec![straight_road(2000.0, 3.0)]).unwrap();
+    let mut cfg = SensorConfig::default();
+    cfg.accel_noise = NoiseSpec { white_sd: 0.5, bias_walk_sd: 0.02, bias_init_sd: 0.2, quantization: 0.0, scale: 1.0 };
+    cfg.gyro_noise = NoiseSpec { white_sd: 0.05, bias_walk_sd: 1e-3, bias_init_sd: 0.01, quantization: 0.0, scale: 1.0 };
+    let log = base_drive(&route, 64, cfg);
+    let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+    assert_estimate_sane(&est);
+    // Accuracy is worse than with clean sensors, but the sign of a 3°
+    // climb must survive.
+    let late: Vec<f64> = est
+        .fused
+        .s
+        .iter()
+        .zip(&est.fused.theta)
+        .filter(|(s, _)| **s > 1000.0)
+        .map(|(_, th)| *th)
+        .collect();
+    let mean = late.iter().sum::<f64>() / late.len() as f64;
+    assert!(mean > 0.0, "sign lost under heavy noise: {mean}");
+}
+
+#[test]
+fn steep_mountain_grade_is_tracked() {
+    // 9° is beyond anything in the city presets.
+    let route = Route::new(vec![straight_road(2500.0, 9.0)]).unwrap();
+    let log = base_drive(&route, 65, SensorConfig::default());
+    let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+    assert_estimate_sane(&est);
+    let late: Vec<f64> = est
+        .fused
+        .s
+        .iter()
+        .zip(&est.fused.theta)
+        .filter(|(s, _)| **s > 1200.0)
+        .map(|(_, th)| th.to_degrees())
+        .collect();
+    let mean = late.iter().sum::<f64>() / late.len() as f64;
+    assert!((mean - 9.0).abs() < 1.0, "steep grade estimate {mean}°");
+}
+
+#[test]
+fn stop_and_go_traffic_is_survivable() {
+    // A driver profile that wanders hard around a low target speed forces
+    // repeated near-stops.
+    let route = Route::new(vec![straight_road(1500.0, 2.0)]).unwrap();
+    let cfg = TripConfig {
+        driver: gradest::sim::driver::DriverProfile {
+            speed_compliance: 0.4,
+            wander_amp_mps: 3.0,
+            wander_period_s: 20.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let traj = simulate_trip(&route, &cfg, 66);
+    let log = SensorSuite::new(SensorConfig::default()).run(&traj, 66);
+    let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+    assert_estimate_sane(&est);
+}
+
+#[test]
+fn misaligned_phone_mount_biases_but_does_not_break() {
+    use gradest::sensors::alignment::PhoneMount;
+    let route = Route::new(vec![straight_road(2000.0, 0.0)]).unwrap();
+    let mut cfg = SensorConfig::default();
+    // 1° of pitch misalignment — ten times the calibrated residual.
+    cfg.mount = PhoneMount { pitch_error_rad: 0.0175, roll_error_rad: 0.0 };
+    let log = base_drive(&route, 67, cfg);
+    let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+    assert_estimate_sane(&est);
+    // The flat road reads as ≈ the mount bias — bounded, not divergent.
+    let late: Vec<f64> = est
+        .fused
+        .s
+        .iter()
+        .zip(&est.fused.theta)
+        .filter(|(s, _)| **s > 1000.0)
+        .map(|(_, th)| th.to_degrees())
+        .collect();
+    let mean = late.iter().sum::<f64>() / late.len() as f64;
+    assert!((mean - 1.0).abs() < 0.5, "bias should be ≈1°, got {mean}°");
+}
