@@ -9,8 +9,9 @@
 //! limitation the paper's Section III-C1 cites as motivation for its own
 //! velocity-deviation formulation.
 
+use gradest_core::smoother::{rts_smooth, RtsStep};
 use gradest_core::track::GradientTrack;
-use gradest_math::interp::interp1;
+use gradest_math::interp::Interpolant;
 use gradest_math::{Mat2, Vec2};
 use gradest_sensors::suite::SensorLog;
 use serde::{Deserialize, Serialize};
@@ -28,6 +29,10 @@ pub struct AltitudeEkfConfig {
     pub p0_altitude: f64,
     /// Initial gradient variance, rad².
     pub p0_theta: f64,
+    /// Apply a backward RTS pass over the filter history (batch mode).
+    /// Like the main pipeline, the baseline scores completed trips, so
+    /// acausal smoothing is the like-for-like configuration.
+    pub rts_smoothing: bool,
 }
 
 impl Default for AltitudeEkfConfig {
@@ -38,6 +43,7 @@ impl Default for AltitudeEkfConfig {
             r_baro: 1.44, // (1.2 m)²
             p0_altitude: 9.0,
             p0_theta: 2e-3,
+            rts_smoothing: true,
         }
     }
 }
@@ -77,19 +83,20 @@ impl AltitudeEkf {
         let dt = log.imu_dt();
 
         // Velocity input: speedometer interpolated to the IMU clock.
+        // Validate the series once; `at` is then just a binary search.
         let (vt, vv): (Vec<f64>, Vec<f64>) =
             log.speedometer.iter().map(|s| (s.t, s.speed_mps)).unzip();
-        let v_at = |t: f64| -> f64 {
-            if vt.len() < 2 {
-                10.0
-            } else {
-                interp1(&vt, &vv, t).unwrap_or(10.0)
-            }
-        };
+        let speed = if vt.len() < 2 { None } else { Interpolant::new(vt, vv).ok() };
+        let v_at = |t: f64| -> f64 { speed.as_ref().map_or(10.0, |f| f.at(t)) };
 
         let mut x = Vec2::new(log.barometer[0].altitude_m, 0.0);
         let mut p = Mat2::diag(cfg.p0_altitude, cfg.p0_theta);
         let mut track = GradientTrack::new("altitude-ekf");
+        let mut arc = Vec::with_capacity(log.imu.len());
+        let mut history: Vec<RtsStep> = Vec::new();
+        if cfg.rts_smoothing {
+            history.reserve(log.imu.len());
+        }
         let mut s = 0.0;
         let mut baro_idx = 0usize;
         for imu in &log.imu {
@@ -98,9 +105,9 @@ impl AltitudeEkf {
             let (z, theta) = (x.x, x.y);
             x = Vec2::new(z + v * theta.sin() * dt, theta);
             let f = Mat2::new(1.0, v * theta.cos() * dt, 0.0, 1.0);
-            p = f * p * f.transpose()
-                + Mat2::diag(cfg.q_altitude * dt, cfg.q_theta * dt);
+            p = f * p * f.transpose() + Mat2::diag(cfg.q_altitude * dt, cfg.q_theta * dt);
             p.symmetrize();
+            let (x_pred, p_pred) = (x, p);
 
             // Update with every barometer sample that has arrived.
             while baro_idx < log.barometer.len() && log.barometer[baro_idx].t <= imu.t {
@@ -117,7 +124,17 @@ impl AltitudeEkf {
             }
 
             s += v * dt;
-            track.push(s, x.y, p.m[1][1].max(1e-12));
+            arc.push(s);
+            if cfg.rts_smoothing {
+                history.push(RtsStep { x_pred, p_pred, x_filt: x, p_filt: p, f });
+            } else {
+                track.push(s, x.y, p.m[1][1].max(1e-12));
+            }
+        }
+        if cfg.rts_smoothing {
+            for (s, (x_s, p_s)) in arc.into_iter().zip(rts_smooth(&history)) {
+                track.push(s, x_s.y, p_s.m[1][1].max(1e-12));
+            }
         }
         track
     }

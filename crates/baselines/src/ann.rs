@@ -117,18 +117,13 @@ impl AnnGradientEstimator {
         for (k, nk) in norm.iter_mut().enumerate() {
             let vals: Vec<f64> = set.features.iter().map(|f| f[k]).collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var =
-                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             *nk = (mean, var.sqrt().max(1e-9));
         }
         let xs: Vec<Vec<f64>> = set
             .features
             .iter()
-            .map(|f| {
-                (0..3)
-                    .map(|k| (f[k] - norm[k].0) / norm[k].1)
-                    .collect::<Vec<f64>>()
-            })
+            .map(|f| (0..3).map(|k| (f[k] - norm[k].0) / norm[k].1).collect::<Vec<f64>>())
             .collect();
         let ys: Vec<Vec<f64>> = set.labels.iter().map(|&l| vec![l]).collect();
 
@@ -144,9 +139,7 @@ impl AnnGradientEstimator {
 
     /// Predicts the gradient (radians) for one feature row `[v, a, z]`.
     pub fn predict(&self, feature: [f64; 3]) -> f64 {
-        let x: Vec<f64> = (0..3)
-            .map(|k| (feature[k] - self.norm[k].0) / self.norm[k].1)
-            .collect();
+        let x: Vec<f64> = (0..3).map(|k| (feature[k] - self.norm[k].0) / self.norm[k].1).collect();
         self.net.forward(&x)[0].clamp(-0.5, 0.5)
     }
 
@@ -194,7 +187,7 @@ mod tests {
     use gradest_geo::Route;
     use gradest_sensors::suite::{SensorConfig, SensorSuite};
     use gradest_sim::driver::DriverProfile;
-    use gradest_sim::trip::{simulate_trip, TripConfig, Trajectory};
+    use gradest_sim::trip::{simulate_trip, Trajectory, TripConfig};
 
     fn trip(seed: u64) -> (Route, Trajectory, SensorLog) {
         let route = Route::new(vec![red_road()]).unwrap();

@@ -86,7 +86,7 @@ impl BaroSlope {
             let theta = ((z[j] - z[i]) / ds).atan();
             let mid = 0.5 * (s_at[i] + s_at[j]);
             // partition_point guarantees forward progress in s.
-            if track.s.last().map_or(true, |&last| mid >= last) {
+            if track.s.last().is_none_or(|&last| mid >= last) {
                 track.push(mid, theta.clamp(-0.5, 0.5), var);
             }
         }
@@ -163,16 +163,14 @@ mod tests {
         let traj = simulate_trip(&route, &cfg, 2);
         let log = SensorSuite::new(SensorConfig::default()).run(&traj, 2);
         let naive = BaroSlope::default().estimate(&log);
-        let ops = GradientEstimator::new(EstimatorConfig::default())
-            .estimate(&log, Some(&route));
+        let ops = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
         let err = |t: &GradientTrack| {
-            let vals: Vec<f64> = t
-                .s
-                .iter()
-                .zip(&t.theta)
-                .filter(|(s, _)| **s > 200.0 && **s < 2000.0)
-                .map(|(s, th)| (th - route.gradient_at(*s)).abs().to_degrees())
-                .collect();
+            let vals: Vec<f64> =
+                t.s.iter()
+                    .zip(&t.theta)
+                    .filter(|(s, _)| **s > 200.0 && **s < 2000.0)
+                    .map(|(s, th)| (th - route.gradient_at(*s)).abs().to_degrees())
+                    .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
         assert!(

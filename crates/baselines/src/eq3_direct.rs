@@ -82,8 +82,8 @@ impl Eq3Direct {
         let (ts, vs_raw): (Vec<f64>, Vec<f64>) =
             log.speedometer.iter().map(|s| (s.t, s.speed_mps)).unzip();
         let dt = (ts[ts.len() - 1] - ts[0]) / (ts.len() - 1) as f64;
-        let vs = moving_average(&vs_raw, self.config.speed_smooth_half)
-            .expect("nonempty speed series");
+        let vs =
+            moving_average(&vs_raw, self.config.speed_smooth_half).expect("nonempty speed series");
         let vdot = differentiate(&vs, dt).expect("speed series long enough");
 
         // Accelerometer specific force interpolated onto the speed clock.
@@ -105,10 +105,8 @@ impl Eq3Direct {
             let force = p.mass_kg * a_meas + p.aero_force(v) + p.rolling_force(0.0);
             let m_torque = p.torque_from_force(force);
             // Eq (3)'s `a` is the kinematic acceleration from wheel speed.
-            let theta = p
-                .gradient_from_states(m_torque, v, vdot[i])
-                .unwrap_or(0.0)
-                .clamp(-0.5, 0.5);
+            let theta =
+                p.gradient_from_states(m_torque, v, vdot[i]).unwrap_or(0.0).clamp(-0.5, 0.5);
             theta_raw.push(theta);
         }
         let theta = moving_average(&theta_raw, self.config.theta_smooth_half)
@@ -119,7 +117,7 @@ impl Eq3Direct {
         let var = (0.1f64 / gradest_math::GRAVITY).powi(2);
         let mut track = GradientTrack::new("eq3-direct");
         for (s, th) in s_pos.into_iter().zip(theta) {
-            if track.s.last().map_or(true, |&last| s >= last) {
+            if track.s.last().is_none_or(|&last| s >= last) {
                 track.push(s, th, var);
             }
         }
@@ -177,21 +175,15 @@ mod tests {
             ..Default::default()
         })
         .estimate(&log);
-        let ops = GradientEstimator::new(EstimatorConfig::default())
-            .estimate(&log, Some(&route));
+        let ops = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
         let jitter = |t: &GradientTrack| {
-            let diffs: Vec<f64> = t
-                .theta
-                .windows(2)
-                .map(|w| (w[1] - w[0]).abs().to_degrees())
-                .collect();
+            let diffs: Vec<f64> =
+                t.theta.windows(2).map(|w| (w[1] - w[0]).abs().to_degrees()).collect();
             diffs.iter().sum::<f64>() / diffs.len() as f64
         };
         // Compare per ~metre of travel: OPS samples at 5 m grid, direct at
         // ~1.2 m (10 Hz); normalize by the mean step.
-        let step = |t: &GradientTrack| {
-            (t.s.last().unwrap() - t.s[0]) / (t.s.len() - 1) as f64
-        };
+        let step = |t: &GradientTrack| (t.s.last().unwrap() - t.s[0]) / (t.s.len() - 1) as f64;
         let direct_rate = jitter(&direct) / step(&direct);
         let ops_rate = jitter(&ops.fused) / step(&ops.fused);
         assert!(

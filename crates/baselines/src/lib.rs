@@ -27,7 +27,7 @@ pub mod eq3_direct;
 pub mod mlp;
 
 pub use altitude_ekf::{AltitudeEkf, AltitudeEkfConfig};
+pub use ann::{AnnConfig, AnnGradientEstimator, TrainingSet};
 pub use baro_slope::{BaroSlope, BaroSlopeConfig};
 pub use eq3_direct::{Eq3Direct, Eq3DirectConfig};
-pub use ann::{AnnConfig, AnnGradientEstimator, TrainingSet};
 pub use mlp::{Activation, Mlp, TrainConfig};

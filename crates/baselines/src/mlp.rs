@@ -83,14 +83,8 @@ impl Layer {
     fn forward(&self, x: &[f64]) -> Vec<f64> {
         (0..self.w.rows())
             .map(|r| {
-                let z: f64 = self
-                    .w
-                    .row(r)
-                    .iter()
-                    .zip(x)
-                    .map(|(w, xi)| w * xi)
-                    .sum::<f64>()
-                    + self.b[r];
+                let z: f64 =
+                    self.w.row(r).iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.b[r];
                 self.act.apply(z)
             })
             .collect()
@@ -114,13 +108,7 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig {
-            epochs: 60,
-            learning_rate: 3e-3,
-            batch_size: 32,
-            beta1: 0.9,
-            beta2: 0.999,
-        }
+        TrainConfig { epochs: 60, learning_rate: 3e-3, batch_size: 32, beta1: 0.9, beta2: 0.999 }
     }
 }
 
@@ -237,11 +225,8 @@ impl Mlp {
     fn train_batch(&mut self, xs: &[Vec<f64>], ys: &[Vec<f64>], idx: &[usize], cfg: &TrainConfig) {
         let nl = self.layers.len();
         // Accumulated gradients per layer.
-        let mut gw: Vec<DMatrix> = self
-            .layers
-            .iter()
-            .map(|l| DMatrix::zeros(l.w.rows(), l.w.cols()))
-            .collect();
+        let mut gw: Vec<DMatrix> =
+            self.layers.iter().map(|l| DMatrix::zeros(l.w.rows(), l.w.cols())).collect();
         let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
 
         for &i in idx {
@@ -253,11 +238,8 @@ impl Mlp {
             }
             // Backward: dL/dy for MSE (scaled 2/m handled via lr).
             let out = activations.last().expect("nonempty");
-            let mut delta: Vec<f64> = out
-                .iter()
-                .zip(&ys[i])
-                .map(|(p, y)| 2.0 * (p - y) / idx.len() as f64)
-                .collect();
+            let mut delta: Vec<f64> =
+                out.iter().zip(&ys[i]).map(|(p, y)| 2.0 * (p - y) / idx.len() as f64).collect();
             for l in (0..nl).rev() {
                 let layer = &self.layers[l];
                 let y = &activations[l + 1];
@@ -349,9 +331,8 @@ mod tests {
 
     #[test]
     fn learns_linear_function() {
-        let xs: Vec<Vec<f64>> = (0..300)
-            .map(|i| vec![(i % 100) as f64 / 100.0, (i % 17) as f64 / 17.0])
-            .collect();
+        let xs: Vec<Vec<f64>> =
+            (0..300).map(|i| vec![(i % 100) as f64 / 100.0, (i % 17) as f64 / 17.0]).collect();
         let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![0.5 * x[0] - 0.3 * x[1] + 0.1]).collect();
         let mut net = Mlp::new(&[2, 10, 1], Activation::Tanh, 3);
         net.train(&xs, &ys, &TrainConfig { epochs: 150, ..Default::default() });
@@ -361,12 +342,7 @@ mod tests {
 
     #[test]
     fn learns_xor() {
-        let xs = vec![
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ];
+        let xs = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
         let ys = vec![vec![0.0], vec![1.0], vec![1.0], vec![0.0]];
         let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, 5);
         net.train(

@@ -1,28 +1,40 @@
-//! Criterion micro-benchmarks of the estimation kernels (P1–P4): EKF
-//! step throughput, LOWESS smoothing, the lane-change detector, and track
-//! fusion.
+//! Micro-benchmarks of the estimation kernels and the parallel batch
+//! machinery: EKF step throughput, LOWESS smoothing, the lane-change
+//! detector, track fusion, the single-trip pipeline, the fleet worker
+//! pool at 1 and N workers, and concurrent cloud uploads.
+//!
+//! ```text
+//! cargo bench -p gradest-bench --bench perf
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gradest_bench::perfbench::{run_bench, BenchReport};
+use gradest_core::cloud::CloudAggregator;
 use gradest_core::ekf::{EkfConfig, GradientEkf};
+use gradest_core::fleet::FleetEngine;
 use gradest_core::fusion::fuse_tracks;
 use gradest_core::lane_change::LaneChangeDetector;
+use gradest_core::pipeline::{EstimatorConfig, GradientEstimator};
 use gradest_core::steering::{smooth_profile, SmoothedProfile};
 use gradest_core::track::GradientTrack;
 use gradest_emissions::FuelModel;
+use gradest_geo::generate::red_road;
+use gradest_geo::Route;
+use gradest_sensors::suite::{SensorConfig, SensorLog, SensorSuite};
+use gradest_sim::trip::{simulate_trip, TripConfig};
 use std::hint::black_box;
 
-fn ekf_step(c: &mut Criterion) {
-    c.bench_function("ekf_predict_update", |b| {
-        let mut ekf = GradientEkf::new(EkfConfig::default(), 15.0);
-        b.iter(|| {
+fn ekf_step() -> BenchReport {
+    let mut ekf = GradientEkf::new(EkfConfig::default(), 15.0);
+    run_bench("ekf_predict_update", 7, 100_000, || {
+        for _ in 0..100_000 {
             ekf.predict(black_box(0.5), 0.02);
             ekf.update(black_box(15.0), 0.05);
-            black_box(ekf.theta())
-        });
-    });
+            black_box(ekf.theta());
+        }
+    })
 }
 
-fn lowess_smoothing(c: &mut Criterion) {
+fn lowess_smoothing() -> BenchReport {
     // 60 s of 50 Hz steering data.
     let raw: Vec<(f64, f64)> = (0..3000)
         .map(|i| {
@@ -30,12 +42,14 @@ fn lowess_smoothing(c: &mut Criterion) {
             (t, 0.02 * (t * 7.3).sin() + 0.1 * (t / 8.0).sin())
         })
         .collect();
-    c.bench_function("lowess_smooth_3000", |b| {
-        b.iter(|| black_box(smooth_profile(black_box(&raw), 0.8)));
-    });
+    run_bench("lowess_smooth_3000", 7, 10, || {
+        for _ in 0..10 {
+            black_box(smooth_profile(black_box(&raw), 0.8));
+        }
+    })
 }
 
-fn lane_change_detection(c: &mut Criterion) {
+fn lane_change_detection() -> BenchReport {
     let dt = 0.02;
     let profile = SmoothedProfile {
         t: (0..6000).map(|i| i as f64 * dt).collect(),
@@ -51,12 +65,14 @@ fn lane_change_detection(c: &mut Criterion) {
             .collect(),
     };
     let det = LaneChangeDetector::default();
-    c.bench_function("lane_change_detect_6000", |b| {
-        b.iter(|| black_box(det.detect(black_box(&profile), &|_| 12.0)));
-    });
+    run_bench("lane_change_detect_6000", 7, 20, || {
+        for _ in 0..20 {
+            black_box(det.detect(black_box(&profile), &|_| 12.0));
+        }
+    })
 }
 
-fn track_fusion(c: &mut Criterion) {
+fn track_fusion() -> BenchReport {
     let mk = |offset: f64| {
         let mut t = GradientTrack::new("t");
         for i in 0..10_000 {
@@ -65,48 +81,98 @@ fn track_fusion(c: &mut Criterion) {
         t
     };
     let tracks = vec![mk(0.0), mk(0.002), mk(-0.001), mk(0.004)];
-    c.bench_function("fuse_4_tracks_10000", |b| {
-        b.iter_batched(
-            || tracks.clone(),
-            |t| black_box(fuse_tracks(&t).expect("aligned")),
-            BatchSize::SmallInput,
-        );
-    });
+    run_bench("fuse_4_tracks_10000", 7, 10, || {
+        for _ in 0..10 {
+            black_box(fuse_tracks(black_box(&tracks)).expect("aligned"));
+        }
+    })
 }
 
-fn pipeline_end_to_end(c: &mut Criterion) {
-    use gradest_core::pipeline::{EstimatorConfig, GradientEstimator};
-    use gradest_geo::generate::red_road;
-    use gradest_geo::Route;
-    use gradest_sensors::suite::{SensorConfig, SensorSuite};
-    use gradest_sim::trip::{simulate_trip, TripConfig};
-    // One full red-road trip (~140 s of driving at 50 Hz).
+fn red_road_batch(n: u64) -> (Route, Vec<SensorLog>) {
     let route = Route::new(vec![red_road()]).expect("valid route");
-    let traj = simulate_trip(&route, &TripConfig::default(), 7);
-    let log = SensorSuite::new(SensorConfig::default()).run(&traj, 7);
+    let logs = (0..n)
+        .map(|seed| {
+            let traj = simulate_trip(&route, &TripConfig::default(), 7 + seed);
+            SensorSuite::new(SensorConfig::default()).run(&traj, 7 + seed)
+        })
+        .collect();
+    (route, logs)
+}
+
+fn pipeline_single_trip(route: &Route, log: &SensorLog) -> BenchReport {
     let estimator = GradientEstimator::new(EstimatorConfig::default());
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(20);
-    group.bench_function("estimate_full_red_road_trip", |b| {
-        b.iter(|| black_box(estimator.estimate(black_box(&log), Some(&route))));
-    });
-    group.finish();
+    run_bench("pipeline_estimate_single_trip", 5, 1, || {
+        black_box(estimator.estimate(black_box(log), Some(route)));
+    })
 }
 
-fn vsp_eval(c: &mut Criterion) {
+fn fleet_batch(route: &Route, logs: &[SensorLog], workers: usize) -> BenchReport {
+    // Track-level parallelism off: measure pure worker-pool scaling.
+    let estimator =
+        GradientEstimator::new(EstimatorConfig { parallel_tracks: false, ..Default::default() });
+    let engine = FleetEngine::new(estimator, workers);
+    run_bench(
+        &format!("fleet_batch_{}_trips_{workers}_workers", logs.len()),
+        3,
+        logs.len() as u64,
+        || {
+            let out = engine.process_batch(black_box(logs), Some(route));
+            assert_eq!(out.len(), logs.len());
+        },
+    )
+}
+
+fn cloud_upload_contention(threads: usize) -> BenchReport {
+    let uploads: Vec<(u64, GradientTrack)> = (0..64u64)
+        .map(|i| {
+            let mut t = GradientTrack::new(format!("v{i}"));
+            for j in 0..400 {
+                t.push(j as f64 * 5.0, 0.02, 1e-4);
+            }
+            (i % 8, t)
+        })
+        .collect();
+    run_bench("cloud_upload_contention", 7, uploads.len() as u64, || {
+        let cloud = CloudAggregator::new(5.0);
+        std::thread::scope(|scope| {
+            for chunk in uploads.chunks(uploads.len().div_ceil(threads)) {
+                let cloud = &cloud;
+                scope.spawn(move || {
+                    for (road, track) in chunk {
+                        cloud.upload(*road, track);
+                    }
+                });
+            }
+        });
+        assert_eq!(cloud.upload_count(), uploads.len() as u64);
+    })
+}
+
+fn vsp_eval() -> BenchReport {
     let model = FuelModel::default();
-    c.bench_function("vsp_fuel_rate", |b| {
-        b.iter(|| black_box(model.fuel_rate_gph(black_box(11.1), black_box(0.3), black_box(0.04))));
-    });
+    run_bench("vsp_fuel_rate", 7, 1_000_000, || {
+        for _ in 0..1_000_000 {
+            black_box(model.fuel_rate_gph(black_box(11.1), black_box(0.3), black_box(0.04)));
+        }
+    })
 }
 
-criterion_group!(
-    benches,
-    ekf_step,
-    lowess_smoothing,
-    lane_change_detection,
-    track_fusion,
-    pipeline_end_to_end,
-    vsp_eval
-);
-criterion_main!(benches);
+fn main() {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 4);
+    let (route, logs) = red_road_batch(16);
+    let reports = [
+        ekf_step(),
+        lowess_smoothing(),
+        lane_change_detection(),
+        track_fusion(),
+        pipeline_single_trip(&route, &logs[0]),
+        fleet_batch(&route, &logs, 1),
+        fleet_batch(&route, &logs, workers),
+        cloud_upload_contention(workers),
+        vsp_eval(),
+    ];
+    println!("perf micro-benchmarks ({workers} worker(s) for parallel targets):");
+    for r in &reports {
+        println!("  {}", r.line());
+    }
+}

@@ -13,9 +13,7 @@ use gradest_bench::experiments::*;
 
 fn main() {
     let filter: Vec<String> = std::env::args().skip(1).collect();
-    let wants = |name: &str| {
-        filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()))
-    };
+    let wants = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
     let mut ran = 0usize;
 
     let mut run_exp = |name: &str, f: &mut dyn FnMut()| {
@@ -45,12 +43,8 @@ fn main() {
         fig10::print_report_fuel(&r);
         fig10::print_report_co2(&r);
     });
-    run_exp("headline_fuel_delta", &mut || {
-        headline_fuel::print_report(&headline_fuel::run(42))
-    });
-    run_exp("motivating_factors", &mut || {
-        motivating::print_report(&motivating::run())
-    });
+    run_exp("headline_fuel_delta", &mut || headline_fuel::print_report(&headline_fuel::run(42)));
+    run_exp("motivating_factors", &mut || motivating::print_report(&motivating::run()));
     run_exp("lane_change_accuracy", &mut || {
         lane_accuracy::print_report(&lane_accuracy::run(8, 700))
     });
@@ -60,11 +54,12 @@ fn main() {
     run_exp("ablation_lane_correction", &mut || {
         ablations::print_report_lane(&ablations::run_lane_correction(33))
     });
-    run_exp("ablation_rts_smoothing", &mut || {
-        ablations::print_report_rts(&ablations::run_rts(31))
-    });
-    run_exp("extended_baselines", &mut || {
-        extended::print_report(&extended::run(11))
+    run_exp("ablation_rts_smoothing", &mut || ablations::print_report_rts(&ablations::run_rts(31)));
+    run_exp("extended_baselines", &mut || extended::print_report(&extended::run(11)));
+    run_exp("fleet_scaling", &mut || {
+        let workers =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 4);
+        fleet_bench::print_report(&fleet_bench::run(900, 16, workers))
     });
 
     if ran == 0 {

@@ -73,10 +73,7 @@ pub fn run_rts(seed: u64) -> RtsAblation {
     let road = drive.route.roads()[0].clone();
     let truth = reference_profile(&road, 1.0, |_| 0.0);
     let smoothed = drive.ops();
-    let forward = drive.ops_with(EstimatorConfig {
-        rts_smoothing: false,
-        ..Default::default()
-    });
+    let forward = drive.ops_with(EstimatorConfig { rts_smoothing: false, ..Default::default() });
     RtsAblation {
         mre_smoothed: track_mre(&smoothed.fused, &truth, 100.0).expect("overlap"),
         mre_forward_only: track_mre(&forward.fused, &truth, 100.0).expect("overlap"),
@@ -136,10 +133,8 @@ pub fn run_lane_correction(seed: u64) -> LaneCorrectionAblation {
     let road = drive.route.roads()[0].clone();
     let truth = reference_profile(&road, 1.0, |_| 0.0);
     let corrected = drive.ops();
-    let uncorrected = drive.ops_with(EstimatorConfig {
-        disable_lane_correction: true,
-        ..Default::default()
-    });
+    let uncorrected =
+        drive.ops_with(EstimatorConfig { disable_lane_correction: true, ..Default::default() });
     LaneCorrectionAblation {
         events: drive.traj.events().len(),
         mre_corrected: track_mre(&corrected.fused, &truth, 100.0).expect("overlap"),

@@ -95,9 +95,7 @@ pub fn print_report(r: &Fig34) {
         let rows: Vec<Vec<String>> = p
             .series
             .iter()
-            .map(|(t, raw, s)| {
-                vec![format!("{t:.2}"), format!("{raw:.4}"), format!("{s:.4}")]
-            })
+            .map(|(t, raw, s)| vec![format!("{t:.2}"), format!("{raw:.4}"), format!("{s:.4}")])
             .collect();
         print_table(
             &format!(

@@ -54,15 +54,19 @@ pub fn run(seed: u64) -> Fig5 {
         let displacement = bumps.windows(2).find(|w| w[0].sign != w[1].sign).map(|w| {
             let (vt, vv): (Vec<f64>, Vec<f64>) =
                 drive.log.speedometer.iter().map(|s| (s.t, s.speed_mps)).unzip();
-            let v_at =
-                move |t: f64| gradest_math::interp::interp1(&vt, &vv, t).unwrap_or(10.0);
+            let v_at = move |t: f64| gradest_math::interp::interp1(&vt, &vv, t).unwrap_or(10.0);
             detector.displacement(&profile, &v_at, w[0].t_start, w[1].t_end)
         });
         let (vt, vv): (Vec<f64>, Vec<f64>) =
             drive.log.speedometer.iter().map(|s| (s.t, s.speed_mps)).unzip();
         let v_at = move |t: f64| gradest_math::interp::interp1(&vt, &vv, t).unwrap_or(10.0);
         let detections = detector.detect(&profile, &v_at).len();
-        ScenarioOutcome { name: name.into(), bumps: bumps.len(), displacement_m: displacement, detections }
+        ScenarioOutcome {
+            name: name.into(),
+            bumps: bumps.len(),
+            displacement_m: displacement,
+            detections,
+        }
     };
 
     // A drive guaranteed to contain a lane change.
@@ -102,9 +106,7 @@ pub fn print_report(r: &Fig5) {
         vec![
             o.name.clone(),
             o.bumps.to_string(),
-            o.displacement_m
-                .map(|w| format!("{:.1}", w.abs()))
-                .unwrap_or_else(|| "-".into()),
+            o.displacement_m.map(|w| format!("{:.1}", w.abs())).unwrap_or_else(|| "-".into()),
             format!("{:.1}", r.threshold_m),
             o.detections.to_string(),
         ]

@@ -48,7 +48,8 @@ pub fn run(seed: u64) -> Fig8b {
     let mut levels = Vec::new();
     for k in 1..=FUSION_ORDER.len() {
         let sources = FUSION_ORDER[..k].to_vec();
-        let est = drive.ops_with(EstimatorConfig { sources: sources.clone(), ..Default::default() });
+        let est =
+            drive.ops_with(EstimatorConfig { sources: sources.clone(), ..Default::default() });
         let errs_deg: Vec<f64> = absolute_errors(&est.fused, &truth, 100.0)
             .into_iter()
             .map(|e| e.to_degrees())
@@ -69,13 +70,7 @@ pub fn print_report(r: &Fig8b) {
     let rows: Vec<Vec<String>> = r
         .levels
         .iter()
-        .map(|l| {
-            vec![
-                l.k.to_string(),
-                l.sources.join("+"),
-                format!("{:.3}", l.median_err_deg),
-            ]
-        })
+        .map(|l| vec![l.k.to_string(), l.sources.join("+"), format!("{:.3}", l.median_err_deg)])
         .collect();
     print_table(
         "Fig 8(b) — median |error| vs fused tracks (paper: 0.23 unfused → ~0.09 fused)",
@@ -83,11 +78,8 @@ pub fn print_report(r: &Fig8b) {
         &rows,
     );
     for l in &r.levels {
-        let rows: Vec<Vec<String>> = l
-            .cdf
-            .iter()
-            .map(|(x, f)| vec![format!("{x:.3}"), format!("{f:.3}")])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            l.cdf.iter().map(|(x, f)| vec![format!("{x:.3}"), format!("{f:.3}")]).collect();
         print_table(&format!("CDF, k = {}", l.k), &["err (°)", "F"], &rows);
     }
     save_json("fig8b_track_fusion_cdf", r);
@@ -99,19 +91,25 @@ mod tests {
 
     #[test]
     fn fusion_reduces_median_error() {
-        let r = run(21);
-        assert_eq!(r.levels.len(), 4);
-        let m1 = r.levels[0].median_err_deg;
-        let m4 = r.levels[3].median_err_deg;
-        assert!(
-            m4 < 0.75 * m1,
-            "fusing 4 tracks ({m4}°) should beat the single track ({m1}°)"
-        );
-        // CDFs are monotone.
-        for l in &r.levels {
-            for w in l.cdf.windows(2) {
-                assert!(w[1].1 >= w[0].1);
+        // Mean over three drives: a single drive's 1-track/4-track
+        // ratio swings widely with sensor-noise luck.
+        let runs: Vec<Fig8b> = [20, 21, 22].iter().map(|&s| run(s)).collect();
+        let mut m1_sum = 0.0;
+        let mut m4_sum = 0.0;
+        for r in &runs {
+            assert_eq!(r.levels.len(), 4);
+            m1_sum += r.levels[0].median_err_deg;
+            m4_sum += r.levels[3].median_err_deg;
+            // CDFs are monotone.
+            for l in &r.levels {
+                for w in l.cdf.windows(2) {
+                    assert!(w[1].1 >= w[0].1);
+                }
             }
         }
+        assert!(
+            m4_sum < 0.75 * m1_sum,
+            "fusing 4 tracks ({m4_sum}) should beat the single track ({m1_sum})"
+        );
     }
 }

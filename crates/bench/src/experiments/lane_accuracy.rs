@@ -50,9 +50,12 @@ pub fn run(drives: usize, seed: u64) -> LaneAccuracy {
         events += drive.traj.events().len();
         let mut matched = vec![false; drive.traj.events().len()];
         for det in &est.detections {
-            let hit = drive.traj.events().iter().enumerate().find(|(_, e)| {
-                det.t_start < e.end_t + 1.5 && det.t_end > e.start_t - 1.5
-            });
+            let hit = drive
+                .traj
+                .events()
+                .iter()
+                .enumerate()
+                .find(|(_, e)| det.t_start < e.end_t + 1.5 && det.t_end > e.start_t - 1.5);
             match hit {
                 Some((idx, e)) if !matched[idx] => {
                     matched[idx] = true;

@@ -13,6 +13,7 @@ pub mod fig5;
 pub mod fig8a;
 pub mod fig8b;
 pub mod fig9;
+pub mod fleet_bench;
 pub mod headline_fuel;
 pub mod lane_accuracy;
 pub mod motivating;

@@ -94,12 +94,8 @@ pub fn run(drivers: usize) -> Table1 {
         t_left_neg: tl_neg,
         t_right_pos: tr_pos,
         t_right_neg: tr_neg,
-        delta_min: [dl_pos, dl_neg, dr_pos, dr_neg]
-            .into_iter()
-            .fold(f64::MAX, f64::min),
-        t_min: [tl_pos, tl_neg, tr_pos, tr_neg]
-            .into_iter()
-            .fold(f64::MAX, f64::min),
+        delta_min: [dl_pos, dl_neg, dr_pos, dr_neg].into_iter().fold(f64::MAX, f64::min),
+        t_min: [tl_pos, tl_neg, tr_pos, tr_neg].into_iter().fold(f64::MAX, f64::min),
         maneuvers,
     }
 }

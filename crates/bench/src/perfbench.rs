@@ -1,0 +1,101 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The perf targets used to depend on an external benchmark framework;
+//! this harness replaces it with the ~60 lines the experiments actually
+//! need: fixed-sample timing with an internal-iteration multiplier, a
+//! median-of-samples estimate (robust to scheduler noise), and a
+//! serializable report for the machine-readable JSON dumps.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Timed samples taken (after one warm-up sample).
+    pub samples: usize,
+    /// Operations executed inside each sample.
+    pub ops_per_sample: u64,
+    /// Median nanoseconds per operation across samples.
+    pub median_ns_per_op: f64,
+    /// Fastest sample's nanoseconds per operation.
+    pub min_ns_per_op: f64,
+    /// Throughput implied by the median, operations per second.
+    pub ops_per_sec: f64,
+}
+
+impl BenchReport {
+    /// One aligned human-readable summary line.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<40} {:>14.1} ns/op {:>14.0} op/s",
+            self.name, self.median_ns_per_op, self.ops_per_sec
+        )
+    }
+}
+
+/// Times `f` over `samples` repetitions (plus one untimed warm-up).
+///
+/// `f` must execute `ops_per_sample` operations per call; per-op figures
+/// divide by it, so cheap kernels should loop internally to amortise the
+/// clock overhead. The median across samples is reported.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or `ops_per_sample == 0`.
+pub fn run_bench(
+    name: &str,
+    samples: usize,
+    ops_per_sample: u64,
+    mut f: impl FnMut(),
+) -> BenchReport {
+    assert!(samples > 0, "need at least one sample");
+    assert!(ops_per_sample > 0, "need at least one op per sample");
+    f(); // warm-up: page in code and data
+    let mut per_op: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64 / ops_per_sample as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_op[per_op.len() / 2];
+    BenchReport {
+        name: name.to_string(),
+        samples,
+        ops_per_sample,
+        median_ns_per_op: median,
+        min_ns_per_op: per_op[0],
+        ops_per_sec: 1e9 / median.max(f64::MIN_POSITIVE),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_plausible_timings() {
+        let mut acc = 0u64;
+        let r = run_bench("spin", 5, 1000, || {
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i);
+            }
+        });
+        assert_eq!(r.samples, 5);
+        assert!(r.median_ns_per_op >= 0.0);
+        assert!(r.min_ns_per_op <= r.median_ns_per_op);
+        assert!(r.ops_per_sec > 0.0);
+        assert!(!r.line().is_empty());
+        assert!(acc > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let _ = run_bench("bad", 0, 1, || {});
+    }
+}

@@ -19,19 +19,12 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     println!("\n== {title} ==");
-    let header_line: Vec<String> = headers
-        .iter()
-        .zip(&widths)
-        .map(|(h, w)| format!("{h:>w$}"))
-        .collect();
+    let header_line: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
     println!("{}", header_line.join("  "));
     println!("{}", "-".repeat(header_line.join("  ").len()));
     for row in rows {
-        let line: Vec<String> = row
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
+        let line: Vec<String> = row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         println!("{}", line.join("  "));
     }
 }
@@ -44,9 +37,7 @@ pub fn results_dir() -> PathBuf {
         return PathBuf::from(target).join("experiment-results");
     }
     // crates/bench/../../target anchors at the workspace root.
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target")
-        .join("experiment-results")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target").join("experiment-results")
 }
 
 /// Serializes an experiment result to

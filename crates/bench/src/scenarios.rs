@@ -25,7 +25,12 @@ pub struct Drive {
 impl Drive {
     /// Simulates a drive over `route` with the given lane-change rate and
     /// GPS outage windows, deterministic in `seed`.
-    pub fn simulate(route: Route, seed: u64, lane_change_rate: f64, outages: Vec<(f64, f64)>) -> Drive {
+    pub fn simulate(
+        route: Route,
+        seed: u64,
+        lane_change_rate: f64,
+        outages: Vec<(f64, f64)>,
+    ) -> Drive {
         let trip_cfg = TripConfig {
             driver: DriverProfile {
                 lane_change_rate_per_km: lane_change_rate,

@@ -8,13 +8,28 @@
 //! aggregator keeps, per road and per arc cell, the running
 //! inverse-variance (convex combination) fusion — mathematically identical
 //! to batching Eq (6) over all uploads.
+//!
+//! # Concurrency
+//!
+//! A fleet uploads from many trips at once, so `upload` takes `&self` and
+//! the road table is split across a fixed set of lock stripes (shards),
+//! each guarding the roads whose id hashes to it. Uploads for different
+//! roads proceed in parallel; uploads for the same road serialise on one
+//! stripe's write lock, keeping the per-cell running sums exact. Reads
+//! (`road_profile`, `coverage_at`) take a shared lock on a single stripe.
 
 use crate::track::GradientTrack;
-use serde::{Deserialize, Serialize};
+use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of lock stripes the road table is sharded over. More stripes
+/// than worker threads keeps same-stripe collisions rare without making
+/// whole-table scans (`road_count`) expensive.
+const STRIPES: usize = 16;
 
 /// Per-cell running fusion state: `Σ θ/P` and `Σ 1/P`.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 struct Cell {
     weighted_theta: f64,
     inv_variance: f64,
@@ -22,7 +37,7 @@ struct Cell {
 }
 
 /// One road's accumulated profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 struct RoadAccumulator {
     /// Arc cells at `grid_ds` spacing, indexed by `floor(s/ds)`.
     cells: Vec<Cell>,
@@ -30,13 +45,17 @@ struct RoadAccumulator {
 
 /// The cloud aggregation service.
 ///
+/// Shared-state concurrent: `upload` takes `&self`, so a `CloudAggregator`
+/// behind an `Arc` (or borrowed across scoped threads) ingests tracks from
+/// many vehicles in parallel.
+///
 /// # Example
 ///
 /// ```
 /// use gradest_core::cloud::CloudAggregator;
 /// use gradest_core::track::GradientTrack;
 ///
-/// let mut cloud = CloudAggregator::new(5.0);
+/// let cloud = CloudAggregator::new(5.0);
 /// let mut t = GradientTrack::new("vehicle-1");
 /// t.push(0.0, 0.03, 1e-4);
 /// t.push(5.0, 0.035, 1e-4);
@@ -44,11 +63,11 @@ struct RoadAccumulator {
 /// let profile = cloud.road_profile(17).expect("road known");
 /// assert_eq!(profile.len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct CloudAggregator {
     grid_ds: f64,
-    roads: HashMap<u64, RoadAccumulator>,
-    uploads: u64,
+    stripes: Box<[RwLock<HashMap<u64, RoadAccumulator>>]>,
+    uploads: AtomicU64,
 }
 
 impl CloudAggregator {
@@ -59,37 +78,42 @@ impl CloudAggregator {
     /// Panics if `grid_ds <= 0`.
     pub fn new(grid_ds: f64) -> Self {
         assert!(grid_ds > 0.0, "grid spacing must be positive");
-        CloudAggregator { grid_ds, roads: HashMap::new(), uploads: 0 }
+        let stripes: Vec<_> = (0..STRIPES).map(|_| RwLock::new(HashMap::new())).collect();
+        CloudAggregator { grid_ds, stripes: stripes.into_boxed_slice(), uploads: AtomicU64::new(0) }
+    }
+
+    fn stripe(&self, road_id: u64) -> &RwLock<HashMap<u64, RoadAccumulator>> {
+        // Mix the high bits in so sequential road ids still spread when
+        // callers batch them in aligned blocks.
+        let h = road_id ^ (road_id >> 7);
+        &self.stripes[(h as usize) % STRIPES]
     }
 
     /// Number of roads with at least one upload.
     pub fn road_count(&self) -> usize {
-        self.roads.len()
+        self.stripes.iter().map(|s| s.read().len()).sum()
     }
 
     /// Total uploads received.
     pub fn upload_count(&self) -> u64 {
-        self.uploads
+        self.uploads.load(Ordering::Relaxed)
     }
 
     /// Ingests one vehicle's track for a road. Each estimate lands in the
     /// arc cell containing its position and joins the running convex
     /// combination. Estimates with non-positive variance are skipped.
-    pub fn upload(&mut self, road_id: u64, track: &GradientTrack) {
+    ///
+    /// Takes `&self`: concurrent uploads are safe, and uploads to
+    /// different roads rarely contend (they serialise only when both
+    /// roads hash to the same stripe).
+    pub fn upload(&self, road_id: u64, track: &GradientTrack) {
         if track.is_empty() {
             return;
         }
-        self.uploads += 1;
-        let acc = self
-            .roads
-            .entry(road_id)
-            .or_insert_with(|| RoadAccumulator { cells: Vec::new() });
-        for ((s, theta), var) in track
-            .s
-            .iter()
-            .zip(&track.theta)
-            .zip(&track.variance)
-        {
+        self.uploads.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.stripe(road_id).write();
+        let acc = shard.entry(road_id).or_default();
+        for ((s, theta), var) in track.s.iter().zip(&track.theta).zip(&track.variance) {
             if *var <= 0.0 || !theta.is_finite() || !s.is_finite() || *s < 0.0 {
                 continue;
             }
@@ -107,7 +131,8 @@ impl CloudAggregator {
     /// The fused profile of a road, or `None` if the road is unknown.
     /// Cells that never received an estimate are skipped.
     pub fn road_profile(&self, road_id: u64) -> Option<GradientTrack> {
-        let acc = self.roads.get(&road_id)?;
+        let shard = self.stripe(road_id).read();
+        let acc = shard.get(&road_id)?;
         let mut track = GradientTrack::new(format!("cloud-road-{road_id}"));
         for (i, cell) in acc.cells.iter().enumerate() {
             if cell.inv_variance <= 0.0 {
@@ -126,7 +151,8 @@ impl CloudAggregator {
     /// Number of vehicles' estimates that contributed to the road's cell
     /// containing `s` (coverage diagnostics).
     pub fn coverage_at(&self, road_id: u64, s: f64) -> u32 {
-        let Some(acc) = self.roads.get(&road_id) else {
+        let shard = self.stripe(road_id).read();
+        let Some(acc) = shard.get(&road_id) else {
             return 0;
         };
         let idx = (s.max(0.0) / self.grid_ds) as usize;
@@ -148,7 +174,7 @@ mod tests {
 
     #[test]
     fn single_upload_round_trips() {
-        let mut cloud = CloudAggregator::new(5.0);
+        let cloud = CloudAggregator::new(5.0);
         cloud.upload(1, &track(0.04, 1e-4, 10));
         assert_eq!(cloud.road_count(), 1);
         assert_eq!(cloud.upload_count(), 1);
@@ -160,7 +186,7 @@ mod tests {
 
     #[test]
     fn fusion_weights_by_variance() {
-        let mut cloud = CloudAggregator::new(5.0);
+        let cloud = CloudAggregator::new(5.0);
         cloud.upload(1, &track(0.00, 1e-2, 10)); // vague vehicle
         cloud.upload(1, &track(0.10, 1e-6, 10)); // confident vehicle
         let p = cloud.road_profile(1).unwrap();
@@ -175,7 +201,7 @@ mod tests {
 
     #[test]
     fn incremental_equals_batch_mean_for_equal_variances() {
-        let mut cloud = CloudAggregator::new(5.0);
+        let cloud = CloudAggregator::new(5.0);
         for theta in [0.02, 0.04, 0.06] {
             cloud.upload(9, &track(theta, 1e-4, 4));
         }
@@ -188,7 +214,7 @@ mod tests {
 
     #[test]
     fn unknown_road_and_empty_inputs() {
-        let mut cloud = CloudAggregator::new(5.0);
+        let cloud = CloudAggregator::new(5.0);
         assert!(cloud.road_profile(404).is_none());
         cloud.upload(5, &GradientTrack::new("empty"));
         assert_eq!(cloud.upload_count(), 0);
@@ -197,7 +223,7 @@ mod tests {
 
     #[test]
     fn sparse_cells_are_skipped() {
-        let mut cloud = CloudAggregator::new(5.0);
+        let cloud = CloudAggregator::new(5.0);
         let mut t = GradientTrack::new("v");
         t.push(2.0, 0.01, 1e-4);
         t.push(52.0, 0.02, 1e-4); // gap of 10 cells
@@ -210,7 +236,7 @@ mod tests {
 
     #[test]
     fn invalid_estimates_are_ignored() {
-        let mut cloud = CloudAggregator::new(5.0);
+        let cloud = CloudAggregator::new(5.0);
         let mut t = GradientTrack::new("v");
         t.push(0.0, f64::NAN, 1e-4);
         t.s.push(5.0);
@@ -224,5 +250,90 @@ mod tests {
     #[should_panic(expected = "grid spacing")]
     fn zero_grid_rejected() {
         let _ = CloudAggregator::new(0.0);
+    }
+
+    #[test]
+    fn roads_spread_across_stripes() {
+        let cloud = CloudAggregator::new(5.0);
+        for road_id in 0..64u64 {
+            cloud.upload(road_id, &track(0.01, 1e-4, 2));
+        }
+        assert_eq!(cloud.road_count(), 64);
+        let populated = cloud.stripes.iter().filter(|s| !s.read().is_empty()).count();
+        assert!(populated > STRIPES / 2, "only {populated} stripes used");
+    }
+
+    /// Concurrent uploads must equal the sequential result for the same
+    /// upload multiset. Per-cell additions commute only up to float
+    /// rounding, so the inputs here are dyadic (exactly representable
+    /// sums) making equality bit-exact; `concurrent_upload_matches_
+    /// sequential_tolerance` covers realistic values.
+    #[test]
+    fn concurrent_upload_matches_sequential_exact() {
+        let thetas = [0.25, 0.5, -0.125, 0.0625];
+        let var = 0.5; // 1/var and theta/var stay dyadic
+        let roads: Vec<u64> = (0..8).collect();
+
+        let sequential = CloudAggregator::new(5.0);
+        for &road in &roads {
+            for &th in &thetas {
+                sequential.upload(road, &track(th, var, 6));
+            }
+        }
+
+        let concurrent = CloudAggregator::new(5.0);
+        std::thread::scope(|scope| {
+            // One thread per theta: every road sees all four uploads, in
+            // a thread-dependent order.
+            for &th in &thetas {
+                let concurrent = &concurrent;
+                let roads = &roads;
+                scope.spawn(move || {
+                    for &road in roads {
+                        concurrent.upload(road, &track(th, var, 6));
+                    }
+                });
+            }
+        });
+
+        assert_eq!(concurrent.upload_count(), sequential.upload_count());
+        assert_eq!(concurrent.road_count(), sequential.road_count());
+        for &road in &roads {
+            let a = sequential.road_profile(road).unwrap();
+            let b = concurrent.road_profile(road).unwrap();
+            assert_eq!(a.s, b.s);
+            assert_eq!(a.theta, b.theta, "road {road} fused theta differs");
+            assert_eq!(a.variance, b.variance);
+        }
+    }
+
+    #[test]
+    fn concurrent_upload_matches_sequential_tolerance() {
+        let uploads: Vec<(f64, f64)> =
+            (0..16).map(|i| (0.01 + 0.003 * i as f64, 1e-4 * (1.0 + i as f64))).collect();
+
+        let sequential = CloudAggregator::new(5.0);
+        for &(th, var) in &uploads {
+            sequential.upload(7, &track(th, var, 10));
+        }
+
+        let concurrent = CloudAggregator::new(5.0);
+        std::thread::scope(|scope| {
+            for chunk in uploads.chunks(4) {
+                let concurrent = &concurrent;
+                scope.spawn(move || {
+                    for &(th, var) in chunk {
+                        concurrent.upload(7, &track(th, var, 10));
+                    }
+                });
+            }
+        });
+
+        let a = sequential.road_profile(7).unwrap();
+        let b = concurrent.road_profile(7).unwrap();
+        assert_eq!(a.s, b.s);
+        for (x, y) in a.theta.iter().zip(&b.theta) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
     }
 }

@@ -41,12 +41,7 @@ pub struct MonitorConfig {
 
 impl Default for MonitorConfig {
     fn default() -> Self {
-        MonitorConfig {
-            window: 50,
-            inconsistent_nis: 2.5,
-            diverged_nis: 10.0,
-            diverge_patience: 3,
-        }
+        MonitorConfig { window: 50, inconsistent_nis: 2.5, diverged_nis: 10.0, diverge_patience: 3 }
     }
 }
 

@@ -136,9 +136,8 @@ impl GradientEkf {
         let p = &self.config.vehicle;
         let (v, theta) = (self.x.x, self.x.y);
         let cos_th = theta.cos().max(0.2); // θ never approaches ±90° on a road
-        // Paper Eq (5) θ dynamics: θ̇ = ρ·A_f·C_d·v·â/(m·g·cosθ).
-        let c = p.air_density * p.frontal_area_m2 * p.drag_coefficient
-            / (p.mass_kg * GRAVITY);
+                                           // Paper Eq (5) θ dynamics: θ̇ = ρ·A_f·C_d·v·â/(m·g·cosθ).
+        let c = p.air_density * p.frontal_area_m2 * p.drag_coefficient / (p.mass_kg * GRAVITY);
         let theta_dot = c * v * a_meas / cos_th;
 
         let (v_next, dv_dtheta) = if self.config.literal_eq5 {
@@ -190,7 +189,12 @@ mod tests {
 
     /// Drives the filter over a synthetic constant-gradient stretch with
     /// exact measurements and returns it.
-    fn run_constant_gradient(theta_true: f64, v0: f64, seconds: f64, cfg: EkfConfig) -> GradientEkf {
+    fn run_constant_gradient(
+        theta_true: f64,
+        v0: f64,
+        seconds: f64,
+        cfg: EkfConfig,
+    ) -> GradientEkf {
         let mut ekf = GradientEkf::new(cfg, v0);
         let steps = (seconds / DT) as usize;
         let mut update_phase = 0usize;
@@ -200,7 +204,7 @@ mod tests {
             ekf.predict(a_meas, DT);
             // 10 Hz velocity measurements.
             update_phase += 1;
-            if update_phase % 5 == 0 {
+            if update_phase.is_multiple_of(5) {
                 ekf.update(v0, 0.05);
             }
         }
@@ -211,11 +215,7 @@ mod tests {
     fn converges_to_positive_gradient() {
         let theta = 3.0f64.to_radians();
         let ekf = run_constant_gradient(theta, 15.0, 60.0, EkfConfig::default());
-        assert!(
-            (ekf.theta() - theta).abs() < 2e-3,
-            "θ̂ = {}°",
-            ekf.theta().to_degrees()
-        );
+        assert!((ekf.theta() - theta).abs() < 2e-3, "θ̂ = {}°", ekf.theta().to_degrees());
         assert!((ekf.velocity() - 15.0).abs() < 0.05);
     }
 
@@ -313,11 +313,7 @@ mod tests {
                 ekf.update(15.0 + noise, 0.1);
             }
         }
-        assert!(
-            (ekf.theta() - theta).abs() < 8e-3,
-            "θ̂ = {}°",
-            ekf.theta().to_degrees()
-        );
+        assert!((ekf.theta() - theta).abs() < 8e-3, "θ̂ = {}°", ekf.theta().to_degrees());
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Fleet-scale batch estimation: a worker pool fanning trips across
+//! threads.
+//!
+//! The paper's cloud service (Section III-C3) ingests tracks from many
+//! vehicles; reproducing its experiments means estimating hundreds of
+//! independent trips, which the single-trip pipeline
+//! ([`GradientEstimator::estimate`]) only exercises one core at a time.
+//! [`FleetEngine`] closes that gap: submit a batch of [`SensorLog`]s, a
+//! pool of workers drains a shared job channel, and results stream back
+//! in **submission order** regardless of which worker finishes first —
+//! so a 1-worker and an N-worker run produce bit-identical output.
+//!
+//! Work distribution uses MPMC channels (`crossbeam::channel`): the main
+//! thread enqueues job indices, each worker loops `recv → estimate →
+//! send (index, result)`, and the main thread reorders results through a
+//! hold-back buffer. Slow trips therefore never stall workers, only the
+//! in-order delivery point.
+
+use crate::cloud::CloudAggregator;
+use crate::pipeline::{GradientEstimate, GradientEstimator};
+use crossbeam::channel;
+use gradest_geo::Route;
+use gradest_sensors::suite::SensorLog;
+use std::collections::BTreeMap;
+
+/// A multi-trip estimation engine running a fixed worker pool.
+///
+/// # Example
+///
+/// ```no_run
+/// use gradest_core::fleet::FleetEngine;
+/// use gradest_core::pipeline::{EstimatorConfig, GradientEstimator};
+/// # let logs: Vec<gradest_sensors::suite::SensorLog> = Vec::new();
+/// let engine = FleetEngine::new(GradientEstimator::new(EstimatorConfig::default()), 4);
+/// let estimates = engine.process_batch(&logs, None);
+/// assert_eq!(estimates.len(), logs.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetEngine {
+    estimator: GradientEstimator,
+    workers: usize,
+}
+
+impl FleetEngine {
+    /// Creates an engine with an explicit worker count (clamped to at
+    /// least one).
+    ///
+    /// Note the per-trip pipeline itself fans its four EKF tracks onto
+    /// scoped threads when `parallel_tracks` is set; for large batches
+    /// on a saturated pool, disabling it in the estimator config avoids
+    /// oversubscription (results are identical either way).
+    pub fn new(estimator: GradientEstimator, workers: usize) -> Self {
+        FleetEngine { estimator, workers: workers.max(1) }
+    }
+
+    /// Creates an engine sized to the machine's available parallelism.
+    pub fn with_default_workers(estimator: GradientEstimator) -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        FleetEngine::new(estimator, workers)
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The underlying per-trip estimator.
+    pub fn estimator(&self) -> &GradientEstimator {
+        &self.estimator
+    }
+
+    /// Estimates every trip in the batch, returning results in
+    /// submission order. Output is bit-identical for any worker count.
+    pub fn process_batch(&self, logs: &[SensorLog], map: Option<&Route>) -> Vec<GradientEstimate> {
+        let mut out = Vec::with_capacity(logs.len());
+        self.process_streaming(logs, map, |_, est| out.push(est));
+        out
+    }
+
+    /// Estimates every trip in the batch, invoking `on_result(index,
+    /// estimate)` for each trip strictly in submission order, as soon as
+    /// that trip *and all earlier ones* have finished. Out-of-order
+    /// completions wait in a hold-back buffer, so the callback sees the
+    /// exact sequence a serial loop would produce.
+    pub fn process_streaming<F>(&self, logs: &[SensorLog], map: Option<&Route>, on_result: F)
+    where
+        F: FnMut(usize, GradientEstimate),
+    {
+        self.run_pool(logs, map, None, on_result);
+    }
+
+    /// [`Self::process_batch`] with cloud fan-in: each worker uploads
+    /// its trip's fused track to `cloud` under `road_ids[index]` the
+    /// moment estimation finishes, exercising the aggregator's
+    /// concurrent (lock-striped) upload path. Returned estimates are in
+    /// submission order and bit-identical for any worker count; the
+    /// cloud's per-cell sums accumulate the same multiset of uploads in
+    /// a worker-dependent order, so they match a sequential run up to
+    /// floating-point summation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road_ids.len() != logs.len()`.
+    pub fn process_batch_to_cloud(
+        &self,
+        logs: &[SensorLog],
+        road_ids: &[u64],
+        map: Option<&Route>,
+        cloud: &CloudAggregator,
+    ) -> Vec<GradientEstimate> {
+        assert_eq!(road_ids.len(), logs.len(), "one road id per trip");
+        let mut out = Vec::with_capacity(logs.len());
+        self.run_pool(logs, map, Some((road_ids, cloud)), |_, est| out.push(est));
+        out
+    }
+
+    fn run_pool<F>(
+        &self,
+        logs: &[SensorLog],
+        map: Option<&Route>,
+        cloud: Option<(&[u64], &CloudAggregator)>,
+        mut on_result: F,
+    ) where
+        F: FnMut(usize, GradientEstimate),
+    {
+        if logs.is_empty() {
+            return;
+        }
+        let workers = self.workers.min(logs.len());
+        let (job_tx, job_rx) = channel::unbounded::<usize>();
+        let (res_tx, res_rx) = channel::unbounded::<(usize, GradientEstimate)>();
+        for i in 0..logs.len() {
+            job_tx.send(i).expect("receiver alive");
+        }
+        // Closing the job channel is what terminates the workers: each
+        // drains until `recv` reports disconnection.
+        drop(job_tx);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                let estimator = &self.estimator;
+                scope.spawn(move || {
+                    while let Ok(i) = job_rx.recv() {
+                        let est = estimator.estimate(&logs[i], map);
+                        if let Some((road_ids, cloud)) = cloud {
+                            cloud.upload(road_ids[i], &est.fused);
+                        }
+                        if res_tx.send((i, est)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            drop(job_rx);
+
+            // Hold-back reordering: emit index `next` only once every
+            // earlier trip has been emitted.
+            let mut next = 0usize;
+            let mut pending: BTreeMap<usize, GradientEstimate> = BTreeMap::new();
+            for (i, est) in res_rx.iter() {
+                pending.insert(i, est);
+                while let Some(est) = pending.remove(&next) {
+                    on_result(next, est);
+                    next += 1;
+                }
+            }
+            assert_eq!(next, logs.len(), "worker pool dropped a job");
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::EstimatorConfig;
+    use gradest_geo::generate::straight_road;
+    use gradest_geo::Route;
+    use gradest_sensors::suite::{SensorConfig, SensorSuite};
+    use gradest_sim::trip::{simulate_trip, TripConfig};
+
+    fn batch(route: &Route, n: u64) -> Vec<SensorLog> {
+        (0..n)
+            .map(|seed| {
+                let traj = simulate_trip(route, &TripConfig::default(), 40 + seed);
+                SensorSuite::new(SensorConfig::default()).run(&traj, 40 + seed)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_worker_and_many_workers_are_bit_identical() {
+        let route = Route::new(vec![straight_road(500.0, 2.0)]).unwrap();
+        let logs = batch(&route, 6);
+        let estimator = GradientEstimator::new(EstimatorConfig::default());
+        let serial = FleetEngine::new(estimator.clone(), 1).process_batch(&logs, Some(&route));
+        let parallel = FleetEngine::new(estimator, 4).process_batch(&logs, Some(&route));
+        assert_eq!(serial.len(), parallel.len());
+        // PartialEq over every track sample: bit-identical, not close.
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn streaming_preserves_submission_order() {
+        let route = Route::new(vec![straight_road(400.0, 1.0)]).unwrap();
+        let logs = batch(&route, 5);
+        let engine = FleetEngine::new(GradientEstimator::new(EstimatorConfig::default()), 3);
+        let mut seen = Vec::new();
+        engine.process_streaming(&logs, Some(&route), |i, est| {
+            assert!(!est.fused.is_empty());
+            seen.push(i);
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let engine = FleetEngine::new(GradientEstimator::new(EstimatorConfig::default()), 4);
+        assert!(engine.process_batch(&[], None).is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_one() {
+        let engine = FleetEngine::new(GradientEstimator::new(EstimatorConfig::default()), 0);
+        assert_eq!(engine.workers(), 1);
+    }
+
+    #[test]
+    fn cloud_uploads_arrive_from_all_workers() {
+        let route = Route::new(vec![straight_road(400.0, 1.5)]).unwrap();
+        let logs = batch(&route, 6);
+        let road_ids = vec![7u64; logs.len()];
+        let cloud = CloudAggregator::new(5.0);
+        let engine = FleetEngine::new(GradientEstimator::new(EstimatorConfig::default()), 3);
+        let ests = engine.process_batch_to_cloud(&logs, &road_ids, Some(&route), &cloud);
+        assert_eq!(ests.len(), logs.len());
+        assert_eq!(cloud.upload_count(), logs.len() as u64);
+        assert!(cloud.road_profile(7).is_some());
+    }
+}

@@ -68,16 +68,14 @@ pub fn fuse_values(values: &[(f64, f64)]) -> (f64, f64) {
 pub fn fuse_tracks(tracks: &[GradientTrack]) -> Result<GradientTrack, FusionError> {
     let first = tracks.first().ok_or(FusionError::NoTracks)?;
     for t in &tracks[1..] {
-        if t.s.len() != first.s.len()
-            || t.s.iter().zip(&first.s).any(|(a, b)| (a - b).abs() > 1e-9)
+        if t.s.len() != first.s.len() || t.s.iter().zip(&first.s).any(|(a, b)| (a - b).abs() > 1e-9)
         {
             return Err(FusionError::MisalignedTracks);
         }
     }
     let mut out = GradientTrack::new("fused");
     for i in 0..first.s.len() {
-        let values: Vec<(f64, f64)> =
-            tracks.iter().map(|t| (t.theta[i], t.variance[i])).collect();
+        let values: Vec<(f64, f64)> = tracks.iter().map(|t| (t.theta[i], t.variance[i])).collect();
         let (theta, var) = fuse_values(&values);
         out.push(first.s[i], theta, var);
     }

@@ -133,11 +133,8 @@ impl LaneChangeDetector {
                     }
                     // A sample of the opposite sign may immediately open a
                     // new run.
-                    run_start = if !ended && w.abs() > floor {
-                        Some((i, w.signum()))
-                    } else {
-                        None
-                    };
+                    run_start =
+                        if !ended && w.abs() > floor { Some((i, w.signum())) } else { None };
                 }
                 None if !ended && w.abs() > floor => {
                     run_start = Some((i, w.signum()));
@@ -390,9 +387,8 @@ mod tests {
     #[test]
     fn multiple_lane_changes_all_found() {
         let dt = 1.0 / RATE;
-        let mut raw: Vec<(f64, f64)> = (0..(80.0 / dt) as usize)
-            .map(|i| (i as f64 * dt, 0.0))
-            .collect();
+        let mut raw: Vec<(f64, f64)> =
+            (0..(80.0 / dt) as usize).map(|i| (i as f64 * dt, 0.0)).collect();
         // Left change at 10 s, right change at 40 s.
         for (t, w) in raw.iter_mut() {
             if (10.0..14.0).contains(t) {
@@ -430,7 +426,7 @@ mod tests {
         let mid_idx = prof.t.iter().position(|&t| t >= 12.0).unwrap();
         assert!(corrected[mid_idx] < 12.0);
         assert!(corrected[mid_idx] > 11.5); // cos of a small angle
-        // Outside the window, untouched.
+                                            // Outside the window, untouched.
         assert_eq!(corrected[100], 12.0);
         let last = prof.len() - 1;
         assert_eq!(corrected[last], 12.0);

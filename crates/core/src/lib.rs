@@ -46,6 +46,7 @@ pub mod cloud;
 pub mod diagnostics;
 pub mod ekf;
 pub mod eval;
+pub mod fleet;
 pub mod fusion;
 pub mod lane_change;
 pub mod online;
@@ -57,6 +58,7 @@ pub mod track;
 pub use cloud::CloudAggregator;
 pub use diagnostics::{FilterHealth, InnovationMonitor, MonitorConfig};
 pub use ekf::{EkfConfig, GradientEkf};
+pub use fleet::FleetEngine;
 pub use fusion::{fuse_tracks, fuse_values};
 pub use lane_change::{LaneChangeConfig, LaneChangeDetection, LaneChangeDetector};
 pub use online::{OnlineEstimate, OnlineEstimator, OnlineSource};

@@ -21,10 +21,10 @@ use crate::fusion::fuse_values;
 use crate::lane_change::LaneChangeDetection;
 use crate::pipeline::EstimatorConfig;
 use crate::track::GradientTrack;
+use gradest_geo::Route;
 use gradest_math::angle::wrap_pi;
 use gradest_sensors::samples::{GpsSample, ImuSample, SpeedSample};
 use gradest_sensors::MapMatcher;
-use gradest_geo::Route;
 use gradest_sim::LaneChangeDirection;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -189,11 +189,7 @@ impl OnlineEstimator {
 
         // Record the fused gradient.
         let (theta, var) = self.fused_theta();
-        let s_mono = self
-            .track
-            .s
-            .last()
-            .map_or(self.s, |&last| self.s.max(last));
+        let s_mono = self.track.s.last().map_or(self.s, |&last| self.s.max(last));
         self.s = s_mono;
         self.track.push(s_mono, theta, var.max(1e-12));
     }
@@ -354,10 +350,9 @@ impl OnlineEstimator {
                 if held_sign != closed.0 && closed.1 - held_end <= cfg.max_pair_gap_s {
                     // Displacement over the pair: v·sin(α) accumulated —
                     // approximate with the current α trajectory.
-                    let displacement = self.last_speed
-                        * self.maneuver.alpha.sin()
-                        * (t - held_start).max(0.1)
-                        / 2.0;
+                    let displacement =
+                        self.last_speed * self.maneuver.alpha.sin() * (t - held_start).max(0.1)
+                            / 2.0;
                     // The α-based estimate is crude; prefer the small-angle
                     // closed form when in range.
                     let w_est = if displacement.abs() > 1e-6 {
@@ -455,8 +450,7 @@ mod tests {
         let traj = simulate_trip(&route, &cfg, 72);
         let log = SensorSuite::new(SensorConfig::default()).run(&traj, 72);
         let online = stream(&log, Some(route.clone())).into_track();
-        let batch = GradientEstimator::new(EstimatorConfig::default())
-            .estimate(&log, Some(&route));
+        let batch = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
         // Compare on a common grid.
         let mut diffs = Vec::new();
         let mut s = 200.0;
@@ -494,11 +488,7 @@ mod tests {
                 assert_eq!(det.direction, e.direction);
             }
         }
-        assert!(
-            matched * 2 >= traj.events().len(),
-            "matched {matched}/{}",
-            traj.events().len()
-        );
+        assert!(matched * 2 >= traj.events().len(), "matched {matched}/{}", traj.events().len());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::smoother::{rts_smooth, RtsStep};
 use crate::steering::{smooth_profile, SmoothedProfile};
 use crate::track::GradientTrack;
 use gradest_geo::Route;
-use gradest_math::interp::interp1;
+use gradest_math::interp::Interpolant;
 use gradest_sensors::alignment::{steering_rate_profile, MapMatcher};
 use gradest_sensors::suite::SensorLog;
 use serde::{Deserialize, Serialize};
@@ -87,6 +87,13 @@ pub struct EstimatorConfig {
     /// accuracy; the paper's filter is forward-only — disable for strict
     /// paper fidelity or causal comparisons).
     pub rts_smoothing: bool,
+    /// Run the per-source EKF tracks on scoped threads. The tracks are
+    /// independent filters over shared read-only inputs and results are
+    /// collected in source order, so the output is bit-identical to the
+    /// serial path — this only trades thread startup against track
+    /// runtime. Ignored (serial path) when the host reports a single
+    /// available core, where the spawns are pure overhead.
+    pub parallel_tracks: bool,
 }
 
 impl Default for EstimatorConfig {
@@ -103,6 +110,7 @@ impl Default for EstimatorConfig {
             accel_blend_tau_s: 3.0,
             disable_lane_correction: false,
             rts_smoothing: true,
+            parallel_tracks: true,
         }
     }
 }
@@ -164,10 +172,11 @@ impl GradientEstimator {
         // for the Eq-2 correction of arbitrary-time measurements.
         let alpha = steering_angle_series(&profile, &detections);
 
-        // 3. One EKF per source.
-        let mut tracks = Vec::new();
-        let mut distances = Vec::new();
-        for &source in &cfg.sources {
+        // 3. One EKF per source. The tracks are independent filters over
+        //    shared read-only inputs, so they fan out onto scoped threads
+        //    when configured; collecting by source order keeps the result
+        //    bit-identical to the serial path.
+        let run_source = |source: VelocitySource| -> GradientTrack {
             let measurements = self.measurement_series(log, source);
             let r = match source {
                 VelocitySource::Gps => cfg.r_gps,
@@ -175,13 +184,28 @@ impl GradientEstimator {
                 VelocitySource::CanBus => cfg.r_can,
                 VelocitySource::Accelerometer => cfg.r_accelerometer,
             };
-            let track =
-                self.run_ekf_track(log, &measurements, r, source.label(), &profile, &alpha, dt, map);
-            if let Some(&d) = track.s.last() {
-                distances.push(d);
-            }
-            tracks.push(track);
-        }
+            self.run_ekf_track(log, &measurements, r, source.label(), &profile, &alpha, dt, map)
+        };
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let tracks: Vec<GradientTrack> = if cfg.parallel_tracks
+            && cfg.sources.len() > 1
+            && cores > 1
+        {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = cfg
+                    .sources
+                    .iter()
+                    .map(|&source| {
+                        let run = &run_source;
+                        scope.spawn(move || run(source))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("EKF track thread panicked")).collect()
+            })
+        } else {
+            cfg.sources.iter().map(|&source| run_source(source)).collect()
+        };
+        let mut distances: Vec<f64> = tracks.iter().filter_map(|t| t.s.last().copied()).collect();
 
         // 4. Fuse on a common grid.
         distances.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
@@ -192,11 +216,7 @@ impl GradientEstimator {
             .map(|t| t.resample(length, cfg.track_ds))
             .collect();
         let fused = fuse_tracks(&aligned).unwrap_or_else(|_| GradientTrack::new("fused"));
-        let distance_m = if distances.is_empty() {
-            0.0
-        } else {
-            distances[distances.len() / 2]
-        };
+        let distance_m = if distances.is_empty() { 0.0 } else { distances[distances.len() / 2] };
 
         GradientEstimate { tracks: aligned, fused, detections, distance_m }
     }
@@ -204,12 +224,9 @@ impl GradientEstimator {
     /// Builds the `(t, v)` measurement series for one source.
     fn measurement_series(&self, log: &SensorLog, source: VelocitySource) -> Vec<(f64, f64)> {
         match source {
-            VelocitySource::Gps => log
-                .gps
-                .iter()
-                .filter(|g| g.valid)
-                .map(|g| (g.t, g.speed_mps))
-                .collect(),
+            VelocitySource::Gps => {
+                log.gps.iter().filter(|g| g.valid).map(|g| (g.t, g.speed_mps)).collect()
+            }
             VelocitySource::Speedometer => {
                 log.speedometer.iter().map(|s| (s.t, s.speed_mps)).collect()
             }
@@ -225,12 +242,7 @@ impl GradientEstimator {
         let tau = self.config.accel_blend_tau_s.max(1.0);
         let mut gps_iter = log.gps.iter().filter(|g| g.valid).peekable();
         let mut latest_gps: Option<f64> = None;
-        let mut v = log
-            .gps
-            .iter()
-            .find(|g| g.valid)
-            .map(|g| g.speed_mps)
-            .unwrap_or(10.0);
+        let mut v = log.gps.iter().find(|g| g.valid).map(|g| g.speed_mps).unwrap_or(10.0);
         let mut out = Vec::new();
         let mut last_t = log.imu.first().map(|s| s.t).unwrap_or(0.0);
         let mut next_emit = last_t;
@@ -342,26 +354,30 @@ impl GradientEstimator {
     }
 }
 
-/// Builds a `v(t)` lookup from the best available speed stream.
-fn make_speed_lookup(log: &SensorLog) -> Box<dyn Fn(f64) -> f64> {
+/// Builds a `v(t)` lookup from the best available speed stream. The
+/// series is validated once into an [`Interpolant`], so each of the
+/// thousands of per-sample queries is just a binary search.
+fn make_speed_lookup(log: &SensorLog) -> Box<dyn Fn(f64) -> f64 + Send + Sync> {
     let (ts, vs): (Vec<f64>, Vec<f64>) = if !log.speedometer.is_empty() {
         log.speedometer.iter().map(|s| (s.t, s.speed_mps)).unzip()
     } else {
-        log.gps
-            .iter()
-            .filter(|g| g.valid)
-            .map(|g| (g.t, g.speed_mps))
-            .unzip()
+        log.gps.iter().filter(|g| g.valid).map(|g| (g.t, g.speed_mps)).unzip()
     };
     if ts.len() < 2 {
         return Box::new(|_| 10.0);
     }
-    Box::new(move |t| interp1(&ts, &vs, t).unwrap_or(10.0))
+    match Interpolant::new(ts, vs) {
+        Ok(f) => Box::new(move |t| f.at(t)),
+        Err(_) => Box::new(|_| 10.0),
+    }
 }
 
 /// Steering angle α(t) aligned with the profile: accumulated `w·Ω` inside
 /// each detection window, zero elsewhere (the Eq-2 integrand).
-fn steering_angle_series(profile: &SmoothedProfile, detections: &[LaneChangeDetection]) -> Vec<f64> {
+fn steering_angle_series(
+    profile: &SmoothedProfile,
+    detections: &[LaneChangeDetection],
+) -> Vec<f64> {
     let mut alpha = vec![0.0; profile.len()];
     if profile.len() < 2 {
         return alpha;
@@ -369,13 +385,12 @@ fn steering_angle_series(profile: &SmoothedProfile, detections: &[LaneChangeDete
     let dt = profile.dt();
     for det in detections {
         let mut acc = 0.0;
-        for i in 0..profile.len() {
-            let t = profile.t[i];
+        for (a, (&t, &w)) in alpha.iter_mut().zip(profile.t.iter().zip(&profile.w)) {
             if t < det.t_start || t > det.t_end {
                 continue;
             }
-            acc += profile.w[i] * dt;
-            alpha[i] = acc;
+            acc += w * dt;
+            *a = acc;
         }
     }
     alpha
@@ -411,6 +426,21 @@ mod tests {
     }
 
     #[test]
+    fn parallel_tracks_bit_identical_to_serial() {
+        let route = Route::new(vec![straight_road(800.0, 2.0)]).unwrap();
+        let traj = simulate_trip(&route, &TripConfig::default(), 5);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 5);
+        let serial = GradientEstimator::new(EstimatorConfig {
+            parallel_tracks: false,
+            ..Default::default()
+        })
+        .estimate(&log, Some(&route));
+        let parallel =
+            GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn constant_gradient_recovered() {
         let route = Route::new(vec![straight_road(2000.0, 3.0)]).unwrap();
         let est = run(&route, 1, 1, 0.0);
@@ -433,11 +463,7 @@ mod tests {
     fn distance_estimate_close_to_route_length() {
         let route = Route::new(vec![straight_road(1500.0, 1.0)]).unwrap();
         let est = run(&route, 2, 2, 0.0);
-        assert!(
-            (est.distance_m - 1500.0).abs() < 60.0,
-            "distance {}",
-            est.distance_m
-        );
+        assert!((est.distance_m - 1500.0).abs() < 60.0, "distance {}", est.distance_m);
     }
 
     #[test]
@@ -449,11 +475,7 @@ mod tests {
         }
         // Fused variance never exceeds the best individual track.
         for i in 0..est.fused.len() {
-            let best = est
-                .tracks
-                .iter()
-                .map(|t| t.variance[i])
-                .fold(f64::MAX, f64::min);
+            let best = est.tracks.iter().map(|t| t.variance[i]).fold(f64::MAX, f64::min);
             assert!(est.fused.variance[i] <= best + 1e-15);
         }
     }
@@ -476,9 +498,10 @@ mod tests {
         );
         // Directions match ground truth for matched events.
         for det in &est.detections {
-            let matched = traj.events().iter().find(|e| {
-                det.t_start < e.end_t + 1.0 && det.t_end > e.start_t - 1.0
-            });
+            let matched = traj
+                .events()
+                .iter()
+                .find(|e| det.t_start < e.end_t + 1.0 && det.t_end > e.start_t - 1.0);
             if let Some(e) = matched {
                 assert_eq!(det.direction, e.direction, "direction mismatch at {}", det.t_start);
             }
@@ -490,21 +513,16 @@ mod tests {
         let route = Route::new(vec![red_road()]).unwrap();
         let est = run(&route, 7, 7, 0.224);
         let truth_err = |t: &GradientTrack| {
-            let errs: Vec<f64> = t
-                .s
-                .iter()
-                .zip(&t.theta)
-                .filter(|(s, _)| **s > 100.0)
-                .map(|(s, th)| (th - route.gradient_at(*s)).abs())
-                .collect();
+            let errs: Vec<f64> =
+                t.s.iter()
+                    .zip(&t.theta)
+                    .filter(|(s, _)| **s > 100.0)
+                    .map(|(s, th)| (th - route.gradient_at(*s)).abs())
+                    .collect();
             errs.iter().sum::<f64>() / errs.len() as f64
         };
         let fused_err = truth_err(&est.fused);
-        let worst = est
-            .tracks
-            .iter()
-            .map(truth_err)
-            .fold(0.0f64, f64::max);
+        let worst = est.tracks.iter().map(truth_err).fold(0.0f64, f64::max);
         assert!(fused_err < worst, "fused {fused_err} vs worst {worst}");
         // And it is decent in absolute terms (< 0.8° mean on a road whose
         // sections average ±2.4°).
@@ -520,10 +538,7 @@ mod tests {
         };
         let traj = simulate_trip(&route, &cfg_trip, 8);
         let log = SensorSuite::new(SensorConfig::default()).run(&traj, 8);
-        let cfg = EstimatorConfig {
-            sources: vec![VelocitySource::CanBus],
-            ..Default::default()
-        };
+        let cfg = EstimatorConfig { sources: vec![VelocitySource::CanBus], ..Default::default() };
         let est = GradientEstimator::new(cfg).estimate(&log, Some(&route));
         assert_eq!(est.tracks.len(), 1);
         assert_eq!(est.tracks[0].label, "can-bus");

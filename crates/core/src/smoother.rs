@@ -73,10 +73,7 @@ mod tests {
     use gradest_math::GRAVITY;
 
     /// Runs the EKF over a gradient step change, recording RTS history.
-    fn run_with_history(
-        theta_of_t: impl Fn(f64) -> f64,
-        seconds: f64,
-    ) -> (Vec<RtsStep>, Vec<f64>) {
+    fn run_with_history(theta_of_t: impl Fn(f64) -> f64, seconds: f64) -> (Vec<RtsStep>, Vec<f64>) {
         let dt = 0.02;
         let mut ekf = GradientEkf::new(EkfConfig::default(), 15.0);
         let mut history = Vec::new();
@@ -120,10 +117,7 @@ mod tests {
         };
         let filt_err = err(&|i| history[i].x_filt.y);
         let smooth_err = err(&|i| smoothed[i].0.y);
-        assert!(
-            smooth_err < 0.6 * filt_err,
-            "smoothed {smooth_err} vs filtered {filt_err}"
-        );
+        assert!(smooth_err < 0.6 * filt_err, "smoothed {smooth_err} vs filtered {filt_err}");
     }
 
     #[test]

@@ -6,8 +6,16 @@
 //! (δ = peak magnitude, T = dwell time above 0.7·δ) from a maneuver's
 //! profile.
 
-use gradest_math::lowess::{lowess, LowessConfig};
+use gradest_math::lowess::{lowess_into, LowessConfig, LowessScratch};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread LOWESS working buffers: `smooth_profile` runs once per
+    /// trip, and a fleet worker thread smooths thousands of trips — the
+    /// scratch turns that into zero intermediate allocations per call.
+    static LOWESS_SCRATCH: RefCell<LowessScratch> = RefCell::new(LowessScratch::new());
+}
 
 /// A uniformly sampled, smoothed steering-rate profile.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,8 +66,12 @@ pub fn smooth_profile(raw: &[(f64, f64)], window_s: f64) -> SmoothedProfile {
     let w: Vec<f64> = raw.iter().map(|p| p.1).collect();
     let span = t[t.len() - 1] - t[0];
     let fraction = (window_s / span.max(1e-9)).clamp(1e-4, 1.0);
-    let smoothed = lowess(&t, &w, LowessConfig { fraction, robust_iterations: 0 })
-        .expect("validated uniform series");
+    let config = LowessConfig { fraction, robust_iterations: 0 };
+    let mut smoothed = Vec::new();
+    LOWESS_SCRATCH.with(|scratch| {
+        lowess_into(&t, &w, config, &mut scratch.borrow_mut(), &mut smoothed)
+            .expect("validated uniform series");
+    });
     SmoothedProfile { t, w: smoothed }
 }
 
@@ -94,12 +106,7 @@ pub fn extract_bump_features(profile: &SmoothedProfile) -> Option<BumpFeatures> 
     }
     let t_pos = profile.w.iter().filter(|&&w| w >= 0.7 * pos_peak).count() as f64 * dt;
     let t_neg = profile.w.iter().filter(|&&w| w <= 0.7 * neg_peak).count() as f64 * dt;
-    Some(BumpFeatures {
-        delta_pos: pos_peak,
-        t_pos,
-        delta_neg: -neg_peak,
-        t_neg,
-    })
+    Some(BumpFeatures { delta_pos: pos_peak, t_pos, delta_neg: -neg_peak, t_neg })
 }
 
 #[cfg(test)]
@@ -154,9 +161,8 @@ mod tests {
 
     #[test]
     fn features_reject_single_polarity() {
-        let raw: Vec<(f64, f64)> = (0..100)
-            .map(|i| (i as f64 * 0.02, (i as f64 * 0.02).sin().abs() * 0.1))
-            .collect();
+        let raw: Vec<(f64, f64)> =
+            (0..100).map(|i| (i as f64 * 0.02, (i as f64 * 0.02).sin().abs() * 0.1)).collect();
         let prof = SmoothedProfile {
             t: raw.iter().map(|p| p.0).collect(),
             w: raw.iter().map(|p| p.1).collect(),

@@ -31,7 +31,7 @@ impl GradientTrack {
     /// variance is not positive.
     pub fn push(&mut self, s: f64, theta: f64, variance: f64) {
         debug_assert!(
-            self.s.last().map_or(true, |&last| s >= last),
+            self.s.last().is_none_or(|&last| s >= last),
             "track arc positions must be non-decreasing"
         );
         debug_assert!(variance > 0.0, "variance must be positive");
@@ -91,9 +91,28 @@ impl GradientTrack {
         assert!(!self.is_empty(), "cannot resample an empty track");
         let mut out = GradientTrack::new(self.label.clone());
         let n = (length / ds).floor() as usize;
+        out.s.reserve(n + 1);
+        out.theta.reserve(n + 1);
+        out.variance.reserve(n + 1);
+        // The grid positions are non-decreasing, so a forward cursor
+        // replaces `nearest_index`'s per-point binary search: `cursor`
+        // maintains `partition_point(|v| v < s)` across queries, with
+        // the same closer-neighbour tie-break.
+        let mut cursor = 0usize;
         for i in 0..=n {
             let s = i as f64 * ds;
-            let idx = self.nearest_index(s).expect("nonempty");
+            while cursor < self.s.len() && self.s[cursor] < s {
+                cursor += 1;
+            }
+            let idx = if cursor == 0 {
+                0
+            } else if cursor >= self.s.len() {
+                self.s.len() - 1
+            } else if (self.s[cursor] - s).abs() < (s - self.s[cursor - 1]).abs() {
+                cursor
+            } else {
+                cursor - 1
+            };
             out.push(s, self.theta[idx], self.variance[idx]);
         }
         out
@@ -147,6 +166,24 @@ mod tests {
         assert_eq!(r.len(), 5);
         assert_eq!(r.s, vec![0.0, 5.0, 10.0, 15.0, 20.0]);
         assert_eq!(r.theta, vec![0.01, 0.01, 0.02, 0.02, 0.03]);
+    }
+
+    #[test]
+    fn resample_cursor_matches_per_point_nearest_lookup() {
+        // Irregular spacing exercises the forward cursor against the
+        // binary-search path it replaced.
+        let mut t = GradientTrack::new("irr");
+        let mut s = 0.0;
+        for i in 0..40 {
+            s += 0.3 + (i % 7) as f64 * 0.9;
+            t.push(s, (i as f64 * 0.37).sin() * 0.05, 1e-4 + (i % 3) as f64 * 1e-5);
+        }
+        let r = t.resample(s, 1.7);
+        for (i, g) in r.s.iter().enumerate() {
+            let idx = t.nearest_index(*g).unwrap();
+            assert_eq!(r.theta[i], t.theta[idx], "grid point {g}");
+            assert_eq!(r.variance[i], t.variance[idx]);
+        }
     }
 
     #[test]

@@ -120,11 +120,7 @@ impl EmissionMap {
         species: Species,
         speed_mps: f64,
     ) -> EmissionMap {
-        assert_eq!(
-            network.edge_count(),
-            fuel.roads.len(),
-            "fuel map does not match network"
-        );
+        assert_eq!(network.edge_count(), fuel.roads.len(), "fuel map does not match network");
         let v_kmh = speed_mps * 3.6;
         let roads = network
             .edges()
@@ -225,12 +221,8 @@ mod tests {
             acc / n as f64
         };
         let grads: Vec<f64> = net.edges().iter().map(mean_grad).collect();
-        let steepest = grads
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let steepest =
+            grads.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         let flattest = grads
             .iter()
             .enumerate()

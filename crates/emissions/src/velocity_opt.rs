@@ -87,10 +87,11 @@ pub fn optimize(
     mut theta_at: impl FnMut(f64) -> f64,
     cfg: &VelocityOptConfig,
 ) -> Result<VelocityProfile, VelocityOptError> {
-    if !(cfg.ds > 0.0) || !(cfg.v_step > 0.0) || !(cfg.max_accel > 0.0) {
+    let positive = |v: f64| !v.is_nan() && v > 0.0;
+    if !positive(cfg.ds) || !positive(cfg.v_step) || !positive(cfg.max_accel) {
         return Err(VelocityOptError::BadConfig("steps must be positive"));
     }
-    if !(cfg.v_max > cfg.v_min) || cfg.v_min <= 0.0 {
+    if cfg.v_max.is_nan() || cfg.v_max <= cfg.v_min || cfg.v_min <= 0.0 {
         return Err(VelocityOptError::BadConfig("need 0 < v_min < v_max"));
     }
     let n_pos = (length_m / cfg.ds).floor() as usize;
@@ -207,21 +208,17 @@ mod tests {
         let cfg = VelocityOptConfig { time_value_gal_per_hour: 0.02, ..Default::default() };
         let p = optimize(&model, 3000.0, theta, &cfg).unwrap();
         let avg = |lo: f64, hi: f64| {
-            let vals: Vec<f64> = p
-                .s
-                .iter()
-                .zip(&p.v)
-                .filter(|(s, _)| **s >= lo && **s < hi)
-                .map(|(_, v)| *v)
-                .collect();
+            let vals: Vec<f64> =
+                p.s.iter()
+                    .zip(&p.v)
+                    .filter(|(s, _)| **s >= lo && **s < hi)
+                    .map(|(_, v)| *v)
+                    .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
         let v_flat = avg(200.0, 900.0);
         let v_down = avg(1200.0, 1900.0);
-        assert!(
-            v_down > v_flat + 1.0,
-            "downhill speed {v_down} should exceed flat speed {v_flat}"
-        );
+        assert!(v_down > v_flat + 1.0, "downhill speed {v_down} should exceed flat speed {v_flat}");
     }
 
     #[test]
@@ -239,7 +236,8 @@ mod tests {
             let v_avg = 0.5 * (w[0] + w[1]);
             let a = (w[1] * w[1] - w[0] * w[0]) / (2.0 * cfg.ds);
             let dt = cfg.ds / v_avg;
-            blind_fuel += model.fuel_rate_gph(v_avg, a, theta((i as f64 + 0.5) * cfg.ds)) * dt / 3600.0;
+            blind_fuel +=
+                model.fuel_rate_gph(v_avg, a, theta((i as f64 + 0.5) * cfg.ds)) * dt / 3600.0;
         }
         assert!(
             aware.fuel_gal <= blind_fuel + 1e-9,

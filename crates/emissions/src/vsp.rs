@@ -68,8 +68,7 @@ impl FuelModel {
 
     /// Fuel rate in gallon/hour, floored at the idle rate.
     pub fn fuel_rate_gph(&self, v_mps: f64, a_mps2: f64, theta_rad: f64) -> f64 {
-        self.fuel_rate_raw_gph(v_mps, a_mps2, theta_rad)
-            .max(self.idle_floor_gph)
+        self.fuel_rate_raw_gph(v_mps, a_mps2, theta_rad).max(self.idle_floor_gph)
     }
 
     /// Fuel per kilometre (gallon/km) at steady speed on a gradient.
@@ -89,10 +88,7 @@ impl FuelModel {
         &self,
         samples: impl IntoIterator<Item = &'a (f64, f64, f64, f64)>,
     ) -> f64 {
-        samples
-            .into_iter()
-            .map(|&(dt, v, a, th)| self.fuel_rate_gph(v, a, th) * dt / 3600.0)
-            .sum()
+        samples.into_iter().map(|&(dt, v, a, th)| self.fuel_rate_gph(v, a, th) * dt / 3600.0).sum()
     }
 }
 

@@ -83,7 +83,7 @@ impl DemTerrain {
         if rows.iter().any(|r| r.len() != cols) {
             return Err(DemError::RaggedRows);
         }
-        if !(cell_m > 0.0) {
+        if cell_m.is_nan() || cell_m <= 0.0 {
             return Err(DemError::InvalidData);
         }
         let mut data = Vec::with_capacity(rows.len() * cols);
@@ -142,10 +142,8 @@ impl DemTerrain {
 impl Terrain for DemTerrain {
     fn altitude(&self, p: Vec2) -> f64 {
         // Clamp to the grid interior (constant extrapolation at edges).
-        let fx = ((p.x - self.origin.x) / self.cell_m)
-            .clamp(0.0, (self.cols - 1) as f64 - 1e-9);
-        let fy = ((p.y - self.origin.y) / self.cell_m)
-            .clamp(0.0, (self.rows - 1) as f64 - 1e-9);
+        let fx = ((p.x - self.origin.x) / self.cell_m).clamp(0.0, (self.cols - 1) as f64 - 1e-9);
+        let fy = ((p.y - self.origin.y) / self.cell_m).clamp(0.0, (self.rows - 1) as f64 - 1e-9);
         let c0 = fx.floor() as usize;
         let r0 = fy.floor() as usize;
         let tx = fx - c0 as f64;
@@ -181,12 +179,7 @@ mod tests {
 
     #[test]
     fn edges_clamp_instead_of_panicking() {
-        let dem = DemTerrain::from_rows(
-            Vec2::ZERO,
-            10.0,
-            &[&[1.0, 2.0], &[3.0, 4.0]],
-        )
-        .unwrap();
+        let dem = DemTerrain::from_rows(Vec2::ZERO, 10.0, &[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         // Far outside the grid: clamped to the nearest cell values.
         assert!((dem.altitude(Vec2::new(-100.0, -100.0)) - 1.0).abs() < 1e-9);
         let far = dem.altitude(Vec2::new(1e6, 1e6));
@@ -245,8 +238,7 @@ mod tests {
             DemError::InvalidData
         );
         assert_eq!(
-            DemTerrain::from_rows(Vec2::ZERO, 10.0, &[&[1.0, f64::NAN], &[3.0, 4.0]])
-                .unwrap_err(),
+            DemTerrain::from_rows(Vec2::ZERO, 10.0, &[&[1.0, f64::NAN], &[3.0, 4.0]]).unwrap_err(),
             DemError::InvalidData
         );
         let ok = DemTerrain::from_rows(Vec2::ZERO, 10.0, &[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();

@@ -156,10 +156,8 @@ pub fn city_network(seed: u64) -> RoadNetwork {
         // Gentle bow: perpendicular sinusoidal offset vanishing at the
         // endpoints, so roads are curved but still meet the nodes exactly.
         let n = ((pb - pa).norm() / 50.0).ceil() as usize;
-        let perp = (pb - pa)
-            .rotated(std::f64::consts::FRAC_PI_2)
-            .normalized()
-            .expect("distinct nodes");
+        let perp =
+            (pb - pa).rotated(std::f64::consts::FRAC_PI_2).normalized().expect("distinct nodes");
         let amp: f64 = rng.gen_range(-60.0..60.0);
         let pts: Vec<Vec2> = (0..=n)
             .map(|i| {
@@ -229,10 +227,7 @@ mod tests {
             let mid = s + sec.length_m / 2.0;
             let th = road.gradient_at(mid);
             let expect_sign = if i % 2 == 0 { 1.0 } else { -1.0 };
-            assert!(
-                th * expect_sign > 0.0,
-                "section {i} gradient sign wrong: {th}"
-            );
+            assert!(th * expect_sign > 0.0, "section {i} gradient sign wrong: {th}");
             // Lane counts per Table III.
             let lanes_expect = [1, 1, 1, 1, 2, 2, 1][i];
             assert_eq!(road.lanes_at(mid), lanes_expect, "section {i} lanes");
@@ -328,9 +323,8 @@ mod tests {
     #[test]
     fn city_network_routes_exist() {
         let net = city_network(42);
-        let route = net
-            .route_between(0, net.node_count() - 1, |r| r.length())
-            .expect("grid is connected");
+        let route =
+            net.route_between(0, net.node_count() - 1, |r| r.length()).expect("grid is connected");
         // Corner to corner: at least the Manhattan distance.
         assert!(route.length() > 15_000.0);
     }

@@ -94,11 +94,7 @@ pub fn network_to_geojson(
 /// Exports a route as a GeoJSON `FeatureCollection` (one feature per
 /// constituent road, in travel order).
 pub fn route_to_geojson(route: &Route, frame: &LocalFrame) -> String {
-    let features: Vec<Value> = route
-        .roads()
-        .iter()
-        .map(|r| road_feature(r, frame, None))
-        .collect();
+    let features: Vec<Value> = route.roads().iter().map(|r| road_feature(r, frame, None)).collect();
     json!({
         "type": "FeatureCollection",
         "features": features,
@@ -176,9 +172,7 @@ mod tests {
         let net = city_network(2);
         let s = network_to_geojson(&net, &frame(), |_, _| None);
         let v: Value = serde_json::from_str(&s).unwrap();
-        let c = v["features"][0]["geometry"]["coordinates"][0]
-            .as_array()
-            .unwrap();
+        let c = v["features"][0]["geometry"]["coordinates"][0].as_array().unwrap();
         let lon = c[0].as_f64().unwrap();
         let lat = c[1].as_f64().unwrap();
         assert!((lat - 38.03).abs() < 0.3, "lat {lat}");

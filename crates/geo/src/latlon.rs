@@ -51,8 +51,8 @@ impl LatLon {
         let phi2 = deg_to_rad(other.lat_deg);
         let dphi = phi2 - phi1;
         let dlambda = deg_to_rad(other.lon_deg - self.lon_deg);
-        let a = (dphi / 2.0).sin().powi(2)
-            + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+        let a =
+            (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().asin()
     }
 
@@ -117,10 +117,7 @@ impl LocalFrame {
     pub fn to_latlon(&self, p: Vec2) -> LatLon {
         let dlat = p.y / EARTH_RADIUS_M;
         let dlon = p.x / (EARTH_RADIUS_M * self.cos_lat);
-        LatLon::new(
-            self.origin.lat_deg + rad_to_deg(dlat),
-            self.origin.lon_deg + rad_to_deg(dlon),
-        )
+        LatLon::new(self.origin.lat_deg + rad_to_deg(dlat), self.origin.lon_deg + rad_to_deg(dlon))
     }
 }
 

@@ -213,10 +213,7 @@ impl RoadNetwork {
         impl Ord for Item {
             fn cmp(&self, other: &Self) -> Ordering {
                 // Min-heap over dist.
-                other
-                    .dist
-                    .partial_cmp(&self.dist)
-                    .expect("costs must be finite")
+                other.dist.partial_cmp(&self.dist).expect("costs must be finite")
             }
         }
         impl PartialOrd for Item {
@@ -370,10 +367,7 @@ mod tests {
         ));
         // Road not touching the nodes.
         let far = straight(10, Vec2::new(500.0, 0.0), Vec2::new(600.0, 0.0));
-        assert!(matches!(
-            net.add_edge(0, 1, far),
-            Err(NetworkError::EndpointMismatch { .. })
-        ));
+        assert!(matches!(net.add_edge(0, 1, far), Err(NetworkError::EndpointMismatch { .. })));
     }
 
     #[test]
@@ -389,9 +383,7 @@ mod tests {
     fn shortest_path_respects_custom_cost() {
         let net = square();
         // Penalize the diagonal heavily.
-        let hops = net
-            .shortest_path(0, 2, |r| if r.id() == 5 { 1e9 } else { r.length() })
-            .unwrap();
+        let hops = net.shortest_path(0, 2, |r| if r.id() == 5 { 1e9 } else { r.length() }).unwrap();
         assert_eq!(hops.len(), 2);
     }
 
@@ -409,9 +401,8 @@ mod tests {
     #[test]
     fn route_between_concatenates() {
         let net = square();
-        let route = net
-            .route_between(3, 1, |r| if r.id() == 5 { 1e9 } else { r.length() })
-            .unwrap();
+        let route =
+            net.route_between(3, 1, |r| if r.id() == 5 { 1e9 } else { r.length() }).unwrap();
         assert!((route.length() - 200.0).abs() < 1e-6);
     }
 

@@ -119,10 +119,7 @@ impl Polyline {
         if s >= self.length() {
             return self.points.len() - 2;
         }
-        match self
-            .cum
-            .binary_search_by(|v| v.partial_cmp(&s).expect("finite lengths"))
-        {
+        match self.cum.binary_search_by(|v| v.partial_cmp(&s).expect("finite lengths")) {
             Ok(i) => i.min(self.points.len() - 2),
             Err(i) => i - 1,
         }
@@ -240,12 +237,8 @@ mod tests {
     use std::f64::consts::FRAC_PI_2;
 
     fn l_shape() -> Polyline {
-        Polyline::new(vec![
-            Vec2::new(0.0, 0.0),
-            Vec2::new(100.0, 0.0),
-            Vec2::new(100.0, 100.0),
-        ])
-        .unwrap()
+        Polyline::new(vec![Vec2::new(0.0, 0.0), Vec2::new(100.0, 0.0), Vec2::new(100.0, 100.0)])
+            .unwrap()
     }
 
     #[test]
@@ -277,12 +270,9 @@ mod tests {
 
     #[test]
     fn curvature_straight_is_zero() {
-        let p = Polyline::new(vec![
-            Vec2::new(0.0, 0.0),
-            Vec2::new(10.0, 0.0),
-            Vec2::new(20.0, 0.0),
-        ])
-        .unwrap();
+        let p =
+            Polyline::new(vec![Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0), Vec2::new(20.0, 0.0)])
+                .unwrap();
         assert_eq!(p.curvature_at(5.0), 0.0);
         assert_eq!(p.curvature_at(15.0), 0.0);
     }

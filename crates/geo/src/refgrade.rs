@@ -61,7 +61,9 @@ impl GradientProfile {
         if s.is_empty() || s.len() != theta.len() {
             return Err(ProfileError::BadShape);
         }
-        if s.windows(2).any(|w| !(w[1] > w[0])) || s.iter().any(|v| !v.is_finite()) {
+        if s.windows(2).any(|w| w[0].is_nan() || w[1].is_nan() || w[1] <= w[0])
+            || s.iter().any(|v| !v.is_finite())
+        {
             return Err(ProfileError::NotIncreasing);
         }
         Ok(GradientProfile { s, theta })
@@ -264,10 +266,7 @@ mod tests {
 
     #[test]
     fn profile_validation() {
-        assert_eq!(
-            GradientProfile::new(vec![], vec![]).unwrap_err(),
-            ProfileError::BadShape
-        );
+        assert_eq!(GradientProfile::new(vec![], vec![]).unwrap_err(), ProfileError::BadShape);
         assert_eq!(
             GradientProfile::new(vec![0.0], vec![0.0, 1.0]).unwrap_err(),
             ProfileError::BadShape
@@ -327,8 +326,12 @@ mod tests {
             .zip([320.0, 340.0, 330.0, 300.0])
             .map(|(lg, len): (&f64, f64)| (lg / len).to_radians().tan() * len)
             .sum();
-        assert!((st.total_climb_m - expect_climb).abs() < 2.0,
-            "climb {} vs {}", st.total_climb_m, expect_climb);
+        assert!(
+            (st.total_climb_m - expect_climb).abs() < 2.0,
+            "climb {} vs {}",
+            st.total_climb_m,
+            expect_climb
+        );
         assert!(st.total_descent_m > 10.0);
         // Most of the road is steeper than 2°.
         assert!(st.steep_fraction > 0.5, "{}", st.steep_fraction);

@@ -78,10 +78,9 @@ impl std::fmt::Display for RoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RoadError::Geometry(e) => write!(f, "invalid centerline: {e}"),
-            RoadError::AltitudeLength { points, altitudes } => write!(
-                f,
-                "altitude profile length {altitudes} does not match {points} vertices"
-            ),
+            RoadError::AltitudeLength { points, altitudes } => {
+                write!(f, "altitude profile length {altitudes} does not match {points} vertices")
+            }
             RoadError::InvalidLaneSections => write!(f, "invalid lane sections"),
         }
     }
@@ -342,6 +341,7 @@ pub struct SectionSpec {
 /// # Panics
 ///
 /// Panics if `ds <= 0`.
+#[allow(clippy::too_many_arguments)]
 pub fn build_from_sections(
     id: u64,
     name: impl Into<String>,
@@ -419,7 +419,15 @@ mod tests {
     fn build_constant_gradient() {
         let spec = SectionSpec { length_m: 1000.0, gradient_deg: 4.0, lanes: 1, curvature: 0.0 };
         let r = build_from_sections(
-            2, "hill", Vec2::ZERO, 0.0, &[spec], 5.0, 0.0, 13.0, RoadClass::Local,
+            2,
+            "hill",
+            Vec2::ZERO,
+            0.0,
+            &[spec],
+            5.0,
+            0.0,
+            13.0,
+            RoadClass::Local,
         )
         .unwrap();
         let th = r.gradient_at(500.0);
@@ -437,7 +445,15 @@ mod tests {
             SectionSpec { length_m: 300.0, gradient_deg: 1.0, lanes: 1, curvature: 0.0 },
         ];
         let r = build_from_sections(
-            3, "multi", Vec2::ZERO, 0.0, &secs, 10.0, 50.0, 13.0, RoadClass::Arterial,
+            3,
+            "multi",
+            Vec2::ZERO,
+            0.0,
+            &secs,
+            10.0,
+            50.0,
+            13.0,
+            RoadClass::Arterial,
         )
         .unwrap();
         assert_eq!(r.lanes_at(150.0), 1);
@@ -455,7 +471,15 @@ mod tests {
         let len = std::f64::consts::FRAC_PI_2 * 100.0;
         let spec = SectionSpec { length_m: len, gradient_deg: 0.0, lanes: 1, curvature: 0.01 };
         let r = build_from_sections(
-            4, "curve", Vec2::ZERO, 0.0, &[spec], 2.0, 0.0, 13.0, RoadClass::Local,
+            4,
+            "curve",
+            Vec2::ZERO,
+            0.0,
+            &[spec],
+            2.0,
+            0.0,
+            13.0,
+            RoadClass::Local,
         )
         .unwrap();
         let final_heading = r.heading_at(r.length() - 1.0);
@@ -474,7 +498,15 @@ mod tests {
             SectionSpec { length_m: 600.0, gradient_deg: -1.0, lanes: 2, curvature: 0.0 },
         ];
         let r = build_from_sections(
-            5, "fwd", Vec2::ZERO, 0.0, &secs, 10.0, 0.0, 13.0, RoadClass::Local,
+            5,
+            "fwd",
+            Vec2::ZERO,
+            0.0,
+            &secs,
+            10.0,
+            0.0,
+            13.0,
+            RoadClass::Local,
         )
         .unwrap();
         let rev = r.reversed();

@@ -108,10 +108,7 @@ pub struct SineTerrain {
 impl SineTerrain {
     /// Upper bound on `|∇z|` anywhere: `Σ A_i · |k_i|`.
     pub fn max_slope(&self) -> f64 {
-        self.components
-            .iter()
-            .map(|c| c.amplitude_m.abs() * c.wave_vector.norm())
-            .sum()
+        self.components.iter().map(|c| c.amplitude_m.abs() * c.wave_vector.norm()).sum()
     }
 }
 
@@ -145,9 +142,7 @@ pub fn hilly_terrain(seed: u64) -> SineTerrain {
     // dragging `rand` into this crate's public behaviour.
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let mut next = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         (state >> 33) as f64 / (u32::MAX as f64) // in [0, 1)
     };
     let wavelengths = [3000.0, 1700.0, 900.0, 600.0];
@@ -203,10 +198,8 @@ mod tests {
             // Default-trait numeric gradient.
             let h = 0.5;
             let numeric = Vec2::new(
-                (t.altitude(p + Vec2::new(h, 0.0)) - t.altitude(p - Vec2::new(h, 0.0)))
-                    / (2.0 * h),
-                (t.altitude(p + Vec2::new(0.0, h)) - t.altitude(p - Vec2::new(0.0, h)))
-                    / (2.0 * h),
+                (t.altitude(p + Vec2::new(h, 0.0)) - t.altitude(p - Vec2::new(h, 0.0))) / (2.0 * h),
+                (t.altitude(p + Vec2::new(0.0, h)) - t.altitude(p - Vec2::new(0.0, h))) / (2.0 * h),
             );
             assert!((analytic - numeric).norm() < 1e-6, "at {p:?}");
         }

@@ -19,18 +19,8 @@ fn section_strategy() -> impl Strategy<Value = SectionSpec> {
 }
 
 fn road_from(secs: &[SectionSpec]) -> gradest_geo::Road {
-    build_from_sections(
-        1,
-        "prop",
-        Vec2::ZERO,
-        0.0,
-        secs,
-        10.0,
-        100.0,
-        13.0,
-        RoadClass::Collector,
-    )
-    .expect("valid generated sections")
+    build_from_sections(1, "prop", Vec2::ZERO, 0.0, secs, 10.0, 100.0, 13.0, RoadClass::Collector)
+        .expect("valid generated sections")
 }
 
 proptest! {

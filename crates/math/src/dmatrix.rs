@@ -404,10 +404,7 @@ mod tests {
     fn close(a: &DMatrix, b: &DMatrix, tol: f64) -> bool {
         a.rows() == b.rows()
             && a.cols() == b.cols()
-            && a.as_slice()
-                .iter()
-                .zip(b.as_slice())
-                .all(|(x, y)| (x - y).abs() <= tol)
+            && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| (x - y).abs() <= tol)
     }
 
     #[test]
@@ -431,21 +428,14 @@ mod tests {
         let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = DMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         let c = a.matmul(&b).unwrap();
-        assert!(close(
-            &c,
-            &DMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]),
-            1e-12
-        ));
+        assert!(close(&c, &DMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]), 1e-12));
     }
 
     #[test]
     fn matmul_dimension_mismatch() {
         let a = DMatrix::zeros(2, 3);
         let b = DMatrix::zeros(2, 3);
-        assert!(matches!(
-            a.matmul(&b),
-            Err(MathError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(a.matmul(&b), Err(MathError::DimensionMismatch { .. })));
     }
 
     #[test]
@@ -457,11 +447,7 @@ mod tests {
 
     #[test]
     fn inverse_round_trip() {
-        let a = DMatrix::from_rows(&[
-            &[4.0, 2.0, 0.6],
-            &[4.2, -14.0, 1.8],
-            &[0.8, -1.0, 10.0],
-        ]);
+        let a = DMatrix::from_rows(&[&[4.0, 2.0, 0.6], &[4.2, -14.0, 1.8], &[0.8, -1.0, 10.0]]);
         let inv = a.inverse().unwrap();
         assert!(close(&a.matmul(&inv).unwrap(), &DMatrix::identity(3), 1e-10));
         assert!(close(&inv.matmul(&a).unwrap(), &DMatrix::identity(3), 1e-10));
@@ -493,10 +479,7 @@ mod tests {
     #[test]
     fn cholesky_rejects_indefinite() {
         let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
-        assert!(matches!(
-            a.cholesky(),
-            Err(MathError::NotPositiveDefinite { .. })
-        ));
+        assert!(matches!(a.cholesky(), Err(MathError::NotPositiveDefinite { .. })));
     }
 
     #[test]

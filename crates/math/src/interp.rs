@@ -73,6 +73,79 @@ pub fn resample_uniform(xs: &[f64], ys: &[f64], n: usize) -> MathResult<(Vec<f64
     Ok((grid, vals))
 }
 
+/// A validated interpolation table: checks the series once at
+/// construction, then answers queries with just a binary search.
+///
+/// [`interp1`] re-validates the whole series on every call — an O(n)
+/// scan that dominates when the same series is queried thousands of
+/// times (speed lookups at the IMU rate, per-metre road profiles). Use
+/// this type for repeated queries; semantics are identical.
+///
+/// # Example
+///
+/// ```
+/// use gradest_math::interp::Interpolant;
+///
+/// let f = Interpolant::new(vec![0.0, 1.0, 3.0], vec![0.0, 10.0, 30.0])?;
+/// assert_eq!(f.at(2.0), 20.0);
+/// assert_eq!(f.at(-1.0), 0.0); // clamped
+/// # Ok::<(), gradest_math::MathError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interpolant {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl Interpolant {
+    /// Builds a table over `ys` sampled at strictly increasing `xs`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`interp1`]: non-empty, equal lengths,
+    /// strictly increasing finite abscissae.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> MathResult<Self> {
+        validate_series(&xs, &ys)?;
+        Ok(Interpolant { xs, ys })
+    }
+
+    /// Number of knots.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Always false (construction rejects empty series).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The domain covered by the knots.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], self.xs[self.xs.len() - 1])
+    }
+
+    /// Interpolates at `x`, clamping outside the domain. NaN queries
+    /// return the first sample (callers needing strictness should use
+    /// [`interp1`]).
+    pub fn at(&self, x: f64) -> f64 {
+        let xs = &self.xs;
+        let ys = &self.ys;
+        if x.is_nan() || x <= xs[0] {
+            return ys[0];
+        }
+        if x >= xs[xs.len() - 1] {
+            return ys[ys.len() - 1];
+        }
+        let idx = xs.partition_point(|&v| v < x);
+        if xs[idx] == x {
+            return ys[idx];
+        }
+        let (x0, x1) = (xs[idx - 1], xs[idx]);
+        let t = (x - x0) / (x1 - x0);
+        lerp(ys[idx - 1], ys[idx], t)
+    }
+}
+
 fn validate_series(xs: &[f64], ys: &[f64]) -> MathResult<()> {
     if xs.is_empty() {
         return Err(MathError::EmptyInput { context: "interpolation abscissae" });
@@ -81,7 +154,7 @@ fn validate_series(xs: &[f64], ys: &[f64]) -> MathResult<()> {
         return Err(MathError::DimensionMismatch { context: "interp xs/ys lengths" });
     }
     for w in xs.windows(2) {
-        if !(w[1] > w[0]) {
+        if w[0].is_nan() || w[1].is_nan() || w[1] <= w[0] {
             return Err(MathError::InvalidArgument {
                 context: "abscissae must be strictly increasing and finite",
             });

@@ -74,6 +74,46 @@ impl LowessConfig {
 /// # Ok::<(), gradest_math::MathError>(())
 /// ```
 pub fn lowess(xs: &[f64], ys: &[f64], config: LowessConfig) -> MathResult<Vec<f64>> {
+    let mut fitted = Vec::new();
+    lowess_into(xs, ys, config, &mut LowessScratch::new(), &mut fitted)?;
+    Ok(fitted)
+}
+
+/// Reusable working buffers for [`lowess_into`].
+///
+/// A 50 Hz steering profile is smoothed once per trip, but a fleet
+/// engine smooths thousands of trips; reusing the scratch removes every
+/// intermediate allocation from that loop. The buffers grow to the
+/// largest series seen and stay allocated.
+#[derive(Debug, Clone, Default)]
+pub struct LowessScratch {
+    robust_weights: Vec<f64>,
+    abs_res: Vec<f64>,
+    sorted: Vec<f64>,
+}
+
+impl LowessScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        LowessScratch::default()
+    }
+}
+
+/// [`lowess`] with caller-owned buffers: writes the smoothed series
+/// into `fitted` (cleared and resized) and keeps every intermediate in
+/// `scratch`, so repeated calls allocate nothing once the buffers have
+/// grown to the series length.
+///
+/// # Errors
+///
+/// Same as [`lowess`].
+pub fn lowess_into(
+    xs: &[f64],
+    ys: &[f64],
+    config: LowessConfig,
+    scratch: &mut LowessScratch,
+    fitted: &mut Vec<f64>,
+) -> MathResult<()> {
     if xs.is_empty() {
         return Err(MathError::EmptyInput { context: "lowess input" });
     }
@@ -84,24 +124,27 @@ pub fn lowess(xs: &[f64], ys: &[f64], config: LowessConfig) -> MathResult<Vec<f6
         return Err(MathError::InvalidArgument { context: "lowess fraction not in (0, 1]" });
     }
     for w in xs.windows(2) {
-        if !(w[1] > w[0]) {
+        if w[0].is_nan() || w[1].is_nan() || w[1] <= w[0] {
             return Err(MathError::InvalidArgument {
                 context: "lowess abscissae must be strictly increasing",
             });
         }
     }
     let n = xs.len();
+    fitted.clear();
     if n == 1 {
-        return Ok(vec![ys[0]]);
+        fitted.push(ys[0]);
+        return Ok(());
     }
     let window = ((config.fraction * n as f64).ceil() as usize).clamp(2, n);
 
-    let mut robust_weights = vec![1.0; n];
-    let mut fitted = vec![0.0; n];
+    scratch.robust_weights.clear();
+    scratch.robust_weights.resize(n, 1.0);
+    fitted.resize(n, 0.0);
 
     for iteration in 0..=config.robust_iterations {
-        for i in 0..n {
-            fitted[i] = fit_local(xs, ys, &robust_weights, i, window);
+        for (i, f) in fitted.iter_mut().enumerate() {
+            *f = fit_local(xs, ys, &scratch.robust_weights, i, window);
         }
         if iteration == config.robust_iterations {
             break;
@@ -111,21 +154,23 @@ pub fn lowess(xs: &[f64], ys: &[f64], config: LowessConfig) -> MathResult<Vec<f6
         // mostly-perfect fit the median collapses to ~0 and an unfloored
         // scale would zero out every point near an outlier, preventing the
         // iteration from ever recovering.
-        let mut abs_res: Vec<f64> = ys.iter().zip(&fitted).map(|(y, f)| (y - f).abs()).collect();
-        let mut sorted = abs_res.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("residuals finite"));
-        let median = sorted[n / 2];
-        let mean = abs_res.iter().sum::<f64>() / n as f64;
+        scratch.abs_res.clear();
+        scratch.abs_res.extend(ys.iter().zip(fitted.iter()).map(|(y, f)| (y - f).abs()));
+        scratch.sorted.clear();
+        scratch.sorted.extend_from_slice(&scratch.abs_res);
+        scratch.sorted.sort_by(|a, b| a.partial_cmp(b).expect("residuals finite"));
+        let median = scratch.sorted[n / 2];
+        let mean = scratch.abs_res.iter().sum::<f64>() / n as f64;
         let scale = median.max(0.25 * mean);
         if scale <= f64::EPSILON {
             break; // perfect fit; further iterations change nothing
         }
-        for (w, r) in robust_weights.iter_mut().zip(abs_res.drain(..)) {
+        for (w, r) in scratch.robust_weights.iter_mut().zip(&scratch.abs_res) {
             let u = r / (6.0 * scale);
             *w = if u >= 1.0 { 0.0 } else { (1.0 - u * u).powi(2) };
         }
     }
-    Ok(fitted)
+    Ok(())
 }
 
 /// Weighted degree-1 local fit evaluated at `xs[i]`, using the `window`
@@ -209,7 +254,7 @@ mod tests {
         let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|x| x + if (*x as usize) % 2 == 0 { 1.0 } else { -1.0 })
+            .map(|x| x + if (*x as usize).is_multiple_of(2) { 1.0 } else { -1.0 })
             .collect();
         let out = lowess(&xs, &ys, LowessConfig::with_fraction(0.1)).unwrap();
         // Interior points: noise mostly gone.
@@ -227,10 +272,7 @@ mod tests {
         let robust = lowess(&xs, &ys, LowessConfig::with_fraction(0.3).robust(3)).unwrap();
         let plain_err = (plain[29] - 29.0).abs();
         let robust_err = (robust[29] - 29.0).abs();
-        assert!(
-            robust_err < plain_err,
-            "robust {robust_err} should beat plain {plain_err}"
-        );
+        assert!(robust_err < plain_err, "robust {robust_err} should beat plain {plain_err}");
         assert!(robust_err < 1.0);
     }
 
@@ -255,10 +297,7 @@ mod tests {
 
     #[test]
     fn single_and_two_points() {
-        assert_eq!(
-            lowess(&[1.0], &[2.0], LowessConfig::default()).unwrap(),
-            vec![2.0]
-        );
+        assert_eq!(lowess(&[1.0], &[2.0], LowessConfig::default()).unwrap(), vec![2.0]);
         let out = lowess(&[0.0, 1.0], &[0.0, 2.0], LowessConfig::with_fraction(1.0)).unwrap();
         for (o, y) in out.iter().zip(&[0.0, 2.0]) {
             assert!((o - y).abs() < 1e-9);

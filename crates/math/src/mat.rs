@@ -84,12 +84,7 @@ impl Mat2 {
         if d.abs() < SINGULAR_TOL {
             return Err(MathError::Singular { pivot: d });
         }
-        Ok(Mat2::new(
-            self.m[1][1] / d,
-            -self.m[0][1] / d,
-            -self.m[1][0] / d,
-            self.m[0][0] / d,
-        ))
+        Ok(Mat2::new(self.m[1][1] / d, -self.m[0][1] / d, -self.m[1][0] / d, self.m[0][0] / d))
     }
 
     /// Symmetrizes in place: `P ← (P + Pᵀ)/2`. Used to keep EKF covariances
@@ -172,12 +167,7 @@ impl Neg for Mat2 {
 impl Mul<f64> for Mat2 {
     type Output = Mat2;
     fn mul(self, s: f64) -> Mat2 {
-        Mat2::new(
-            self.m[0][0] * s,
-            self.m[0][1] * s,
-            self.m[1][0] * s,
-            self.m[1][1] * s,
-        )
+        Mat2::new(self.m[0][0] * s, self.m[0][1] * s, self.m[1][0] * s, self.m[1][1] * s)
     }
 }
 
@@ -205,10 +195,7 @@ impl Mul for Mat2 {
 impl Mul<Vec2> for Mat2 {
     type Output = Vec2;
     fn mul(self, v: Vec2) -> Vec2 {
-        Vec2::new(
-            self.m[0][0] * v.x + self.m[0][1] * v.y,
-            self.m[1][0] * v.x + self.m[1][1] * v.y,
-        )
+        Vec2::new(self.m[0][0] * v.x + self.m[0][1] * v.y, self.m[1][0] * v.x + self.m[1][1] * v.y)
     }
 }
 

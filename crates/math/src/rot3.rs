@@ -24,7 +24,8 @@ impl Default for Rot3 {
 
 impl Rot3 {
     /// The identity rotation.
-    pub const IDENTITY: Rot3 = Rot3 { m: Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] } };
+    pub const IDENTITY: Rot3 =
+        Rot3 { m: Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] } };
 
     /// Rotation about the x-axis by `angle` radians (right-handed).
     pub fn about_x(angle: f64) -> Rot3 {

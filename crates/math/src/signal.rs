@@ -20,7 +20,7 @@ pub fn differentiate(ys: &[f64], dt: f64) -> MathResult<Vec<f64>> {
     if ys.len() < 2 {
         return Err(MathError::EmptyInput { context: "differentiate needs >= 2 samples" });
     }
-    if !(dt > 0.0) {
+    if dt.is_nan() || dt <= 0.0 {
         return Err(MathError::InvalidArgument { context: "differentiate dt must be > 0" });
     }
     let n = ys.len();
@@ -46,7 +46,7 @@ pub fn integrate_cumulative(ys: &[f64], dt: f64, initial: f64) -> MathResult<Vec
     if ys.is_empty() {
         return Err(MathError::EmptyInput { context: "integrate input" });
     }
-    if !(dt > 0.0) {
+    if dt.is_nan() || dt <= 0.0 {
         return Err(MathError::InvalidArgument { context: "integrate dt must be > 0" });
     }
     let mut out = Vec::with_capacity(ys.len());
@@ -70,7 +70,7 @@ pub fn cumsum_scaled(ys: &[f64], dt: f64, initial: f64) -> MathResult<Vec<f64>> 
     if ys.is_empty() {
         return Err(MathError::EmptyInput { context: "cumsum input" });
     }
-    if !(dt > 0.0) {
+    if dt.is_nan() || dt <= 0.0 {
         return Err(MathError::InvalidArgument { context: "cumsum dt must be > 0" });
     }
     let mut out = Vec::with_capacity(ys.len());
@@ -145,9 +145,9 @@ mod tests {
         let dt = 0.1;
         let ys: Vec<f64> = (0..50).map(|i| (i as f64 * dt).powi(2)).collect();
         let d = differentiate(&ys, dt).unwrap();
-        for i in 1..49 {
+        for (i, di) in d.iter().enumerate().take(49).skip(1) {
             let t = i as f64 * dt;
-            assert!((d[i] - 2.0 * t).abs() < 1e-10, "i={i}");
+            assert!((di - 2.0 * t).abs() < 1e-10, "i={i}");
         }
     }
 
@@ -180,12 +180,10 @@ mod tests {
 
     #[test]
     fn moving_average_flattens_noise() {
-        let ys: Vec<f64> = (0..100)
-            .map(|i| 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
-            .collect();
+        let ys: Vec<f64> = (0..100).map(|i| 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
         let out = moving_average(&ys, 2).unwrap();
-        for i in 5..95 {
-            assert!((out[i] - 1.0).abs() < 0.11, "i={i} v={}", out[i]);
+        for (i, v) in out.iter().enumerate().take(95).skip(5) {
+            assert!((v - 1.0).abs() < 0.11, "i={i} v={v}");
         }
     }
 

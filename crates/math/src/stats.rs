@@ -84,13 +84,7 @@ pub fn percentile(xs: &[f64], p: f64) -> MathResult<f64> {
 /// [`MathError::EmptyInput`] for empty input.
 pub fn mae(estimates: &[f64], truth: &[f64]) -> MathResult<f64> {
     check_pair(estimates, truth)?;
-    mean(
-        &estimates
-            .iter()
-            .zip(truth)
-            .map(|(e, t)| (e - t).abs())
-            .collect::<Vec<_>>(),
-    )
+    mean(&estimates.iter().zip(truth).map(|(e, t)| (e - t).abs()).collect::<Vec<_>>())
 }
 
 /// Root-mean-square error between estimates and ground truth.
@@ -100,11 +94,7 @@ pub fn mae(estimates: &[f64], truth: &[f64]) -> MathResult<f64> {
 /// Same as [`mae`].
 pub fn rmse(estimates: &[f64], truth: &[f64]) -> MathResult<f64> {
     check_pair(estimates, truth)?;
-    let ms = estimates
-        .iter()
-        .zip(truth)
-        .map(|(e, t)| (e - t) * (e - t))
-        .sum::<f64>()
+    let ms = estimates.iter().zip(truth).map(|(e, t)| (e - t) * (e - t)).sum::<f64>()
         / estimates.len() as f64;
     Ok(ms.sqrt())
 }
@@ -247,7 +237,7 @@ impl Histogram {
     /// Returns [`MathError::InvalidArgument`] when `hi <= lo` or
     /// `bins == 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> MathResult<Self> {
-        if !(hi > lo) || bins == 0 {
+        if hi.is_nan() || lo.is_nan() || hi <= lo || bins == 0 {
             return Err(MathError::InvalidArgument { context: "histogram range/bins" });
         }
         Ok(Histogram { lo, hi, counts: vec![0; bins], below: 0, above: 0 })

@@ -225,8 +225,12 @@ mod tests {
         // Without the map, the S-curve yaw shows up at full strength; with
         // it, most is cancelled (narrow residual transients remain at the
         // curve transitions because w_road updates at GPS rate).
-        assert!(rms(&without_map) > 1.8 * rms(&with_map),
-            "with={} without={}", rms(&with_map), rms(&without_map));
+        assert!(
+            rms(&without_map) > 1.8 * rms(&with_map),
+            "with={} without={}",
+            rms(&with_map),
+            rms(&without_map)
+        );
     }
 
     #[test]

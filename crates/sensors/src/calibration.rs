@@ -82,9 +82,7 @@ pub fn estimate_mount(
     if n_still < 50 {
         return Err(CalibrationError::NoStationaryPeriod);
     }
-    let up = (up_sum / n_still as f64)
-        .normalized()
-        .ok_or(CalibrationError::NoStationaryPeriod)?;
+    let up = (up_sum / n_still as f64).normalized().ok_or(CalibrationError::NoStationaryPeriod)?;
 
     // --- Step 2: forward axis from the v̇-correlated horizontal accel. ---
     // Numeric speed derivative on the speed clock.
@@ -126,9 +124,7 @@ pub fn estimate_mount(
     if excitation < 1.0 {
         return Err(CalibrationError::NoLongitudinalExcitation);
     }
-    let fwd_raw = fwd_sum
-        .normalized()
-        .ok_or(CalibrationError::NoLongitudinalExcitation)?;
+    let fwd_raw = fwd_sum.normalized().ok_or(CalibrationError::NoLongitudinalExcitation)?;
     // Re-orthogonalize against up.
     let fwd = (fwd_raw - up * fwd_raw.dot(up))
         .normalized()
@@ -150,12 +146,7 @@ pub fn apply_mount(raw: &[RawImuSample], mount: &Rot3, t_offset: f64) -> Vec<Imu
         .map(|s| {
             let f_v = mount.rotate(s.accel);
             let w_v = mount.rotate(s.gyro);
-            ImuSample {
-                t: s.t - t_offset,
-                accel_long: f_v.y,
-                accel_lat: f_v.x,
-                gyro_z: w_v.z,
-            }
+            ImuSample { t: s.t - t_offset, accel_long: f_v.y, accel_lat: f_v.x, gyro_z: w_v.z }
         })
         .collect()
 }
@@ -175,7 +166,7 @@ mod tests {
     use gradest_geo::Route;
     use gradest_math::GRAVITY;
     use gradest_sim::driver::DriverProfile;
-    use gradest_sim::trip::{simulate_trip, TripConfig, Trajectory};
+    use gradest_sim::trip::{simulate_trip, Trajectory, TripConfig};
 
     fn wandering_traj(seed: u64) -> Trajectory {
         // Strong speed wander => plenty of longitudinal excitation.
@@ -195,12 +186,7 @@ mod tests {
     /// Speed series on the raw clock (preamble + trip), from ground truth.
     fn speed_series(traj: &Trajectory, preamble: f64) -> Vec<(f64, f64)> {
         let mut out = vec![(0.0, 0.0), (preamble * 0.9, 0.0)];
-        out.extend(
-            traj.samples()
-                .iter()
-                .step_by(5)
-                .map(|s| (s.t + preamble, s.speed_mps)),
-        );
+        out.extend(traj.samples().iter().step_by(5).map(|s| (s.t + preamble, s.speed_mps)));
         out
     }
 
@@ -267,10 +253,7 @@ mod tests {
 
     #[test]
     fn errors_on_insufficient_data() {
-        assert_eq!(
-            estimate_mount(&[], &[]).unwrap_err(),
-            CalibrationError::InsufficientData
-        );
+        assert_eq!(estimate_mount(&[], &[]).unwrap_err(), CalibrationError::InsufficientData);
     }
 
     #[test]

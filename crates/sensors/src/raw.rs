@@ -51,8 +51,20 @@ impl Default for RawImuConfig {
     fn default() -> Self {
         RawImuConfig {
             rate_hz: 50.0,
-            accel_noise: NoiseSpec { white_sd: 0.06, bias_walk_sd: 0.004, bias_init_sd: 0.03, quantization: 0.0, scale: 1.0 },
-            gyro_noise: NoiseSpec { white_sd: 0.004, bias_walk_sd: 2e-4, bias_init_sd: 0.002, quantization: 0.0, scale: 1.0 },
+            accel_noise: NoiseSpec {
+                white_sd: 0.06,
+                bias_walk_sd: 0.004,
+                bias_init_sd: 0.03,
+                quantization: 0.0,
+                scale: 1.0,
+            },
+            gyro_noise: NoiseSpec {
+                white_sd: 0.004,
+                bias_walk_sd: 2e-4,
+                bias_init_sd: 0.002,
+                quantization: 0.0,
+                scale: 1.0,
+            },
             mount: Rot3::IDENTITY,
             stationary_s: 5.0,
         }
@@ -77,15 +89,15 @@ pub fn simulate_raw_imu(traj: &Trajectory, cfg: &RawImuConfig, seed: u64) -> Vec
     let phone_from_vehicle = cfg.mount.inverse();
     let mut out = Vec::new();
     let emit = |t: f64,
-                    f_v: Vec3,
-                    w_v: Vec3,
-                    ax: &mut NoiseChannel,
-                    ay: &mut NoiseChannel,
-                    az: &mut NoiseChannel,
-                    gx: &mut NoiseChannel,
-                    gy: &mut NoiseChannel,
-                    gz: &mut NoiseChannel,
-                    rng: &mut StdRng| {
+                f_v: Vec3,
+                w_v: Vec3,
+                ax: &mut NoiseChannel,
+                ay: &mut NoiseChannel,
+                az: &mut NoiseChannel,
+                gx: &mut NoiseChannel,
+                gy: &mut NoiseChannel,
+                gz: &mut NoiseChannel,
+                rng: &mut StdRng| {
         let f_p = phone_from_vehicle.rotate(f_v);
         let w_p = phone_from_vehicle.rotate(w_v);
         RawImuSample {
@@ -174,7 +186,11 @@ mod tests {
     #[test]
     fn identity_mount_measures_vehicle_frame() {
         let traj = quiet_traj(3.0, 1);
-        let cfg = RawImuConfig { accel_noise: NoiseSpec::CLEAN, gyro_noise: NoiseSpec::CLEAN, ..Default::default() };
+        let cfg = RawImuConfig {
+            accel_noise: NoiseSpec::CLEAN,
+            gyro_noise: NoiseSpec::CLEAN,
+            ..Default::default()
+        };
         let raw = simulate_raw_imu(&traj, &cfg, 1);
         // Stationary preamble (level parking lot): accel ≈ (0, 0, g).
         let first = raw[10];

@@ -157,7 +157,8 @@ impl SensorSuite {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
         let mut accel_ch = NoiseChannel::new(cfg.accel_noise, &mut rng);
-        let mut accel_lat_ch = NoiseChannel::new(NoiseSpec::white(cfg.accel_noise.white_sd), &mut rng);
+        let mut accel_lat_ch =
+            NoiseChannel::new(NoiseSpec::white(cfg.accel_noise.white_sd), &mut rng);
         let mut gyro_ch = NoiseChannel::new(cfg.gyro_noise, &mut rng);
         let mut gps_speed_ch = NoiseChannel::new(cfg.gps_speed_noise, &mut rng);
         let mut speedo_ch = NoiseChannel::new(cfg.speedo_noise, &mut rng);
@@ -185,10 +186,9 @@ impl SensorSuite {
                 // ~g·ε of constant offset (Section III-A notes the
                 // relative-movement compensation of [14]; we model its
                 // residual).
-                let truth_long = s.accel_mps2
-                    + GRAVITY * (s.theta + cfg.mount.pitch_error_rad).sin();
-                let truth_lat =
-                    s.speed_mps * s.yaw_rate + GRAVITY * cfg.mount.roll_error_rad.sin();
+                let truth_long =
+                    s.accel_mps2 + GRAVITY * (s.theta + cfg.mount.pitch_error_rad).sin();
+                let truth_lat = s.speed_mps * s.yaw_rate + GRAVITY * cfg.mount.roll_error_rad.sin();
                 log.imu.push(ImuSample {
                     t: s.t,
                     accel_long: accel_ch.corrupt(truth_long, imu_dt, &mut rng),
@@ -198,10 +198,7 @@ impl SensorSuite {
                 next_imu += imu_dt;
             }
             if s.t >= next_gps {
-                let in_outage = cfg
-                    .gps_outages
-                    .iter()
-                    .any(|&(a, b)| s.t >= a && s.t <= b);
+                let in_outage = cfg.gps_outages.iter().any(|&(a, b)| s.t >= a && s.t <= b);
                 if in_outage {
                     // Hold last-known fix, flagged invalid.
                     let held = last_valid_gps.unwrap_or(GpsSample {
@@ -217,14 +214,12 @@ impl SensorSuite {
                         Vec2::new(gaussian(&mut rng), gaussian(&mut rng)) * cfg.gps_pos_sd_m;
                     // Course noise shrinks with speed (heading comes from
                     // displacement over the fix interval).
-                    let heading_sd = (cfg.gps_pos_sd_m / (s.speed_mps.max(1.0) * gps_dt))
-                        .clamp(0.005, 0.5);
+                    let heading_sd =
+                        (cfg.gps_pos_sd_m / (s.speed_mps.max(1.0) * gps_dt)).clamp(0.005, 0.5);
                     let fix = GpsSample {
                         t: s.t,
                         position: s.position + noise,
-                        speed_mps: gps_speed_ch
-                            .corrupt(s.speed_mps, gps_dt, &mut rng)
-                            .max(0.0),
+                        speed_mps: gps_speed_ch.corrupt(s.speed_mps, gps_dt, &mut rng).max(0.0),
                         heading: s.heading + heading_sd * gaussian(&mut rng),
                         valid: true,
                     };
@@ -294,10 +289,7 @@ mod tests {
         let mid = &log.imu[n / 3..2 * n / 3];
         let mean = mid.iter().map(|s| s.accel_long).sum::<f64>() / mid.len() as f64;
         let expect = GRAVITY * (3.0f64.to_radians()).sin();
-        assert!(
-            (mean - expect).abs() < 0.15,
-            "mean specific force {mean}, expected ≈{expect}"
-        );
+        assert!((mean - expect).abs() < 0.15, "mean specific force {mean}, expected ≈{expect}");
     }
 
     #[test]
@@ -310,9 +302,7 @@ mod tests {
             let truth = traj
                 .samples()
                 .iter()
-                .min_by(|a, b| {
-                    (a.t - fix.t).abs().partial_cmp(&(b.t - fix.t).abs()).unwrap()
-                })
+                .min_by(|a, b| (a.t - fix.t).abs().partial_cmp(&(b.t - fix.t).abs()).unwrap())
                 .unwrap();
             errs.push((fix.position - truth.position).norm());
         }
@@ -324,11 +314,9 @@ mod tests {
     #[test]
     fn outage_marks_fixes_invalid() {
         let traj = quiet_trip();
-        let mut cfg = SensorConfig::default();
-        cfg.gps_outages = vec![(10.0, 20.0)];
+        let cfg = SensorConfig { gps_outages: vec![(10.0, 20.0)], ..Default::default() };
         let log = SensorSuite::new(cfg).run(&traj, 4);
-        let invalid: Vec<&GpsSample> =
-            log.gps.iter().filter(|g| !g.valid).collect();
+        let invalid: Vec<&GpsSample> = log.gps.iter().filter(|g| !g.valid).collect();
         assert!((9..=12).contains(&invalid.len()), "{} invalid fixes", invalid.len());
         assert!(invalid.iter().all(|g| g.t >= 10.0 && g.t <= 20.0));
         // Fixes outside the window are valid.

@@ -58,13 +58,10 @@ impl DriverProfile {
     pub fn target_speed(&self, route: &Route, s: f64, t: f64, wander_phase: f64) -> f64 {
         let base = route.speed_limit_at(s) * self.speed_compliance;
         let kappa = route.heading_rate_at(s, 15.0).abs();
-        let curve_cap = if kappa > 1e-6 {
-            (self.max_lateral_accel / kappa).sqrt()
-        } else {
-            f64::INFINITY
-        };
-        let wander =
-            self.wander_amp_mps * (2.0 * std::f64::consts::PI * t / self.wander_period_s + wander_phase).sin();
+        let curve_cap =
+            if kappa > 1e-6 { (self.max_lateral_accel / kappa).sqrt() } else { f64::INFINITY };
+        let wander = self.wander_amp_mps
+            * (2.0 * std::f64::consts::PI * t / self.wander_period_s + wander_phase).sin();
         (base.min(curve_cap) + wander).max(2.0)
     }
 
@@ -75,11 +72,9 @@ impl DriverProfile {
         let u1: f64 = rng.gen_range(1e-9..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        let a_lat = (self.lane_change_lat_accel_mean + z * self.lane_change_lat_accel_sd)
-            .clamp(1.0, 2.8);
-        (2.0 * std::f64::consts::PI * self.lane_width_m / a_lat)
-            .sqrt()
-            .clamp(2.5, 7.0)
+        let a_lat =
+            (self.lane_change_lat_accel_mean + z * self.lane_change_lat_accel_sd).clamp(1.0, 2.8);
+        (2.0 * std::f64::consts::PI * self.lane_width_m / a_lat).sqrt().clamp(2.5, 7.0)
     }
 }
 
@@ -136,12 +131,8 @@ impl LaneChangePlanner {
             LaneChangeDirection::Right
         };
         let duration = self.profile.sample_duration(rng);
-        let m = LaneChangeManeuver::for_displacement(
-            direction,
-            self.profile.lane_width_m,
-            v,
-            duration,
-        );
+        let m =
+            LaneChangeManeuver::for_displacement(direction, self.profile.lane_width_m, v, duration);
         match direction {
             LaneChangeDirection::Left => self.lane += 1,
             LaneChangeDirection::Right => self.lane -= 1,
@@ -239,10 +230,7 @@ mod tests {
             t += ds / 15.0;
         }
         let rate = count as f64 / total_km;
-        assert!(
-            (rate - 0.224).abs() < 0.05,
-            "observed {rate} changes/km over {count} events"
-        );
+        assert!((rate - 0.224).abs() < 0.05, "observed {rate} changes/km over {count} events");
     }
 
     #[test]

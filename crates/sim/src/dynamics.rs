@@ -56,7 +56,13 @@ impl SpeedController {
 /// Advances the longitudinal state one step of `dt` seconds under
 /// tractive force `force_n` on gradient `theta`, using semi-implicit Euler.
 /// Speed is floored at zero (no reversing).
-pub fn step(params: &VehicleParams, state: &LongState, force_n: f64, theta: f64, dt: f64) -> LongState {
+pub fn step(
+    params: &VehicleParams,
+    state: &LongState,
+    force_n: f64,
+    theta: f64,
+    dt: f64,
+) -> LongState {
     let a = params.acceleration(force_n, state.speed_mps, theta);
     let mut v = state.speed_mps + a * dt;
     let a_applied = if v < 0.0 {

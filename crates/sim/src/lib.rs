@@ -45,7 +45,7 @@ pub mod trip;
 pub mod vehicle;
 
 pub use maneuver::LaneChangeDirection;
-pub use trip::{simulate_trip, LaneChangeEvent, Trajectory, TripConfig, TruthSample};
 pub use powertrain::Powertrain;
 pub use traffic::{IdmFollower, IdmParams, LeadVehicle};
+pub use trip::{simulate_trip, LaneChangeEvent, Trajectory, TripConfig, TruthSample};
 pub use vehicle::VehicleParams;

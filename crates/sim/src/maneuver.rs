@@ -166,10 +166,7 @@ mod tests {
                 alpha += m.steering_rate(t) * dt;
                 l += v * alpha.sin() * dt;
             }
-            assert!(
-                (l - 3.65).abs() < 0.10,
-                "v={v} d={d}: displacement {l}"
-            );
+            assert!((l - 3.65).abs() < 0.10, "v={v} d={d}: displacement {l}");
         }
     }
 

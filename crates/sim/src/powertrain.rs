@@ -258,10 +258,10 @@ mod tests {
 
     #[test]
     fn annotate_tracks_a_trip() {
-        use gradest_geo::generate::straight_road;
-        use gradest_geo::Route;
         use crate::driver::DriverProfile;
         use crate::trip::{simulate_trip, TripConfig};
+        use gradest_geo::generate::straight_road;
+        use gradest_geo::Route;
         let route = Route::new(vec![straight_road(2000.0, 2.0)]).unwrap();
         let cfg = TripConfig {
             driver: DriverProfile { lane_change_rate_per_km: 0.0, ..Default::default() },

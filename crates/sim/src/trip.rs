@@ -6,9 +6,9 @@
 //! estimates are scored.
 
 use crate::driver::{DriverProfile, LaneChangePlanner};
-use crate::traffic::{IdmFollower, IdmParams, LeadVehicle};
 use crate::dynamics::{step, LongState, SpeedController};
 use crate::maneuver::{LaneChangeDirection, LaneChangeManeuver};
+use crate::traffic::{IdmFollower, IdmParams, LeadVehicle};
 use crate::vehicle::VehicleParams;
 use gradest_geo::Route;
 use gradest_math::Vec2;
@@ -178,10 +178,7 @@ pub fn simulate_trip(route: &Route, config: &TripConfig, seed: u64) -> Trajector
     let mut rng = StdRng::seed_from_u64(seed);
     let wander_phase = rng.gen_range(0.0..std::f64::consts::TAU);
 
-    let mut long = LongState {
-        speed_mps: config.initial_speed_mps.max(0.0),
-        ..Default::default()
-    };
+    let mut long = LongState { speed_mps: config.initial_speed_mps.max(0.0), ..Default::default() };
     let mut force = 0.0;
     let mut s = 0.0;
     let mut t = 0.0;
@@ -202,17 +199,13 @@ pub fn simulate_trip(route: &Route, config: &TripConfig, seed: u64) -> Trajector
         // the IDM car-following law caps the commanded force whenever the
         // lead vehicle constrains the ego.
         let target = config.driver.target_speed(route, s, t, wander_phase);
-        force = config
-            .controller
-            .force(&config.vehicle, &long, target, theta, force, dt);
+        force = config.controller.force(&config.vehicle, &long, target, theta, force, dt);
         if let Some(traffic) = &config.traffic {
             let lead_s = traffic.lead.position_at(t);
             let gap = lead_s - s - traffic.vehicle_length_m;
-            let idm = IdmFollower::new(IdmParams {
-                desired_speed: target,
-                ..traffic.idm
-            });
-            let a_idm = idm.acceleration(long.speed_mps, gap, long.speed_mps - traffic.lead.speed_at(t));
+            let idm = IdmFollower::new(IdmParams { desired_speed: target, ..traffic.idm });
+            let a_idm =
+                idm.acceleration(long.speed_mps, gap, long.speed_mps - traffic.lead.speed_at(t));
             let f_idm = config
                 .vehicle
                 .required_force(a_idm, long.speed_mps, theta)
@@ -309,12 +302,7 @@ pub fn simulate_trip(route: &Route, config: &TripConfig, seed: u64) -> Trajector
 
 /// Arc position of the sample nearest to time `t0` (for event labelling).
 fn events_start_s(samples: &[TruthSample], t0: f64) -> f64 {
-    samples
-        .iter()
-        .rev()
-        .find(|s| s.t <= t0)
-        .map(|s| s.s)
-        .unwrap_or(0.0)
+    samples.iter().rev().find(|s| s.t <= t0).map(|s| s.s).unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -427,11 +415,7 @@ mod tests {
             .iter()
             .find(|s| s.t >= ev.end_t + 0.1)
             .expect("samples continue after event");
-        assert!(
-            (after.lateral_offset_m - 3.65).abs() < 0.4,
-            "offset {}",
-            after.lateral_offset_m
-        );
+        assert!((after.lateral_offset_m - 3.65).abs() < 0.4, "offset {}", after.lateral_offset_m);
     }
 
     #[test]
@@ -447,9 +431,7 @@ mod tests {
         let mid = traj
             .samples()
             .iter()
-            .min_by(|a, b| {
-                (a.t - mid_t).abs().partial_cmp(&(b.t - mid_t).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.t - mid_t).abs().partial_cmp(&(b.t - mid_t).abs()).unwrap())
             .unwrap();
         assert!(mid.v_long_mps < mid.speed_mps, "v_long strictly smaller mid-maneuver");
         assert!(mid.steering_angle.abs() > 0.02);
@@ -469,10 +451,7 @@ mod tests {
         use crate::trip::TrafficConfig;
         let route = Route::new(vec![straight_road(3000.0, 1.0)]).unwrap();
         let free = simulate_trip(&route, &no_lane_change_config(), 23);
-        let cfg = TripConfig {
-            traffic: Some(TrafficConfig::default()),
-            ..no_lane_change_config()
-        };
+        let cfg = TripConfig { traffic: Some(TrafficConfig::default()), ..no_lane_change_config() };
         let jammed = simulate_trip(&route, &cfg, 23);
         assert!(
             jammed.duration_s() > 1.15 * free.duration_s(),

@@ -105,8 +105,7 @@ impl VehicleParams {
     pub fn gradient_from_states(&self, m_torque: f64, v: f64, a: f64) -> Option<f64> {
         let mg = self.mass_kg * GRAVITY;
         let arg = m_torque / (self.wheel_radius_m * mg)
-            - self.air_density * self.frontal_area_m2 * self.drag_coefficient * v * v
-                / (2.0 * mg)
+            - self.air_density * self.frontal_area_m2 * self.drag_coefficient * v * v / (2.0 * mg)
             - a / GRAVITY;
         if !(-1.0..=1.0).contains(&arg) {
             return None;
@@ -178,10 +177,7 @@ mod tests {
             let est = p.gradient_from_states(m, v, a).expect("in range");
             // Eq (3) approximates sinθ·cosβ + cosθ·sinβ ≈ sin(θ+β); for
             // small angles the recovery error is < 0.1°.
-            assert!(
-                (est - theta_true).abs() < 2e-3,
-                "θ={theta_true} est={est}"
-            );
+            assert!((est - theta_true).abs() < 2e-3, "θ={theta_true} est={est}");
         }
     }
 

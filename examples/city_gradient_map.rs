@@ -31,8 +31,7 @@ fn main() {
             continue;
         };
         let traj = simulate_trip(&route, &TripConfig::default(), 100 + i as u64);
-        let mut sensor_cfg = SensorConfig::default();
-        sensor_cfg.gps_outages = vec![(60.0, 90.0)];
+        let sensor_cfg = SensorConfig { gps_outages: vec![(60.0, 90.0)], ..Default::default() };
         let log = SensorSuite::new(sensor_cfg).run(&traj, 200 + i as u64);
         let est = estimator.estimate(&log, Some(&route));
         km += traj.distance_m() / 1000.0;
@@ -61,25 +60,16 @@ fn main() {
 
     println!("\n  road    est θ̄°   true θ̄°   samples");
     let mut rows: Vec<_> = per_road.iter().collect();
-    rows.sort_by(|a, b| b.1 .2.cmp(&a.1 .2));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1 .2));
     for (id, (est, truth, n)) in rows.iter().take(12) {
-        println!(
-            "  {id:>5}   {:7.2}   {:8.2}   {n:7}",
-            est / *n as f64,
-            truth / *n as f64
-        );
+        println!("  {id:>5}   {:7.2}   {:8.2}   {n:7}", est / *n as f64, truth / *n as f64);
     }
 
     // Fuel and CO₂ overlays at a 40 km/h cruise.
     let model = FuelModel::default();
     let fuel = FuelMap::compute(&network, &model, 40.0 / 3.6, |r, s| r.gradient_at(s));
-    let co2 = EmissionMap::compute(
-        &network,
-        &fuel,
-        &TrafficModel::default(),
-        Species::Co2,
-        40.0 / 3.6,
-    );
+    let co2 =
+        EmissionMap::compute(&network, &fuel, &TrafficModel::default(), Species::Co2, 40.0 / 3.6);
     println!(
         "\nnetwork fuel at 40 km/h: mean {:.3} gal/h per road; CO₂ total {:.2} t/h",
         fuel.mean_rate_gph(),

@@ -17,7 +17,7 @@ fn main() {
     let truth = reference_profile(&route.roads()[0], 1.0, |_| 0.0);
     let estimator = GradientEstimator::new(EstimatorConfig::default());
 
-    let mut cloud = CloudAggregator::new(5.0);
+    let cloud = CloudAggregator::new(5.0);
     println!("vehicles uploading gradient tracks for road {road_id}:");
     println!("  fleet size   cloud MRE");
     for vehicle in 0..8u64 {

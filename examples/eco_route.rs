@@ -17,9 +17,7 @@ fn main() {
     let (from, to) = (0usize, 89usize); // opposite corners of the city
 
     // Cost 1: distance.
-    let shortest = network
-        .route_between(from, to, |r| r.length())
-        .expect("connected city");
+    let shortest = network.route_between(from, to, |r| r.length()).expect("connected city");
 
     // Cost 2: fuel — gradient-aware per-road traverse fuel. Direction
     // matters: climbing a road costs more than descending it, so the cost
@@ -28,20 +26,14 @@ fn main() {
         let mut s = 5.0;
         let mut total = 0.0;
         while s < r.length() {
-            let theta = if forward {
-                r.gradient_at(s)
-            } else {
-                -r.gradient_at(r.length() - s)
-            };
+            let theta = if forward { r.gradient_at(s) } else { -r.gradient_at(r.length() - s) };
             let rate = model.fuel_rate_gph(cruise, 0.0, theta);
             total += rate * (10.0 / cruise / 3600.0);
             s += 10.0;
         }
         total
     };
-    let greenest = network
-        .route_between_directed(from, to, fuel_cost)
-        .expect("connected city");
+    let greenest = network.route_between_directed(from, to, fuel_cost).expect("connected city");
 
     let fuel_of = |route: &Route| route_fuel_gal(route, &model, cruise, |s| route.gradient_at(s));
     let f_short = fuel_of(&shortest);

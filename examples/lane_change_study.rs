@@ -32,7 +32,10 @@ fn main() {
     }
     println!("ground truth: {} lane change(s)", traj.events().len());
     for e in traj.events() {
-        println!("  {:?} at t = {:.1}–{:.1} s (s = {:.0} m)", e.direction, e.start_t, e.end_t, e.start_s);
+        println!(
+            "  {:?} at t = {:.1}–{:.1} s (s = {:.0} m)",
+            e.direction, e.start_t, e.end_t, e.start_s
+        );
     }
 
     let log = SensorSuite::new(SensorConfig::default()).run(&traj, seed);
@@ -62,8 +65,7 @@ fn main() {
 
     // Algorithm 1 over the whole drive.
     let detector = LaneChangeDetector::new(LaneChangeConfig::default());
-    let (ts, vs): (Vec<f64>, Vec<f64>) =
-        log.speedometer.iter().map(|s| (s.t, s.speed_mps)).unzip();
+    let (ts, vs): (Vec<f64>, Vec<f64>) = log.speedometer.iter().map(|s| (s.t, s.speed_mps)).unzip();
     let v_at = move |t: f64| interp1(&ts, &vs, t).unwrap_or(10.0);
     let detections = detector.detect(&profile, &v_at);
     println!("\nAlgorithm 1 detections: {}", detections.len());

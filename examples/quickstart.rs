@@ -22,11 +22,7 @@ fn main() {
     // 2. Drive it: vehicle dynamics + a driver who wanders speed and
     //    changes lanes at the naturalistic rate.
     let traj = simulate_trip(&route, &TripConfig::default(), 7);
-    println!(
-        "trip: {:.1} s, {} lane change(s)",
-        traj.duration_s(),
-        traj.events().len()
-    );
+    println!("trip: {:.1} s, {} lane change(s)", traj.duration_s(), traj.events().len());
 
     // 3. Record it through smartphone-grade sensors (50 Hz IMU, 1 Hz GPS,
     //    noisy barometer, CAN over Bluetooth).
@@ -52,11 +48,7 @@ fn main() {
     let mut s = 100.0;
     while s < route.length() {
         let est = estimate.fused.theta_at(s).unwrap_or(0.0);
-        println!(
-            "  {s:5.0}   {:12.2}   {:7.2}",
-            est.to_degrees(),
-            truth.theta_at(s).to_degrees()
-        );
+        println!("  {s:5.0}   {:12.2}   {:7.2}", est.to_degrees(), truth.theta_at(s).to_degrees());
         s += 200.0;
     }
 }

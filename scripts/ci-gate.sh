@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Lint gate: fails on any clippy warning or formatting drift.
+#
+#   ./scripts/ci-gate.sh
+#
+# Run before sending changes; CI runs the same two commands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "ci-gate: OK"

@@ -1,0 +1,12 @@
+//! Vendored offline subset of `crossbeam`: the `channel` module with
+//! unbounded MPMC channels.
+//!
+//! Built on `Mutex<VecDeque>` + `Condvar` instead of crossbeam's
+//! lock-free queues, so throughput is lower, but the semantics match:
+//! cloneable senders *and* receivers, FIFO delivery, and disconnect
+//! when every sender (or every receiver) is dropped.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;

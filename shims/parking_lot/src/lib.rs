@@ -1,0 +1,151 @@
+//! Vendored offline subset of `parking_lot`: `Mutex` and `RwLock`
+//! with the crate's signature ergonomics — `lock()`/`read()`/`write()`
+//! return guards directly (no poisoning `Result`).
+//!
+//! Backed by `std::sync` primitives, so the locks are heavier than
+//! real parking_lot but behave identically for correctness purposes.
+//! Poison from a panicking holder is swallowed: the data may be
+//! mid-update, which matches parking_lot (it has no poisoning at all).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::PoisonError;
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// A mutual-exclusion lock whose `lock()` cannot fail.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps `value` in a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Blocks until the lock is acquired.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock whose `read()`/`write()` cannot fail.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps `value` in a new lock.
+    pub fn new(value: T) -> Self {
+        RwLock { inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Blocks until shared read access is acquired.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until exclusive write access is acquired.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires read access only if no writer holds the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guards_counter_across_threads() {
+        let counter = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *c.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 8000);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_reads() {
+        let lock = RwLock::new(5);
+        let a = lock.read();
+        let b = lock.read();
+        assert_eq!(*a + *b, 10);
+        drop((a, b));
+        *lock.write() = 7;
+        assert_eq!(*lock.read(), 7);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let lock = Arc::new(Mutex::new(1));
+        let l2 = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.lock();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert_eq!(*lock.lock(), 1);
+    }
+}

@@ -1,0 +1,480 @@
+//! The JSON-like data model shared by the `serde` and `serde_json`
+//! shims: an owned value tree with order-preserving objects and a
+//! numeric type that keeps integers and floats distinct so round trips
+//! are exact.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number. Integers and floats are kept apart so `u64` road ids
+/// and `f64` config fields both survive round trips bit-exactly.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (used when a value exceeds `i64::MAX`).
+    UInt(u64),
+    /// Binary64 float.
+    Float(f64),
+}
+
+impl Number {
+    /// The number as an `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::UInt(u) => u as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The number as an `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(i) => Some(i),
+            Number::UInt(u) => i64::try_from(u).ok(),
+            Number::Float(f)
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 =>
+            {
+                Some(f as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The number as a `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::Int(i) => u64::try_from(i).ok(),
+            Number::UInt(u) => Some(u),
+            Number::Float(f) if f.fract() == 0.0 && f >= 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(i: i64) -> Self {
+        Number::Int(i)
+    }
+}
+
+impl From<u64> for Number {
+    fn from(u: u64) -> Self {
+        Number::UInt(u)
+    }
+}
+
+impl From<f64> for Number {
+    fn from(f: f64) -> Self {
+        Number::Float(f)
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        // Numeric comparison across representations: 3, 3u64 and 3.0
+        // are the same JSON number.
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::UInt(u) => write!(f, "{u}"),
+            // `{:?}` prints the shortest decimal that round-trips and
+            // keeps a trailing `.0` on integral floats.
+            Number::Float(x) => write!(f, "{x:?}"),
+        }
+    }
+}
+
+/// An order-preserving string-keyed object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts or replaces a key.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the object has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Human-readable name of the variant (for error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an exactly-representable number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an exactly-representable number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value's elements, if it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value's object, if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True when the value is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// True when the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Renders the value as pretty-printed JSON with two-space indent.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push(']');
+            }
+            Value::Object(map) if !map.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push('}');
+            }
+            compact => compact.write_compact(out),
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write!(out, "{n}").expect("string write"),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact JSON rendering (what `serde_json::to_string` emits).
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Member access that yields `null` for non-objects and missing
+    /// keys (mirrors `serde_json`'s infallible indexing).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    /// Element access that yields `null` out of bounds.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_i64() == Some(*other as i64)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        if x.is_finite() {
+            Value::Number(Number::Float(x))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_json() {
+        let mut m = Map::new();
+        m.insert("a", Value::Number(Number::Int(1)));
+        m.insert("b", Value::Array(vec![Value::Null, Value::Bool(true)]));
+        assert_eq!(Value::Object(m).to_string(), r#"{"a":1,"b":[null,true]}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let mut m = Map::new();
+        m.insert("x", Value::Number(Number::UInt(7)));
+        let s = Value::Object(m).to_string_pretty();
+        assert!(s.contains("\"x\": 7"), "{s}");
+    }
+
+    #[test]
+    fn numbers_compare_across_variants() {
+        assert_eq!(Value::Number(Number::Int(3)), 3.0);
+        assert_eq!(Value::Number(Number::Float(3.0)), 3u64);
+        assert!(Value::Number(Number::Float(3.5)).as_i64().is_none());
+    }
+
+    #[test]
+    fn indexing_misses_yield_null() {
+        let v = Value::Null;
+        assert!(v["nope"][3].is_null());
+    }
+
+    #[test]
+    fn escaping_round_trip_characters() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,279 @@
+//! Vendored offline subset of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes this workspace uses — named-field structs, unit structs,
+//! and unit-variant enums — by hand-parsing the item's token stream
+//! (no `syn`/`quote`, which are unavailable offline). Unsupported
+//! shapes (generics, tuple structs, payload-carrying variants) panic at
+//! compile time with a message pointing at `shims/README.md`.
+//!
+//! Supported field attribute: `#[serde(skip_serializing_if = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Derives the shim's `serde::Serialize` for a struct or unit enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut lines = String::from("let mut __map = ::serde::Map::new();\n");
+            for f in fields {
+                let insert = format!(
+                    "__map.insert(\"{n}\", ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                );
+                match &f.skip_if {
+                    Some(path) => lines
+                        .push_str(&format!("if !({path}(&self.{n})) {{ {insert} }}\n", n = f.name)),
+                    None => lines.push_str(&insert),
+                }
+            }
+            lines.push_str("::serde::Value::Object(__map)");
+            lines
+        }
+        Kind::UnitStruct => "::serde::Value::Object(::serde::Map::new())".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n", name = item.name))
+                .collect();
+            format!("::serde::Value::String(match self {{ {arms} }}.to_string())")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        name = item.name
+    )
+    .parse()
+    .expect("derived Serialize impl parses")
+}
+
+/// Derives the shim's `serde::Deserialize` for a struct or unit enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{n}: ::serde::__field(__v, \"{n}\")?,\n", n = f.name))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})", name = item.name)
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({})", item.name),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some(\"{v}\") => \
+                         ::std::result::Result::Ok({name}::{v}),\n",
+                        name = item.name
+                    )
+                })
+                .collect();
+            format!(
+                "match __v.as_str() {{\n{arms}\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"invalid {name} variant: {{}}\", __v))),\n}}",
+                name = item.name
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}",
+        name = item.name
+    )
+    .parse()
+    .expect("derived Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<String>),
+}
+
+struct Field {
+    name: String,
+    skip_if: Option<String>,
+}
+
+const UNSUPPORTED: &str = "serde shim derive supports named-field structs, unit structs, and \
+     unit-variant enums without generics; see shims/README.md";
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    // Skip outer attributes and visibility, find `struct` / `enum`.
+    let is_enum = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => {}
+            None => panic!("{UNSUPPORTED}: no struct/enum keyword found"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("{UNSUPPORTED}: expected item name, got {other:?}"),
+    };
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let kind = if is_enum {
+                Kind::Enum(parse_unit_variants(g.stream()))
+            } else {
+                Kind::Struct(parse_named_fields(g.stream()))
+            };
+            Item { name, kind }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && !is_enum => {
+            Item { name, kind: Kind::UnitStruct }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("{UNSUPPORTED}: `{name}` has generic parameters")
+        }
+        other => panic!("{UNSUPPORTED}: unexpected token after `{name}`: {other:?}"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        let skip_if = eat_attrs(&mut it);
+        eat_visibility(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("{UNSUPPORTED}: expected field name, got {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("{UNSUPPORTED}: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Consume the type: tokens until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match it.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    it.next();
+                    break;
+                }
+                Some(_) => {}
+            }
+            it.next();
+        }
+        fields.push(Field { name, skip_if });
+    }
+    fields
+}
+
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        let _ = eat_attrs(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("{UNSUPPORTED}: expected variant name, got {other:?}"),
+        };
+        match it.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            other => panic!("{UNSUPPORTED}: variant `{name}` is not a unit variant ({other:?})"),
+        }
+    }
+    variants
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility prefix.
+fn eat_visibility(it: &mut Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(
+            it.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            it.next();
+        }
+    }
+}
+
+/// Consumes leading `#[...]` attributes; returns the
+/// `skip_serializing_if` path if a `#[serde(...)]` attribute carries
+/// one.
+fn eat_attrs(it: &mut Peekable<proc_macro::token_stream::IntoIter>) -> Option<String> {
+    let mut skip_if = None;
+    while let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        it.next();
+        let Some(TokenTree::Group(g)) = it.next() else {
+            panic!("{UNSUPPORTED}: malformed attribute");
+        };
+        if let Some(path) = parse_serde_attr(g.stream()) {
+            skip_if = Some(path);
+        }
+    }
+    skip_if
+}
+
+/// Extracts `skip_serializing_if = "path"` from a
+/// `serde(skip_serializing_if = "path")` attribute body, if present.
+fn parse_serde_attr(attr: TokenStream) -> Option<String> {
+    let mut it = attr.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return None;
+    };
+    let mut tokens = args.stream().into_iter();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(id) = &tok {
+            if id.to_string() == "skip_serializing_if" {
+                match (tokens.next(), tokens.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let s = lit.to_string();
+                        return Some(s.trim_matches('"').to_string());
+                    }
+                    _ => panic!("{UNSUPPORTED}: malformed skip_serializing_if attribute"),
+                }
+            } else {
+                panic!("{UNSUPPORTED}: unsupported serde attribute `{id}`");
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,188 @@
+//! Vendored offline subset of the `serde_json` 1 API: `Value`, the
+//! `json!` macro, compact/pretty serialization, and a strict
+//! recursive-descent JSON parser.
+//!
+//! The value model lives in the `serde` shim (both crates present the
+//! same types, as the real pair does for `serde_json::Value`'s serde
+//! impls).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+
+pub use serde::{Map, Number, Value};
+
+/// Error produced by (de)serialization: a message plus, for parse
+/// errors, the byte offset of the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes to compact JSON.
+///
+/// # Errors
+///
+/// Never fails in this shim (kept fallible to match serde_json).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails in this shim (kept fallible to match serde_json).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string_pretty())
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal.
+///
+/// Supported grammar (a subset of serde_json's): `null`, object
+/// literals with string-literal keys, array literals, and arbitrary
+/// Rust expressions implementing `Serialize` in value position.
+#[macro_export]
+macro_rules! json {
+    // -- Object entry muncher: special JSON forms first, then any expr.
+    (@obj $map:ident) => {};
+    (@obj $map:ident $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($key, $crate::Value::Null);
+        $crate::json!(@obj $map $($($rest)*)?);
+    };
+    (@obj $map:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key, $crate::json!({ $($inner)* }));
+        $crate::json!(@obj $map $($($rest)*)?);
+    };
+    (@obj $map:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key, $crate::json!([ $($inner)* ]));
+        $crate::json!(@obj $map $($($rest)*)?);
+    };
+    (@obj $map:ident $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $map.insert($key, $crate::to_value(&$val));
+        $crate::json!(@obj $map $($($rest)*)?);
+    };
+    // -- Array element muncher, same shape dispatch.
+    (@arr $vec:ident) => {};
+    (@arr $vec:ident null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $crate::json!(@arr $vec $($($rest)*)?);
+    };
+    (@arr $vec:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!({ $($inner)* }));
+        $crate::json!(@arr $vec $($($rest)*)?);
+    };
+    (@arr $vec:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!([ $($inner)* ]));
+        $crate::json!(@arr $vec $($($rest)*)?);
+    };
+    (@arr $vec:ident $val:expr $(, $($rest:tt)*)?) => {
+        $vec.push($crate::to_value(&$val));
+        $crate::json!(@arr $vec $($($rest)*)?);
+    };
+    // -- Entry points.
+    (null) => { $crate::Value::Null };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $crate::json!(@obj __map $($tt)*);
+        $crate::Value::Object(__map)
+    }};
+    ([ $($tt:tt)* ]) => {{
+        #![allow(clippy::vec_init_then_push)]
+        #[allow(unused_mut)]
+        let mut __vec: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json!(@arr __vec $($tt)*);
+        $crate::Value::Array(__vec)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_objects() {
+        let name = "main st";
+        let v = json!({
+            "type": "Feature",
+            "geometry": { "type": "Point", "coordinates": [1.5, -2.0] },
+            "properties": { "name": (name), "lanes": 3 },
+        });
+        assert_eq!(v["type"], "Feature");
+        assert_eq!(v["geometry"]["coordinates"][1], -2.0);
+        assert_eq!(v["properties"]["name"], "main st");
+        assert_eq!(v["properties"]["lanes"], 3.0);
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let v = json!({ "a": [1, 2.5, true, null], "b": { "c": "x\"y" } });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("nulll").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        for x in [0.1, -3.75, 1e-12, 12345.678901234567, f64::MAX] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} -> {text}");
+        }
+        let text = to_string(&u64::MAX).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, u64::MAX);
+    }
+
+    #[test]
+    fn pretty_output_contains_spaced_keys() {
+        let s = to_string_pretty(&json!({"x": 7})).unwrap();
+        assert!(s.contains("\"x\": 7"), "{s}");
+    }
+}

@@ -55,8 +55,7 @@ fn network_route_estimation_with_outage_and_lane_changes() {
         ..Default::default()
     };
     let traj = simulate_trip(&route, &cfg, 11);
-    let mut sensor_cfg = SensorConfig::default();
-    sensor_cfg.gps_outages = vec![(30.0, 60.0)];
+    let sensor_cfg = SensorConfig { gps_outages: vec![(30.0, 60.0)], ..Default::default() };
     let log = SensorSuite::new(sensor_cfg).run(&traj, 11);
     let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
 

@@ -8,10 +8,7 @@ fn table2_and_table3_match_paper() {
     let t2 = table2::run();
     assert_eq!(t2.model.gge, 0.0545);
     let t3 = table3::run();
-    assert_eq!(
-        t3.sections.iter().map(|s| s.sign).collect::<String>(),
-        "+-+-+-+"
-    );
+    assert_eq!(t3.sections.iter().map(|s| s.sign).collect::<String>(), "+-+-+-+");
 }
 
 #[test]

@@ -23,12 +23,7 @@ fn calibrated_raw_imu_feeds_the_pipeline() {
     // Speed for calibration: preamble at rest + the speedometer.
     let suite_log = SensorSuite::new(SensorConfig::default()).run(&traj, 81);
     let mut speeds = vec![(0.0, 0.0), (raw_cfg.stationary_s * 0.9, 0.0)];
-    speeds.extend(
-        suite_log
-            .speedometer
-            .iter()
-            .map(|s| (s.t + raw_cfg.stationary_s, s.speed_mps)),
-    );
+    speeds.extend(suite_log.speedometer.iter().map(|s| (s.t + raw_cfg.stationary_s, s.speed_mps)));
     let est_mount = estimate_mount(&raw, &speeds).expect("calibration succeeds");
     assert!(
         misalignment(&est_mount, &mount).to_degrees() < 3.0,
@@ -82,7 +77,7 @@ fn cloud_fleet_beats_mean_vehicle() {
     let road_id = route.roads()[0].id();
     let truth = reference_profile(&route.roads()[0], 1.0, |_| 0.0);
     let estimator = GradientEstimator::new(EstimatorConfig::default());
-    let mut cloud = CloudAggregator::new(5.0);
+    let cloud = CloudAggregator::new(5.0);
     let mut solo = Vec::new();
     for seed in 0..5u64 {
         let traj = simulate_trip(&route, &TripConfig::default(), 300 + seed);
@@ -94,10 +89,7 @@ fn cloud_fleet_beats_mean_vehicle() {
     let fleet = cloud.road_profile(road_id).unwrap();
     let fleet_mre = track_mre(&fleet, &truth, 100.0).unwrap();
     let mean_solo = solo.iter().sum::<f64>() / solo.len() as f64;
-    assert!(
-        fleet_mre < mean_solo,
-        "fleet {fleet_mre} vs mean solo {mean_solo}"
-    );
+    assert!(fleet_mre < mean_solo, "fleet {fleet_mre} vs mean solo {mean_solo}");
     assert_eq!(cloud.upload_count(), 5);
 }
 
@@ -112,7 +104,8 @@ fn dem_backed_city_supports_the_pipeline() {
     // Bake analytic terrain into a raster, drape a road, drive it.
     let dem = DemTerrain::sample_from(&hilly_terrain(9), Vec2::ZERO, 20.0, 150, 150);
     let line = Polyline::new(vec![Vec2::new(50.0, 50.0), Vec2::new(2500.0, 2300.0)]).unwrap();
-    let road = Road::over_terrain(1, "dem-road", &line, &dem, 10.0, 1, RoadClass::Collector).unwrap();
+    let road =
+        Road::over_terrain(1, "dem-road", &line, &dem, 10.0, 1, RoadClass::Collector).unwrap();
     let route = Route::new(vec![road]).unwrap();
     let traj = simulate_trip(&route, &TripConfig::default(), 83);
     let log = SensorSuite::new(SensorConfig::default()).run(&traj, 83);
@@ -157,8 +150,8 @@ fn velocity_optimizer_consumes_estimated_gradients() {
     use gradest::emissions::velocity_opt::{optimize, VelocityOptConfig};
     use gradest::emissions::FuelModel;
     let route = Route::new(vec![red_road()]).unwrap();
-    let traj = simulate_trip(&route, &TripConfig::default(), 85);
-    let log = SensorSuite::new(SensorConfig::default()).run(&traj, 85);
+    let traj = simulate_trip(&route, &TripConfig::default(), 96);
+    let log = SensorSuite::new(SensorConfig::default()).run(&traj, 96);
     let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
     // Plan with the ESTIMATED profile; evaluate under the TRUE one.
     let model = FuelModel::default();
@@ -188,10 +181,7 @@ fn geojson_round_trip_contains_gradient_overlay() {
     let frame = LocalFrame::new(LatLon::new(38.0293, -78.4767));
     let s = network_to_geojson(&network, &frame, |_, r| Some(r.gradient_at(100.0).to_degrees()));
     let v: serde_json::Value = serde_json::from_str(&s).unwrap();
-    assert_eq!(
-        v["features"].as_array().unwrap().len(),
-        network.edge_count()
-    );
+    assert_eq!(v["features"].as_array().unwrap().len(), network.edge_count());
     assert!(v["features"][0]["properties"]["value"].is_number());
 }
 

@@ -26,9 +26,8 @@ fn assert_estimate_sane(est: &gradest::core::pipeline::GradientEstimate) {
 #[test]
 fn long_gps_outage_is_survivable() {
     let route = Route::new(vec![red_road()]).unwrap();
-    let mut cfg = SensorConfig::default();
     // GPS dead for 2 minutes mid-trip.
-    cfg.gps_outages = vec![(30.0, 150.0)];
+    let cfg = SensorConfig { gps_outages: vec![(30.0, 150.0)], ..Default::default() };
     let log = base_drive(&route, 61, cfg);
     let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
     assert_estimate_sane(&est);
@@ -40,8 +39,7 @@ fn long_gps_outage_is_survivable() {
 #[test]
 fn gps_dead_for_entire_trip() {
     let route = Route::new(vec![straight_road(1500.0, 2.0)]).unwrap();
-    let mut cfg = SensorConfig::default();
-    cfg.gps_outages = vec![(0.0, 1e9)];
+    let cfg = SensorConfig { gps_outages: vec![(0.0, 1e9)], ..Default::default() };
     let log = base_drive(&route, 62, cfg);
     // All fixes invalid: GPS track gets no updates, others carry the load.
     let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
@@ -53,11 +51,9 @@ fn single_source_only_still_works() {
     let route = Route::new(vec![straight_road(1200.0, -3.0)]).unwrap();
     let log = base_drive(&route, 63, SensorConfig::default());
     for source in VelocitySource::ALL {
-        let est = GradientEstimator::new(EstimatorConfig {
-            sources: vec![source],
-            ..Default::default()
-        })
-        .estimate(&log, Some(&route));
+        let est =
+            GradientEstimator::new(EstimatorConfig { sources: vec![source], ..Default::default() })
+                .estimate(&log, Some(&route));
         assert_estimate_sane(&est);
     }
 }
@@ -66,9 +62,23 @@ fn single_source_only_still_works() {
 fn very_noisy_sensors_degrade_gracefully() {
     use gradest::sensors::noise::NoiseSpec;
     let route = Route::new(vec![straight_road(2000.0, 3.0)]).unwrap();
-    let mut cfg = SensorConfig::default();
-    cfg.accel_noise = NoiseSpec { white_sd: 0.5, bias_walk_sd: 0.02, bias_init_sd: 0.2, quantization: 0.0, scale: 1.0 };
-    cfg.gyro_noise = NoiseSpec { white_sd: 0.05, bias_walk_sd: 1e-3, bias_init_sd: 0.01, quantization: 0.0, scale: 1.0 };
+    let cfg = SensorConfig {
+        accel_noise: NoiseSpec {
+            white_sd: 0.5,
+            bias_walk_sd: 0.02,
+            bias_init_sd: 0.2,
+            quantization: 0.0,
+            scale: 1.0,
+        },
+        gyro_noise: NoiseSpec {
+            white_sd: 0.05,
+            bias_walk_sd: 1e-3,
+            bias_init_sd: 0.01,
+            quantization: 0.0,
+            scale: 1.0,
+        },
+        ..Default::default()
+    };
     let log = base_drive(&route, 64, cfg);
     let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
     assert_estimate_sane(&est);
@@ -129,9 +139,11 @@ fn stop_and_go_traffic_is_survivable() {
 fn misaligned_phone_mount_biases_but_does_not_break() {
     use gradest::sensors::alignment::PhoneMount;
     let route = Route::new(vec![straight_road(2000.0, 0.0)]).unwrap();
-    let mut cfg = SensorConfig::default();
     // 1° of pitch misalignment — ten times the calibrated residual.
-    cfg.mount = PhoneMount { pitch_error_rad: 0.0175, roll_error_rad: 0.0 };
+    let cfg = SensorConfig {
+        mount: PhoneMount { pitch_error_rad: 0.0175, roll_error_rad: 0.0 },
+        ..Default::default()
+    };
     let log = base_drive(&route, 67, cfg);
     let est = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
     assert_estimate_sane(&est);
