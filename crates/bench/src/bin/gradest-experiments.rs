@@ -10,8 +10,38 @@
 //! artifacts under `target/experiment-results/`) in one command.
 
 use gradest_bench::experiments::*;
+use gradest_bench::perfbench::alloc_counter;
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// System allocator wrapped to count allocations for the hot-path
+/// benchmark's warm-trip gate. Lives in the binary because the library
+/// crates forbid `unsafe`; it delegates everything to [`System`] and only
+/// bumps an atomic on `alloc`/`realloc`.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to the system allocator;
+// the counter update is a side effect with no allocator state.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        alloc_counter::record();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        alloc_counter::record();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
+    alloc_counter::mark_installed();
     let filter: Vec<String> = std::env::args().skip(1).collect();
     let wants = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
     let mut ran = 0usize;
@@ -61,6 +91,21 @@ fn main() {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 4);
         fleet_bench::print_report(&fleet_bench::run(900, 16, workers))
     });
+    run_exp("pipeline_hotpath", &mut || {
+        pipeline_hotpath::print_report(&pipeline_hotpath::run(77, 5))
+    });
+
+    // CI smoke gate: exact-name only, so plain `pipeline_hotpath` runs
+    // don't trigger it. One trip, and the warm path must not allocate.
+    if filter.iter().any(|f| f == "pipeline_hotpath_smoke") {
+        println!("\n################ pipeline_hotpath_smoke ################");
+        let r = pipeline_hotpath::run(77, 1);
+        assert_eq!(r.allocs_per_trip_warm, Some(0), "warm estimation path allocated");
+        assert!(r.fast_vs_generic_max_abs_diff < 1e-12, "fast LOWESS path diverged");
+        assert!(r.generic_bit_identical, "warm scratch broke bit-identity");
+        pipeline_hotpath::print_report(&r);
+        ran += 1;
+    }
 
     if ran == 0 {
         eprintln!("no experiment matches filter {filter:?}");

@@ -17,6 +17,7 @@ pub mod fleet_bench;
 pub mod headline_fuel;
 pub mod lane_accuracy;
 pub mod motivating;
+pub mod pipeline_hotpath;
 pub mod table1;
 pub mod table2;
 pub mod table3;

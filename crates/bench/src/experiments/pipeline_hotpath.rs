@@ -1,0 +1,184 @@
+//! Single-trip hot-path benchmark: uniform-grid LOWESS + warm
+//! [`EstimatorScratch`] vs the pre-optimization shape of the pipeline.
+//!
+//! Not a paper artifact — an engineering benchmark for the per-trip
+//! kernels everything else (fleet batches, the cloud experiments) sits
+//! on. Emits `BENCH_pipeline.json` with:
+//!
+//! * baseline latency — cold [`GradientEstimator::estimate`] per trip
+//!   with the generic LOWESS path forced (the allocation and smoothing
+//!   behaviour before this optimization round);
+//! * optimized latency — warm-scratch
+//!   [`GradientEstimator::estimate_into`] with the uniform-grid fast
+//!   path, plus its per-stage wall-clock split;
+//! * correctness gates — fast-vs-generic fused-track divergence (must be
+//!   < 1e-12) and warm-vs-cold bit-identity on the generic path;
+//! * warm-path allocations per trip, when the `gradest-experiments`
+//!   binary's counting allocator is installed (`None` elsewhere, e.g.
+//!   under `cargo test`).
+
+use crate::perfbench::{alloc_counter, run_bench, BenchReport};
+use crate::report::{print_table, save_json};
+use crate::scenarios::red_road_drive;
+use gradest_core::pipeline::{
+    EstimatorConfig, EstimatorScratch, GradientEstimate, GradientEstimator, StageNanos,
+};
+use serde::{Deserialize, Serialize};
+
+/// Pipeline hot-path benchmark result (`BENCH_pipeline.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineHotpathBench {
+    /// IMU samples in the benchmark trip.
+    pub imu_samples: usize,
+    /// Cold-estimator, generic-LOWESS latency (pre-change baseline).
+    pub baseline_cold_generic: BenchReport,
+    /// Warm-scratch, fast-LOWESS latency (the optimized hot path).
+    pub optimized_warm_fast: BenchReport,
+    /// Baseline median latency over optimized median latency.
+    pub speedup: f64,
+    /// Optimized trips per second (single worker).
+    pub trips_per_sec: f64,
+    /// Per-stage wall-clock split of one optimized warm trip.
+    pub stage_ns: StageNanos,
+    /// Max |Δθ| between the fast-path and generic-path fused tracks.
+    pub fast_vs_generic_max_abs_diff: f64,
+    /// Whether warm-scratch estimation with the fast path disabled is
+    /// bit-identical to the cold generic reference.
+    pub generic_bit_identical: bool,
+    /// Heap allocations during one warm-path trip; `None` when no
+    /// counting allocator is installed in this process.
+    pub allocs_per_trip_warm: Option<u64>,
+}
+
+/// Runs the hot-path benchmark over the standard red-road trip.
+///
+/// Both configurations run the tracks serially: this benchmark isolates
+/// the per-trip kernels, and the fleet engine parallelises across trips,
+/// not within them. (Thread spawns would also allocate, clouding the
+/// warm-path allocation gate.)
+pub fn run(seed: u64, samples: usize) -> PipelineHotpathBench {
+    let drive = red_road_drive(seed);
+    let log = &drive.log;
+    let map = Some(&drive.route);
+    let fast =
+        GradientEstimator::new(EstimatorConfig { parallel_tracks: false, ..Default::default() });
+    let generic = GradientEstimator::new(EstimatorConfig {
+        parallel_tracks: false,
+        force_generic_lowess: true,
+        ..Default::default()
+    });
+
+    // Correctness gates before timing anything.
+    let generic_est = generic.estimate(log, map);
+    let fast_est = fast.estimate(log, map);
+    let fast_vs_generic_max_abs_diff = fast_est
+        .fused
+        .theta
+        .iter()
+        .zip(&generic_est.fused.theta)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    let mut scratch = EstimatorScratch::new();
+    let mut out = GradientEstimate::default();
+    generic.estimate_into(log, map, &mut scratch, &mut out);
+    generic.estimate_into(log, map, &mut scratch, &mut out);
+    let generic_bit_identical = out == generic_est;
+
+    let baseline_cold_generic = run_bench("pipeline_cold_generic_lowess", samples, 1, || {
+        let est = generic.estimate(log, map);
+        assert!(!est.fused.is_empty());
+    });
+
+    // Warm the scratch and output once, then time steady-state trips.
+    fast.estimate_into(log, map, &mut scratch, &mut out);
+    let optimized_warm_fast = run_bench("pipeline_warm_fast_lowess", samples, 1, || {
+        fast.estimate_into(log, map, &mut scratch, &mut out);
+        assert!(!out.fused.is_empty());
+    });
+    let stage_ns = scratch.stages();
+
+    let allocs_per_trip_warm = if alloc_counter::is_installed() {
+        let before = alloc_counter::allocations();
+        fast.estimate_into(log, map, &mut scratch, &mut out);
+        Some(alloc_counter::allocations() - before)
+    } else {
+        None
+    };
+
+    let speedup =
+        baseline_cold_generic.median_ns_per_op / optimized_warm_fast.median_ns_per_op.max(1.0);
+    PipelineHotpathBench {
+        imu_samples: log.imu.len(),
+        trips_per_sec: optimized_warm_fast.ops_per_sec,
+        baseline_cold_generic,
+        optimized_warm_fast,
+        speedup,
+        stage_ns,
+        fast_vs_generic_max_abs_diff,
+        generic_bit_identical,
+        allocs_per_trip_warm,
+    }
+}
+
+/// Prints the timing table and writes `BENCH_pipeline.json`.
+pub fn print_report(r: &PipelineHotpathBench) {
+    let rows: Vec<Vec<String>> = [&r.baseline_cold_generic, &r.optimized_warm_fast]
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.clone(),
+                format!("{:.2}", b.median_ns_per_op / 1e6),
+                format!("{:.2}", b.ops_per_sec),
+            ]
+        })
+        .collect();
+    let allocs = match r.allocs_per_trip_warm {
+        Some(n) => n.to_string(),
+        None => "not measured".to_string(),
+    };
+    print_table(
+        &format!(
+            "Pipeline hot path — {} IMU samples: {:.2}x, max |Δθ| {:.2e}, \
+             generic bit-identical={}, warm allocs/trip={}",
+            r.imu_samples,
+            r.speedup,
+            r.fast_vs_generic_max_abs_diff,
+            r.generic_bit_identical,
+            allocs
+        ),
+        &["bench", "ms/trip", "trips/s"],
+        &rows,
+    );
+    let s = &r.stage_ns;
+    print_table(
+        "Warm-trip stage split",
+        &["stage", "ms"],
+        &[
+            vec!["steering (columnar + LOWESS)".into(), format!("{:.3}", s.steering as f64 / 1e6)],
+            vec!["lane-change detection".into(), format!("{:.3}", s.detection as f64 / 1e6)],
+            vec!["EKF tracks (+RTS)".into(), format!("{:.3}", s.tracks as f64 / 1e6)],
+            vec!["resample + fusion".into(), format!("{:.3}", s.fusion as f64 / 1e6)],
+        ],
+    );
+    save_json("BENCH_pipeline", r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotpath_bench_runs_and_gates_hold() {
+        let r = run(400, 1);
+        assert!(r.imu_samples > 1000);
+        assert!(
+            r.fast_vs_generic_max_abs_diff < 1e-12,
+            "fast path diverged: {}",
+            r.fast_vs_generic_max_abs_diff
+        );
+        assert!(r.generic_bit_identical, "warm generic path differs from cold reference");
+        assert!(r.speedup > 0.0);
+        // No counting allocator under `cargo test`.
+        assert_eq!(r.allocs_per_trip_warm, None);
+    }
+}

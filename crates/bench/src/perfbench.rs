@@ -9,6 +9,45 @@
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+pub mod alloc_counter {
+    //! Process-wide allocation counter — the safe half of allocation
+    //! tracking.
+    //!
+    //! This crate forbids `unsafe`, so the `GlobalAlloc` wrapper that
+    //! feeds the counter lives in the `gradest-experiments` binary (see
+    //! its `CountingAlloc`); library code only reads the atomics. When no
+    //! counting allocator is installed, [`is_installed`] stays false and
+    //! consumers must report "not measured" rather than zero.
+
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    /// Records one heap allocation (called from a counting global
+    /// allocator's `alloc`/`realloc`).
+    #[inline]
+    pub fn record() {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Declares that a counting global allocator is feeding [`record`].
+    pub fn mark_installed() {
+        INSTALLED.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a counting global allocator is active in this process.
+    pub fn is_installed() -> bool {
+        INSTALLED.load(Ordering::Relaxed)
+    }
+
+    /// Total allocations recorded so far (monotonic; diff around a
+    /// region of interest).
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}
+
 /// One benchmark's timing summary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {

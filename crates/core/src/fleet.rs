@@ -142,8 +142,11 @@ impl FleetEngine {
                 let res_tx = res_tx.clone();
                 let estimator = &self.estimator;
                 scope.spawn(move || {
+                    // One warm scratch per worker: after the first trip,
+                    // estimation reuses its buffers instead of the heap.
+                    let mut scratch = crate::pipeline::EstimatorScratch::new();
                     while let Ok(i) = job_rx.recv() {
-                        let est = estimator.estimate(&logs[i], map);
+                        let est = estimator.estimate_with(&logs[i], map, &mut scratch);
                         if let Some((road_ids, cloud)) = cloud {
                             cloud.upload(road_ids[i], &est.fused);
                         }

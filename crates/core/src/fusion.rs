@@ -66,6 +66,29 @@ pub fn fuse_values(values: &[(f64, f64)]) -> (f64, f64) {
 /// Returns [`FusionError::NoTracks`] for an empty slice and
 /// [`FusionError::MisalignedTracks`] when grids differ.
 pub fn fuse_tracks(tracks: &[GradientTrack]) -> Result<GradientTrack, FusionError> {
+    let mut out = GradientTrack::default();
+    fuse_tracks_into(tracks, &mut out)?;
+    Ok(out)
+}
+
+/// [`fuse_tracks`] into a caller-owned track (overwritten, labelled
+/// `"fused"`), accumulating the Eq-6 sums inline per grid point — no
+/// per-point staging buffer, so a warm caller pays no allocation. The
+/// accumulation order matches [`fuse_values`] over the tracks in slice
+/// order, keeping the result bit-identical to [`fuse_tracks`]'s original
+/// staged form.
+///
+/// # Errors
+///
+/// Same as [`fuse_tracks`]; on error `out` is left untouched.
+///
+/// # Panics
+///
+/// Panics if any variance is not positive.
+pub fn fuse_tracks_into(
+    tracks: &[GradientTrack],
+    out: &mut GradientTrack,
+) -> Result<(), FusionError> {
     let first = tracks.first().ok_or(FusionError::NoTracks)?;
     for t in &tracks[1..] {
         if t.s.len() != first.s.len() || t.s.iter().zip(&first.s).any(|(a, b)| (a - b).abs() > 1e-9)
@@ -73,13 +96,24 @@ pub fn fuse_tracks(tracks: &[GradientTrack]) -> Result<GradientTrack, FusionErro
             return Err(FusionError::MisalignedTracks);
         }
     }
-    let mut out = GradientTrack::new("fused");
+    out.label.clear();
+    out.label.push_str("fused");
+    out.s.clear();
+    out.theta.clear();
+    out.variance.clear();
     for i in 0..first.s.len() {
-        let values: Vec<(f64, f64)> = tracks.iter().map(|t| (t.theta[i], t.variance[i])).collect();
-        let (theta, var) = fuse_values(&values);
-        out.push(first.s[i], theta, var);
+        let mut inv_sum = 0.0;
+        let mut weighted = 0.0;
+        for t in tracks {
+            let (theta, var) = (t.theta[i], t.variance[i]);
+            assert!(var > 0.0, "variances must be positive");
+            inv_sum += 1.0 / var;
+            weighted += theta / var;
+        }
+        let u = 1.0 / inv_sum;
+        out.push(first.s[i], u * weighted, u);
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -104,13 +104,21 @@ impl LaneChangeDetector {
     /// above the noise floor whose peak ≥ δ and dwell above `0.7·peak`
     /// ≥ T.
     pub fn find_bumps(&self, profile: &SmoothedProfile) -> Vec<Bump> {
+        let mut bumps = Vec::new();
+        self.find_bumps_into(profile, &mut bumps);
+        bumps
+    }
+
+    /// [`Self::find_bumps`] into a caller-owned buffer (overwritten), so a
+    /// warm caller pays no allocation.
+    pub fn find_bumps_into(&self, profile: &SmoothedProfile, bumps: &mut Vec<Bump>) {
+        bumps.clear();
         let cfg = &self.config;
         if profile.len() < 2 {
-            return Vec::new();
+            return;
         }
         let dt = profile.dt();
         let floor = cfg.noise_floor_frac * cfg.delta_threshold;
-        let mut bumps = Vec::new();
         let mut run_start: Option<(usize, f64)> = None; // (index, sign)
         let n = profile.w.len();
         for i in 0..=n {
@@ -142,7 +150,6 @@ impl LaneChangeDetector {
                 _ => {}
             }
         }
-        bumps
     }
 
     /// Horizontal displacement over `[t0, t1]` (paper Eq 1):
@@ -176,11 +183,27 @@ impl LaneChangeDetector {
         profile: &SmoothedProfile,
         v_at: &dyn Fn(f64) -> f64,
     ) -> Vec<LaneChangeDetection> {
-        let cfg = &self.config;
-        let bumps = self.find_bumps(profile);
+        let mut bumps = Vec::new();
         let mut detections = Vec::new();
+        self.detect_into(profile, v_at, &mut bumps, &mut detections);
+        detections
+    }
+
+    /// [`Self::detect`] into caller-owned buffers: `bumps` stages the
+    /// [`Self::find_bumps_into`] candidates and `detections` receives the
+    /// result (both overwritten), so a warm caller pays no allocation.
+    pub fn detect_into(
+        &self,
+        profile: &SmoothedProfile,
+        v_at: &dyn Fn(f64) -> f64,
+        bumps: &mut Vec<Bump>,
+        detections: &mut Vec<LaneChangeDetection>,
+    ) {
+        let cfg = &self.config;
+        self.find_bumps_into(profile, bumps);
+        detections.clear();
         let mut held: Option<Bump> = None; // STATE: None = no-bump
-        for bump in bumps {
+        for &bump in bumps.iter() {
             match held {
                 None => held = Some(bump),
                 Some(prev) => {
@@ -211,7 +234,6 @@ impl LaneChangeDetector {
                 }
             }
         }
-        detections
     }
 
     /// Eq 2: corrects a velocity series to longitudinal velocity inside

@@ -59,9 +59,12 @@ pub use cloud::CloudAggregator;
 pub use diagnostics::{FilterHealth, InnovationMonitor, MonitorConfig};
 pub use ekf::{EkfConfig, GradientEkf};
 pub use fleet::FleetEngine;
-pub use fusion::{fuse_tracks, fuse_values};
+pub use fusion::{fuse_tracks, fuse_tracks_into, fuse_values};
 pub use lane_change::{LaneChangeConfig, LaneChangeDetection, LaneChangeDetector};
 pub use online::{OnlineEstimate, OnlineEstimator, OnlineSource};
-pub use pipeline::{EstimatorConfig, GradientEstimate, GradientEstimator, VelocitySource};
-pub use smoother::{rts_smooth, RtsStep};
+pub use pipeline::{
+    EstimatorConfig, EstimatorScratch, GradientEstimate, GradientEstimator, StageNanos,
+    VelocitySource,
+};
+pub use smoother::{rts_smooth, rts_smooth_into, RtsStep};
 pub use track::GradientTrack;

@@ -17,7 +17,6 @@
 
 use crate::diagnostics::{FilterHealth, InnovationMonitor, MonitorConfig};
 use crate::ekf::GradientEkf;
-use crate::fusion::fuse_values;
 use crate::lane_change::LaneChangeDetection;
 use crate::pipeline::EstimatorConfig;
 use crate::track::GradientTrack;
@@ -277,12 +276,18 @@ impl OnlineEstimator {
     }
 
     fn fused_theta(&self) -> (f64, f64) {
-        let values: Vec<(f64, f64)> = self
-            .sources
-            .iter()
-            .map(|s| (s.ekf.theta(), s.ekf.theta_variance().max(1e-12)))
-            .collect();
-        fuse_values(&values)
+        // Inline Eq-6 accumulation in source order — same floating-point
+        // order as staging into a slice for `fuse_values`, but without the
+        // per-sample allocation (this runs once per IMU sample).
+        let mut inv_sum = 0.0;
+        let mut weighted = 0.0;
+        for s in &self.sources {
+            let var = s.ekf.theta_variance().max(1e-12);
+            inv_sum += 1.0 / var;
+            weighted += s.ekf.theta() / var;
+        }
+        let u = 1.0 / inv_sum;
+        (u * weighted, u)
     }
 
     fn fused_velocity(&self) -> f64 {

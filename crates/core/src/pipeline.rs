@@ -11,16 +11,19 @@
 //! 4. track fusion by convex combination.
 
 use crate::ekf::{EkfConfig, GradientEkf};
-use crate::fusion::fuse_tracks;
-use crate::lane_change::{LaneChangeConfig, LaneChangeDetection, LaneChangeDetector};
-use crate::smoother::{rts_smooth, RtsStep};
-use crate::steering::{smooth_profile, SmoothedProfile};
+use crate::fusion::fuse_tracks_into;
+use crate::lane_change::{Bump, LaneChangeConfig, LaneChangeDetection, LaneChangeDetector};
+use crate::smoother::{rts_smooth_into, RtsStep};
+use crate::steering::{smooth_profile_into, SmoothedProfile};
 use crate::track::GradientTrack;
 use gradest_geo::Route;
-use gradest_math::interp::Interpolant;
-use gradest_sensors::alignment::{steering_rate_profile, MapMatcher};
+use gradest_math::lowess::LowessScratch;
+use gradest_math::{Mat2, Vec2};
+use gradest_sensors::alignment::{steering_rate_profile_into, MapMatcher, WRoadScratch};
+use gradest_sensors::columnar::ImuColumns;
 use gradest_sensors::suite::SensorLog;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// A velocity source feeding one EKF track (Section III-C3: "vehicle
 /// velocity can be obtained through different ways such as GPS data,
@@ -94,6 +97,11 @@ pub struct EstimatorConfig {
     /// runtime. Ignored (serial path) when the host reports a single
     /// available core, where the spawns are pure overhead.
     pub parallel_tracks: bool,
+    /// Disable the uniform-grid LOWESS fast path in steering smoothing
+    /// (see [`gradest_math::lowess::LowessConfig::force_generic`]): the
+    /// generic path is the bit-exact reference, the fast path agrees
+    /// within ~1e-12 and is several times faster on uniform IMU grids.
+    pub force_generic_lowess: bool,
 }
 
 impl Default for EstimatorConfig {
@@ -111,12 +119,83 @@ impl Default for EstimatorConfig {
             disable_lane_correction: false,
             rts_smoothing: true,
             parallel_tracks: true,
+            force_generic_lowess: false,
         }
     }
 }
 
+/// Wall-clock nanoseconds spent in each pipeline stage of the most recent
+/// [`GradientEstimator::estimate_into`] call (stored in the scratch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageNanos {
+    /// Stage 1: columnarization + steering profile + LOWESS smoothing.
+    pub steering: u64,
+    /// Stage 2: lane-change detection + steering-angle series.
+    pub detection: u64,
+    /// Stage 3: per-source EKF tracks (incl. RTS smoothing).
+    pub tracks: u64,
+    /// Stage 4: resampling + Eq-6 fusion.
+    pub fusion: u64,
+}
+
+impl StageNanos {
+    /// Total nanoseconds across all stages.
+    pub fn total(&self) -> u64 {
+        self.steering + self.detection + self.tracks + self.fusion
+    }
+}
+
+/// Per-source working set for one EKF track: measurement staging, filter
+/// history, the track under construction, and the RTS output buffer.
+#[derive(Debug, Clone, Default)]
+pub struct TrackScratch {
+    measurements: Vec<(f64, f64)>,
+    history: Vec<RtsStep>,
+    smoothed: Vec<(Vec2, Mat2)>,
+    track: GradientTrack,
+}
+
+/// Reusable working memory for [`GradientEstimator::estimate_into`].
+///
+/// Every intermediate of the per-trip pipeline lives here: columnar IMU
+/// views, the steering/LOWESS buffers, lane-change staging, per-source
+/// track scratch, and the fusion staging. The first trip grows the
+/// buffers; every subsequent trip of similar size runs without touching
+/// the allocator (the `pipeline_hotpath` experiment asserts exactly
+/// zero warm-path allocations).
+#[derive(Debug, Clone, Default)]
+pub struct EstimatorScratch {
+    imu_cols: ImuColumns,
+    wroad: WRoadScratch,
+    w_raw: Vec<f64>,
+    lowess: LowessScratch,
+    profile: SmoothedProfile,
+    bumps: Vec<Bump>,
+    detections: Vec<LaneChangeDetection>,
+    alpha: Vec<f64>,
+    speed_t: Vec<f64>,
+    speed_v: Vec<f64>,
+    matched_s: Vec<f64>,
+    tracks: Vec<TrackScratch>,
+    distances: Vec<f64>,
+    stages: StageNanos,
+}
+
+impl EstimatorScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        EstimatorScratch::default()
+    }
+
+    /// Per-stage wall-clock timings of the most recent estimate run
+    /// through this scratch.
+    pub fn stages(&self) -> StageNanos {
+        self.stages
+    }
+}
+
 /// Output of one trip's estimation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct GradientEstimate {
     /// Per-source tracks, aligned on the fused grid.
     pub tracks: Vec<GradientTrack>,
@@ -151,99 +230,225 @@ impl GradientEstimator {
     /// steering profile; pass `None` on unmapped roads (lane-change
     /// detection then relies entirely on the Eq-1 displacement test).
     ///
+    /// Allocating convenience over [`Self::estimate_with`] — it builds a
+    /// fresh [`EstimatorScratch`] per call. Batch callers should hold one
+    /// scratch per worker instead.
+    ///
     /// # Panics
     ///
     /// Panics if the log carries fewer than two IMU samples.
     pub fn estimate(&self, log: &SensorLog, map: Option<&Route>) -> GradientEstimate {
+        let mut scratch = EstimatorScratch::new();
+        self.estimate_with(log, map, &mut scratch)
+    }
+
+    /// [`Self::estimate`] with caller-owned working memory: all pipeline
+    /// intermediates live in `scratch`, so repeated calls on a warm
+    /// scratch allocate only for the returned estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log carries fewer than two IMU samples.
+    pub fn estimate_with(
+        &self,
+        log: &SensorLog,
+        map: Option<&Route>,
+        scratch: &mut EstimatorScratch,
+    ) -> GradientEstimate {
+        let mut out = GradientEstimate::default();
+        self.estimate_into(log, map, scratch, &mut out);
+        out
+    }
+
+    /// The fully in-place pipeline: reads `log`, stages everything in
+    /// `scratch`, overwrites `out`. With both warm (from a previous trip
+    /// of similar size) the entire call runs without heap allocation —
+    /// the property the `pipeline_hotpath` experiment gates on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log carries fewer than two IMU samples.
+    pub fn estimate_into(
+        &self,
+        log: &SensorLog,
+        map: Option<&Route>,
+        scratch: &mut EstimatorScratch,
+        out: &mut GradientEstimate,
+    ) {
         assert!(log.imu.len() >= 2, "need at least two IMU samples");
         let cfg = &self.config;
         let dt = log.imu_dt();
+        // Split the scratch into disjoint borrows so stage outputs can be
+        // read while later stages fill their own buffers.
+        let EstimatorScratch {
+            imu_cols,
+            wroad,
+            w_raw,
+            lowess,
+            profile,
+            bumps,
+            detections,
+            alpha,
+            speed_t,
+            speed_v,
+            matched_s,
+            tracks: track_scratch,
+            distances,
+            stages,
+        } = scratch;
+        let t0 = Instant::now();
 
-        // 1. Steering profile.
-        let raw_profile = steering_rate_profile(&log.imu, &log.gps, map);
-        let profile = smooth_profile(&raw_profile, cfg.lane_change.smoothing_window_s);
+        // 1. Steering profile, columnar: transpose the IMU once, then
+        //    every pass reads contiguous slices.
+        imu_cols.fill_from(&log.imu);
+        steering_rate_profile_into(&imu_cols.t, &imu_cols.gyro_z, &log.gps, map, wroad, w_raw);
+        smooth_profile_into(
+            &imu_cols.t,
+            w_raw,
+            cfg.lane_change.smoothing_window_s,
+            cfg.force_generic_lowess,
+            lowess,
+            profile,
+        );
+        let t1 = Instant::now();
 
         // 2. Lane-change detection; Eq 1 uses the speedometer (fallback:
         //    GPS, then a constant urban speed).
-        let v_lookup = make_speed_lookup(log);
+        fill_speed_series(log, speed_t, speed_v);
+        let v_lookup = SpeedLookup::new(speed_t, speed_v);
         let detector = LaneChangeDetector::new(cfg.lane_change);
-        let detections = detector.detect(&profile, &v_lookup);
+        detector.detect_into(profile, &|t| v_lookup.at(t), bumps, detections);
         // Steering angle α(t) within detection windows (zero elsewhere),
         // for the Eq-2 correction of arbitrary-time measurements.
-        let alpha = steering_angle_series(&profile, &detections);
+        steering_angle_series_into(profile, detections, alpha);
+        let t2 = Instant::now();
 
         // 3. One EKF per source. The tracks are independent filters over
-        //    shared read-only inputs, so they fan out onto scoped threads
-        //    when configured; collecting by source order keeps the result
-        //    bit-identical to the serial path.
-        let run_source = |source: VelocitySource| -> GradientTrack {
-            let measurements = self.measurement_series(log, source);
+        //    shared read-only inputs writing disjoint scratch slots, so
+        //    they fan out onto scoped threads when configured; slot order
+        //    is source order, keeping the result bit-identical to the
+        //    serial path.
+        let n_src = cfg.sources.len();
+        if track_scratch.len() < n_src {
+            track_scratch.resize_with(n_src, TrackScratch::default);
+        }
+        // Map-match the GPS fixes once for the whole trip: `match_s` is a
+        // function of the fix positions and the matcher's own sequential
+        // state only, so every source track would recompute the identical
+        // arc sequence (~40 route probes per fix each). Invalid fixes hold
+        // a NaN placeholder to keep indices aligned; they are skipped
+        // before use, exactly as the per-source matchers skipped them.
+        matched_s.clear();
+        if let Some(route) = map {
+            matched_s.reserve(log.gps.len());
+            let mut matcher = MapMatcher::new(route);
+            for fix in &log.gps {
+                matched_s.push(if fix.valid { matcher.match_s(fix.position) } else { f64::NAN });
+            }
+        }
+        let matched_s: &[f64] = matched_s;
+        let run_source = |source: VelocitySource, ts: &mut TrackScratch| {
             let r = match source {
                 VelocitySource::Gps => cfg.r_gps,
                 VelocitySource::Speedometer => cfg.r_speedometer,
                 VelocitySource::CanBus => cfg.r_can,
                 VelocitySource::Accelerometer => cfg.r_accelerometer,
             };
-            self.run_ekf_track(log, &measurements, r, source.label(), &profile, &alpha, dt, map)
+            self.measurement_series_into(log, source, &mut ts.measurements);
+            self.run_ekf_track_into(log, r, source.label(), profile, alpha, dt, matched_s, ts);
         };
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let tracks: Vec<GradientTrack> = if cfg.parallel_tracks
-            && cfg.sources.len() > 1
-            && cores > 1
-        {
+        // `available_parallelism` is only consulted when the parallel path
+        // is plausible at all — it can allocate on some platforms, and the
+        // serial warm path must stay allocation-free.
+        let parallel = cfg.parallel_tracks
+            && n_src > 1
+            && std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1;
+        if parallel {
             std::thread::scope(|scope| {
-                let handles: Vec<_> = cfg
-                    .sources
-                    .iter()
-                    .map(|&source| {
-                        let run = &run_source;
-                        scope.spawn(move || run(source))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("EKF track thread panicked")).collect()
-            })
+                for (ts, &source) in track_scratch[..n_src].iter_mut().zip(&cfg.sources) {
+                    let run = &run_source;
+                    scope.spawn(move || run(source, ts));
+                }
+            });
         } else {
-            cfg.sources.iter().map(|&source| run_source(source)).collect()
-        };
-        let mut distances: Vec<f64> = tracks.iter().filter_map(|t| t.s.last().copied()).collect();
+            for (ts, &source) in track_scratch[..n_src].iter_mut().zip(&cfg.sources) {
+                run_source(source, ts);
+            }
+        }
+        let t3 = Instant::now();
 
         // 4. Fuse on a common grid.
-        distances.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        distances.clear();
+        distances.extend(track_scratch[..n_src].iter().filter_map(|ts| ts.track.s.last().copied()));
+        // Insertion sort: at most one distance per source, and
+        // `slice::sort_by` allocates its merge buffer.
+        for i in 1..distances.len() {
+            let mut j = i;
+            while j > 0 && distances[j - 1] > distances[j] {
+                distances.swap(j - 1, j);
+                j -= 1;
+            }
+        }
         let length = distances.first().copied().unwrap_or(0.0);
-        let aligned: Vec<GradientTrack> = tracks
-            .iter()
-            .filter(|t| !t.is_empty())
-            .map(|t| t.resample(length, cfg.track_ds))
-            .collect();
-        let fused = fuse_tracks(&aligned).unwrap_or_else(|_| GradientTrack::new("fused"));
-        let distance_m = if distances.is_empty() { 0.0 } else { distances[distances.len() / 2] };
-
-        GradientEstimate { tracks: aligned, fused, detections, distance_m }
+        let n_aligned = track_scratch[..n_src].iter().filter(|ts| !ts.track.is_empty()).count();
+        out.tracks.resize_with(n_aligned, GradientTrack::default);
+        let mut slot = 0usize;
+        for ts in track_scratch[..n_src].iter() {
+            if ts.track.is_empty() {
+                continue;
+            }
+            ts.track.resample_into(length, cfg.track_ds, &mut out.tracks[slot]);
+            slot += 1;
+        }
+        if fuse_tracks_into(&out.tracks, &mut out.fused).is_err() {
+            out.fused.label.clear();
+            out.fused.label.push_str("fused");
+            out.fused.s.clear();
+            out.fused.theta.clear();
+            out.fused.variance.clear();
+        }
+        out.detections.clear();
+        out.detections.extend_from_slice(detections);
+        out.distance_m = if distances.is_empty() { 0.0 } else { distances[distances.len() / 2] };
+        let t4 = Instant::now();
+        *stages = StageNanos {
+            steering: (t1 - t0).as_nanos() as u64,
+            detection: (t2 - t1).as_nanos() as u64,
+            tracks: (t3 - t2).as_nanos() as u64,
+            fusion: (t4 - t3).as_nanos() as u64,
+        };
     }
 
-    /// Builds the `(t, v)` measurement series for one source.
-    fn measurement_series(&self, log: &SensorLog, source: VelocitySource) -> Vec<(f64, f64)> {
+    /// Builds the `(t, v)` measurement series for one source into a
+    /// caller-owned buffer (overwritten).
+    fn measurement_series_into(
+        &self,
+        log: &SensorLog,
+        source: VelocitySource,
+        out: &mut Vec<(f64, f64)>,
+    ) {
+        out.clear();
         match source {
             VelocitySource::Gps => {
-                log.gps.iter().filter(|g| g.valid).map(|g| (g.t, g.speed_mps)).collect()
+                out.extend(log.gps.iter().filter(|g| g.valid).map(|g| (g.t, g.speed_mps)));
             }
             VelocitySource::Speedometer => {
-                log.speedometer.iter().map(|s| (s.t, s.speed_mps)).collect()
+                out.extend(log.speedometer.iter().map(|s| (s.t, s.speed_mps)));
             }
-            VelocitySource::CanBus => log.can.iter().map(|s| (s.t, s.speed_mps)).collect(),
-            VelocitySource::Accelerometer => self.integrate_accel_velocity(log),
+            VelocitySource::CanBus => out.extend(log.can.iter().map(|s| (s.t, s.speed_mps))),
+            VelocitySource::Accelerometer => self.integrate_accel_velocity_into(log, out),
         }
     }
 
     /// Velocity from the accelerometer: raw integration of the
     /// longitudinal specific force, drift-corrected toward the latest GPS
-    /// speed with time constant `accel_blend_tau_s`. Emitted at 10 Hz.
-    fn integrate_accel_velocity(&self, log: &SensorLog) -> Vec<(f64, f64)> {
+    /// speed with time constant `accel_blend_tau_s`. Emitted at 10 Hz into
+    /// a caller-owned buffer (already cleared by the caller).
+    fn integrate_accel_velocity_into(&self, log: &SensorLog, out: &mut Vec<(f64, f64)>) {
         let tau = self.config.accel_blend_tau_s.max(1.0);
         let mut gps_iter = log.gps.iter().filter(|g| g.valid).peekable();
         let mut latest_gps: Option<f64> = None;
         let mut v = log.gps.iter().find(|g| g.valid).map(|g| g.speed_mps).unwrap_or(10.0);
-        let mut out = Vec::new();
         let mut last_t = log.imu.first().map(|s| s.t).unwrap_or(0.0);
         let mut next_emit = last_t;
         for imu in &log.imu {
@@ -270,37 +475,47 @@ impl GradientEstimator {
                 next_emit += 0.1;
             }
         }
-        out
     }
 
     /// Runs one EKF over the trip for one measurement stream, producing an
-    /// arc-indexed track.
+    /// arc-indexed track in `ts.track` (reading `ts.measurements`, staging
+    /// the filter history in `ts.history`/`ts.smoothed`).
     ///
-    /// Arc positioning integrates the EKF velocity (odometry) and, when a
-    /// map and valid GPS fixes are available, anchors the odometer to the
-    /// map-matched GPS position — the phone records a position with every
+    /// Arc positioning integrates the EKF velocity (odometry) and, when
+    /// map-matched GPS arc positions are available (`matched_s`, one entry
+    /// per GPS fix, NaN on invalid fixes, empty without a map), anchors the
+    /// odometer to them — the phone records a position with every
     /// estimate, so pure dead-reckoning drift (≈1 % of distance from the
     /// speedometer's scale error) would be an artificial handicap.
     #[allow(clippy::too_many_arguments)]
-    fn run_ekf_track(
+    fn run_ekf_track_into(
         &self,
         log: &SensorLog,
-        measurements: &[(f64, f64)],
         r: f64,
         label: &str,
         profile: &SmoothedProfile,
         alpha: &[f64],
         dt: f64,
-        map: Option<&Route>,
-    ) -> GradientTrack {
+        matched_s: &[f64],
+        ts: &mut TrackScratch,
+    ) {
+        let TrackScratch { measurements, history, smoothed, track } = ts;
+        let measurements: &[(f64, f64)] = measurements;
         let v0 = measurements.first().map(|m| m.1).unwrap_or(10.0);
         let mut ekf = GradientEkf::new(self.config.ekf, v0);
-        let mut track = GradientTrack::new(label);
-        let mut history: Vec<RtsStep> = Vec::new();
+        track.label.clear();
+        track.label.push_str(label);
+        track.s.clear();
+        track.theta.clear();
+        track.variance.clear();
+        history.clear();
         let mut s = 0.0;
         let mut m_idx = 0usize;
         let mut gps_idx = 0usize;
-        let mut matcher = map.map(MapMatcher::new);
+        // Measurement times are non-decreasing, so the α lookup advances a
+        // cursor instead of re-running `partition_point` per measurement;
+        // the cursor lands on the same index the binary search would.
+        let mut a_idx = 0usize;
         for imu in &log.imu {
             let f = ekf.predict_returning_jacobian(imu.accel_long, dt);
             let x_pred = gradest_math::Vec2::new(ekf.velocity(), ekf.theta());
@@ -311,21 +526,28 @@ impl GradientEstimator {
                 let corrected = if self.config.disable_lane_correction {
                     mv
                 } else {
-                    mv * alpha_at(profile, alpha, mt).cos()
+                    // α is exactly 0.0 outside detection windows, and
+                    // `mv * cos(0) == mv` bit-for-bit — skip the cosine.
+                    let a = alpha_at_cursor(profile, alpha, mt, &mut a_idx);
+                    if a == 0.0 {
+                        mv
+                    } else {
+                        mv * a.cos()
+                    }
                 };
                 ekf.update(corrected, r);
                 m_idx += 1;
             }
             s += ekf.velocity() * dt;
-            // Anchor the odometer to map-matched GPS.
+            // Anchor the odometer to the pre-matched GPS arc positions.
             while gps_idx < log.gps.len() && log.gps[gps_idx].t <= imu.t {
-                let fix = &log.gps[gps_idx];
+                let valid = log.gps[gps_idx].valid;
+                let fix_idx = gps_idx;
                 gps_idx += 1;
-                if !fix.valid {
+                if !valid {
                     continue;
                 }
-                if let Some(m) = matcher.as_mut() {
-                    let s_gps = m.match_s(fix.position);
+                if let Some(&s_gps) = matched_s.get(fix_idx) {
                     s += 0.35 * (s_gps - s);
                 }
             }
@@ -345,42 +567,88 @@ impl GradientEstimator {
             }
         }
         if self.config.rts_smoothing {
-            for (i, (x, p)) in rts_smooth(&history).into_iter().enumerate() {
+            rts_smooth_into(history, smoothed);
+            for (i, (x, p)) in smoothed.iter().enumerate() {
                 track.theta[i] = x.y;
                 track.variance[i] = p.m[1][1].max(1e-12);
             }
         }
-        track
     }
 }
 
-/// Builds a `v(t)` lookup from the best available speed stream. The
-/// series is validated once into an [`Interpolant`], so each of the
-/// thousands of per-sample queries is just a binary search.
-fn make_speed_lookup(log: &SensorLog) -> Box<dyn Fn(f64) -> f64 + Send + Sync> {
-    let (ts, vs): (Vec<f64>, Vec<f64>) = if !log.speedometer.is_empty() {
-        log.speedometer.iter().map(|s| (s.t, s.speed_mps)).unzip()
+/// Stages the best available speed stream into `(ts, vs)` columns:
+/// speedometer when present, else valid GPS fixes.
+fn fill_speed_series(log: &SensorLog, ts: &mut Vec<f64>, vs: &mut Vec<f64>) {
+    ts.clear();
+    vs.clear();
+    if !log.speedometer.is_empty() {
+        for s in &log.speedometer {
+            ts.push(s.t);
+            vs.push(s.speed_mps);
+        }
     } else {
-        log.gps.iter().filter(|g| g.valid).map(|g| (g.t, g.speed_mps)).unzip()
-    };
-    if ts.len() < 2 {
-        return Box::new(|_| 10.0);
+        for g in log.gps.iter().filter(|g| g.valid) {
+            ts.push(g.t);
+            vs.push(g.speed_mps);
+        }
     }
-    match Interpolant::new(ts, vs) {
-        Ok(f) => Box::new(move |t| f.at(t)),
-        Err(_) => Box::new(|_| 10.0),
+}
+
+/// A `v(t)` lookup borrowing staged speed columns: the same clamped
+/// linear interpolation as [`gradest_math::interp::Interpolant::at`]
+/// (validated per query degradation: fewer than two knots, or a
+/// non-increasing/non-finite series, falls back to a constant urban
+/// 10 m/s — the behaviour the boxed-`Interpolant` lookup it replaces had
+/// at construction time), with no owned buffers so the per-trip hot path
+/// allocates nothing.
+struct SpeedLookup<'a> {
+    ts: &'a [f64],
+    vs: &'a [f64],
+    valid: bool,
+}
+
+impl<'a> SpeedLookup<'a> {
+    fn new(ts: &'a [f64], vs: &'a [f64]) -> Self {
+        // Mirror `Interpolant::new` validation once at construction.
+        let valid = ts.len() >= 2
+            && ts.windows(2).all(|w| !w[0].is_nan() && !w[1].is_nan() && w[1] > w[0])
+            && ts.iter().all(|v| v.is_finite());
+        SpeedLookup { ts, vs, valid }
+    }
+
+    fn at(&self, x: f64) -> f64 {
+        if !self.valid {
+            return 10.0;
+        }
+        let (ts, vs) = (self.ts, self.vs);
+        if x.is_nan() || x <= ts[0] {
+            return vs[0];
+        }
+        if x >= ts[ts.len() - 1] {
+            return vs[vs.len() - 1];
+        }
+        let idx = ts.partition_point(|&v| v < x);
+        if ts[idx] == x {
+            return vs[idx];
+        }
+        let (x0, x1) = (ts[idx - 1], ts[idx]);
+        let u = (x - x0) / (x1 - x0);
+        vs[idx - 1] + (vs[idx] - vs[idx - 1]) * u
     }
 }
 
 /// Steering angle α(t) aligned with the profile: accumulated `w·Ω` inside
-/// each detection window, zero elsewhere (the Eq-2 integrand).
-fn steering_angle_series(
+/// each detection window, zero elsewhere (the Eq-2 integrand). Overwrites
+/// the caller-owned `alpha` buffer.
+fn steering_angle_series_into(
     profile: &SmoothedProfile,
     detections: &[LaneChangeDetection],
-) -> Vec<f64> {
-    let mut alpha = vec![0.0; profile.len()];
+    alpha: &mut Vec<f64>,
+) {
+    alpha.clear();
+    alpha.resize(profile.len(), 0.0);
     if profile.len() < 2 {
-        return alpha;
+        return;
     }
     let dt = profile.dt();
     for det in detections {
@@ -393,10 +661,11 @@ fn steering_angle_series(
             *a = acc;
         }
     }
-    alpha
 }
 
-/// Nearest-sample α lookup at measurement time `t`.
+/// Nearest-sample α lookup at measurement time `t` — the binary-search
+/// reference that [`alpha_at_cursor`] is pinned against in tests.
+#[cfg(test)]
 fn alpha_at(profile: &SmoothedProfile, alpha: &[f64], t: f64) -> f64 {
     if profile.is_empty() {
         return 0.0;
@@ -404,6 +673,19 @@ fn alpha_at(profile: &SmoothedProfile, alpha: &[f64], t: f64) -> f64 {
     let idx = profile.t.partition_point(|&pt| pt < t);
     let idx = idx.min(alpha.len() - 1);
     alpha[idx]
+}
+
+/// [`alpha_at`] for non-decreasing query times: `cursor` carries the scan
+/// position across calls and lands on the exact index the binary search
+/// would return (the first profile time ≥ `t`).
+fn alpha_at_cursor(profile: &SmoothedProfile, alpha: &[f64], t: f64, cursor: &mut usize) -> f64 {
+    if profile.is_empty() {
+        return 0.0;
+    }
+    while *cursor < profile.t.len() && profile.t[*cursor] < t {
+        *cursor += 1;
+    }
+    alpha[(*cursor).min(alpha.len() - 1)]
 }
 
 #[cfg(test)]
@@ -438,6 +720,56 @@ mod tests {
         let parallel =
             GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn warm_scratch_matches_cold_estimate() {
+        let route = Route::new(vec![straight_road(800.0, 2.0)]).unwrap();
+        let traj = simulate_trip(&route, &TripConfig::default(), 11);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 11);
+        let estimator = GradientEstimator::new(EstimatorConfig::default());
+        let cold = estimator.estimate(&log, Some(&route));
+        let mut scratch = EstimatorScratch::new();
+        let first = estimator.estimate_with(&log, Some(&route), &mut scratch);
+        let warm = estimator.estimate_with(&log, Some(&route), &mut scratch);
+        assert_eq!(cold, first);
+        assert_eq!(cold, warm);
+        assert!(scratch.stages().total() > 0);
+    }
+
+    #[test]
+    fn alpha_cursor_matches_binary_search() {
+        let profile = SmoothedProfile { t: vec![0.0, 0.5, 1.0, 1.5, 2.0], w: vec![0.0; 5] };
+        let alpha = vec![0.1, 0.2, 0.3, 0.4, 0.5];
+        let mut cursor = 0usize;
+        // Non-decreasing queries: before, between, exactly on, repeated,
+        // and past the last knot.
+        for &t in &[-1.0, 0.2, 0.5, 0.5, 0.75, 1.5, 1.9, 2.0, 7.0] {
+            let reference = alpha_at(&profile, &alpha, t);
+            let scanned = alpha_at_cursor(&profile, &alpha, t, &mut cursor);
+            assert_eq!(reference, scanned, "t={t}");
+        }
+        let empty = SmoothedProfile::default();
+        let mut c = 0usize;
+        assert_eq!(alpha_at(&empty, &[], 1.0), 0.0);
+        assert_eq!(alpha_at_cursor(&empty, &[], 1.0, &mut c), 0.0);
+    }
+
+    #[test]
+    fn fast_lowess_tracks_generic_reference() {
+        let route = Route::new(vec![straight_road(1200.0, 2.0)]).unwrap();
+        let traj = simulate_trip(&route, &TripConfig::default(), 12);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 12);
+        let fast = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+        let generic = GradientEstimator::new(EstimatorConfig {
+            force_generic_lowess: true,
+            ..Default::default()
+        })
+        .estimate(&log, Some(&route));
+        assert_eq!(fast.fused.len(), generic.fused.len());
+        for (a, b) in fast.fused.theta.iter().zip(&generic.fused.theta) {
+            assert!((a - b).abs() < 1e-12, "fast {a} vs generic {b}");
+        }
     }
 
     #[test]

@@ -36,17 +36,16 @@ pub struct RtsStep {
     pub f: Mat2,
 }
 
-/// Runs the backward RTS recursion over a forward history, returning the
-/// smoothed `(state, covariance)` per step.
-///
-/// Near-singular predicted covariances fall back to the filtered estimate
-/// for that step (no smoothing gain), so the pass never fails.
-pub fn rts_smooth(history: &[RtsStep]) -> Vec<(Vec2, Mat2)> {
+/// Runs the backward RTS recursion into a caller-owned buffer
+/// (overwritten), so a warm caller pays no allocation. See
+/// [`rts_smooth`] for semantics.
+pub fn rts_smooth_into(history: &[RtsStep], out: &mut Vec<(Vec2, Mat2)>) {
     let n = history.len();
+    out.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
-    let mut out: Vec<(Vec2, Mat2)> = history.iter().map(|s| (s.x_filt, s.p_filt)).collect();
+    out.extend(history.iter().map(|s| (s.x_filt, s.p_filt)));
     // Backward pass: smooth step k using step k+1's prediction.
     for k in (0..n - 1).rev() {
         let next = &history[k + 1];
@@ -63,6 +62,16 @@ pub fn rts_smooth(history: &[RtsStep]) -> Vec<(Vec2, Mat2)> {
         p.m[1][1] = p.m[1][1].max(1e-12);
         out[k] = (x, p);
     }
+}
+
+/// Runs the backward RTS recursion over a forward history, returning the
+/// smoothed `(state, covariance)` per step.
+///
+/// Near-singular predicted covariances fall back to the filtered estimate
+/// for that step (no smoothing gain), so the pass never fails.
+pub fn rts_smooth(history: &[RtsStep]) -> Vec<(Vec2, Mat2)> {
+    let mut out = Vec::new();
+    rts_smooth_into(history, &mut out);
     out
 }
 

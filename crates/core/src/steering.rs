@@ -18,7 +18,7 @@ thread_local! {
 }
 
 /// A uniformly sampled, smoothed steering-rate profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SmoothedProfile {
     /// Sample times, seconds.
     pub t: Vec<f64>,
@@ -48,31 +48,57 @@ impl SmoothedProfile {
     }
 }
 
+/// Smooths a raw steering-rate series into a caller-owned profile.
+///
+/// Columnar core of [`smooth_profile`]: `t`/`w_raw` are parallel slices
+/// (see [`gradest_sensors::ImuColumns`]), the LOWESS working buffers come
+/// from `scratch`, and the result overwrites `out` — a warm caller pays no
+/// allocation. `force_generic` disables the uniform-grid LOWESS fast path
+/// (reference arithmetic, bit for bit).
+///
+/// Inputs shorter than 3 samples pass through unsmoothed.
+///
+/// # Panics
+///
+/// Panics if `t` and `w_raw` differ in length.
+pub fn smooth_profile_into(
+    t: &[f64],
+    w_raw: &[f64],
+    window_s: f64,
+    force_generic: bool,
+    scratch: &mut LowessScratch,
+    out: &mut SmoothedProfile,
+) {
+    assert_eq!(t.len(), w_raw.len(), "column length mismatch");
+    out.t.clear();
+    out.t.extend_from_slice(t);
+    if t.len() < 3 {
+        out.w.clear();
+        out.w.extend_from_slice(w_raw);
+        return;
+    }
+    let span = t[t.len() - 1] - t[0];
+    let fraction = (window_s / span.max(1e-9)).clamp(1e-4, 1.0);
+    let config = LowessConfig { fraction, robust_iterations: 0, force_generic };
+    lowess_into(t, w_raw, config, scratch, &mut out.w).expect("validated uniform series");
+}
+
 /// Smooths a raw `(t, w_steer)` series with LOWESS.
 ///
 /// `window_s` is the smoothing window in seconds (converted internally to
 /// a LOWESS fraction). Defaults used by the pipeline: 0.8 s — short enough
 /// to preserve 4–7 s lane-change bumps, long enough to kill gyro noise.
 ///
-/// Returns an empty profile for fewer than 3 input samples.
+/// Returns an empty profile for fewer than 3 input samples. Allocating
+/// wrapper over [`smooth_profile_into`].
 pub fn smooth_profile(raw: &[(f64, f64)], window_s: f64) -> SmoothedProfile {
-    if raw.len() < 3 {
-        return SmoothedProfile {
-            t: raw.iter().map(|p| p.0).collect(),
-            w: raw.iter().map(|p| p.1).collect(),
-        };
-    }
     let t: Vec<f64> = raw.iter().map(|p| p.0).collect();
     let w: Vec<f64> = raw.iter().map(|p| p.1).collect();
-    let span = t[t.len() - 1] - t[0];
-    let fraction = (window_s / span.max(1e-9)).clamp(1e-4, 1.0);
-    let config = LowessConfig { fraction, robust_iterations: 0 };
-    let mut smoothed = Vec::new();
+    let mut out = SmoothedProfile { t: Vec::new(), w: Vec::new() };
     LOWESS_SCRATCH.with(|scratch| {
-        lowess_into(&t, &w, config, &mut scratch.borrow_mut(), &mut smoothed)
-            .expect("validated uniform series");
+        smooth_profile_into(&t, &w, window_s, false, &mut scratch.borrow_mut(), &mut out);
     });
-    SmoothedProfile { t, w: smoothed }
+    out
 }
 
 /// Bump features of one maneuver profile (Table I): per polarity, the peak

@@ -87,9 +87,24 @@ impl GradientTrack {
     ///
     /// Panics if `ds <= 0` or the track is empty.
     pub fn resample(&self, length: f64, ds: f64) -> GradientTrack {
+        let mut out = GradientTrack::default();
+        self.resample_into(length, ds, &mut out);
+        out
+    }
+
+    /// [`Self::resample`] into a caller-owned track (overwritten,
+    /// including the label), so a warm caller pays no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ds <= 0` or the track is empty.
+    pub fn resample_into(&self, length: f64, ds: f64, out: &mut GradientTrack) {
         assert!(ds > 0.0, "resample spacing must be positive");
         assert!(!self.is_empty(), "cannot resample an empty track");
-        let mut out = GradientTrack::new(self.label.clone());
+        out.label.clone_from(&self.label);
+        out.s.clear();
+        out.theta.clear();
+        out.variance.clear();
         let n = (length / ds).floor() as usize;
         out.s.reserve(n + 1);
         out.theta.reserve(n + 1);
@@ -115,7 +130,6 @@ impl GradientTrack {
             };
             out.push(s, self.theta[idx], self.variance[idx]);
         }
-        out
     }
 }
 

@@ -17,13 +17,18 @@ pub struct LowessConfig {
     pub fraction: f64,
     /// Number of robustifying iterations (0 = plain LOWESS).
     pub robust_iterations: usize,
+    /// Disable the uniform-grid fast path even when the abscissae form a
+    /// uniform grid (see [`detect_uniform_step`]). The generic and fast
+    /// paths agree within ~1e-12; forcing the generic path gives the
+    /// reference answer bit-for-bit.
+    pub force_generic: bool,
 }
 
 impl Default for LowessConfig {
     fn default() -> Self {
         // fraction 0.1 keeps lane-change bumps (~seconds wide at 50 Hz)
         // intact while killing sample-level sensor noise.
-        LowessConfig { fraction: 0.1, robust_iterations: 0 }
+        LowessConfig { fraction: 0.1, robust_iterations: 0, force_generic: false }
     }
 }
 
@@ -39,7 +44,7 @@ impl LowessConfig {
             fraction > 0.0 && fraction <= 1.0,
             "LOWESS fraction must be in (0, 1], got {fraction}"
         );
-        LowessConfig { fraction, robust_iterations: 0 }
+        LowessConfig { fraction, robust_iterations: 0, force_generic: false }
     }
 
     /// Sets the number of robustifying iterations.
@@ -47,6 +52,39 @@ impl LowessConfig {
         self.robust_iterations = iterations;
         self
     }
+
+    /// Forces the generic per-point path (disables the uniform-grid fast
+    /// path).
+    pub fn generic_only(mut self) -> Self {
+        self.force_generic = true;
+        self
+    }
+}
+
+/// Detects a uniform abscissa grid, returning the common step.
+///
+/// The tolerance admits timestamps accumulated by repeated `t += dt`
+/// (whose per-step rounding drift is a few ulps) while rejecting
+/// genuinely jittered grids. Requires at least two samples and a
+/// positive mean step.
+pub fn detect_uniform_step(xs: &[f64]) -> Option<f64> {
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let step = (xs[n - 1] - xs[0]) / (n - 1) as f64;
+    if !step.is_finite() || step <= 0.0 {
+        return None;
+    }
+    // Relative term covers accumulation drift in the step itself;
+    // the absolute term covers per-element rounding at large |x|.
+    let tol = 1e-9 * step + 8.0 * f64::EPSILON * xs[0].abs().max(xs[n - 1].abs());
+    for w in xs.windows(2) {
+        if ((w[1] - w[0]) - step).abs() > tol {
+            return None;
+        }
+    }
+    Some(step)
 }
 
 /// Smooths `ys` sampled at strictly increasing `xs` with LOWESS.
@@ -90,6 +128,15 @@ pub struct LowessScratch {
     robust_weights: Vec<f64>,
     abs_res: Vec<f64>,
     sorted: Vec<f64>,
+    /// Uniform-grid fast path: tricube weight per absolute offset
+    /// `0..=h` (shared by every interior window).
+    tri: Vec<f64>,
+    /// Interior-fit coefficients for window variant A (offsets
+    /// `-h..=h-1` for even windows, `-h..=h` for odd).
+    coeff_a: Vec<f64>,
+    /// Variant B (offsets `-h+1..=h`) — the window an even-width slide
+    /// selects when its final tie comparison resolves the other way.
+    coeff_b: Vec<f64>,
 }
 
 impl LowessScratch {
@@ -142,9 +189,37 @@ pub fn lowess_into(
     scratch.robust_weights.resize(n, 1.0);
     fitted.resize(n, 0.0);
 
+    // Uniform-grid fast path: interior windows all share one tricube
+    // weight vector, precomputed once. Edge points (and every point on
+    // non-uniform grids) keep the generic per-point fit.
+    let uniform = if config.force_generic { None } else { detect_uniform_step(xs) };
+    let fast_h = match uniform {
+        Some(step) if n > window => {
+            let h = window / 2;
+            precompute_uniform_tables(step, window, h, scratch);
+            Some(h)
+        }
+        _ => None,
+    };
+
     for iteration in 0..=config.robust_iterations {
-        for (i, f) in fitted.iter_mut().enumerate() {
-            *f = fit_local(xs, ys, &scratch.robust_weights, i, window);
+        if let Some(h) = fast_h {
+            fit_pass_uniform(
+                xs,
+                ys,
+                &scratch.robust_weights,
+                window,
+                h,
+                &scratch.tri,
+                &scratch.coeff_a,
+                &scratch.coeff_b,
+                iteration == 0,
+                fitted,
+            );
+        } else {
+            for (i, f) in fitted.iter_mut().enumerate() {
+                *f = fit_local(xs, ys, &scratch.robust_weights, i, window);
+            }
         }
         if iteration == config.robust_iterations {
             break;
@@ -159,7 +234,14 @@ pub fn lowess_into(
         scratch.sorted.clear();
         scratch.sorted.extend_from_slice(&scratch.abs_res);
         scratch.sorted.sort_by(|a, b| a.partial_cmp(b).expect("residuals finite"));
-        let median = scratch.sorted[n / 2];
+        // For even n the true median is the mean of the two central
+        // residuals; `sorted[n / 2]` alone would take the upper one and
+        // bias the bisquare scale.
+        let median = if n.is_multiple_of(2) {
+            0.5 * (scratch.sorted[n / 2 - 1] + scratch.sorted[n / 2])
+        } else {
+            scratch.sorted[n / 2]
+        };
         let mean = scratch.abs_res.iter().sum::<f64>() / n as f64;
         let scale = median.max(0.25 * mean);
         if scale <= f64::EPSILON {
@@ -218,6 +300,165 @@ fn fit_local(xs: &[f64], ys: &[f64], robust: &[f64], i: usize, window: usize) ->
     } else {
         (swxx * swy - swx * swxy) / denom
     }
+}
+
+/// Fills the shared tricube table and per-variant interior-fit
+/// coefficients for a uniform grid with the given `step` and half-width
+/// `h = window / 2`.
+///
+/// On a uniform grid every interior fit uses the same offsets, so the
+/// weighted-least-squares solution `a = (swxx·swy − swx·swxy)/denom`
+/// collapses to a fixed coefficient vector over the window's `ys`:
+/// `a = Σ_j (swxx − swx·dx_j)·w_j/denom · y_j`. Even windows are
+/// asymmetric by one sample; the slide's tie comparison picks between
+/// the two variants per point, so both coefficient vectors are built.
+fn precompute_uniform_tables(step: f64, window: usize, h: usize, scratch: &mut LowessScratch) {
+    // Interior `max_dist` is the far edge at offset ±h.
+    let max_dist = (h as f64 * step).max(f64::EPSILON);
+    scratch.tri.clear();
+    scratch.tri.extend((0..=h).map(|j| {
+        let d = ((j as f64 * step) / max_dist).abs();
+        if d >= 1.0 {
+            0.0
+        } else {
+            (1.0 - d * d * d).powi(3)
+        }
+    }));
+    let even = window.is_multiple_of(2);
+    let start_a = -(h as isize);
+    build_interior_coeffs(step, window, &scratch.tri, start_a, &mut scratch.coeff_a);
+    if even {
+        build_interior_coeffs(step, window, &scratch.tri, start_a + 1, &mut scratch.coeff_b);
+    } else {
+        scratch.coeff_b.clear();
+    }
+}
+
+/// Builds the interior-fit coefficient vector for the window covering
+/// offsets `start_off..start_off + window`.
+fn build_interior_coeffs(
+    step: f64,
+    window: usize,
+    tri: &[f64],
+    start_off: isize,
+    out: &mut Vec<f64>,
+) {
+    let (mut sw, mut swx, mut swxx) = (0.0, 0.0, 0.0);
+    for j in 0..window {
+        let off = start_off + j as isize;
+        let w = tri[off.unsigned_abs()];
+        if w == 0.0 {
+            continue;
+        }
+        let dx = off as f64 * step;
+        sw += w;
+        swx += w * dx;
+        swxx += w * dx * dx;
+    }
+    out.clear();
+    let denom = sw * swxx - swx * swx;
+    if denom.abs() < 1e-12 * sw.max(1.0) {
+        // Degenerate: the fit is a weighted mean (matches `fit_local`).
+        out.extend((0..window).map(|j| tri[(start_off + j as isize).unsigned_abs()] / sw));
+    } else {
+        out.extend((0..window).map(|j| {
+            let off = start_off + j as isize;
+            let w = tri[off.unsigned_abs()];
+            (swxx - swx * off as f64 * step) * w / denom
+        }));
+    }
+}
+
+/// One LOWESS fitting pass over a uniform grid.
+///
+/// Edge points (the first and last `h`) run the generic [`fit_local`]
+/// unchanged. Interior points share the precomputed tables: with unit
+/// robustness weights (`first_pass`) each fit is a single dot product;
+/// during robust iterations the tricube lookups replace the per-pair
+/// distance/`powi` evaluation but the five-sum accumulation is kept.
+#[allow(clippy::too_many_arguments)]
+fn fit_pass_uniform(
+    xs: &[f64],
+    ys: &[f64],
+    robust: &[f64],
+    window: usize,
+    h: usize,
+    tri: &[f64],
+    coeff_a: &[f64],
+    coeff_b: &[f64],
+    first_pass: bool,
+    fitted: &mut [f64],
+) {
+    let n = xs.len();
+    let even = window.is_multiple_of(2);
+    for (i, f) in fitted.iter_mut().enumerate().take(h) {
+        *f = fit_local(xs, ys, robust, i, window);
+    }
+    for (i, f) in fitted.iter_mut().enumerate().take(n).skip(n - h) {
+        *f = fit_local(xs, ys, robust, i, window);
+    }
+    for i in h..(n - h) {
+        let x0 = xs[i];
+        // Replicate the generic nearest-neighbour slide. For odd windows
+        // the symmetric window always wins by a full step; for even
+        // windows the slide ends on an exact-tie comparison that rounding
+        // drift decides, so evaluate the same comparison on the same
+        // values.
+        let (lo, coeff) = if even && (xs[i + h] - x0) < (x0 - xs[i - h]) {
+            (i - h + 1, coeff_b)
+        } else {
+            (i - h, coeff_a)
+        };
+        if first_pass {
+            fitted[i] = dot_window(coeff, &ys[lo..lo + window]);
+        } else {
+            let (mut sw, mut swx, mut swy, mut swxx, mut swxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for k in lo..lo + window {
+                let w = tri[k.abs_diff(i)] * robust[k];
+                if w == 0.0 {
+                    continue;
+                }
+                let dx = xs[k] - x0;
+                sw += w;
+                swx += w * dx;
+                swy += w * ys[k];
+                swxx += w * dx * dx;
+                swxy += w * dx * ys[k];
+            }
+            fitted[i] = if sw == 0.0 {
+                ys[i]
+            } else {
+                let denom = sw * swxx - swx * swx;
+                if denom.abs() < 1e-12 * sw.max(1.0) {
+                    swy / sw
+                } else {
+                    (swxx * swy - swx * swxy) / denom
+                }
+            };
+        }
+    }
+}
+
+/// Dot product with four independent accumulators (the fast path's
+/// permission to reassociate: agreement is promised to ~1e-12, not
+/// bit-exactness, and the unrolled form vectorizes).
+#[inline]
+fn dot_window(coeff: &[f64], ys: &[f64]) -> f64 {
+    debug_assert_eq!(coeff.len(), ys.len());
+    let mut acc = [0.0f64; 4];
+    let mut cc = coeff.chunks_exact(4);
+    let mut yc = ys.chunks_exact(4);
+    for (c, y) in (&mut cc).zip(&mut yc) {
+        acc[0] += c[0] * y[0];
+        acc[1] += c[1] * y[1];
+        acc[2] += c[2] * y[2];
+        acc[3] += c[3] * y[3];
+    }
+    let mut rest = 0.0;
+    for (c, y) in cc.remainder().iter().zip(yc.remainder()) {
+        rest += c * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + rest
 }
 
 #[cfg(test)]
@@ -309,8 +550,67 @@ mod tests {
         assert!(lowess(&[], &[], LowessConfig::default()).is_err());
         assert!(lowess(&[0.0, 1.0], &[0.0], LowessConfig::default()).is_err());
         assert!(lowess(&[1.0, 0.0], &[0.0, 1.0], LowessConfig::default()).is_err());
-        let bad = LowessConfig { fraction: 0.0, robust_iterations: 0 };
+        let bad = LowessConfig { fraction: 0.0, ..Default::default() };
         assert!(lowess(&[0.0, 1.0], &[0.0, 1.0], bad).is_err());
+    }
+
+    /// Pseudo-random but deterministic sample values (no RNG dependency).
+    fn wavy(n: usize, dt: f64) -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (0..n).map(|i| 3.0 + i as f64 * dt).collect();
+        let ys: Vec<f64> =
+            (0..n).map(|i| (i as f64 * 0.7).sin() * 2.0 + (i as f64 * 2.3).cos()).collect();
+        (xs, ys)
+    }
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn fast_path_matches_generic_on_uniform_grid() {
+        // Odd and even windows, with and without robustness iterations.
+        for &(n, frac, iters) in
+            &[(300usize, 0.11, 0usize), (300, 0.12, 0), (257, 0.2, 2), (300, 0.0667, 3)]
+        {
+            let (xs, ys) = wavy(n, 0.0625);
+            let cfg =
+                LowessConfig { fraction: frac, robust_iterations: iters, force_generic: false };
+            let fast = lowess(&xs, &ys, cfg).unwrap();
+            let generic = lowess(&xs, &ys, cfg.generic_only()).unwrap();
+            let diff = max_abs_diff(&fast, &generic);
+            assert!(diff < 1e-12, "n={n} frac={frac} iters={iters}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn accumulated_timestamps_detected_as_uniform() {
+        // The simulator builds timestamps by repeated `t += dt`; the
+        // accumulated rounding drift must stay inside the detector's
+        // tolerance so real sensor logs take the fast path.
+        let mut t = 0.0f64;
+        let xs: Vec<f64> = (0..10_000)
+            .map(|_| {
+                let v = t;
+                t += 0.02;
+                v
+            })
+            .collect();
+        let step = detect_uniform_step(&xs).expect("accumulated grid is uniform");
+        assert!((step - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jittered_grid_falls_back_to_generic() {
+        let n = 200;
+        let xs: Vec<f64> =
+            (0..n).map(|i| i as f64 * 0.02 + 0.004 * ((i * 7919 % 13) as f64 / 13.0)).collect();
+        assert!(detect_uniform_step(&xs).is_none());
+        let ys: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let cfg = LowessConfig::with_fraction(0.15);
+        // Fast path not taken: the two configurations are bit-identical.
+        let auto = lowess(&xs, &ys, cfg).unwrap();
+        let generic = lowess(&xs, &ys, cfg.generic_only()).unwrap();
+        assert_eq!(auto, generic);
     }
 
     #[test]

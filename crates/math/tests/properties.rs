@@ -1,7 +1,7 @@
 //! Property-based tests for the numeric kernels.
 
 use gradest_math::angle::{angle_diff, wrap_pi, wrap_two_pi};
-use gradest_math::lowess::{lowess, LowessConfig};
+use gradest_math::lowess::{detect_uniform_step, lowess, LowessConfig};
 use gradest_math::signal::{cumsum_scaled, integrate_cumulative, moving_average};
 use gradest_math::stats::{mean, percentile, EmpiricalCdf};
 use gradest_math::{DMatrix, Mat2, Mat3, Vec2};
@@ -223,5 +223,48 @@ proptest! {
         for v in out {
             prop_assert!((v - c).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn lowess_uniform_fast_path_matches_generic(
+        ys in prop::collection::vec(-100.0..100.0f64, 8..200),
+        x0 in 0i32..100,
+        mantissa in 1i32..16,
+        exponent in -7i32..1,
+        frac in 0.05..1.0f64,
+        iters in 0usize..3,
+    ) {
+        // Dyadic steps make the grid exactly uniform in f64, so the
+        // detector must fire and the fast path must agree with the
+        // generic reference within 1e-12.
+        let dt = mantissa as f64 * 2f64.powi(exponent);
+        let xs: Vec<f64> = (0..ys.len()).map(|i| x0 as f64 + i as f64 * dt).collect();
+        prop_assert!(detect_uniform_step(&xs).is_some());
+        let cfg = LowessConfig { fraction: frac, robust_iterations: iters, force_generic: false };
+        let fast = lowess(&xs, &ys, cfg).unwrap();
+        let generic = lowess(&xs, &ys, cfg.generic_only()).unwrap();
+        for (f, g) in fast.iter().zip(&generic) {
+            prop_assert!((f - g).abs() < 1e-12, "fast {f} vs generic {g}");
+        }
+    }
+
+    #[test]
+    fn lowess_jittered_grid_uses_generic_path(
+        ys in prop::collection::vec(-10.0..10.0f64, 8..100),
+        jitter_scale in 0.05..0.4f64,
+        frac in 0.1..1.0f64,
+    ) {
+        // Jitter far above the uniformity tolerance: detection must
+        // refuse, and the auto path must equal the forced-generic path
+        // bit for bit (proving the fallback really runs the generic fit).
+        let n = ys.len();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| i as f64 * 0.02 + jitter_scale * 0.02 * ((i * 7919 % 17) as f64 / 17.0))
+            .collect();
+        prop_assert!(detect_uniform_step(&xs).is_none());
+        let cfg = LowessConfig { fraction: frac, robust_iterations: 1, force_generic: false };
+        let auto = lowess(&xs, &ys, cfg).unwrap();
+        let generic = lowess(&xs, &ys, cfg.generic_only()).unwrap();
+        prop_assert_eq!(auto, generic);
     }
 }

@@ -69,28 +69,42 @@ impl<'a> MapMatcher<'a> {
         // Coarse 5 m scan, then 1 m refinement around the best candidate.
         let mut best_s = lo;
         let mut best_d = f64::INFINITY;
-        let mut s = lo;
-        while s <= hi {
-            let d = (self.route.point_at(s) - position).norm_squared();
-            if d < best_d {
-                best_d = d;
-                best_s = s;
-            }
-            s += 5.0;
-        }
+        self.scan_window(position, lo, hi, 5.0, &mut best_s, &mut best_d);
         let lo2 = (best_s - 5.0).max(0.0);
         let hi2 = (best_s + 5.0).min(self.route.length());
-        let mut s = lo2;
-        while s <= hi2 {
-            let d = (self.route.point_at(s) - position).norm_squared();
-            if d < best_d {
-                best_d = d;
-                best_s = s;
-            }
-            s += 1.0;
-        }
+        self.scan_window(position, lo2, hi2, 1.0, &mut best_s, &mut best_d);
         self.last_s = best_s;
         best_s
+    }
+
+    /// Samples `[lo, hi]` every `step` metres, tracking the closest
+    /// candidate. Positions come from an integer step count — an
+    /// `s += step` accumulator drifts, and after enough drift the loop
+    /// condition can exclude `hi` itself — and the window's far edge is
+    /// always sampled.
+    fn scan_window(
+        &self,
+        position: Vec2,
+        lo: f64,
+        hi: f64,
+        step: f64,
+        best_s: &mut f64,
+        best_d: &mut f64,
+    ) {
+        let steps = (((hi - lo) / step).floor()).max(0.0) as usize;
+        let mut consider = |s: f64| {
+            let d = (self.route.point_at(s) - position).norm_squared();
+            if d < *best_d {
+                *best_d = d;
+                *best_s = s;
+            }
+        };
+        for k in 0..=steps {
+            consider(lo + k as f64 * step);
+        }
+        if lo + steps as f64 * step < hi {
+            consider(hi);
+        }
     }
 
     /// Road-direction change rate `w_road` (rad/s) for a vehicle at
@@ -104,22 +118,39 @@ impl<'a> MapMatcher<'a> {
 /// A steering-rate profile at IMU rate: `(t, w_steer)` pairs.
 pub type SteeringProfile = Vec<(f64, f64)>;
 
-/// Computes the steering-rate profile `w_steer = ŵ_vehicle − w_road`.
+/// Reusable buffers for [`steering_rate_profile_into`]: per-fix `w_road`
+/// staging that survives across trips on a warm estimator.
+#[derive(Debug, Clone, Default)]
+pub struct WRoadScratch {
+    fix_times: Vec<f64>,
+    fix_wroad: Vec<f64>,
+}
+
+/// Computes the steering rate `w_steer = ŵ_vehicle − w_road` per IMU
+/// sample into `out_w`, reading timestamps and yaw rates from columnar
+/// slices (see [`crate::columnar::ImuColumns`]).
 ///
-/// `route` is the map used to derive `w_road`: between valid GPS fixes the
-/// last map-matched `w_road` is held; while GPS is invalid it is held for
-/// up to 3 s and then decays to 0 (the road geometry is unknown). Pass
-/// `None` to model an unmapped road — `w_road` is then 0 everywhere and
-/// road curvature appears in the steering profile (the paper's S-curve
-/// confusion case).
-pub fn steering_rate_profile(
-    imu: &[ImuSample],
+/// Identical arithmetic to [`steering_rate_profile`], but writes into the
+/// caller's buffer and stages per-fix state in `scratch`, so a warm caller
+/// pays no allocation. `out_w[i]` pairs with `t[i]`.
+///
+/// # Panics
+///
+/// Panics if `t` and `gyro_z` differ in length.
+pub fn steering_rate_profile_into(
+    t: &[f64],
+    gyro_z: &[f64],
     gps: &[GpsSample],
     route: Option<&Route>,
-) -> SteeringProfile {
+    scratch: &mut WRoadScratch,
+    out_w: &mut Vec<f64>,
+) {
+    assert_eq!(t.len(), gyro_z.len(), "column length mismatch");
     // Precompute w_road at each fix time.
-    let mut fix_times = Vec::new();
-    let mut fix_wroad = Vec::new();
+    let fix_times = &mut scratch.fix_times;
+    let fix_wroad = &mut scratch.fix_wroad;
+    fix_times.clear();
+    fix_wroad.clear();
     if let Some(route) = route {
         let mut matcher = MapMatcher::new(route);
         let mut last_valid_t = f64::NEG_INFINITY;
@@ -138,29 +169,52 @@ pub fn steering_rate_profile(
             fix_wroad.push(w);
         }
     }
-    let mut out = Vec::with_capacity(imu.len());
+    out_w.clear();
+    out_w.reserve(t.len());
     let mut cursor = 0usize;
-    for s in imu {
+    for (&ti, &gz) in t.iter().zip(gyro_z) {
         // Linearly interpolate w_road between fixes (clamped at the ends);
         // a zero-order hold would inject sign-flip transients at curve
         // transitions that look like steering bumps.
         let w_road = if fix_times.is_empty() {
             0.0
-        } else if s.t <= fix_times[0] {
+        } else if ti <= fix_times[0] {
             fix_wroad[0]
-        } else if s.t >= *fix_times.last().expect("nonempty") {
+        } else if ti >= *fix_times.last().expect("nonempty") {
             *fix_wroad.last().expect("nonempty")
         } else {
-            while cursor + 1 < fix_times.len() && fix_times[cursor + 1] <= s.t {
+            while cursor + 1 < fix_times.len() && fix_times[cursor + 1] <= ti {
                 cursor += 1;
             }
             let (t0, t1) = (fix_times[cursor], fix_times[cursor + 1]);
-            let u = ((s.t - t0) / (t1 - t0)).clamp(0.0, 1.0);
+            let u = ((ti - t0) / (t1 - t0)).clamp(0.0, 1.0);
             fix_wroad[cursor] * (1.0 - u) + fix_wroad[cursor + 1] * u
         };
-        out.push((s.t, s.gyro_z - w_road));
+        out_w.push(gz - w_road);
     }
-    out
+}
+
+/// Computes the steering-rate profile `w_steer = ŵ_vehicle − w_road`.
+///
+/// `route` is the map used to derive `w_road`: between valid GPS fixes the
+/// last map-matched `w_road` is held; while GPS is invalid it is held for
+/// up to 3 s and then decays to 0 (the road geometry is unknown). Pass
+/// `None` to model an unmapped road — `w_road` is then 0 everywhere and
+/// road curvature appears in the steering profile (the paper's S-curve
+/// confusion case).
+///
+/// Allocating convenience wrapper over [`steering_rate_profile_into`].
+pub fn steering_rate_profile(
+    imu: &[ImuSample],
+    gps: &[GpsSample],
+    route: Option<&Route>,
+) -> SteeringProfile {
+    let t: Vec<f64> = imu.iter().map(|s| s.t).collect();
+    let gyro_z: Vec<f64> = imu.iter().map(|s| s.gyro_z).collect();
+    let mut scratch = WRoadScratch::default();
+    let mut w = Vec::new();
+    steering_rate_profile_into(&t, &gyro_z, gps, route, &mut scratch, &mut w);
+    t.into_iter().zip(w).collect()
 }
 
 #[cfg(test)]
@@ -265,6 +319,41 @@ mod tests {
             assert_eq!(*t, imu.t);
             assert_eq!(*w, imu.gyro_z);
         }
+    }
+
+    #[test]
+    fn columnar_into_matches_wrapper() {
+        let route = Route::new(vec![s_curve_road(150.0, 50.0)]).unwrap();
+        let traj = simulate_trip(&route, &quiet_cfg(), 35);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 35);
+        let prof = steering_rate_profile(&log.imu, &log.gps, Some(&route));
+        let cols = crate::columnar::ImuColumns::from_samples(&log.imu);
+        let mut scratch = WRoadScratch::default();
+        let mut w = Vec::new();
+        steering_rate_profile_into(
+            &cols.t,
+            &cols.gyro_z,
+            &log.gps,
+            Some(&route),
+            &mut scratch,
+            &mut w,
+        );
+        assert_eq!(prof.len(), w.len());
+        for ((t, pw), (ct, cw)) in prof.iter().zip(cols.t.iter().zip(&w)) {
+            assert_eq!(t, ct);
+            assert_eq!(pw, cw);
+        }
+    }
+
+    #[test]
+    fn match_s_reaches_window_far_edge() {
+        // A position near the route end must match there even though the
+        // search window span is not a multiple of the scan steps.
+        let route = Route::new(vec![straight_road(123.7, 0.0)]).unwrap();
+        let mut m = MapMatcher::new(&route);
+        let end = route.length();
+        let s_hat = m.match_s(route.point_at(end));
+        assert!((s_hat - end).abs() <= 1.0, "{s_hat} vs {end}");
     }
 
     #[test]

@@ -41,13 +41,17 @@
 
 pub mod alignment;
 pub mod calibration;
+pub mod columnar;
 pub mod noise;
 pub mod raw;
 pub mod samples;
 pub mod suite;
 
-pub use alignment::{MapMatcher, PhoneMount};
+pub use alignment::{
+    steering_rate_profile, steering_rate_profile_into, MapMatcher, PhoneMount, WRoadScratch,
+};
 pub use calibration::{apply_mount, estimate_mount, CalibrationError};
+pub use columnar::ImuColumns;
 pub use raw::{simulate_raw_imu, RawImuConfig, RawImuSample};
 pub use samples::{BaroSample, GpsSample, ImuSample, SpeedSample};
 pub use suite::{SensorConfig, SensorLog, SensorSuite};

@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check"
 cargo fmt --check
 
+# Hot-path smoke: one trip through the pipeline benchmark; the binary
+# asserts zero warm-path allocations, fast-vs-generic LOWESS agreement,
+# and warm-scratch bit-identity.
+echo "== pipeline_hotpath_smoke"
+cargo run --release -p gradest-bench --bin gradest-experiments -- pipeline_hotpath_smoke
+
 echo "ci-gate: OK"
