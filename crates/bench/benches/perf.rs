@@ -144,7 +144,7 @@ fn cloud_upload_contention(threads: usize) -> BenchReport {
                 });
             }
         });
-        assert_eq!(cloud.upload_count(), uploads.len() as u64);
+        assert_eq!(cloud.uploads(), uploads.len() as u64);
     })
 }
 

@@ -96,7 +96,7 @@ pub fn run(seed: u64) -> Extended {
             MethodScore { name, mre, mae_deg: mae }
         })
         .collect();
-    methods.sort_by(|a, b| a.mre.partial_cmp(&b.mre).expect("finite MREs"));
+    methods.sort_by(|a, b| a.mre.total_cmp(&b.mre));
     Extended { methods }
 }
 

@@ -40,7 +40,7 @@ fn rank_correlation(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len());
     let rank = |v: &[f64]| -> Vec<f64> {
         let mut idx: Vec<usize> = (0..v.len()).collect();
-        idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).expect("finite"));
+        idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
         let mut r = vec![0.0; v.len()];
         for (pos, &i) in idx.iter().enumerate() {
             r[i] = pos as f64;
@@ -85,7 +85,7 @@ pub fn run(network_seed: u64) -> Fig10 {
     let co2_rates: Vec<f64> = co2.roads.iter().map(|r| r.tons_per_km_per_hour).collect();
 
     let mut fuel_rank: Vec<usize> = (0..fuel_rates.len()).collect();
-    fuel_rank.sort_by(|&i, &j| fuel_rates[j].partial_cmp(&fuel_rates[i]).expect("finite"));
+    fuel_rank.sort_by(|&i, &j| fuel_rates[j].total_cmp(&fuel_rates[i]));
     let top_fuel = fuel_rank
         .iter()
         .take(10)
@@ -93,7 +93,7 @@ pub fn run(network_seed: u64) -> Fig10 {
         .collect();
 
     let mut co2_rank: Vec<usize> = (0..co2_rates.len()).collect();
-    co2_rank.sort_by(|&i, &j| co2_rates[j].partial_cmp(&co2_rates[i]).expect("finite"));
+    co2_rank.sort_by(|&i, &j| co2_rates[j].total_cmp(&co2_rates[i]));
     let top_co2 = co2_rank
         .iter()
         .take(10)

@@ -154,7 +154,7 @@ pub fn run(cfg: &Fig9Config) -> Fig9 {
             true_deg: truth / n as f64,
         })
         .collect();
-    map_rows.sort_by(|a, b| b.true_deg.partial_cmp(&a.true_deg).expect("finite"));
+    map_rows.sort_by(|a, b| b.true_deg.total_cmp(&a.true_deg));
 
     Fig9 { km_driven: km, ops, ekf, ann, error_reduction_vs_ekf: reduction, map_rows }
 }

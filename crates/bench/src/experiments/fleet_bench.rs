@@ -9,7 +9,7 @@
 use crate::perfbench::{run_bench, BenchReport};
 use crate::report::{print_table, save_json};
 use crate::scenarios::red_road_drive;
-use gradest_core::cloud::CloudAggregator;
+use gradest_core::cloud::{CloudAggregator, CloudSnapshot};
 use gradest_core::fleet::FleetEngine;
 use gradest_core::pipeline::{EstimatorConfig, GradientEstimator};
 use gradest_core::track::GradientTrack;
@@ -37,6 +37,10 @@ pub struct FleetBench {
     pub speedup: f64,
     /// Whether the 1-worker and N-worker outputs were bit-identical.
     pub outputs_identical: bool,
+    /// Aggregator state after one parallel batch fanned into the cloud:
+    /// the upload counter must equal the trip count, making lost
+    /// uploads diffable across commits.
+    pub cloud: CloudSnapshot,
 }
 
 /// Simulates `n` red-road trips with distinct seeds.
@@ -103,8 +107,17 @@ pub fn run(seed: u64, trips: usize, workers: usize) -> FleetBench {
                     });
                 }
             });
-            assert_eq!(cloud.upload_count(), uploads.len() as u64);
+            assert_eq!(cloud.uploads(), uploads.len() as u64);
         });
+
+    // One parallel batch fanned into a fresh aggregator: the snapshot's
+    // upload counter is the per-run receipt that no worker's upload was
+    // lost (the loom model checks the same protocol under noise).
+    let cloud_sink = CloudAggregator::new(5.0);
+    let road_ids: Vec<u64> = (0..logs.len() as u64).map(|i| i % 8).collect();
+    parallel_engine.process_batch_to_cloud(&logs, &road_ids, None, &cloud_sink);
+    let cloud = cloud_sink.snapshot();
+    assert_eq!(cloud.uploads, logs.len() as u64, "cloud fan-in lost an upload");
 
     let speedup = batch_1_worker.median_ns_per_op / batch_n_workers.median_ns_per_op.max(1.0);
     FleetBench {
@@ -117,6 +130,7 @@ pub fn run(seed: u64, trips: usize, workers: usize) -> FleetBench {
         cloud_upload_contention,
         speedup,
         outputs_identical,
+        cloud,
     }
 }
 
@@ -135,8 +149,15 @@ pub fn print_report(r: &FleetBench) {
             .collect();
     print_table(
         &format!(
-            "Fleet scaling — {} trips, {} workers ({} CPU(s) visible): {:.2}x, identical={}",
-            r.trips, r.workers, r.available_parallelism, r.speedup, r.outputs_identical
+            "Fleet scaling — {} trips, {} workers ({} CPU(s) visible): {:.2}x, identical={}, \
+             cloud uploads={} over {} road(s)",
+            r.trips,
+            r.workers,
+            r.available_parallelism,
+            r.speedup,
+            r.outputs_identical,
+            r.cloud.uploads,
+            r.cloud.roads
         ),
         &["bench", "ms/op", "op/s"],
         &rows,
@@ -156,5 +177,7 @@ mod tests {
         assert!(r.outputs_identical, "1-worker vs N-worker outputs differ");
         assert!(r.speedup > 0.0);
         assert!(r.single_trip.median_ns_per_op > 0.0);
+        assert_eq!(r.cloud.uploads, 2, "one upload per trip");
+        assert_eq!(r.cloud.roads, 2, "distinct road ids per trip in a 2-trip batch");
     }
 }

@@ -57,6 +57,19 @@ pub struct PipelineHotpathBench {
 /// not within them. (Thread spawns would also allocate, clouding the
 /// warm-path allocation gate.)
 pub fn run(seed: u64, samples: usize) -> PipelineHotpathBench {
+    // The lint rule's alloc-gated module list is the source of truth
+    // for the zero-allocation discipline; the pipeline's declared
+    // warm-path set must match it exactly, or the smoke gate fails
+    // before any timing happens.
+    let mut lint_gated: Vec<&str> = gradest_lint::WARM_ALLOC_GATED_MODULES.to_vec();
+    let mut warm_path: Vec<&str> = gradest_core::pipeline::WARM_PATH_MODULES.to_vec();
+    lint_gated.sort_unstable();
+    warm_path.sort_unstable();
+    assert_eq!(
+        warm_path, lint_gated,
+        "pipeline::WARM_PATH_MODULES and gradest_lint::WARM_ALLOC_GATED_MODULES diverged"
+    );
+
     let drive = red_road_drive(seed);
     let log = &drive.log;
     let map = Some(&drive.route);

@@ -21,29 +21,39 @@ pub mod alloc_counter {
 
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+    // sync: standalone monotonic counter; Relaxed everywhere because no
+    // other data is published through it — readers diff it around a
+    // single-threaded region of interest.
     static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+    // sync: write-once latch flipped before any benchmark runs; Relaxed
+    // suffices because readers only gate on "was an allocator ever
+    // installed", not on ordering relative to counts.
     static INSTALLED: AtomicBool = AtomicBool::new(false);
 
     /// Records one heap allocation (called from a counting global
     /// allocator's `alloc`/`realloc`).
     #[inline]
     pub fn record() {
+        // sync: Relaxed — pure count, carries no dependent data.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Declares that a counting global allocator is feeding [`record`].
     pub fn mark_installed() {
+        // sync: Relaxed — latch set in main before benchmarks start.
         INSTALLED.store(true, Ordering::Relaxed);
     }
 
     /// Whether a counting global allocator is active in this process.
     pub fn is_installed() -> bool {
+        // sync: Relaxed — see the latch note on INSTALLED.
         INSTALLED.load(Ordering::Relaxed)
     }
 
     /// Total allocations recorded so far (monotonic; diff around a
     /// region of interest).
     pub fn allocations() -> u64 {
+        // sync: Relaxed — monotonic statistic, no ordering dependency.
         ALLOCATIONS.load(Ordering::Relaxed)
     }
 }
@@ -100,7 +110,7 @@ pub fn run_bench(
             start.elapsed().as_nanos() as f64 / ops_per_sample as f64
         })
         .collect();
-    per_op.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    per_op.sort_by(f64::total_cmp);
     let median = per_op[per_op.len() / 2];
     BenchReport {
         name: name.to_string(),

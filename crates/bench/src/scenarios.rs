@@ -59,7 +59,7 @@ impl Drive {
     pub fn truth_theta_at(&self, t: f64) -> f64 {
         let samples = self.traj.samples();
         let idx = samples
-            .binary_search_by(|s| s.t.partial_cmp(&t).expect("finite time"))
+            .binary_search_by(|s| s.t.total_cmp(&t))
             .unwrap_or_else(|i| i.min(samples.len() - 1));
         samples[idx].theta
     }

@@ -1,0 +1,63 @@
+//! Pins the `partial_cmp` → `total_cmp` migration: on every float
+//! series the benchmark scenarios actually produce, `total_cmp` must
+//! order the data exactly as the old `partial_cmp(..).unwrap()` did.
+//!
+//! The two comparators differ only on NaN (where `partial_cmp` panics)
+//! and on signed zeros (`total_cmp` puts `-0.0` before `+0.0`, which
+//! `partial_cmp` treats as equal — an order `sort` was free to produce
+//! anyway, so it pins bit-stably without changing any observable
+//! ranking). If a scenario ever starts emitting NaN, the old code
+//! would have panicked; this test fails loudly instead.
+
+use gradest_bench::scenarios::red_road_drive;
+
+/// Sorts with both comparators and asserts bit-identical results.
+/// `partial_cmp` runs first, so a NaN in the series fails here with a
+/// clear message rather than a panic inside `sort_by`.
+fn assert_orderings_agree(name: &str, series: &[f64]) {
+    assert!(!series.is_empty(), "{name}: empty series pins nothing");
+    assert!(series.iter().all(|v| !v.is_nan()), "{name}: NaN entered the scenario data");
+
+    let mut by_partial = series.to_vec();
+    by_partial.sort_by(|a, b| a.partial_cmp(b).expect("NaN ruled out above"));
+    let mut by_total = series.to_vec();
+    by_total.sort_by(f64::total_cmp);
+
+    let identical = by_partial.iter().zip(&by_total).all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(identical, "{name}: total_cmp reordered the series relative to partial_cmp");
+}
+
+#[test]
+fn total_cmp_matches_partial_cmp_on_scenario_series() {
+    let drive = red_road_drive(400);
+
+    let gyro: Vec<f64> = drive.log.imu.iter().map(|s| s.gyro_z).collect();
+    assert_orderings_agree("imu.gyro_z", &gyro);
+
+    let accel: Vec<f64> = drive.log.imu.iter().map(|s| s.accel_long).collect();
+    assert_orderings_agree("imu.accel_long", &accel);
+
+    let est = drive.ops();
+    assert_orderings_agree("fused.theta", &est.fused.theta);
+    assert_orderings_agree("fused.variance", &est.fused.variance);
+}
+
+#[test]
+fn total_cmp_matches_partial_cmp_with_signed_zeros_present() {
+    // Steering rates cross zero constantly; make the signed-zero case
+    // explicit rather than hoping a scenario happens to produce -0.0.
+    let drive = red_road_drive(401);
+    let mut series: Vec<f64> = drive.log.imu.iter().take(256).map(|s| s.gyro_z).collect();
+    series.push(0.0);
+    series.push(-0.0);
+
+    let mut by_partial = series.clone();
+    by_partial.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    let mut by_total = series;
+    by_total.sort_by(f64::total_cmp);
+
+    // Signed zeros compare equal under partial_cmp, so demand identical
+    // *values* (not bits) here: every ranking observable to the old
+    // code is preserved.
+    assert_eq!(by_partial, by_total);
+}

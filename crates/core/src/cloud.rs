@@ -18,10 +18,10 @@
 //! stripe's write lock, keeping the per-cell running sums exact. Reads
 //! (`road_profile`, `coverage_at`) take a shared lock on a single stripe.
 
+use crate::sync::{AtomicU64, Ordering, RwLock};
 use crate::track::GradientTrack;
-use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of lock stripes the road table is sharded over. More stripes
 /// than worker threads keeps same-stripe collisions rare without making
@@ -66,8 +66,25 @@ struct RoadAccumulator {
 #[derive(Debug)]
 pub struct CloudAggregator {
     grid_ds: f64,
+    // sync: each stripe's write lock guards the accumulators of the
+    // roads hashing to it; all reads and writes of cell sums happen
+    // under it. No thread ever holds two stripes at once, so there is
+    // no lock order to get wrong.
     stripes: Box<[RwLock<HashMap<u64, RoadAccumulator>>]>,
+    // sync: standalone monotonic statistic, incremented before taking
+    // the stripe lock; Relaxed is sufficient (see `uploads()`).
     uploads: AtomicU64,
+}
+
+/// Point-in-time operational counters of a [`CloudAggregator`],
+/// reported by fleet runs (`BENCH_fleet.json`) so upload volume is
+/// visible in diagnostics output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CloudSnapshot {
+    /// Total uploads received ([`CloudAggregator::uploads`]).
+    pub uploads: u64,
+    /// Roads with at least one upload ([`CloudAggregator::road_count`]).
+    pub roads: usize,
 }
 
 impl CloudAggregator {
@@ -95,8 +112,21 @@ impl CloudAggregator {
     }
 
     /// Total uploads received.
-    pub fn upload_count(&self) -> u64 {
+    ///
+    /// `Relaxed` is sufficient for this counter on both ends: it is a
+    /// pure statistic — no other memory is published through it, and
+    /// no caller branches on it to infer that a track's cells are
+    /// visible (that guarantee comes from the stripe locks). Atomicity
+    /// alone makes the count exact; ordering would add nothing.
+    pub fn uploads(&self) -> u64 {
+        // sync: Relaxed — standalone counter, exactness comes from
+        // fetch_add atomicity, not ordering (see doc above).
         self.uploads.load(Ordering::Relaxed)
+    }
+
+    /// Operational counters for diagnostics reporting.
+    pub fn snapshot(&self) -> CloudSnapshot {
+        CloudSnapshot { uploads: self.uploads(), roads: self.road_count() }
     }
 
     /// Ingests one vehicle's track for a road. Each estimate lands in the
@@ -110,6 +140,8 @@ impl CloudAggregator {
         if track.is_empty() {
             return;
         }
+        // sync: Relaxed — counting only; the track data itself is
+        // published to readers by the stripe write lock below.
         self.uploads.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.stripe(road_id).write();
         let acc = shard.entry(road_id).or_default();
@@ -177,7 +209,7 @@ mod tests {
         let cloud = CloudAggregator::new(5.0);
         cloud.upload(1, &track(0.04, 1e-4, 10));
         assert_eq!(cloud.road_count(), 1);
-        assert_eq!(cloud.upload_count(), 1);
+        assert_eq!(cloud.uploads(), 1);
         let p = cloud.road_profile(1).unwrap();
         for th in &p.theta {
             assert!((th - 0.04).abs() < 1e-12);
@@ -217,7 +249,7 @@ mod tests {
         let cloud = CloudAggregator::new(5.0);
         assert!(cloud.road_profile(404).is_none());
         cloud.upload(5, &GradientTrack::new("empty"));
-        assert_eq!(cloud.upload_count(), 0);
+        assert_eq!(cloud.uploads(), 0);
         assert_eq!(cloud.coverage_at(5, 0.0), 0);
     }
 
@@ -296,7 +328,7 @@ mod tests {
             }
         });
 
-        assert_eq!(concurrent.upload_count(), sequential.upload_count());
+        assert_eq!(concurrent.uploads(), sequential.uploads());
         assert_eq!(concurrent.road_count(), sequential.road_count());
         for &road in &roads {
             let a = sequential.road_profile(road).unwrap();

@@ -130,6 +130,7 @@ impl FleetEngine {
         let (job_tx, job_rx) = channel::unbounded::<usize>();
         let (res_tx, res_rx) = channel::unbounded::<(usize, GradientEstimate)>();
         for i in 0..logs.len() {
+            // lint:allow(no-panic) job_rx lives until the scope below; unbounded send cannot fail
             job_tx.send(i).expect("receiver alive");
         }
         // Closing the job channel is what terminates the workers: each
@@ -239,7 +240,7 @@ mod tests {
         let engine = FleetEngine::new(GradientEstimator::new(EstimatorConfig::default()), 3);
         let ests = engine.process_batch_to_cloud(&logs, &road_ids, Some(&route), &cloud);
         assert_eq!(ests.len(), logs.len());
-        assert_eq!(cloud.upload_count(), logs.len() as u64);
+        assert_eq!(cloud.uploads(), logs.len() as u64);
         assert!(cloud.road_profile(7).is_some());
     }
 }

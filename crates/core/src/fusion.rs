@@ -52,6 +52,9 @@ pub fn fuse_values(values: &[(f64, f64)]) -> (f64, f64) {
         inv_sum += 1.0 / var;
         weighted += theta / var;
     }
+    // Nonzero: the loop ran at least once (values nonempty) and each
+    // term 1/var is positive (var > 0 asserted above).
+    debug_assert!(inv_sum > 0.0);
     let u = 1.0 / inv_sum;
     (u * weighted, u)
 }
@@ -110,6 +113,9 @@ pub fn fuse_tracks_into(
             inv_sum += 1.0 / var;
             weighted += theta / var;
         }
+        // Nonzero: tracks is nonempty (first exists) and every 1/var
+        // term is positive (var > 0 asserted above).
+        debug_assert!(inv_sum > 0.0);
         let u = 1.0 / inv_sum;
         out.push(first.s[i], u * weighted, u);
     }

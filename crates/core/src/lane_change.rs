@@ -136,7 +136,7 @@ impl LaneChangeDetector {
                             peak,
                             dwell_s: dwell,
                             t_start: profile.t[start],
-                            t_end: profile.t[i - 1],
+                            t_end: profile.t[i - 1], // lint:allow(hot-index) i > start >= 0: a run closes only after it opened
                         });
                     }
                     // A sample of the opposite sign may immediately open a

@@ -53,9 +53,10 @@ pub mod online;
 pub mod pipeline;
 pub mod smoother;
 pub mod steering;
+pub mod sync;
 pub mod track;
 
-pub use cloud::CloudAggregator;
+pub use cloud::{CloudAggregator, CloudSnapshot};
 pub use diagnostics::{FilterHealth, InnovationMonitor, MonitorConfig};
 pub use ekf::{EkfConfig, GradientEkf};
 pub use fleet::FleetEngine;

@@ -155,6 +155,30 @@ pub struct TrackScratch {
     track: GradientTrack,
 }
 
+/// Modules the warm [`GradientEstimator::estimate_into`] call graph
+/// traverses — the set whose `_into` functions the hot-path benchmark
+/// measures at zero allocations.
+///
+/// `gradest-lint` enforces its no-alloc `_into` rule over exactly this
+/// set (its `WARM_ALLOC_GATED_MODULES` is the source of truth); the
+/// `pipeline_hotpath` experiment asserts the two lists agree, so a
+/// module added to the warm path without lint coverage (or vice versa)
+/// fails the smoke gate instead of silently escaping the discipline.
+pub const WARM_PATH_MODULES: &[&str] = &[
+    "core::pipeline",
+    "core::ekf",
+    "core::fusion",
+    "core::lane_change",
+    "core::steering",
+    "core::smoother",
+    "core::track",
+    "math::lowess",
+    "math::interp",
+    "math::signal",
+    "sensors::alignment",
+    "sensors::columnar",
+];
+
 /// Reusable working memory for [`GradientEstimator::estimate_into`].
 ///
 /// Every intermediate of the per-trip pipeline lives here: columnar IMU
@@ -384,6 +408,7 @@ impl GradientEstimator {
         // `slice::sort_by` allocates its merge buffer.
         for i in 1..distances.len() {
             let mut j = i;
+            // lint:allow(hot-index) j > 0 on the left of && bounds j - 1
             while j > 0 && distances[j - 1] > distances[j] {
                 distances.swap(j - 1, j);
                 j -= 1;
@@ -409,6 +434,7 @@ impl GradientEstimator {
         }
         out.detections.clear();
         out.detections.extend_from_slice(detections);
+        // lint:allow(hot-index) len / 2 < len on the nonempty branch
         out.distance_m = if distances.is_empty() { 0.0 } else { distances[distances.len() / 2] };
         let t4 = Instant::now();
         *stages = StageNanos {
@@ -624,16 +650,18 @@ impl<'a> SpeedLookup<'a> {
         if x.is_nan() || x <= ts[0] {
             return vs[0];
         }
+        // lint:allow(hot-index) self.valid guarantees nonempty series
         if x >= ts[ts.len() - 1] {
-            return vs[vs.len() - 1];
+            return vs[vs.len() - 1]; // lint:allow(hot-index) vs.len() == ts.len() >= 1 when valid
         }
         let idx = ts.partition_point(|&v| v < x);
         if ts[idx] == x {
             return vs[idx];
         }
+        // lint:allow(hot-index) ts[0] < x < ts[last] here, so 1 <= idx <= len - 1
         let (x0, x1) = (ts[idx - 1], ts[idx]);
         let u = (x - x0) / (x1 - x0);
-        vs[idx - 1] + (vs[idx] - vs[idx - 1]) * u
+        vs[idx - 1] + (vs[idx] - vs[idx - 1]) * u // lint:allow(hot-index) same idx bounds as x0/x1 above
     }
 }
 
@@ -682,6 +710,7 @@ fn alpha_at_cursor(profile: &SmoothedProfile, alpha: &[f64], t: f64, cursor: &mu
     if profile.is_empty() {
         return 0.0;
     }
+    // lint:allow(hot-index) deref, not arithmetic; bounded by the && left operand
     while *cursor < profile.t.len() && profile.t[*cursor] < t {
         *cursor += 1;
     }

@@ -48,12 +48,12 @@ pub fn rts_smooth_into(history: &[RtsStep], out: &mut Vec<(Vec2, Mat2)>) {
     out.extend(history.iter().map(|s| (s.x_filt, s.p_filt)));
     // Backward pass: smooth step k using step k+1's prediction.
     for k in (0..n - 1).rev() {
-        let next = &history[k + 1];
+        let next = &history[k + 1]; // lint:allow(hot-index) k < n - 1 from the loop range
         let Ok(p_pred_inv) = next.p_pred.inverse() else {
             continue; // keep the filtered estimate at this step
         };
         let c = history[k].p_filt * next.f.transpose() * p_pred_inv;
-        let (x_s_next, p_s_next) = out[k + 1];
+        let (x_s_next, p_s_next) = out[k + 1]; // lint:allow(hot-index) out holds n entries; k + 1 <= n - 1
         let x = history[k].x_filt + c * (x_s_next - next.x_pred);
         let mut p = history[k].p_filt + c * (p_s_next - next.p_pred) * c.transpose();
         p.symmetrize();

@@ -77,9 +77,10 @@ pub fn smooth_profile_into(
         out.w.extend_from_slice(w_raw);
         return;
     }
-    let span = t[t.len() - 1] - t[0];
+    let span = t[t.len() - 1] - t[0]; // lint:allow(hot-index) t.len() >= 3 after the early return above
     let fraction = (window_s / span.max(1e-9)).clamp(1e-4, 1.0);
     let config = LowessConfig { fraction, robust_iterations: 0, force_generic };
+    // lint:allow(no-panic) inputs validated above: equal lengths, >= 3 samples, fraction clamped finite
     lowess_into(t, w_raw, config, scratch, &mut out.w).expect("validated uniform series");
 }
 

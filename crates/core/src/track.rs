@@ -73,6 +73,7 @@ impl GradientTrack {
             return Some(self.s.len() - 1);
         }
         // Pick the closer neighbour.
+        // lint:allow(hot-index) 1 <= idx < len: both edge cases returned above
         if (self.s[idx] - s).abs() < (s - self.s[idx - 1]).abs() {
             Some(idx)
         } else {
@@ -123,6 +124,7 @@ impl GradientTrack {
                 0
             } else if cursor >= self.s.len() {
                 self.s.len() - 1
+            // lint:allow(hot-index) 1 <= cursor < len: both edge cases handled above
             } else if (self.s[cursor] - s).abs() < (s - self.s[cursor - 1]).abs() {
                 cursor
             } else {

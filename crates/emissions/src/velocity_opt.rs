@@ -132,11 +132,8 @@ pub fn optimize(
     }
 
     // Best entry speed, then forward replay.
-    let (mut j, _) = cost
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs"))
-        .expect("nonempty grid");
+    let (mut j, _) =
+        cost.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).expect("nonempty grid");
     if cost[j].is_infinite() {
         return Err(VelocityOptError::BadConfig("no feasible profile (accel too tight)"));
     }

@@ -213,7 +213,7 @@ impl RoadNetwork {
         impl Ord for Item {
             fn cmp(&self, other: &Self) -> Ordering {
                 // Min-heap over dist.
-                other.dist.partial_cmp(&self.dist).expect("costs must be finite")
+                other.dist.total_cmp(&self.dist)
             }
         }
         impl PartialOrd for Item {

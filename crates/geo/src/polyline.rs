@@ -119,7 +119,7 @@ impl Polyline {
         if s >= self.length() {
             return self.points.len() - 2;
         }
-        match self.cum.binary_search_by(|v| v.partial_cmp(&s).expect("finite lengths")) {
+        match self.cum.binary_search_by(|v| v.total_cmp(&s)) {
             Ok(i) => i.min(self.points.len() - 2),
             Err(i) => i - 1,
         }

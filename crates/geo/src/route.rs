@@ -107,11 +107,10 @@ impl Route {
         let s = s.clamp(0.0, self.length());
         // offsets = [0, l0, l0+l1, ..., total]; find the road whose span
         // contains s.
-        let idx =
-            match self.offsets.binary_search_by(|v| v.partial_cmp(&s).expect("finite offsets")) {
-                Ok(i) => i.min(self.roads.len() - 1),
-                Err(i) => i - 1,
-            };
+        let idx = match self.offsets.binary_search_by(|v| v.total_cmp(&s)) {
+            Ok(i) => i.min(self.roads.len() - 1),
+            Err(i) => i - 1,
+        };
         (idx, s - self.offsets[idx])
     }
 

@@ -1,0 +1,416 @@
+//! A minimal Rust lexer: just enough token structure for the lint
+//! rules in [`crate::rules`].
+//!
+//! The workspace vendors its dependencies, so `syn` is not available;
+//! the rules are written against a flat token stream instead of an
+//! AST. The lexer handles the parts that make naive text matching
+//! wrong — line/block comments (nested), string/char/raw-string
+//! literals, lifetimes vs chars, float literals vs ranges, and
+//! multi-character operators — and records every comment with its
+//! line so the allowlist and `// sync:` rules can associate comments
+//! with code lines.
+
+/// Token category. The lint rules mostly match on [`TokKind::Ident`]
+/// and [`TokKind::Punct`] text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Ordering`, ...).
+    Ident,
+    /// Integer or float literal, suffix included (`1`, `2.5e-3`, `1f64`).
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Operator / delimiter, longest-munch (`::`, `->`, `<=`, `>>`, `{`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Exact source text of the token.
+    pub text: String,
+    /// Token category.
+    pub kind: TokKind,
+    /// 1-based line number the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with the 1-based line it starts on.
+/// Line comments store the text after `//`; block comments the text
+/// between `/*` and `*/`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line number the comment starts on.
+    pub line: u32,
+    /// Comment body (delimiters stripped, not trimmed).
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the table in order.
+const PUNCTS3: &[&str] = &["..=", "<<=", ">>=", "..."];
+const PUNCTS2: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
+    "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unrecognised
+/// bytes become single-character punct tokens, and unterminated
+/// literals run to end-of-file (the real compiler rejects such files
+/// long before the linter sees them).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let at = |i: usize| -> char {
+        if i < n {
+            chars[i]
+        } else {
+            '\0'
+        }
+    };
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && at(i + 1) == '/' {
+            let start_line = line;
+            let mut j = i + 2;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment { line: start_line, text: chars[i + 2..j].iter().collect() });
+            i = j;
+            continue;
+        }
+        if c == '/' && at(i + 1) == '*' {
+            let start_line = line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && at(j + 1) == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && at(j + 1) == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(i + 2);
+            out.comments
+                .push(Comment { line: start_line, text: chars[i + 2..end].iter().collect() });
+            i = j;
+            continue;
+        }
+        // Raw / byte string prefixes: r"", r#""#, b"", br"", b''.
+        if (c == 'r' || c == 'b') && (at(i + 1) == '"' || at(i + 1) == '#' || at(i + 1) == 'r') {
+            let mut j = i + 1;
+            if c == 'b' && at(j) == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while at(j) == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if at(j) == '"' {
+                let start_line = line;
+                j += 1;
+                'raw: while j < n {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    } else if chars[j] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && at(j + 1 + k) == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    text: chars[i..j.min(n)].iter().collect(),
+                    kind: TokKind::Str,
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            // Not actually a raw string (e.g. `r#ident` or lone `r`);
+            // fall through to identifier lexing.
+        }
+        if c == 'b' && at(i + 1) == '\'' {
+            // Byte char: lex like a char literal starting after `b`.
+            let (tok, ni, nl) = lex_char(&chars, i + 1, line);
+            out.tokens.push(Tok { text: format!("b{}", tok), kind: TokKind::Char, line });
+            i = ni;
+            line = nl;
+            continue;
+        }
+        if c == 'b' && at(i + 1) == '"' {
+            let (text, ni, nl) = lex_string(&chars, i + 1, line);
+            out.tokens.push(Tok { text: format!("b{text}"), kind: TokKind::Str, line });
+            i = ni;
+            line = nl;
+            continue;
+        }
+        if c == '"' {
+            let start_line = line;
+            let (text, ni, nl) = lex_string(&chars, i, line);
+            out.tokens.push(Tok { text, kind: TokKind::Str, line: start_line });
+            i = ni;
+            line = nl;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime or char literal.
+            let c1 = at(i + 1);
+            if is_ident_start(c1) && at(i + 2) != '\'' {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    text: chars[i..j].iter().collect(),
+                    kind: TokKind::Lifetime,
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            let (text, ni, nl) = lex_char(&chars, i, line);
+            out.tokens.push(Tok { text, kind: TokKind::Char, line });
+            i = ni;
+            line = nl;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i + 1;
+            if c == '0' && (at(j) == 'x' || at(j) == 'b' || at(j) == 'o') {
+                j += 1;
+                while j < n && (chars[j].is_ascii_hexdigit() || chars[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                    j += 1;
+                }
+                // Fractional part: only if a digit follows the dot, so
+                // `1..n` stays a range and `1.max(2)` a method call.
+                if at(j) == '.' && at(j + 1).is_ascii_digit() {
+                    j += 1;
+                    while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                        j += 1;
+                    }
+                }
+                // `2.` with nothing number-ish after is still a float.
+                else if at(j) == '.' && !is_ident_start(at(j + 1)) && at(j + 1) != '.' {
+                    j += 1;
+                }
+                if at(j) == 'e' || at(j) == 'E' {
+                    let mut k = j + 1;
+                    if at(k) == '+' || at(k) == '-' {
+                        k += 1;
+                    }
+                    if at(k).is_ascii_digit() {
+                        j = k;
+                        while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                            j += 1;
+                        }
+                    }
+                }
+            }
+            // Type suffix (`f64`, `u32`, `_f32`, ...).
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                text: chars[start..j].iter().collect(),
+                kind: TokKind::Number,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i + 1;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                text: chars[start..j].iter().collect(),
+                kind: TokKind::Ident,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Punctuation, longest munch.
+        let rest3: String = chars[i..(i + 3).min(n)].iter().collect();
+        let rest2: String = chars[i..(i + 2).min(n)].iter().collect();
+        if PUNCTS3.contains(&rest3.as_str()) {
+            out.tokens.push(Tok { text: rest3, kind: TokKind::Punct, line });
+            i += 3;
+        } else if PUNCTS2.contains(&rest2.as_str()) {
+            out.tokens.push(Tok { text: rest2, kind: TokKind::Punct, line });
+            i += 2;
+        } else {
+            out.tokens.push(Tok { text: c.to_string(), kind: TokKind::Punct, line });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Lexes a `"..."` string starting at `i` (on the opening quote).
+/// Returns (text, next index, next line).
+fn lex_string(chars: &[char], i: usize, mut line: u32) -> (String, usize, u32) {
+    let n = chars.len();
+    let mut j = i + 1;
+    while j < n {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                line += 1;
+                j += 1;
+            }
+            '"' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    (chars[i..j.min(n)].iter().collect(), j, line)
+}
+
+/// Lexes a `'x'` char literal starting at `i` (on the opening quote).
+fn lex_char(chars: &[char], i: usize, mut line: u32) -> (String, usize, u32) {
+    let n = chars.len();
+    let mut j = i + 1;
+    while j < n {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                line += 1;
+                j += 1;
+            }
+            '\'' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    (chars[i..j.min(n)].iter().collect(), j, line)
+}
+
+/// Whether a [`TokKind::Number`] token is a float literal (the
+/// float-division rule only cares about these).
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f64")
+        || text.ends_with("f32")
+        || text[1..].contains(['e', 'E'])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn operators_munch_longest() {
+        assert_eq!(texts("a <= b >> 2 .. c"), vec!["a", "<=", "b", ">>", "2", "..", "c"]);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        assert_eq!(texts("1..n"), vec!["1", "..", "n"]);
+        assert!(is_float_literal("1.0"));
+        assert!(is_float_literal("2.5e-3"));
+        assert!(!is_float_literal("1"));
+        assert!(!is_float_literal("0x1f"));
+    }
+
+    #[test]
+    fn comments_are_recorded_with_lines() {
+        let l = lex("let a = 1; // trailing\n// lint:allow(x) y\nlet b = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert_eq!(l.comments[1].text.trim(), "lint:allow(x) y");
+        assert_eq!(l.tokens.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn strings_and_chars_hide_code() {
+        let l = lex("let s = \"a.unwrap() / b\"; let c = '/'; let lt: &'static str = r#\"x\"#;");
+        assert!(l.tokens.iter().all(|t| t.text != "unwrap"));
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+        assert!(l.tokens.iter().filter(|t| t.kind == TokKind::Str).count() == 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ fn x() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.tokens[0].text, "fn");
+    }
+
+    #[test]
+    fn float_method_calls_split() {
+        // `1.max(2)` is integer-method-call, `1.0.sqrt()` is float.
+        assert_eq!(texts("1.max(2)"), vec!["1", ".", "max", "(", "2", ")"]);
+        assert_eq!(texts("1.0.sqrt()"), vec!["1.0", ".", "sqrt", "(", ")"]);
+    }
+}

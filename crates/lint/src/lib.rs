@@ -1,0 +1,205 @@
+//! # gradest-lint
+//!
+//! Workspace invariant checker for the gradest crates. Four rule
+//! families, deny-by-default, with an audited in-source allowlist
+//! (`// lint:allow(<rule>) reason`):
+//!
+//! * **no-panic / hot-index** — no `unwrap`/`expect`/`panic!`-family
+//!   macros and no computed index expressions in the modules reachable
+//!   from `GradientEstimator::estimate_into` and the fleet workers
+//!   ([`HOT_PATH_MODULES`]).
+//! * **no-alloc-into** — functions named `*_into` or taking
+//!   `&mut EstimatorScratch` may not allocate
+//!   ([`WARM_ALLOC_GATED_MODULES`]).
+//! * **float-div / total-cmp** — no float literal divided by an
+//!   unguarded symbol in hot modules; no `partial_cmp(..).unwrap()`
+//!   anywhere (use `total_cmp`).
+//! * **sync-comment** — every atomic `Ordering::*` use and every
+//!   `Mutex`/`RwLock`/atomic declaration carries a `// sync:`
+//!   invariant comment.
+//!
+//! The module lists are exported as constants so other crates (the
+//! bench harness's `pipeline_hotpath_smoke` gate) can assert they
+//! agree with the runtime alloc-gated call set — one source of truth.
+//!
+//! Run it with `cargo run -p gradest-lint`; see DESIGN.md §8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{scan_source, Diagnostic, Scope};
+
+use std::path::{Path, PathBuf};
+
+/// Modules reachable from `GradientEstimator::estimate_into` and the
+/// fleet workers: the no-panic, hot-index, and float-div rules apply
+/// here. `<crate>::<module>` maps to `crates/<crate>/src/<module>.rs`.
+pub const HOT_PATH_MODULES: &[&str] = &[
+    "core::pipeline",
+    "core::ekf",
+    "core::fusion",
+    "core::lane_change",
+    "core::steering",
+    "core::smoother",
+    "core::track",
+    "core::fleet",
+    "math::lowess",
+    "math::interp",
+    "math::signal",
+    "sensors::alignment",
+    "sensors::columnar",
+];
+
+/// Modules under the zero-allocation `_into` discipline (the warm
+/// per-trip path). [`HOT_PATH_MODULES`] minus `core::fleet`: the fleet
+/// engine allocates per batch (channels, result buffers) by design and
+/// its per-trip work happens inside these modules.
+pub const WARM_ALLOC_GATED_MODULES: &[&str] = &[
+    "core::pipeline",
+    "core::ekf",
+    "core::fusion",
+    "core::lane_change",
+    "core::steering",
+    "core::smoother",
+    "core::track",
+    "math::lowess",
+    "math::interp",
+    "math::signal",
+    "sensors::alignment",
+    "sensors::columnar",
+];
+
+/// Maps a workspace-relative source path to its `<crate>::<module>`
+/// name, or `None` for paths outside `crates/*/src/*.rs`.
+pub fn module_for_path(rel: &Path) -> Option<String> {
+    let mut parts = rel.iter().filter_map(|p| p.to_str());
+    if parts.next()? != "crates" {
+        return None;
+    }
+    let krate = parts.next()?;
+    if parts.next()? != "src" {
+        return None;
+    }
+    let file = parts.next()?;
+    if parts.next().is_some() {
+        return None; // nested (bin/, submodule dirs): never a hot module
+    }
+    let module = file.strip_suffix(".rs")?;
+    Some(format!("{krate}::{module}"))
+}
+
+/// The rule scope for a workspace-relative source path.
+pub fn scope_for_path(rel: &Path) -> Scope {
+    match module_for_path(rel) {
+        Some(m) => Scope {
+            hot: HOT_PATH_MODULES.contains(&m.as_str()),
+            warm: WARM_ALLOC_GATED_MODULES.contains(&m.as_str()),
+        },
+        None => Scope::default(),
+    }
+}
+
+/// Findings for one file.
+#[derive(Debug)]
+pub struct FileDiagnostics {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// All findings in the file, sorted by line.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Directory names never scanned: vendored shims, test/bench/example
+/// targets (panics and allocations are fine there), and build output.
+const SKIP_DIRS: &[&str] = &["shims", "tests", "benches", "examples", "fixtures", "target", ".git"];
+
+/// Scans every first-party source file under `root` (`crates/*/src`
+/// and the facade `src/`), returning only files with findings. Files
+/// that fail to read are reported as a finding rather than a panic.
+pub fn scan_workspace(root: &Path) -> Vec<FileDiagnostics> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs_files(&root.join("src"), &mut files);
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            collect_rs_files(&entry.path().join("src"), &mut files);
+        }
+    }
+    files.sort();
+
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        let diagnostics = match std::fs::read_to_string(&file) {
+            Ok(src) => scan_source(&src, scope_for_path(&rel)),
+            Err(e) => vec![Diagnostic {
+                rule: rules::RULE_ALLOWLIST,
+                line: 0,
+                msg: format!("unreadable source file: {e}"),
+            }],
+        };
+        if !diagnostics.is_empty() {
+            out.push(FileDiagnostics { path: rel, diagnostics });
+        }
+    }
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_modules_are_hot_minus_fleet() {
+        for m in WARM_ALLOC_GATED_MODULES {
+            assert!(HOT_PATH_MODULES.contains(m), "{m} warm but not hot");
+        }
+        assert!(HOT_PATH_MODULES.contains(&"core::fleet"));
+        assert!(!WARM_ALLOC_GATED_MODULES.contains(&"core::fleet"));
+    }
+
+    #[test]
+    fn path_to_module_mapping() {
+        assert_eq!(
+            module_for_path(Path::new("crates/core/src/pipeline.rs")).as_deref(),
+            Some("core::pipeline")
+        );
+        assert_eq!(module_for_path(Path::new("src/lib.rs")), None);
+        assert_eq!(module_for_path(Path::new("crates/bench/src/bin/gradest-experiments.rs")), None);
+        let scope = scope_for_path(Path::new("crates/math/src/lowess.rs"));
+        assert!(scope.hot && scope.warm);
+        let fleet = scope_for_path(Path::new("crates/core/src/fleet.rs"));
+        assert!(fleet.hot && !fleet.warm);
+        let cold = scope_for_path(Path::new("crates/core/src/cloud.rs"));
+        assert!(!cold.hot && !cold.warm);
+    }
+
+    #[test]
+    fn every_hot_module_file_exists() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        for m in HOT_PATH_MODULES {
+            let (krate, module) = m.split_once("::").expect("crate::module");
+            let path = root.join(format!("crates/{krate}/src/{module}.rs"));
+            assert!(path.is_file(), "hot module list names missing file {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p gradest-lint                 # scan the workspace, exit 1 on findings
+//! cargo run -p gradest-lint -- <root>       # scan an explicit root
+//! cargo run -p gradest-lint -- --print-hot-modules    # machine-readable lists
+//! cargo run -p gradest-lint -- --print-warm-modules
+//! ```
+
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "gradest-lint: workspace invariant checker\n\n\
+             USAGE: gradest-lint [ROOT] [--print-hot-modules] [--print-warm-modules]\n\n\
+             Scans crates/*/src and src/ under ROOT (default: the workspace root)\n\
+             for violations of the four rule families; see DESIGN.md §8.\n\
+             Suppress a finding with `// lint:allow(<rule>) reason` on or above\n\
+             the offending line. Exits nonzero if any finding remains."
+        );
+        return;
+    }
+    if args.iter().any(|a| a == "--print-hot-modules") {
+        for m in gradest_lint::HOT_PATH_MODULES {
+            println!("{m}");
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--print-warm-modules") {
+        for m in gradest_lint::WARM_ALLOC_GATED_MODULES {
+            println!("{m}");
+        }
+        return;
+    }
+
+    let root = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .map(PathBuf::from)
+        // The crate lives at <root>/crates/lint, so the default
+        // workspace root is two levels up from the manifest.
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    let findings = gradest_lint::scan_workspace(&root);
+    let mut total = 0usize;
+    for file in &findings {
+        for d in &file.diagnostics {
+            println!("{}:{}: [{}] {}", file.path.display(), d.line, d.rule, d.msg);
+            total += 1;
+        }
+    }
+    if total > 0 {
+        eprintln!("gradest-lint: {total} finding(s)");
+        std::process::exit(1);
+    }
+    println!("gradest-lint: clean");
+}

@@ -1,0 +1,15 @@
+//! Fixture: malformed allow annotations are themselves diagnostics —
+//! a reasonless allow, an unknown rule name, and a stale allow whose
+//! target line is clean.
+
+pub fn reasonless(v: &[f64]) -> f64 {
+    v[v.len() / 2] // lint:allow(hot-index)
+}
+
+pub fn unknown_rule(v: &[f64]) -> f64 {
+    v[v.len() / 2] // lint:allow(no-such-rule) not a real rule
+}
+
+pub fn stale(v: &[f64], i: usize) -> f64 {
+    v[i] // lint:allow(hot-index) nothing fires on a plain index
+}

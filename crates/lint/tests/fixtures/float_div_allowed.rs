@@ -1,0 +1,17 @@
+//! Fixture: float-literal division passes when the divisor is guarded
+//! in the same function, or when explicitly allowlisted.
+
+pub fn reciprocal_guarded(x: f64) -> f64 {
+    if x == 0.0 {
+        return f64::INFINITY;
+    }
+    1.0 / x
+}
+
+pub fn reciprocal_clamped(x: f64) -> f64 {
+    1.0 / x.max(1e-9)
+}
+
+pub fn reciprocal_allowed(x: f64) -> f64 {
+    1.0 / x // lint:allow(float-div) caller asserts x > 0
+}

@@ -1,0 +1,10 @@
+//! Fixture: float-literal division by an unguarded symbol must be
+//! flagged.
+
+pub fn reciprocal(x: f64) -> f64 {
+    1.0 / x
+}
+
+pub fn half_inverse(count: f64) -> f64 {
+    0.5 / count
+}

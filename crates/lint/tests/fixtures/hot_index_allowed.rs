@@ -1,0 +1,10 @@
+//! Fixture: allowlisted computed indexing passes with a bounds proof.
+
+pub fn midpoint(v: &[f64]) -> f64 {
+    v[v.len() / 2] // lint:allow(hot-index) len / 2 < len for nonempty v, checked by caller
+}
+
+pub fn neighbours(v: &[f64], i: usize) -> (f64, f64) {
+    // lint:allow(hot-index) caller guarantees 1 <= i < len - 1
+    (v[i - 1], v[i + 1])
+}

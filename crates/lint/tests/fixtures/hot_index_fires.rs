@@ -1,0 +1,13 @@
+//! Fixture: computed indexing in a hot module must be flagged.
+
+pub fn midpoint(v: &[f64]) -> f64 {
+    v[v.len() / 2]
+}
+
+pub fn neighbours(v: &[f64], i: usize) -> (f64, f64) {
+    (v[i - 1], v[i + 1])
+}
+
+pub fn plain_index_is_fine(v: &[f64], i: usize) -> f64 {
+    v[i]
+}

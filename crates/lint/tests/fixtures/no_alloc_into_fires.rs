@@ -1,0 +1,17 @@
+//! Fixture: allocation inside an `_into` function must be flagged.
+
+pub fn resample_into(xs: &[f64], out: &mut Vec<f64>) {
+    let staged: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+    out.clear();
+    out.extend_from_slice(&staged);
+}
+
+pub fn label_into(name: &str, out: &mut String) {
+    let owned = name.to_string();
+    out.clear();
+    out.push_str(&owned);
+}
+
+pub fn scratch_user(scratch: &mut EstimatorScratch) {
+    scratch.tmp = Vec::new();
+}

@@ -1,0 +1,11 @@
+//! Fixture: allowlisted hot-path panics pass with a reason.
+
+pub fn pick(v: &[f64]) -> f64 {
+    // lint:allow(no-panic) caller guarantees nonempty input
+    let first = v.first().unwrap();
+    *first
+}
+
+pub fn lookup(v: &[f64], i: usize) -> f64 {
+    *v.get(i).expect("index in bounds") // lint:allow(no-panic) i validated by the caller
+}

@@ -1,0 +1,13 @@
+//! Fixture: hot-path panics must be flagged.
+
+pub fn pick(v: &[f64]) -> f64 {
+    let first = v.first().unwrap();
+    if !first.is_finite() {
+        panic!("non-finite sample");
+    }
+    *first
+}
+
+pub fn lookup(v: &[f64], i: usize) -> f64 {
+    *v.get(i).expect("index in bounds")
+}

@@ -1,0 +1,20 @@
+//! Fixture: sync primitives documented with `// sync:` invariant
+//! comments pass.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter {
+    // sync: monotonic statistic; Relaxed everywhere, no data published
+    // through this counter.
+    hits: AtomicU64,
+    // sync: guards the slot list; held only for push/pop, never across
+    // a hit.
+    slots: Mutex<Vec<u64>>,
+}
+
+impl Counter {
+    pub fn bump(&self) {
+        // sync: Relaxed — pure count, see the field invariant.
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

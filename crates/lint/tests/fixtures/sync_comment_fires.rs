@@ -1,0 +1,15 @@
+//! Fixture: sync primitives and `Ordering` uses without a `// sync:`
+//! invariant comment must be flagged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter {
+    hits: AtomicU64,
+    slots: Mutex<Vec<u64>>,
+}
+
+impl Counter {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

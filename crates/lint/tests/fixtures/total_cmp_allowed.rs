@@ -1,0 +1,15 @@
+//! Fixture: `total_cmp` sorting passes, as does an allowlisted
+//! `partial_cmp` unwrap.
+
+pub fn sort_asc(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}
+
+pub fn sort_desc(v: &mut [f64]) {
+    v.sort_by(|a, b| b.total_cmp(a));
+}
+
+pub fn max_by(v: &[f64]) -> Option<f64> {
+    // lint:allow(total-cmp) inputs validated NaN-free at the API boundary
+    v.iter().copied().max_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+}

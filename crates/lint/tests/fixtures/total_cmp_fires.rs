@@ -1,0 +1,9 @@
+//! Fixture: `partial_cmp(..).unwrap()` on floats must be flagged.
+
+pub fn sort_desc(v: &mut [f64]) {
+    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+}
+
+pub fn max_by(v: &[f64]) -> Option<f64> {
+    v.iter().copied().max_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+}

@@ -32,17 +32,19 @@ pub fn interp1(xs: &[f64], ys: &[f64], x: f64) -> MathResult<f64> {
     if x <= xs[0] {
         return Ok(ys[0]);
     }
+    // lint:allow(hot-index) validate_series rejects empty xs
     if x >= xs[xs.len() - 1] {
-        return Ok(ys[ys.len() - 1]);
+        return Ok(ys[ys.len() - 1]); // lint:allow(hot-index) ys.len() == xs.len() >= 1 after validation
     }
     // Binary search for the bracketing interval.
-    let idx = match xs.binary_search_by(|v| v.partial_cmp(&x).expect("xs validated finite")) {
+    let idx = match xs.binary_search_by(|v| v.total_cmp(&x)) {
         Ok(i) => return Ok(ys[i]),
         Err(i) => i,
     };
+    // lint:allow(hot-index) xs[0] < x < xs[last], so the insertion point satisfies 1 <= idx <= len - 1
     let (x0, x1) = (xs[idx - 1], xs[idx]);
     let t = (x - x0) / (x1 - x0);
-    Ok(lerp(ys[idx - 1], ys[idx], t))
+    Ok(lerp(ys[idx - 1], ys[idx], t)) // lint:allow(hot-index) same idx bounds as x0/x1 above
 }
 
 /// Interpolates a series at many query points at once.
@@ -66,7 +68,7 @@ pub fn resample_uniform(xs: &[f64], ys: &[f64], n: usize) -> MathResult<(Vec<f64
         return Err(MathError::InvalidArgument { context: "resample needs n >= 2" });
     }
     let x0 = xs[0];
-    let x1 = xs[xs.len() - 1];
+    let x1 = xs[xs.len() - 1]; // lint:allow(hot-index) validate_series rejects empty xs
     let step = (x1 - x0) / (n - 1) as f64;
     let grid: Vec<f64> = (0..n).map(|i| x0 + step * i as f64).collect();
     let vals = interp_many(xs, ys, &grid)?;
@@ -121,7 +123,7 @@ impl Interpolant {
 
     /// The domain covered by the knots.
     pub fn domain(&self) -> (f64, f64) {
-        (self.xs[0], self.xs[self.xs.len() - 1])
+        (self.xs[0], self.xs[self.xs.len() - 1]) // lint:allow(hot-index) construction rejects empty series
     }
 
     /// Interpolates at `x`, clamping outside the domain. NaN queries
@@ -133,16 +135,18 @@ impl Interpolant {
         if x.is_nan() || x <= xs[0] {
             return ys[0];
         }
+        // lint:allow(hot-index) construction rejects empty series
         if x >= xs[xs.len() - 1] {
-            return ys[ys.len() - 1];
+            return ys[ys.len() - 1]; // lint:allow(hot-index) ys.len() == xs.len() >= 1 by construction
         }
         let idx = xs.partition_point(|&v| v < x);
         if xs[idx] == x {
             return ys[idx];
         }
+        // lint:allow(hot-index) xs[0] < x < xs[last], so 1 <= idx <= len - 1
         let (x0, x1) = (xs[idx - 1], xs[idx]);
         let t = (x - x0) / (x1 - x0);
-        lerp(ys[idx - 1], ys[idx], t)
+        lerp(ys[idx - 1], ys[idx], t) // lint:allow(hot-index) same idx bounds as x0/x1 above
     }
 }
 

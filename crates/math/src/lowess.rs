@@ -72,12 +72,13 @@ pub fn detect_uniform_step(xs: &[f64]) -> Option<f64> {
     if n < 2 {
         return None;
     }
-    let step = (xs[n - 1] - xs[0]) / (n - 1) as f64;
+    let step = (xs[n - 1] - xs[0]) / (n - 1) as f64; // lint:allow(hot-index) n >= 2 checked above
     if !step.is_finite() || step <= 0.0 {
         return None;
     }
     // Relative term covers accumulation drift in the step itself;
     // the absolute term covers per-element rounding at large |x|.
+    // lint:allow(hot-index) n >= 2 checked above
     let tol = 1e-9 * step + 8.0 * f64::EPSILON * xs[0].abs().max(xs[n - 1].abs());
     for w in xs.windows(2) {
         if ((w[1] - w[0]) - step).abs() > tol {
@@ -233,14 +234,15 @@ pub fn lowess_into(
         scratch.abs_res.extend(ys.iter().zip(fitted.iter()).map(|(y, f)| (y - f).abs()));
         scratch.sorted.clear();
         scratch.sorted.extend_from_slice(&scratch.abs_res);
-        scratch.sorted.sort_by(|a, b| a.partial_cmp(b).expect("residuals finite"));
+        scratch.sorted.sort_by(f64::total_cmp);
         // For even n the true median is the mean of the two central
         // residuals; `sorted[n / 2]` alone would take the upper one and
         // bias the bisquare scale.
         let median = if n.is_multiple_of(2) {
+            // lint:allow(hot-index) n even and nonzero here, so n / 2 - 1 >= 0 and n / 2 < n
             0.5 * (scratch.sorted[n / 2 - 1] + scratch.sorted[n / 2])
         } else {
-            scratch.sorted[n / 2]
+            scratch.sorted[n / 2] // lint:allow(hot-index) n / 2 < n for n > 0
         };
         let mean = scratch.abs_res.iter().sum::<f64>() / n as f64;
         let scale = median.max(0.25 * mean);
@@ -272,6 +274,7 @@ fn fit_local(xs: &[f64], ys: &[f64], robust: &[f64], i: usize, window: usize) ->
         hi += 1;
     }
 
+    // lint:allow(hot-index) hi > lo >= 0: the window holds at least one point
     let max_dist = (x0 - xs[lo]).abs().max((xs[hi - 1] - x0).abs()).max(f64::EPSILON);
 
     // Weighted least squares for y = a + b (x - x0); fitted value is `a`.
@@ -404,13 +407,14 @@ fn fit_pass_uniform(
         // windows the slide ends on an exact-tie comparison that rounding
         // drift decides, so evaluate the same comparison on the same
         // values.
+        // lint:allow(hot-index) i ranges over h..n - h, so i - h >= 0 and i + h < n
         let (lo, coeff) = if even && (xs[i + h] - x0) < (x0 - xs[i - h]) {
             (i - h + 1, coeff_b)
         } else {
             (i - h, coeff_a)
         };
         if first_pass {
-            fitted[i] = dot_window(coeff, &ys[lo..lo + window]);
+            fitted[i] = dot_window(coeff, &ys[lo..lo + window]); // lint:allow(hot-index) lo + window <= i + h + 1 <= n
         } else {
             let (mut sw, mut swx, mut swy, mut swxx, mut swxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
             for k in lo..lo + window {

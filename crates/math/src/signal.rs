@@ -27,9 +27,9 @@ pub fn differentiate(ys: &[f64], dt: f64) -> MathResult<Vec<f64>> {
     let mut out = Vec::with_capacity(n);
     out.push((ys[1] - ys[0]) / dt);
     for i in 1..n - 1 {
-        out.push((ys[i + 1] - ys[i - 1]) / (2.0 * dt));
+        out.push((ys[i + 1] - ys[i - 1]) / (2.0 * dt)); // lint:allow(hot-index) 1 <= i <= n - 2 from the loop range
     }
-    out.push((ys[n - 1] - ys[n - 2]) / dt);
+    out.push((ys[n - 1] - ys[n - 2]) / dt); // lint:allow(hot-index) n >= 2 checked at entry
     Ok(out)
 }
 

@@ -64,7 +64,7 @@ pub fn percentile(xs: &[f64], p: f64) -> MathResult<f64> {
         return Err(MathError::InvalidArgument { context: "percentile p outside [0, 100]" });
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -164,7 +164,7 @@ impl EmpiricalCdf {
             return Err(MathError::InvalidArgument { context: "non-finite CDF sample" });
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("checked finite"));
+        sorted.sort_by(f64::total_cmp);
         Ok(EmpiricalCdf { sorted })
     }
 

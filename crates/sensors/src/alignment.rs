@@ -171,24 +171,36 @@ pub fn steering_rate_profile_into(
     }
     out_w.clear();
     out_w.reserve(t.len());
+    // Hoist the end-clamp values so the per-sample loop needs no
+    // `last()` unwrapping: `fix_times`/`fix_wroad` grow in lockstep
+    // above, so a nonempty `fix_times` guarantees both ends exist.
+    let ends = match (fix_times.last(), fix_wroad.last()) {
+        (Some(&lt), Some(&lw)) => Some((fix_times[0], fix_wroad[0], lt, lw)),
+        _ => None,
+    };
     let mut cursor = 0usize;
     for (&ti, &gz) in t.iter().zip(gyro_z) {
         // Linearly interpolate w_road between fixes (clamped at the ends);
         // a zero-order hold would inject sign-flip transients at curve
         // transitions that look like steering bumps.
-        let w_road = if fix_times.is_empty() {
-            0.0
-        } else if ti <= fix_times[0] {
-            fix_wroad[0]
-        } else if ti >= *fix_times.last().expect("nonempty") {
-            *fix_wroad.last().expect("nonempty")
-        } else {
-            while cursor + 1 < fix_times.len() && fix_times[cursor + 1] <= ti {
-                cursor += 1;
+        let w_road = match ends {
+            None => 0.0,
+            Some((first_t, first_w, _, _)) if ti <= first_t => first_w,
+            Some((_, _, last_t, last_w)) if ti >= last_t => last_w,
+            Some(_) => {
+                // `cursor + 1` stays in bounds: the while condition
+                // checks it, and the `ti >= last_t` arm above means the
+                // scan stops before the final fix.
+                // lint:allow(hot-index) left operand of && proves cursor + 1 < len
+                while cursor + 1 < fix_times.len() && fix_times[cursor + 1] <= ti {
+                    cursor += 1;
+                }
+                let t0 = fix_times[cursor];
+                let t1 = fix_times[cursor + 1]; // lint:allow(hot-index) while-loop condition bounds cursor + 1
+                let u = ((ti - t0) / (t1 - t0)).clamp(0.0, 1.0);
+                let w1 = fix_wroad[cursor + 1]; // lint:allow(hot-index) fix_wroad grows in lockstep with fix_times
+                fix_wroad[cursor] * (1.0 - u) + w1 * u
             }
-            let (t0, t1) = (fix_times[cursor], fix_times[cursor + 1]);
-            let u = ((ti - t0) / (t1 - t0)).clamp(0.0, 1.0);
-            fix_wroad[cursor] * (1.0 - u) + fix_wroad[cursor + 1] * u
         };
         out_w.push(gz - w_road);
     }

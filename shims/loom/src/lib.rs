@@ -1,0 +1,318 @@
+//! Vendored offline subset of `loom`: **stress-mode** model checking.
+//!
+//! The real `loom` exhaustively enumerates thread interleavings with
+//! DPOR. This shim keeps loom's API shape — `loom::model`,
+//! `loom::thread`, `loom::sync::{Mutex, RwLock, atomic}` — but
+//! explores schedules *statistically*: [`model`] runs the closure many
+//! times (`LOOM_ITERATIONS`, default 512) and every wrapped lock
+//! acquisition, atomic operation, and thread spawn injects seeded
+//! pseudo-random scheduling noise (`yield_now` / bounded spins). That
+//! perturbs the OS scheduler enough to surface ordering bugs like
+//! lost-wakeup shutdowns or check-then-act races with high
+//! probability, while staying std-only so the workspace builds without
+//! registry access.
+//!
+//! Honest limitations, relative to real loom:
+//!
+//! * coverage is probabilistic, not exhaustive — a passing run is
+//!   evidence, not proof;
+//! * there is no deterministic failing-schedule replay (re-run with
+//!   a higher `LOOM_ITERATIONS` instead);
+//! * atomics delegate to `std` on the host's memory model, so
+//!   weak-ordering bugs that x86 hides can escape.
+//!
+//! The lock API mirrors the workspace's `parking_lot` shim
+//! (`lock()`/`read()`/`write()` return guards directly, no poisoning
+//! `Result`) so `gradest-core::sync` can swap implementations by cfg
+//! without touching call sites. Swapping in the real loom later only
+//! requires re-adding `Result` handling at guard sites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+/// Seed for the current [`model`] iteration; thread RNGs fold it in
+/// so every iteration explores a different noise pattern.
+static ITERATION_SEED: StdAtomicU64 = StdAtomicU64::new(1);
+/// Per-thread salt so concurrent threads in one iteration diverge.
+static THREAD_SALT: StdAtomicU64 = StdAtomicU64::new(1);
+
+thread_local! {
+    static RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+fn rng_next() -> u64 {
+    RNG.with(|c| {
+        let mut s = c.get();
+        if s == 0 {
+            // First use on this thread (or post-iteration reset):
+            // reseed from the iteration seed plus a unique salt.
+            let salt = THREAD_SALT.fetch_add(0x9e37_79b9_7f4a_7c15, StdOrdering::Relaxed);
+            s = (ITERATION_SEED.load(StdOrdering::Relaxed) ^ salt) | 1;
+        }
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        c.set(s);
+        s
+    })
+}
+
+/// Injects scheduling noise at a synchronisation point: sometimes a
+/// `yield_now`, sometimes a short bounded spin, mostly nothing — so
+/// lock/atomic interleavings vary across iterations.
+pub(crate) fn schedule_noise() {
+    match rng_next() % 8 {
+        0 | 1 => std::thread::yield_now(),
+        2 => {
+            let spins = rng_next() % 64;
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Runs `f` under the stress-mode explorer: `LOOM_ITERATIONS`
+/// iterations (default 512), each with a fresh noise seed. Any panic
+/// (a violated `assert!` in the model) propagates and fails the test.
+pub fn model<F: Fn()>(f: F) {
+    let iters: u64 =
+        std::env::var("LOOM_ITERATIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(512);
+    model_with_iterations(iters, f);
+}
+
+/// [`model`] with an explicit iteration count (ignores the env var).
+pub fn model_with_iterations<F: Fn()>(iters: u64, f: F) {
+    let iters = iters.max(1);
+    for i in 0..iters {
+        let seed = i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x0123_4567_89ab_cdef) | 1;
+        ITERATION_SEED.store(seed, StdOrdering::Relaxed);
+        // Force the driving thread to reseed too.
+        RNG.with(|c| c.set(0));
+        f();
+    }
+}
+
+/// Thread spawning with noise at spawn and at thread start.
+pub mod thread {
+    /// Re-export: joining is unchanged from std.
+    pub use std::thread::JoinHandle;
+
+    /// Spawns a thread whose first action is a scheduling perturbation,
+    /// so thread start order varies across model iterations.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        crate::schedule_noise();
+        std::thread::spawn(move || {
+            crate::schedule_noise();
+            f()
+        })
+    }
+
+    /// Cooperative yield, counted as a synchronisation point.
+    pub fn yield_now() {
+        crate::schedule_noise();
+        std::thread::yield_now();
+    }
+}
+
+/// Instrumented synchronisation primitives.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    use std::sync::PoisonError;
+
+    /// Guard returned by [`Mutex::lock`].
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+    /// Guard returned by [`RwLock::read`].
+    pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+    /// Guard returned by [`RwLock::write`].
+    pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+    /// A mutex whose acquisitions perturb the schedule
+    /// (parking_lot-style API: `lock()` returns the guard directly).
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Wraps `value` in a new mutex.
+        pub fn new(value: T) -> Self {
+            Mutex { inner: std::sync::Mutex::new(value) }
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Blocks until the lock is acquired, with noise on both sides.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            crate::schedule_noise();
+            let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            crate::schedule_noise();
+            guard
+        }
+    }
+
+    /// A reader-writer lock whose acquisitions perturb the schedule
+    /// (parking_lot-style API, matching the workspace shim).
+    #[derive(Debug, Default)]
+    pub struct RwLock<T: ?Sized> {
+        inner: std::sync::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        /// Wraps `value` in a new lock.
+        pub fn new(value: T) -> Self {
+            RwLock { inner: std::sync::RwLock::new(value) }
+        }
+
+        /// Consumes the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Blocks until shared read access is acquired.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            crate::schedule_noise();
+            let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+            crate::schedule_noise();
+            guard
+        }
+
+        /// Blocks until exclusive write access is acquired.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            crate::schedule_noise();
+            let guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+            crate::schedule_noise();
+            guard
+        }
+    }
+
+    /// Atomics whose every operation perturbs the schedule.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! noisy_atomic {
+            ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty) => {
+                $(#[$doc])*
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    /// Creates the atomic with an initial value.
+                    pub const fn new(v: $prim) -> Self {
+                        Self { inner: <$std>::new(v) }
+                    }
+
+                    /// Atomic load with scheduling noise.
+                    pub fn load(&self, order: Ordering) -> $prim {
+                        crate::schedule_noise();
+                        self.inner.load(order)
+                    }
+
+                    /// Atomic store with scheduling noise.
+                    pub fn store(&self, v: $prim, order: Ordering) {
+                        crate::schedule_noise();
+                        self.inner.store(v, order);
+                        crate::schedule_noise();
+                    }
+                }
+            };
+        }
+
+        noisy_atomic!(
+            /// Instrumented `AtomicU64`.
+            AtomicU64,
+            std::sync::atomic::AtomicU64,
+            u64
+        );
+        noisy_atomic!(
+            /// Instrumented `AtomicUsize`.
+            AtomicUsize,
+            std::sync::atomic::AtomicUsize,
+            usize
+        );
+        noisy_atomic!(
+            /// Instrumented `AtomicBool`.
+            AtomicBool,
+            std::sync::atomic::AtomicBool,
+            bool
+        );
+
+        impl AtomicU64 {
+            /// Atomic add-and-fetch-previous with scheduling noise.
+            pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+                crate::schedule_noise();
+                let prev = self.inner.fetch_add(v, order);
+                crate::schedule_noise();
+                prev
+            }
+        }
+
+        impl AtomicUsize {
+            /// Atomic add-and-fetch-previous with scheduling noise.
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                crate::schedule_noise();
+                let prev = self.inner.fetch_add(v, order);
+                crate::schedule_noise();
+                prev
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_every_iteration() {
+        let runs = AtomicU64::new(0);
+        super::model_with_iterations(16, || {
+            runs.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn counter_stays_exact_under_noise() {
+        super::model_with_iterations(8, || {
+            let n = Arc::new(AtomicU64::new(0));
+            let total = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    let total = Arc::clone(&total);
+                    super::thread::spawn(move || {
+                        for _ in 0..10 {
+                            n.fetch_add(1, Ordering::Relaxed);
+                            *total.lock() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::Relaxed), 30);
+            assert_eq!(*total.lock(), 30);
+        });
+    }
+}

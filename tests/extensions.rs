@@ -90,7 +90,7 @@ fn cloud_fleet_beats_mean_vehicle() {
     let fleet_mre = track_mre(&fleet, &truth, 100.0).unwrap();
     let mean_solo = solo.iter().sum::<f64>() / solo.len() as f64;
     assert!(fleet_mre < mean_solo, "fleet {fleet_mre} vs mean solo {mean_solo}");
-    assert_eq!(cloud.upload_count(), 5);
+    assert_eq!(cloud.uploads(), 5);
 }
 
 #[test]
