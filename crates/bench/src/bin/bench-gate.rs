@@ -1,0 +1,220 @@
+//! Perf-regression gate over the committed benchmark baselines.
+//!
+//! ```text
+//! cargo run --release -p gradest-bench --bin bench-gate                # gate HEAD
+//! cargo run --release -p gradest-bench --bin bench-gate -- --update   # refresh baselines
+//! cargo run --release -p gradest-bench --bin bench-gate -- --tolerance 0.35
+//! cargo run --release -p gradest-bench --bin bench-gate -- --inject-regression
+//! ```
+//!
+//! Re-runs the `pipeline_hotpath` and `fleet_scaling` experiments,
+//! extracts the gated latency metrics (benchmark medians plus the
+//! per-stage span means from each result's embedded obs `RunReport`),
+//! and diffs them against `BENCH_pipeline.json` / `BENCH_fleet.json`
+//! at the repository root. Exit codes: 0 all metrics within tolerance,
+//! 1 at least one regression or missing metric, 2 usage or missing
+//! baseline files.
+//!
+//! Tolerance precedence: `--tolerance` flag, then the
+//! `BENCH_GATE_TOLERANCE` environment variable, then the built-in
+//! default (±20 %). `--inject-regression` triples every current metric
+//! after measurement — a self-test hook proving the gate actually
+//! fails (used by `scripts/bench-gate.sh --self-test`).
+
+use gradest_bench::experiments::{fleet_bench, pipeline_hotpath};
+use gradest_bench::gate::{self, GateReport, MetricSpec, DEFAULT_TOLERANCE};
+use gradest_bench::report::print_table;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Pipeline experiment parameters: the same seed/sample count the
+/// `gradest-experiments` binary uses, so the baseline and the gate
+/// measure the identical workload.
+const PIPELINE_SEED: u64 = 77;
+const PIPELINE_SAMPLES: usize = 5;
+/// Fleet experiment seed; trips/workers are read from the committed
+/// baseline so the gate replays the baseline's workload shape.
+const FLEET_SEED: u64 = 900;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+struct Args {
+    tolerance: f64,
+    update: bool,
+    inject_regression: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut tolerance: Option<f64> = None;
+    let mut update = false;
+    let mut inject_regression = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--update" => update = true,
+            "--inject-regression" => inject_regression = true,
+            "--tolerance" => {
+                let v = argv.next().ok_or("--tolerance needs a value")?;
+                tolerance = Some(v.parse::<f64>().map_err(|e| format!("--tolerance {v}: {e}"))?);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    let tolerance = tolerance
+        .or_else(|| std::env::var("BENCH_GATE_TOLERANCE").ok().and_then(|v| v.parse().ok()))
+        .unwrap_or(DEFAULT_TOLERANCE);
+    if !(tolerance.is_finite() && tolerance >= 0.0) {
+        return Err(format!("tolerance must be a finite non-negative ratio, got {tolerance}"));
+    }
+    Ok(Args { tolerance, update, inject_regression })
+}
+
+/// Loads a committed baseline document, or `None` when the file is
+/// absent (fresh checkout before the first `--update`).
+fn load_baseline(path: &Path) -> Result<Option<Value>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(body) => serde_json::from_str(&body)
+            .map(Some)
+            .map_err(|e| format!("{} is not valid JSON: {e:?}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+fn gate_suite(
+    title: &str,
+    baseline: &Value,
+    current: &Value,
+    specs: &[MetricSpec],
+    tolerance: f64,
+    inject: f64,
+) -> GateReport {
+    let baseline_metrics = gate::extract(baseline, specs);
+    let mut current_metrics = gate::extract(current, specs);
+    for (_, v) in &mut current_metrics {
+        *v = v.map(|ns| ns * inject);
+    }
+    let report =
+        gate::compare(&baseline_metrics, &current_metrics, tolerance, gate::DEFAULT_ABS_SLACK_NS);
+    print_table(
+        &format!(
+            "{title} — tolerance ±{:.0}%, {} metric(s), {} failure(s)",
+            tolerance * 100.0,
+            report.rows.len(),
+            report.failures()
+        ),
+        &["metric", "baseline ms", "current ms", "delta", "verdict"],
+        &report.table_rows(),
+    );
+    report
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = workspace_root();
+    let pipeline_path = root.join("BENCH_pipeline.json");
+    let fleet_path = root.join("BENCH_fleet.json");
+
+    let (baseline_pipeline, baseline_fleet) =
+        match (load_baseline(&pipeline_path), load_baseline(&fleet_path)) {
+            (Ok(p), Ok(f)) => (p, f),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench-gate: {e}");
+                return ExitCode::from(2);
+            }
+        };
+
+    // Replay the baseline's fleet workload shape; fall back to the
+    // experiment binary's defaults on a fresh checkout.
+    let trips =
+        baseline_fleet.as_ref().and_then(|b| b["trips"].as_u64()).map(|t| t as usize).unwrap_or(16);
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = baseline_fleet
+        .as_ref()
+        .and_then(|b| b["workers"].as_u64())
+        .map(|w| w as usize)
+        .unwrap_or_else(|| cpus.clamp(1, 4))
+        .clamp(1, cpus.max(1));
+
+    println!(
+        "bench-gate: pipeline(seed={PIPELINE_SEED}, samples={PIPELINE_SAMPLES}), \
+         fleet(seed={FLEET_SEED}, trips={trips}, workers={workers})"
+    );
+    let pipeline_run = pipeline_hotpath::run(PIPELINE_SEED, PIPELINE_SAMPLES);
+    let fleet_run = fleet_bench::run(FLEET_SEED, trips, workers);
+    let current_pipeline = serde_json::to_value(&pipeline_run);
+    let current_fleet = serde_json::to_value(&fleet_run);
+
+    if args.update {
+        let write = |path: &Path, value: &Value| match std::fs::write(
+            path,
+            value.to_string_pretty() + "\n",
+        ) {
+            Ok(()) => {
+                println!("bench-gate: wrote {}", path.display());
+                true
+            }
+            Err(e) => {
+                eprintln!("bench-gate: cannot write {}: {e}", path.display());
+                false
+            }
+        };
+        let ok = write(&pipeline_path, &current_pipeline) & write(&fleet_path, &current_fleet);
+        return if ok { ExitCode::SUCCESS } else { ExitCode::from(2) };
+    }
+
+    let (Some(baseline_pipeline), Some(baseline_fleet)) = (baseline_pipeline, baseline_fleet)
+    else {
+        eprintln!(
+            "bench-gate: missing baseline(s) {} / {} — run with --update to create them",
+            pipeline_path.display(),
+            fleet_path.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let inject = if args.inject_regression {
+        println!("bench-gate: --inject-regression active, tripling every current metric");
+        3.0
+    } else {
+        1.0
+    };
+    let pipeline_report = gate_suite(
+        "Pipeline hot path vs BENCH_pipeline.json",
+        &baseline_pipeline,
+        &current_pipeline,
+        gate::PIPELINE_METRICS,
+        args.tolerance,
+        inject,
+    );
+    let fleet_report = gate_suite(
+        "Fleet scaling vs BENCH_fleet.json",
+        &baseline_fleet,
+        &current_fleet,
+        gate::FLEET_METRICS,
+        args.tolerance,
+        inject,
+    );
+
+    let failures = pipeline_report.failures() + fleet_report.failures();
+    if failures == 0 {
+        println!("\nbench-gate: PASS — all metrics within ±{:.0}%", args.tolerance * 100.0);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nbench-gate: FAIL — {failures} metric(s) regressed or missing \
+             (tolerance ±{:.0}%; refresh intentional changes with --update)",
+            args.tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -96,13 +96,21 @@ fn main() {
     });
 
     // CI smoke gate: exact-name only, so plain `pipeline_hotpath` runs
-    // don't trigger it. One trip, and the warm path must not allocate.
+    // don't trigger it. One trip, and the warm path must not allocate —
+    // with or without a live recorder, which must also reproduce the
+    // plain estimate bit for bit.
     if filter.iter().any(|f| f == "pipeline_hotpath_smoke") {
         println!("\n################ pipeline_hotpath_smoke ################");
         let r = pipeline_hotpath::run(77, 1);
         assert_eq!(r.allocs_per_trip_warm, Some(0), "warm estimation path allocated");
+        assert_eq!(
+            r.allocs_per_trip_warm_recorded,
+            Some(0),
+            "recorded warm estimation path allocated"
+        );
         assert!(r.fast_vs_generic_max_abs_diff < 1e-12, "fast LOWESS path diverged");
         assert!(r.generic_bit_identical, "warm scratch broke bit-identity");
+        assert!(r.recorded_bit_identical, "recorder changed the estimate");
         pipeline_hotpath::print_report(&r);
         ran += 1;
     }

@@ -13,6 +13,7 @@ use gradest_core::cloud::{CloudAggregator, CloudSnapshot};
 use gradest_core::fleet::FleetEngine;
 use gradest_core::pipeline::{EstimatorConfig, GradientEstimator};
 use gradest_core::track::GradientTrack;
+use gradest_obs::{RunRecorder, RunReport};
 use gradest_sensors::suite::SensorLog;
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +42,10 @@ pub struct FleetBench {
     /// the upload counter must equal the trip count, making lost
     /// uploads diffable across commits.
     pub cloud: CloudSnapshot,
+    /// Observability report from the recorded cloud fan-in batch:
+    /// fleet-batch / worker-trip / cloud-upload spans, job counters,
+    /// and the hold-back-depth and worker-utilization histograms.
+    pub obs: RunReport,
 }
 
 /// Simulates `n` red-road trips with distinct seeds.
@@ -112,12 +117,18 @@ pub fn run(seed: u64, trips: usize, workers: usize) -> FleetBench {
 
     // One parallel batch fanned into a fresh aggregator: the snapshot's
     // upload counter is the per-run receipt that no worker's upload was
-    // lost (the loom model checks the same protocol under noise).
+    // lost (the loom model checks the same protocol under noise). The
+    // run is recorded, so the obs counters double-check the receipt and
+    // the report lands in `BENCH_fleet.json` for bench-gate diffs.
+    let rec = RunRecorder::new();
     let cloud_sink = CloudAggregator::new(5.0);
     let road_ids: Vec<u64> = (0..logs.len() as u64).map(|i| i % 8).collect();
-    parallel_engine.process_batch_to_cloud(&logs, &road_ids, None, &cloud_sink);
+    parallel_engine.process_batch_to_cloud_recorded(&logs, &road_ids, None, &cloud_sink, &rec);
     let cloud = cloud_sink.snapshot();
     assert_eq!(cloud.uploads, logs.len() as u64, "cloud fan-in lost an upload");
+    let obs = rec.report();
+    assert_eq!(obs.counter("fleet-jobs-completed"), Some(trips as u64), "worker lost a job");
+    assert_eq!(obs.counter("cloud-uploads"), Some(trips as u64), "recorded uploads diverged");
 
     let speedup = batch_1_worker.median_ns_per_op / batch_n_workers.median_ns_per_op.max(1.0);
     FleetBench {
@@ -131,6 +142,7 @@ pub fn run(seed: u64, trips: usize, workers: usize) -> FleetBench {
         speedup,
         outputs_identical,
         cloud,
+        obs,
     }
 }
 
@@ -162,6 +174,7 @@ pub fn print_report(r: &FleetBench) {
         &["bench", "ms/op", "op/s"],
         &rows,
     );
+    println!("\n== Recorded cloud fan-in batch ==\n{}", r.obs.render());
     save_json("BENCH_fleet", r);
 }
 
@@ -179,5 +192,9 @@ mod tests {
         assert!(r.single_trip.median_ns_per_op > 0.0);
         assert_eq!(r.cloud.uploads, 2, "one upload per trip");
         assert_eq!(r.cloud.roads, 2, "distinct road ids per trip in a 2-trip batch");
+        assert_eq!(r.obs.counter("fleet-jobs-submitted"), Some(2));
+        assert_eq!(r.obs.counter("trips-processed"), Some(2));
+        assert!(r.obs.span("fleet-batch").is_some(), "missing fleet-batch span");
+        assert_eq!(r.obs.span("fleet-worker-trip").map(|s| s.count), Some(2));
     }
 }

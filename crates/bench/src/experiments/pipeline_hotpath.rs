@@ -23,6 +23,7 @@ use crate::scenarios::red_road_drive;
 use gradest_core::pipeline::{
     EstimatorConfig, EstimatorScratch, GradientEstimate, GradientEstimator, StageNanos,
 };
+use gradest_obs::{RunRecorder, RunReport};
 use serde::{Deserialize, Serialize};
 
 /// Pipeline hot-path benchmark result (`BENCH_pipeline.json`).
@@ -48,6 +49,19 @@ pub struct PipelineHotpathBench {
     /// Heap allocations during one warm-path trip; `None` when no
     /// counting allocator is installed in this process.
     pub allocs_per_trip_warm: Option<u64>,
+    /// Whether the [`RunRecorder`]-instrumented warm path reproduced
+    /// the plain warm-path estimate bit for bit.
+    pub recorded_bit_identical: bool,
+    /// Heap allocations during one warm trip with a live recorder —
+    /// the recording sinks are allocation-free, so this must match
+    /// [`Self::allocs_per_trip_warm`]. `None` without a counting
+    /// allocator.
+    pub allocs_per_trip_warm_recorded: Option<u64>,
+    /// Observability report from the recorded warm trip(s): span tree,
+    /// counters, and histograms. `bench-gate` reads the per-stage span
+    /// timings out of this field when diffing against the committed
+    /// baseline.
+    pub obs: RunReport,
 }
 
 /// Runs the hot-path benchmark over the standard red-road trip.
@@ -118,6 +132,22 @@ pub fn run(seed: u64, samples: usize) -> PipelineHotpathBench {
         None
     };
 
+    // Recorded pass: the same warm trip with a live RunRecorder. The
+    // recorder's sinks are atomics and fixed histogram cells, so the
+    // instrumented path must stay bit-identical and allocation-free.
+    let rec = RunRecorder::new();
+    let mut rec_out = GradientEstimate::default();
+    fast.estimate_into_recorded(log, map, &mut scratch, &mut rec_out, &rec);
+    let allocs_per_trip_warm_recorded = if alloc_counter::is_installed() {
+        let before = alloc_counter::allocations();
+        fast.estimate_into_recorded(log, map, &mut scratch, &mut rec_out, &rec);
+        Some(alloc_counter::allocations() - before)
+    } else {
+        None
+    };
+    let recorded_bit_identical = rec_out == out;
+    let obs = rec.report();
+
     let speedup =
         baseline_cold_generic.median_ns_per_op / optimized_warm_fast.median_ns_per_op.max(1.0);
     PipelineHotpathBench {
@@ -130,6 +160,9 @@ pub fn run(seed: u64, samples: usize) -> PipelineHotpathBench {
         fast_vs_generic_max_abs_diff,
         generic_bit_identical,
         allocs_per_trip_warm,
+        recorded_bit_identical,
+        allocs_per_trip_warm_recorded,
+        obs,
     }
 }
 
@@ -173,6 +206,15 @@ pub fn print_report(r: &PipelineHotpathBench) {
             vec!["resample + fusion".into(), format!("{:.3}", s.fusion as f64 / 1e6)],
         ],
     );
+    println!(
+        "\n== Recorded warm trip (RunRecorder) — bit-identical={}, allocs/trip={} ==\n{}",
+        r.recorded_bit_identical,
+        match r.allocs_per_trip_warm_recorded {
+            Some(n) => n.to_string(),
+            None => "not measured".to_string(),
+        },
+        r.obs.render()
+    );
     save_json("BENCH_pipeline", r);
 }
 
@@ -193,5 +235,21 @@ mod tests {
         assert!(r.speedup > 0.0);
         // No counting allocator under `cargo test`.
         assert_eq!(r.allocs_per_trip_warm, None);
+        assert_eq!(r.allocs_per_trip_warm_recorded, None);
+        assert!(r.recorded_bit_identical, "recorded warm path diverged from plain warm path");
+        // One recorded trip under `cargo test` (the alloc-measured
+        // second trip only happens with the counting allocator).
+        assert_eq!(r.obs.counter("trips-processed"), Some(1));
+        for span in ["trip", "steering", "detection", "tracks", "fusion"] {
+            assert!(r.obs.span(span).is_some(), "missing span {span}");
+        }
+    }
+
+    #[test]
+    fn bench_json_round_trips_with_obs_report() {
+        let r = run(401, 1);
+        let json = serde_json::to_string_pretty(&r).expect("serialize");
+        let back: PipelineHotpathBench = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, r, "BENCH_pipeline.json does not round-trip");
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::sync::{AtomicU64, Ordering, RwLock};
 use crate::track::GradientTrack;
+use gradest_obs::{Counter, NoopRecorder, Recorder, Span, SpanTimer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -137,27 +138,42 @@ impl CloudAggregator {
     /// different roads rarely contend (they serialise only when both
     /// roads hash to the same stripe).
     pub fn upload(&self, road_id: u64, track: &GradientTrack) {
+        self.upload_recorded(road_id, track, &NoopRecorder);
+    }
+
+    /// [`Self::upload`] reporting to an observability [`Recorder`]: a
+    /// `cloud-upload` span around the stripe-locked merge, plus upload
+    /// and touched-cell counters.
+    pub fn upload_recorded<R: Recorder>(&self, road_id: u64, track: &GradientTrack, rec: &R) {
         if track.is_empty() {
             return;
         }
+        let timer = SpanTimer::start(rec);
         // sync: Relaxed — counting only; the track data itself is
         // published to readers by the stripe write lock below.
         self.uploads.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.stripe(road_id).write();
-        let acc = shard.entry(road_id).or_default();
-        for ((s, theta), var) in track.s.iter().zip(&track.theta).zip(&track.variance) {
-            if *var <= 0.0 || !theta.is_finite() || !s.is_finite() || *s < 0.0 {
-                continue;
+        let mut cells_touched = 0u64;
+        {
+            let mut shard = self.stripe(road_id).write();
+            let acc = shard.entry(road_id).or_default();
+            for ((s, theta), var) in track.s.iter().zip(&track.theta).zip(&track.variance) {
+                if *var <= 0.0 || !theta.is_finite() || !s.is_finite() || *s < 0.0 {
+                    continue;
+                }
+                let idx = (*s / self.grid_ds) as usize;
+                if acc.cells.len() <= idx {
+                    acc.cells.resize(idx + 1, Cell::default());
+                }
+                let cell = &mut acc.cells[idx];
+                cell.weighted_theta += theta / var;
+                cell.inv_variance += 1.0 / var;
+                cell.uploads += 1;
+                cells_touched += 1;
             }
-            let idx = (*s / self.grid_ds) as usize;
-            if acc.cells.len() <= idx {
-                acc.cells.resize(idx + 1, Cell::default());
-            }
-            let cell = &mut acc.cells[idx];
-            cell.weighted_theta += theta / var;
-            cell.inv_variance += 1.0 / var;
-            cell.uploads += 1;
         }
+        timer.finish(rec, Span::CloudUpload);
+        rec.incr(Counter::CloudUploads, 1);
+        rec.incr(Counter::CloudCellsTouched, cells_touched);
     }
 
     /// The fused profile of a road, or `None` if the road is unknown.
@@ -242,6 +258,18 @@ mod tests {
             assert!((th - 0.04).abs() < 1e-12);
         }
         assert_eq!(cloud.coverage_at(9, 7.0), 3);
+    }
+
+    #[test]
+    fn recorded_upload_counts_cells() {
+        let cloud = CloudAggregator::new(5.0);
+        let rec = gradest_obs::RunRecorder::new();
+        cloud.upload_recorded(1, &track(0.04, 1e-4, 10), &rec);
+        cloud.upload_recorded(1, &GradientTrack::new("empty"), &rec);
+        let report = rec.report();
+        assert_eq!(report.counter("cloud-uploads"), Some(1));
+        assert_eq!(report.counter("cloud-cells-touched"), Some(10));
+        assert_eq!(report.span("cloud-upload").map(|s| s.count), Some(1));
     }
 
     #[test]

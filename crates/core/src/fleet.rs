@@ -20,8 +20,10 @@ use crate::cloud::CloudAggregator;
 use crate::pipeline::{GradientEstimate, GradientEstimator};
 use crossbeam::channel;
 use gradest_geo::Route;
+use gradest_obs::{saturating_ns, Counter, Histogram, NoopRecorder, Recorder, Span, SpanTimer};
 use gradest_sensors::suite::SensorLog;
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// A multi-trip estimation engine running a fixed worker pool.
 ///
@@ -77,6 +79,21 @@ impl FleetEngine {
         out
     }
 
+    /// [`Self::process_batch`] reporting to an observability
+    /// [`Recorder`]: the per-trip pipeline records through it, and the
+    /// pool adds batch/worker spans, job counters, hold-back depth, and
+    /// per-worker utilization.
+    pub fn process_batch_recorded<R: Recorder>(
+        &self,
+        logs: &[SensorLog],
+        map: Option<&Route>,
+        rec: &R,
+    ) -> Vec<GradientEstimate> {
+        let mut out = Vec::with_capacity(logs.len());
+        self.run_pool(logs, map, None, rec, |_, est| out.push(est));
+        out
+    }
+
     /// Estimates every trip in the batch, invoking `on_result(index,
     /// estimate)` for each trip strictly in submission order, as soon as
     /// that trip *and all earlier ones* have finished. Out-of-order
@@ -86,7 +103,22 @@ impl FleetEngine {
     where
         F: FnMut(usize, GradientEstimate),
     {
-        self.run_pool(logs, map, None, on_result);
+        self.run_pool(logs, map, None, &NoopRecorder, on_result);
+    }
+
+    /// [`Self::process_streaming`] reporting to an observability
+    /// [`Recorder`] (see [`Self::process_batch_recorded`]).
+    pub fn process_streaming_recorded<R, F>(
+        &self,
+        logs: &[SensorLog],
+        map: Option<&Route>,
+        rec: &R,
+        on_result: F,
+    ) where
+        R: Recorder,
+        F: FnMut(usize, GradientEstimate),
+    {
+        self.run_pool(logs, map, None, rec, on_result);
     }
 
     /// [`Self::process_batch`] with cloud fan-in: each worker uploads
@@ -108,24 +140,45 @@ impl FleetEngine {
         map: Option<&Route>,
         cloud: &CloudAggregator,
     ) -> Vec<GradientEstimate> {
+        self.process_batch_to_cloud_recorded(logs, road_ids, map, cloud, &NoopRecorder)
+    }
+
+    /// [`Self::process_batch_to_cloud`] reporting to an observability
+    /// [`Recorder`] (see [`Self::process_batch_recorded`]); the cloud
+    /// uploads record their spans and cell counts through it too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `road_ids.len() != logs.len()`.
+    pub fn process_batch_to_cloud_recorded<R: Recorder>(
+        &self,
+        logs: &[SensorLog],
+        road_ids: &[u64],
+        map: Option<&Route>,
+        cloud: &CloudAggregator,
+        rec: &R,
+    ) -> Vec<GradientEstimate> {
         assert_eq!(road_ids.len(), logs.len(), "one road id per trip");
         let mut out = Vec::with_capacity(logs.len());
-        self.run_pool(logs, map, Some((road_ids, cloud)), |_, est| out.push(est));
+        self.run_pool(logs, map, Some((road_ids, cloud)), rec, |_, est| out.push(est));
         out
     }
 
-    fn run_pool<F>(
+    fn run_pool<R, F>(
         &self,
         logs: &[SensorLog],
         map: Option<&Route>,
         cloud: Option<(&[u64], &CloudAggregator)>,
+        rec: &R,
         mut on_result: F,
     ) where
+        R: Recorder,
         F: FnMut(usize, GradientEstimate),
     {
         if logs.is_empty() {
             return;
         }
+        let batch_timer = SpanTimer::start(rec);
         let workers = self.workers.min(logs.len());
         let (job_tx, job_rx) = channel::unbounded::<usize>();
         let (res_tx, res_rx) = channel::unbounded::<(usize, GradientEstimate)>();
@@ -133,6 +186,7 @@ impl FleetEngine {
             // lint:allow(no-panic) job_rx lives until the scope below; unbounded send cannot fail
             job_tx.send(i).expect("receiver alive");
         }
+        rec.incr(Counter::FleetJobsSubmitted, logs.len() as u64);
         // Closing the job channel is what terminates the workers: each
         // drains until `recv` reports disconnection.
         drop(job_tx);
@@ -146,14 +200,33 @@ impl FleetEngine {
                     // One warm scratch per worker: after the first trip,
                     // estimation reuses its buffers instead of the heap.
                     let mut scratch = crate::pipeline::EstimatorScratch::new();
+                    // Worker lifetime + busy time feed the utilization
+                    // histogram; clock reads only when recording.
+                    let spawned = if rec.enabled() { Some(Instant::now()) } else { None };
+                    let mut busy_ns = 0u64;
                     while let Ok(i) = job_rx.recv() {
-                        let est = estimator.estimate_with(&logs[i], map, &mut scratch);
+                        let t0 = if rec.enabled() { Some(Instant::now()) } else { None };
+                        let est =
+                            estimator.estimate_with_recorded(&logs[i], map, &mut scratch, rec);
                         if let Some((road_ids, cloud)) = cloud {
-                            cloud.upload(road_ids[i], &est.fused);
+                            cloud.upload_recorded(road_ids[i], &est.fused, rec);
                         }
+                        if let Some(t0) = t0 {
+                            let ns = saturating_ns(t0);
+                            busy_ns += ns;
+                            rec.record_span(Span::FleetWorkerTrip, ns);
+                        }
+                        rec.incr(Counter::FleetJobsCompleted, 1);
                         if res_tx.send((i, est)).is_err() {
                             break;
                         }
+                    }
+                    if let Some(spawned) = spawned {
+                        let lifetime_ns = saturating_ns(spawned).max(1);
+                        rec.observe(
+                            Histogram::FleetWorkerUtilization,
+                            busy_ns as f64 / lifetime_ns as f64,
+                        );
                     }
                 });
             }
@@ -166,6 +239,11 @@ impl FleetEngine {
             let mut pending: BTreeMap<usize, GradientEstimate> = BTreeMap::new();
             for (i, est) in res_rx.iter() {
                 pending.insert(i, est);
+                if rec.enabled() && i != next {
+                    // A result arrived out of order: sample how much is
+                    // parked awaiting earlier trips.
+                    rec.observe(Histogram::FleetHoldbackDepth, pending.len() as f64);
+                }
                 while let Some(est) = pending.remove(&next) {
                     on_result(next, est);
                     next += 1;
@@ -173,6 +251,7 @@ impl FleetEngine {
             }
             assert_eq!(next, logs.len(), "worker pool dropped a job");
         });
+        batch_timer.finish(rec, Span::FleetBatch);
     }
 }
 
@@ -229,6 +308,30 @@ mod tests {
     fn worker_count_is_clamped_to_one() {
         let engine = FleetEngine::new(GradientEstimator::new(EstimatorConfig::default()), 0);
         assert_eq!(engine.workers(), 1);
+    }
+
+    #[test]
+    fn recorded_batch_matches_plain_and_reports_pool_activity() {
+        let route = Route::new(vec![straight_road(500.0, 2.0)]).unwrap();
+        let logs = batch(&route, 6);
+        let road_ids = vec![3u64; logs.len()];
+        let cloud = CloudAggregator::new(5.0);
+        let engine = FleetEngine::new(GradientEstimator::new(EstimatorConfig::default()), 3);
+        let plain = engine.process_batch(&logs, Some(&route));
+        let rec = gradest_obs::RunRecorder::new();
+        let recorded =
+            engine.process_batch_to_cloud_recorded(&logs, &road_ids, Some(&route), &cloud, &rec);
+        assert_eq!(plain, recorded, "recording must not perturb batch output");
+        let report = rec.report();
+        assert_eq!(report.counter("fleet-jobs-submitted"), Some(6));
+        assert_eq!(report.counter("fleet-jobs-completed"), Some(6));
+        assert_eq!(report.counter("trips-processed"), Some(6));
+        assert_eq!(report.counter("cloud-uploads"), Some(6));
+        assert_eq!(report.span("fleet-batch").map(|s| s.count), Some(1));
+        assert_eq!(report.span("fleet-worker-trip").map(|s| s.count), Some(6));
+        assert_eq!(report.span("cloud-upload").map(|s| s.count), Some(6));
+        // One utilization sample per worker (3 workers for 6 trips).
+        assert_eq!(report.histogram("fleet-worker-utilization").map(|h| h.count), Some(3));
     }
 
     #[test]

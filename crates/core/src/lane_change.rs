@@ -83,6 +83,21 @@ pub struct LaneChangeDetection {
     pub displacement_m: f64,
 }
 
+/// Outcome counts of one Algorithm 1 pass — the numbers behind the
+/// `lane-changes-detected` / `lane-changes-rejected` observability
+/// counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectStats {
+    /// Candidate bumps surviving the δ/T feature thresholds.
+    pub bumps: u64,
+    /// Opposite-sign pairs that reached the Eq-1 displacement test.
+    pub pairs_tested: u64,
+    /// Pairs rejected as S-curves (`|W| > 3·W_lane`).
+    pub scurve_rejected: u64,
+    /// Accepted lane changes.
+    pub detected: u64,
+}
+
 /// The Algorithm 1 detector.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct LaneChangeDetector {
@@ -199,9 +214,26 @@ impl LaneChangeDetector {
         bumps: &mut Vec<Bump>,
         detections: &mut Vec<LaneChangeDetection>,
     ) {
+        let _ = self.detect_into_stats(profile, v_at, bumps, detections);
+    }
+
+    /// [`Self::detect_into`] that also tallies Algorithm 1's decisions:
+    /// how many bumps were found, how many opposite-sign pairs reached
+    /// the Eq-1 displacement test, and how they split into accepted
+    /// lane changes versus S-curve rejections. Allocation-free beyond
+    /// the output buffers, so the warm pipeline records the counts for
+    /// free.
+    pub fn detect_into_stats(
+        &self,
+        profile: &SmoothedProfile,
+        v_at: &dyn Fn(f64) -> f64,
+        bumps: &mut Vec<Bump>,
+        detections: &mut Vec<LaneChangeDetection>,
+    ) -> DetectStats {
         let cfg = &self.config;
         self.find_bumps_into(profile, bumps);
         detections.clear();
+        let mut stats = DetectStats { bumps: bumps.len() as u64, ..DetectStats::default() };
         let mut held: Option<Bump> = None; // STATE: None = no-bump
         for &bump in bumps.iter() {
             match held {
@@ -214,7 +246,9 @@ impl LaneChangeDetector {
                         continue;
                     }
                     let w = self.displacement(profile, v_at, prev.t_start, bump.t_end);
+                    stats.pairs_tested += 1;
                     if w.abs() <= 3.0 * cfg.lane_width_m {
+                        stats.detected += 1;
                         detections.push(LaneChangeDetection {
                             direction: if prev.sign > 0.0 {
                                 LaneChangeDirection::Left
@@ -229,11 +263,13 @@ impl LaneChangeDetector {
                     } else {
                         // S-curve: discard the pair but keep the newer
                         // bump as a potential first half of the next pair.
+                        stats.scurve_rejected += 1;
                         held = Some(bump);
                     }
                 }
             }
         }
+        stats
     }
 
     /// Eq 2: corrects a velocity series to longitudinal velocity inside
@@ -466,6 +502,33 @@ mod tests {
         let prof = smooth_profile(&raw, 0.6);
         assert!(det().find_bumps(&prof).is_empty());
         assert!(det().detect(&prof, &|_| 12.0).is_empty());
+    }
+
+    #[test]
+    fn detect_stats_count_accepts_and_rejects() {
+        let mut bumps = Vec::new();
+        let mut dets = Vec::new();
+        // A clean lane change: two bumps, one pair, accepted.
+        let raw = maneuver_profile(0.15, 4.0, 10.0, 30.0, 1.0);
+        let prof = smooth_profile(&raw, 0.6);
+        let stats = det().detect_into_stats(&prof, &|_| 12.0, &mut bumps, &mut dets);
+        assert_eq!(stats.bumps, 2);
+        assert_eq!(stats.pairs_tested, 1);
+        assert_eq!(stats.detected, 1);
+        assert_eq!(stats.scurve_rejected, 0);
+        assert_eq!(dets.len(), 1);
+        // A road-scale S-curve: the pair reaches Eq 1 and is rejected.
+        let raw = maneuver_profile(0.12, 30.0, 10.0, 60.0, 1.0);
+        let prof = smooth_profile(&raw, 1.0);
+        let wide = LaneChangeDetector::new(LaneChangeConfig {
+            max_pair_gap_s: 60.0,
+            ..LaneChangeConfig::default()
+        });
+        let stats = wide.detect_into_stats(&prof, &|_| 12.0, &mut bumps, &mut dets);
+        assert_eq!(stats.pairs_tested, 1);
+        assert_eq!(stats.scurve_rejected, 1);
+        assert_eq!(stats.detected, 0);
+        assert!(dets.is_empty());
     }
 
     #[test]

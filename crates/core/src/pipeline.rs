@@ -19,6 +19,7 @@ use crate::track::GradientTrack;
 use gradest_geo::Route;
 use gradest_math::lowess::LowessScratch;
 use gradest_math::{Mat2, Vec2};
+use gradest_obs::{Counter, Histogram, NoopRecorder, Recorder, Span, SpanTimer};
 use gradest_sensors::alignment::{steering_rate_profile_into, MapMatcher, WRoadScratch};
 use gradest_sensors::columnar::ImuColumns;
 use gradest_sensors::suite::SensorLog;
@@ -124,26 +125,13 @@ impl Default for EstimatorConfig {
     }
 }
 
-/// Wall-clock nanoseconds spent in each pipeline stage of the most recent
+/// Wall-clock nanoseconds per pipeline stage of the most recent
 /// [`GradientEstimator::estimate_into`] call (stored in the scratch).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct StageNanos {
-    /// Stage 1: columnarization + steering profile + LOWESS smoothing.
-    pub steering: u64,
-    /// Stage 2: lane-change detection + steering-angle series.
-    pub detection: u64,
-    /// Stage 3: per-source EKF tracks (incl. RTS smoothing).
-    pub tracks: u64,
-    /// Stage 4: resampling + Eq-6 fusion.
-    pub fusion: u64,
-}
-
-impl StageNanos {
-    /// Total nanoseconds across all stages.
-    pub fn total(&self) -> u64 {
-        self.steering + self.detection + self.tracks + self.fusion
-    }
-}
+///
+/// The type itself lives in `gradest-obs` (re-exported here for
+/// compatibility): it is the same stage split the observability span
+/// taxonomy aggregates, and the bench reports embed it as JSON.
+pub use gradest_obs::StageNanos;
 
 /// Per-source working set for one EKF track: measurement staging, filter
 /// history, the track under construction, and the RTS output buffer.
@@ -175,6 +163,8 @@ pub const WARM_PATH_MODULES: &[&str] = &[
     "math::lowess",
     "math::interp",
     "math::signal",
+    "obs::metrics",
+    "obs::recorder",
     "sensors::alignment",
     "sensors::columnar",
 ];
@@ -284,10 +274,34 @@ impl GradientEstimator {
         out
     }
 
+    /// [`Self::estimate_with`] reporting to an observability
+    /// [`Recorder`]: stage and per-track spans, EKF innovation and
+    /// fusion-weight statistics, lane-change decision counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log carries fewer than two IMU samples.
+    pub fn estimate_with_recorded<R: Recorder>(
+        &self,
+        log: &SensorLog,
+        map: Option<&Route>,
+        scratch: &mut EstimatorScratch,
+        rec: &R,
+    ) -> GradientEstimate {
+        let mut out = GradientEstimate::default();
+        self.estimate_into_recorded(log, map, scratch, &mut out, rec);
+        out
+    }
+
     /// The fully in-place pipeline: reads `log`, stages everything in
     /// `scratch`, overwrites `out`. With both warm (from a previous trip
     /// of similar size) the entire call runs without heap allocation —
     /// the property the `pipeline_hotpath` experiment gates on.
+    ///
+    /// Instantiates [`Self::estimate_into_recorded`] with the
+    /// [`NoopRecorder`], whose monomorphized instrumentation compiles
+    /// to nothing — same machine code as the pre-observability
+    /// pipeline, bit-identical output.
     ///
     /// # Panics
     ///
@@ -298,6 +312,27 @@ impl GradientEstimator {
         map: Option<&Route>,
         scratch: &mut EstimatorScratch,
         out: &mut GradientEstimate,
+    ) {
+        self.estimate_into_recorded(log, map, scratch, out, &NoopRecorder);
+    }
+
+    /// [`Self::estimate_into`] reporting to an observability
+    /// [`Recorder`]. All instrumentation-only work (extra clock reads,
+    /// derived statistics) sits behind `rec.enabled()`, and the
+    /// recording sinks themselves are allocation-free, so the warm-path
+    /// zero-allocation invariant holds for the no-op recorder *and* for
+    /// `gradest_obs::RunRecorder` — `pipeline_hotpath_smoke` gates both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log carries fewer than two IMU samples.
+    pub fn estimate_into_recorded<R: Recorder>(
+        &self,
+        log: &SensorLog,
+        map: Option<&Route>,
+        scratch: &mut EstimatorScratch,
+        out: &mut GradientEstimate,
+        rec: &R,
     ) {
         assert!(log.imu.len() >= 2, "need at least two IMU samples");
         let cfg = &self.config;
@@ -341,7 +376,14 @@ impl GradientEstimator {
         fill_speed_series(log, speed_t, speed_v);
         let v_lookup = SpeedLookup::new(speed_t, speed_v);
         let detector = LaneChangeDetector::new(cfg.lane_change);
-        detector.detect_into(profile, &|t| v_lookup.at(t), bumps, detections);
+        let lc_stats = detector.detect_into_stats(profile, &|t| v_lookup.at(t), bumps, detections);
+        if rec.enabled() {
+            rec.incr(Counter::LaneChangesDetected, lc_stats.detected);
+            rec.incr(Counter::LaneChangesRejected, lc_stats.scurve_rejected);
+            for det in detections.iter() {
+                rec.observe(Histogram::LaneChangeDisplacement, det.displacement_m.abs());
+            }
+        }
         // Steering angle α(t) within detection windows (zero elsewhere),
         // for the Eq-2 correction of arbitrary-time measurements.
         steering_angle_series_into(profile, detections, alpha);
@@ -378,8 +420,10 @@ impl GradientEstimator {
                 VelocitySource::CanBus => cfg.r_can,
                 VelocitySource::Accelerometer => cfg.r_accelerometer,
             };
+            let timer = SpanTimer::start(rec);
             self.measurement_series_into(log, source, &mut ts.measurements);
-            self.run_ekf_track_into(log, r, source.label(), profile, alpha, dt, matched_s, ts);
+            self.run_ekf_track_into(log, r, source, profile, alpha, dt, matched_s, ts, rec);
+            timer.finish(rec, track_span(source));
         };
         // `available_parallelism` is only consulted when the parallel path
         // is plausible at all — it can allocate on some platforms, and the
@@ -443,6 +487,17 @@ impl GradientEstimator {
             tracks: (t3 - t2).as_nanos() as u64,
             fusion: (t4 - t3).as_nanos() as u64,
         };
+        if rec.enabled() {
+            // Stage spans reuse the timestamps taken for `stages` — the
+            // enabled path adds no clock reads here.
+            rec.record_span(Span::Steering, stages.steering);
+            rec.record_span(Span::Detection, stages.detection);
+            rec.record_span(Span::Tracks, stages.tracks);
+            rec.record_span(Span::Fusion, stages.fusion);
+            rec.record_span(Span::Trip, stages.total());
+            rec.incr(Counter::TripsProcessed, 1);
+            record_fusion_weights(rec, &out.tracks, &out.fused);
+        }
     }
 
     /// Builds the `(t, v)` measurement series for one source into a
@@ -514,23 +569,25 @@ impl GradientEstimator {
     /// estimate, so pure dead-reckoning drift (≈1 % of distance from the
     /// speedometer's scale error) would be an artificial handicap.
     #[allow(clippy::too_many_arguments)]
-    fn run_ekf_track_into(
+    fn run_ekf_track_into<R: Recorder>(
         &self,
         log: &SensorLog,
         r: f64,
-        label: &str,
+        source: VelocitySource,
         profile: &SmoothedProfile,
         alpha: &[f64],
         dt: f64,
         matched_s: &[f64],
         ts: &mut TrackScratch,
+        rec: &R,
     ) {
         let TrackScratch { measurements, history, smoothed, track } = ts;
         let measurements: &[(f64, f64)] = measurements;
         let v0 = measurements.first().map(|m| m.1).unwrap_or(10.0);
         let mut ekf = GradientEkf::new(self.config.ekf, v0);
+        let mut updates = 0u64;
         track.label.clear();
-        track.label.push_str(label);
+        track.label.push_str(source.label());
         track.s.clear();
         track.theta.clear();
         track.variance.clear();
@@ -561,7 +618,13 @@ impl GradientEstimator {
                         mv * a.cos()
                     }
                 };
+                if rec.enabled() {
+                    // Innovation as the update will see it: measurement
+                    // minus the predicted velocity state.
+                    rec.observe(Histogram::EkfInnovation, corrected - ekf.velocity());
+                }
                 ekf.update(corrected, r);
+                updates += 1;
                 m_idx += 1;
             }
             s += ekf.velocity() * dt;
@@ -598,6 +661,65 @@ impl GradientEstimator {
                 track.theta[i] = x.y;
                 track.variance[i] = p.m[1][1].max(1e-12);
             }
+        }
+        if rec.enabled() {
+            rec.incr(Counter::EkfPredicts, log.imu.len() as u64);
+            rec.incr(update_counter(source), updates);
+        }
+    }
+}
+
+/// The per-track span of a velocity source.
+fn track_span(source: VelocitySource) -> Span {
+    match source {
+        VelocitySource::Gps => Span::TrackGps,
+        VelocitySource::Speedometer => Span::TrackSpeedometer,
+        VelocitySource::CanBus => Span::TrackCanBus,
+        VelocitySource::Accelerometer => Span::TrackAccelerometer,
+    }
+}
+
+/// The EKF-update counter of a velocity source.
+fn update_counter(source: VelocitySource) -> Counter {
+    match source {
+        VelocitySource::Gps => Counter::EkfUpdatesGps,
+        VelocitySource::Speedometer => Counter::EkfUpdatesSpeedometer,
+        VelocitySource::CanBus => Counter::EkfUpdatesCanBus,
+        VelocitySource::Accelerometer => Counter::EkfUpdatesAccelerometer,
+    }
+}
+
+/// The fusion-weight histogram of a source track, by label.
+fn fusion_weight_hist(label: &str) -> Option<Histogram> {
+    match label {
+        "gps" => Some(Histogram::FusionWeightGps),
+        "speedometer" => Some(Histogram::FusionWeightSpeedometer),
+        "can-bus" => Some(Histogram::FusionWeightCanBus),
+        "accelerometer" => Some(Histogram::FusionWeightAccelerometer),
+        _ => None,
+    }
+}
+
+/// Observes each source track's mean Eq-6 fusion weight: at grid point
+/// `i` the convex-combination weight of track `k` is
+/// `(1/P_k[i]) / Σ_j (1/P_j[i])`, and the fused variance is the
+/// reciprocal of that sum, so the weight equals
+/// `fused.variance[i] / track.variance[i]`.
+fn record_fusion_weights<R: Recorder>(rec: &R, tracks: &[GradientTrack], fused: &GradientTrack) {
+    for track in tracks {
+        let Some(hist) = fusion_weight_hist(&track.label) else {
+            continue;
+        };
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for (tv, fv) in track.variance.iter().zip(&fused.variance) {
+            if *tv > 0.0 {
+                sum += fv / tv;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            rec.observe(hist, sum / n as f64);
         }
     }
 }
@@ -764,6 +886,50 @@ mod tests {
         assert_eq!(cold, first);
         assert_eq!(cold, warm);
         assert!(scratch.stages().total() > 0);
+    }
+
+    #[test]
+    fn recorded_estimate_is_bit_identical_and_counts() {
+        let route = Route::new(vec![straight_road(800.0, 2.0)]).unwrap();
+        let traj = simulate_trip(&route, &TripConfig::default(), 5);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 5);
+        let estimator = GradientEstimator::new(EstimatorConfig::default());
+        let plain = estimator.estimate(&log, Some(&route));
+        let rec = gradest_obs::RunRecorder::new();
+        let mut scratch = EstimatorScratch::new();
+        let recorded = estimator.estimate_with_recorded(&log, Some(&route), &mut scratch, &rec);
+        assert_eq!(plain, recorded, "recording must not perturb the estimate");
+        let report = rec.report();
+        assert_eq!(report.counter("trips-processed"), Some(1));
+        assert_eq!(report.counter("ekf-predicts"), Some(4 * log.imu.len() as u64));
+        for span in ["trip", "steering", "detection", "tracks", "fusion", "track:gps"] {
+            assert!(report.span(span).is_some(), "span {span} missing");
+        }
+        // Eq-6 weights are a convex combination: the per-source mean
+        // weights sum to 1 across the four tracks.
+        let weight_sum: f64 = [
+            "fusion-weight:gps",
+            "fusion-weight:speedometer",
+            "fusion-weight:can-bus",
+            "fusion-weight:accelerometer",
+        ]
+        .iter()
+        .map(|h| report.histogram(h).expect("weight recorded").mean)
+        .sum();
+        assert!((weight_sum - 1.0).abs() < 1e-9, "weights sum to {weight_sum}");
+        // EKF innovations were observed for every applied update.
+        let innovations = report.histogram("ekf-innovation").expect("innovations");
+        let updates: u64 = [
+            "ekf-updates:gps",
+            "ekf-updates:speedometer",
+            "ekf-updates:can-bus",
+            "ekf-updates:accelerometer",
+        ]
+        .iter()
+        .filter_map(|c| report.counter(c))
+        .sum();
+        assert!(updates > 0);
+        assert_eq!(innovations.count, updates);
     }
 
     #[test]

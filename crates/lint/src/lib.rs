@@ -49,14 +49,20 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "math::lowess",
     "math::interp",
     "math::signal",
+    "obs::metrics",
+    "obs::recorder",
+    "obs::run",
     "sensors::alignment",
     "sensors::columnar",
 ];
 
 /// Modules under the zero-allocation `_into` discipline (the warm
-/// per-trip path). [`HOT_PATH_MODULES`] minus `core::fleet`: the fleet
-/// engine allocates per batch (channels, result buffers) by design and
-/// its per-trip work happens inside these modules.
+/// per-trip path). [`HOT_PATH_MODULES`] minus `core::fleet` and
+/// `obs::run`: the fleet engine allocates per batch (channels, result
+/// buffers) by design and its per-trip work happens inside these
+/// modules; `obs::run` allocates only when *building* a `RunReport`
+/// after the measured work — its recording sinks are allocation-free
+/// and the warm path only traverses `obs::recorder` / `obs::metrics`.
 pub const WARM_ALLOC_GATED_MODULES: &[&str] = &[
     "core::pipeline",
     "core::ekf",
@@ -68,6 +74,8 @@ pub const WARM_ALLOC_GATED_MODULES: &[&str] = &[
     "math::lowess",
     "math::interp",
     "math::signal",
+    "obs::metrics",
+    "obs::recorder",
     "sensors::alignment",
     "sensors::columnar",
 ];
@@ -169,12 +177,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn warm_modules_are_hot_minus_fleet() {
+    fn warm_modules_are_hot_minus_batch_layers() {
         for m in WARM_ALLOC_GATED_MODULES {
             assert!(HOT_PATH_MODULES.contains(m), "{m} warm but not hot");
         }
-        assert!(HOT_PATH_MODULES.contains(&"core::fleet"));
-        assert!(!WARM_ALLOC_GATED_MODULES.contains(&"core::fleet"));
+        // Exactly two hot modules sit outside the warm no-alloc gate:
+        // the batch-allocating fleet engine and the report-building
+        // side of obs.
+        let hot_only: Vec<&&str> =
+            HOT_PATH_MODULES.iter().filter(|m| !WARM_ALLOC_GATED_MODULES.contains(m)).collect();
+        assert_eq!(hot_only, vec![&"core::fleet", &"obs::run"]);
     }
 
     #[test]

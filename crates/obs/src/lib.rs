@@ -1,0 +1,40 @@
+//! `gradest-obs` — the observability substrate for the gradient
+//! estimation stack.
+//!
+//! Three pieces (DESIGN.md §9):
+//!
+//! - [`metrics`]: the closed taxonomy of [`Span`]s (a static forest of
+//!   timed regions: trip stages, per-source EKF tracks, fleet workers,
+//!   cloud uploads), [`Counter`]s, and [`Histogram`]s, plus the shared
+//!   [`StageNanos`] per-trip stage split.
+//! - [`recorder`]: the [`Recorder`] trait instrumented code is generic
+//!   over, the statically zero-cost [`NoopRecorder`], and the
+//!   [`SpanTimer`] helper that only reads the clock when the recorder
+//!   is enabled.
+//! - [`run`]: [`RunRecorder`], a fixed-slot atomic aggregator safe to
+//!   share across worker threads, and the [`RunReport`] it emits
+//!   (JSON for `BENCH_*.json` and `bench-gate.sh`, rendered tables
+//!   for humans, an integers-only snapshot string for tests).
+//!
+//! The crate depends only on the vendored serde shims, so every layer
+//! from `gradest-math` up can adopt it without dependency cycles.
+//!
+//! # Overhead contract
+//!
+//! With `NoopRecorder`, instrumentation must be free: `enabled()` is a
+//! constant `false`, all sink methods are empty, and call sites keep
+//! observability-only work (timestamps, derived statistics) behind
+//! `if rec.enabled()`. The warm-path invariants — 0 allocations per
+//! trip and bit-identical gradients — are enforced with obs wired
+//! through by `pipeline_hotpath_smoke`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod recorder;
+pub mod run;
+
+pub use metrics::{Counter, Histogram, Span, StageNanos};
+pub use recorder::{saturating_ns, NoopRecorder, Recorder, SpanTimer};
+pub use run::{CounterReport, HistogramReport, RunRecorder, RunReport, SpanReport};

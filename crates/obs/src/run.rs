@@ -1,0 +1,469 @@
+//! [`RunRecorder`] — the aggregating recorder behind every
+//! `RunReport` — and the report types it emits.
+//!
+//! The recorder is a fixed block of atomics (spans, counters) plus one
+//! small mutex cell per histogram: no allocation after construction, no
+//! contention hot spots beyond the histogram cells, and safe to share
+//! across fleet workers by reference. Reports are read *after* the
+//! recorded work completes, which is why relaxed atomics suffice
+//! throughout.
+
+use crate::metrics::{Counter, Histogram, Span};
+use crate::recorder::Recorder;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Decade histogram buckets cover `10^-9 ..= 10^9` by power of ten.
+const MIN_EXP: i32 = -9;
+/// Upper decade exponent (inclusive).
+const MAX_EXP: i32 = 9;
+/// Bucket count: one per decade exponent in `MIN_EXP..=MAX_EXP`.
+const BUCKETS: usize = 19;
+
+/// Bucket index for `|value|`'s decade; zero and subnormal magnitudes
+/// land in the lowest bucket, huge magnitudes saturate into the top.
+fn decade_bucket(value: f64) -> usize {
+    let exp = value.abs().log10().floor();
+    let exp = if exp.is_finite() { exp as i32 } else { MIN_EXP };
+    (exp.clamp(MIN_EXP, MAX_EXP) - MIN_EXP) as usize
+}
+
+/// Mutable aggregation state of one histogram.
+#[derive(Debug)]
+struct HistCell {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; BUCKETS],
+}
+
+impl HistCell {
+    fn new() -> Self {
+        HistCell {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+/// An aggregating [`Recorder`]: fixed atomic slots per [`Span`] and
+/// [`Counter`], a mutex cell per [`Histogram`]. Construct once per run,
+/// share by reference, then [`RunRecorder::report`] after the work
+/// joins.
+#[derive(Debug)]
+pub struct RunRecorder {
+    // Every atomic below is a standalone statistic slot written with
+    // Relaxed operations from any recording thread; a report is only
+    // taken after those threads join (or between trips on one thread),
+    // so the join's happens-before edge is the only ordering needed and
+    // per-slot atomicity is enough.
+    // sync: span hit counts (Relaxed slot, see above).
+    span_count: [AtomicU64; Span::COUNT],
+    // sync: span summed durations (Relaxed slot, see above).
+    span_total_ns: [AtomicU64; Span::COUNT],
+    // sync: span minimum durations (Relaxed slot, see above).
+    span_min_ns: [AtomicU64; Span::COUNT],
+    // sync: span maximum durations (Relaxed slot, see above).
+    span_max_ns: [AtomicU64; Span::COUNT],
+    // sync: event counters (Relaxed slot, see above).
+    counters: [AtomicU64; Counter::COUNT],
+    // sync: each mutex guards one histogram's aggregation cell
+    // (count/sum/min/max/buckets must move together); cells are
+    // independent, so recording threads only contend when observing
+    // the same histogram. A poisoned cell is skipped, never unwrapped.
+    hists: [Mutex<HistCell>; Histogram::COUNT],
+}
+
+impl Default for RunRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunRecorder {
+    /// A recorder with every slot zeroed.
+    pub fn new() -> Self {
+        RunRecorder {
+            span_count: std::array::from_fn(|_| AtomicU64::new(0)),
+            span_total_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            span_min_ns: std::array::from_fn(|_| AtomicU64::new(u64::MAX)),
+            span_max_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| Mutex::new(HistCell::new())),
+        }
+    }
+
+    /// Aggregate everything recorded so far into a [`RunReport`].
+    /// Ids never touched are omitted, so the report doubles as the
+    /// "which metrics did this workload emit" set the snapshot test
+    /// pins.
+    pub fn report(&self) -> RunReport {
+        let mut spans = Vec::new();
+        for s in Span::ALL {
+            let i = s as usize;
+            // sync: report-side Relaxed reads (field contract above).
+            let count = self.span_count[i].load(Ordering::Relaxed);
+            let total_ns = self.span_total_ns[i].load(Ordering::Relaxed);
+            let min_ns = self.span_min_ns[i].load(Ordering::Relaxed);
+            let max_ns = self.span_max_ns[i].load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            spans.push(SpanReport {
+                name: s.name().to_string(),
+                depth: s.depth() as u64,
+                count,
+                total_ns,
+                mean_ns: total_ns / count,
+                min_ns,
+                max_ns,
+            });
+        }
+        let mut counters = Vec::new();
+        for c in Counter::ALL {
+            // sync: report-side read; Relaxed per the field contract.
+            let value = self.counters[c as usize].load(Ordering::Relaxed);
+            if value == 0 {
+                continue;
+            }
+            counters.push(CounterReport { name: c.name().to_string(), value });
+        }
+        let mut histograms = Vec::new();
+        for h in Histogram::ALL {
+            if let Ok(cell) = self.hists[h as usize].lock() {
+                if cell.count == 0 {
+                    continue;
+                }
+                let n = cell.count as f64;
+                let mean = cell.sum / n;
+                let var = (cell.sum_sq / n) - mean * mean;
+                histograms.push(HistogramReport {
+                    name: h.name().to_string(),
+                    count: cell.count,
+                    mean,
+                    stddev: var.max(0.0).sqrt(),
+                    min: cell.min,
+                    max: cell.max,
+                });
+            }
+        }
+        RunReport { spans, counters, histograms }
+    }
+
+    /// A deterministic, integers-only rendering of what was recorded:
+    /// span hit counts, counter values, and histogram observation
+    /// counts — no wall-clock quantities, so identical workloads
+    /// produce byte-identical strings. This is the surface the obs
+    /// snapshot test pins.
+    pub fn snapshot_string(&self) -> String {
+        let mut out = String::new();
+        for s in Span::ALL {
+            // sync: report-side read; Relaxed per the field contract.
+            let count = self.span_count[s as usize].load(Ordering::Relaxed);
+            if count > 0 {
+                let _ = writeln!(out, "span {} count={count}", s.name());
+            }
+        }
+        for c in Counter::ALL {
+            // sync: report-side read; Relaxed per the field contract.
+            let value = self.counters[c as usize].load(Ordering::Relaxed);
+            if value > 0 {
+                let _ = writeln!(out, "counter {} = {value}", c.name());
+            }
+        }
+        for h in Histogram::ALL {
+            if let Ok(cell) = self.hists[h as usize].lock() {
+                if cell.count > 0 {
+                    let _ = writeln!(out, "hist {} count={}", h.name(), cell.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Recorder for RunRecorder {
+    fn record_span(&self, span: Span, ns: u64) {
+        let i = span as usize;
+        // sync: Relaxed statistic slots (RunRecorder field contract).
+        self.span_count[i].fetch_add(1, Ordering::Relaxed);
+        self.span_total_ns[i].fetch_add(ns, Ordering::Relaxed);
+        self.span_min_ns[i].fetch_min(ns, Ordering::Relaxed);
+        self.span_max_ns[i].fetch_max(ns, Ordering::Relaxed);
+    }
+
+    fn incr(&self, counter: Counter, by: u64) {
+        // sync: Relaxed counter slot; see the RunRecorder field comment.
+        self.counters[counter as usize].fetch_add(by, Ordering::Relaxed);
+    }
+
+    fn observe(&self, hist: Histogram, value: f64) {
+        let bucket = decade_bucket(value);
+        if let Ok(mut cell) = self.hists[hist as usize].lock() {
+            cell.count += 1;
+            cell.sum += value;
+            cell.sum_sq += value * value;
+            cell.min = cell.min.min(value);
+            cell.max = cell.max.max(value);
+            if let Some(slot) = cell.buckets.get_mut(bucket) {
+                *slot += 1;
+            }
+        }
+    }
+}
+
+/// Aggregated statistics of one span over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanReport {
+    /// Stable span name (see `Span::name`).
+    pub name: String,
+    /// Nesting depth in the span forest (0 for roots).
+    pub depth: u64,
+    /// Times the span completed.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+    /// Mean duration, nanoseconds.
+    pub mean_ns: u64,
+    /// Shortest observed duration, nanoseconds.
+    pub min_ns: u64,
+    /// Longest observed duration, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Final value of one counter over a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterReport {
+    /// Stable counter name (see `Counter::name`).
+    pub name: String,
+    /// Total events counted.
+    pub value: u64,
+}
+
+/// Summary statistics of one histogram over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramReport {
+    /// Stable histogram name (see `Histogram::name`).
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean of observed values.
+    pub mean: f64,
+    /// Population standard deviation of observed values.
+    pub stddev: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+/// Everything one run recorded, in serializable form. Only ids that
+/// were actually touched appear.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Touched spans, in taxonomy order.
+    pub spans: Vec<SpanReport>,
+    /// Non-zero counters, in taxonomy order.
+    pub counters: Vec<CounterReport>,
+    /// Touched histograms, in taxonomy order.
+    pub histograms: Vec<HistogramReport>,
+}
+
+impl RunReport {
+    /// Look up a span's statistics by report name.
+    pub fn span(&self, name: &str) -> Option<&SpanReport> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a counter's value by report name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Look up a histogram's statistics by report name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramReport> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Pretty-printed JSON (the `BENCH_*.json` embedding format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Parse a report back from [`RunReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parser's message when `s` is not a report.
+    pub fn from_json(s: &str) -> Result<RunReport, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Human-readable rendering: the span tree (indented by depth)
+    /// with timing columns, then counters, then histograms.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<34} {:>9} {:>12} {:>11} {:>11}",
+            "span", "count", "total_ms", "mean_us", "max_us"
+        );
+        for s in &self.spans {
+            let pad = (s.depth as usize) * 2;
+            let _ = writeln!(
+                out,
+                "{:<34} {:>9} {:>12.3} {:>11.1} {:>11.1}",
+                format!("{:pad$}{}", "", s.name),
+                s.count,
+                s.total_ns as f64 / 1.0e6,
+                s.mean_ns as f64 / 1.0e3,
+                s.max_ns as f64 / 1.0e3,
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<34} {:>9}", "counter", "value");
+            for c in &self.counters {
+                let _ = writeln!(out, "{:<34} {:>9}", c.name, c.value);
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>9} {:>12} {:>12} {:>12} {:>12}",
+                "histogram", "count", "mean", "stddev", "min", "max"
+            );
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:<34} {:>9} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+                    h.name, h.count, h.mean, h.stddev, h.min, h.max
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_ids_are_omitted() {
+        let rec = RunRecorder::new();
+        assert_eq!(rec.report(), RunReport::default());
+        assert!(rec.snapshot_string().is_empty());
+    }
+
+    #[test]
+    fn span_statistics_aggregate() {
+        let rec = RunRecorder::new();
+        rec.record_span(Span::Trip, 100);
+        rec.record_span(Span::Trip, 300);
+        let report = rec.report();
+        let trip = report.span("trip").expect("trip span recorded");
+        assert_eq!(trip.count, 2);
+        assert_eq!(trip.total_ns, 400);
+        assert_eq!(trip.mean_ns, 200);
+        assert_eq!(trip.min_ns, 100);
+        assert_eq!(trip.max_ns, 300);
+        assert_eq!(trip.depth, 0);
+    }
+
+    #[test]
+    fn counters_and_histograms_aggregate() {
+        let rec = RunRecorder::new();
+        rec.incr(Counter::TripsProcessed, 2);
+        rec.incr(Counter::TripsProcessed, 3);
+        rec.observe(Histogram::EkfInnovation, -1.0);
+        rec.observe(Histogram::EkfInnovation, 3.0);
+        rec.observe(Histogram::EkfInnovation, 0.0);
+        let report = rec.report();
+        assert_eq!(report.counter("trips-processed"), Some(5));
+        let h = report.histogram("ekf-innovation").expect("innovation recorded");
+        assert_eq!(h.count, 3);
+        assert!((h.mean - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.min, -1.0);
+        assert_eq!(h.max, 3.0);
+        assert!(h.stddev > 0.0);
+    }
+
+    #[test]
+    fn decade_buckets_clamp() {
+        assert_eq!(decade_bucket(0.0), 0);
+        assert_eq!(decade_bucket(1e-30), 0);
+        assert_eq!(decade_bucket(1.5), (0 - MIN_EXP) as usize);
+        assert_eq!(decade_bucket(-1.5), (0 - MIN_EXP) as usize);
+        assert_eq!(decade_bucket(1e30), BUCKETS - 1);
+        assert_eq!(decade_bucket(f64::NAN), 0);
+    }
+
+    #[test]
+    fn snapshot_string_is_integers_only() {
+        let rec = RunRecorder::new();
+        rec.record_span(Span::Steering, 12345);
+        rec.incr(Counter::LaneChangesDetected, 4);
+        rec.observe(Histogram::LaneChangeDisplacement, 3.2);
+        let snap = rec.snapshot_string();
+        assert_eq!(
+            snap,
+            "span steering count=1\ncounter lane-changes-detected = 4\n\
+             hist lane-change-displacement count=1\n"
+        );
+        assert!(!snap.contains("12345"), "snapshot must not leak timings");
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let rec = RunRecorder::new();
+        rec.record_span(Span::Trip, 500);
+        rec.record_span(Span::Fusion, 200);
+        rec.incr(Counter::CloudUploads, 7);
+        rec.observe(Histogram::FusionWeightGps, 0.25);
+        let report = rec.report();
+        let back = RunReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn render_indents_by_depth() {
+        let rec = RunRecorder::new();
+        rec.record_span(Span::Trip, 1_000);
+        rec.record_span(Span::TrackGps, 400);
+        let text = rec.report().render();
+        assert!(text.contains("\ntrip "));
+        assert!(text.contains("    track:gps"), "depth-2 span indented:\n{text}");
+    }
+
+    #[test]
+    fn recording_is_shareable_across_threads() {
+        let rec = RunRecorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        rec.incr(Counter::FleetJobsCompleted, 1);
+                        rec.record_span(Span::FleetWorkerTrip, 10);
+                        rec.observe(Histogram::FleetWorkerUtilization, 0.5);
+                    }
+                });
+            }
+        });
+        let report = rec.report();
+        assert_eq!(report.counter("fleet-jobs-completed"), Some(400));
+        let span = report.span("fleet-worker-trip").expect("worker span");
+        assert_eq!(span.count, 400);
+        assert_eq!(span.total_ns, 4_000);
+        let util = report.histogram("fleet-worker-utilization").expect("util");
+        assert_eq!(util.count, 400);
+        assert_eq!(util.mean, 0.5);
+    }
+}

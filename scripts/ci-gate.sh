@@ -2,20 +2,25 @@
 # CI gate: lint, format, invariant, and hot-path checks.
 #
 #   ./scripts/ci-gate.sh           # default gate  (~2-4 min cold, <1 min warm)
+#   ./scripts/ci-gate.sh --quick   # clippy + fmt + gradest-lint only (<1 min
+#                                  #   warm; the pre-push / inner-loop subset)
 #   ./scripts/ci-gate.sh --deep    # + loom model checks, Miri, TSan (~+2 min;
 #                                  #   loom scales with LOOM_ITERATIONS, default 512)
 #
-# Default path (always runs):
+# Quick path (every mode runs these):
 #   1. cargo clippy -D warnings        — compiler-level lints
 #   2. cargo fmt --check               — formatting drift
 #   3. gradest-lint                    — workspace invariants (no-panic /
 #                                        no-alloc-into / float hygiene /
 #                                        sync-comment audit), deny-by-default
-#   4. pipeline_hotpath_smoke          — zero warm-path allocations,
-#                                        fast-vs-generic LOWESS agreement,
+#
+# Default path adds:
+#   4. pipeline_hotpath_smoke          — zero warm-path allocations (plain AND
+#                                        recorded), fast-vs-generic LOWESS
+#                                        agreement, recorder bit-identity,
 #                                        lint/runtime module-list agreement
 #
-# Deep path (--deep, opt-in because of runtime):
+# Deep path (--deep, opt-in because of runtime) adds:
 #   5. loom model checks               — CloudAggregator upload shard protocol
 #                                        and fleet shutdown/drain ordering under
 #                                        randomised schedule perturbation
@@ -25,61 +30,121 @@
 #   7. ThreadSanitizer                 — data-race check on the loom suite;
 #                                        probed and SKIPped without rust-src
 #                                        (needs -Zbuild-std)
-set -euo pipefail
+#
+# Every step runs even if an earlier one fails; the gate ends with a
+# per-step wall-clock summary table and exits 0 only when no step
+# FAILed (SKIPs — probed-away optional toolchains — do not fail the
+# gate). Exit codes: 0 all PASS/SKIP, 1 at least one FAIL, 2 usage.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-DEEP=0
-if [[ "${1:-}" == "--deep" ]]; then
-  DEEP=1
-fi
+MODE=default
+case "${1:-}" in
+  "") ;;
+  --quick) MODE=quick ;;
+  --deep) MODE=deep ;;
+  *)
+    echo "usage: $0 [--quick|--deep]" >&2
+    exit 2
+    ;;
+esac
 
-echo "== cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+STEP_NAMES=()
+STEP_STATUS=()
+STEP_SECS=()
+FAILURES=0
 
-echo "== cargo fmt --check"
-cargo fmt --check
+record_step() { # record_step <name> <status> <seconds>
+  STEP_NAMES+=("$1")
+  STEP_STATUS+=("$2")
+  STEP_SECS+=("$3")
+}
 
+run_step() { # run_step <name> <command...>
+  local name="$1"
+  shift
+  echo
+  echo "== ${name}"
+  local t0=$SECONDS
+  if "$@"; then
+    record_step "$name" PASS $((SECONDS - t0))
+  else
+    record_step "$name" FAIL $((SECONDS - t0))
+    FAILURES=$((FAILURES + 1))
+    echo "FAIL: ${name}" >&2
+  fi
+}
+
+skip_step() { # skip_step <name> <reason>
+  echo
+  echo "== $1 (skipped)"
+  echo "SKIP: $2"
+  record_step "$1" SKIP 0
+}
+
+# --- quick steps: every mode -------------------------------------------------
+run_step "clippy" cargo clippy --workspace --all-targets -- -D warnings
+run_step "fmt" cargo fmt --check
 # Workspace invariant linter: deny-by-default, every suppression needs
 # an in-source `lint:allow(<rule>) reason`.
-echo "== gradest-lint"
-cargo run --release -q -p gradest-lint
+run_step "gradest-lint" cargo run --release -q -p gradest-lint
 
-# Hot-path smoke: one trip through the pipeline benchmark; the binary
-# asserts zero warm-path allocations, fast-vs-generic LOWESS agreement,
-# warm-scratch bit-identity, and that the linter's alloc-gated module
-# list matches the pipeline's declared warm path.
-echo "== pipeline_hotpath_smoke"
-cargo run --release -p gradest-bench --bin gradest-experiments -- pipeline_hotpath_smoke
+# --- default steps -----------------------------------------------------------
+if [[ "$MODE" != quick ]]; then
+  # Hot-path smoke: one trip through the pipeline benchmark; the binary
+  # asserts zero warm-path allocations (with and without a live
+  # recorder), fast-vs-generic LOWESS agreement, warm-scratch and
+  # recorded bit-identity, and that the linter's alloc-gated module
+  # list matches the pipeline's declared warm path.
+  run_step "pipeline_hotpath_smoke" \
+    cargo run --release -p gradest-bench --bin gradest-experiments -- pipeline_hotpath_smoke
+fi
 
-if [[ "$DEEP" == "1" ]]; then
+# --- deep steps --------------------------------------------------------------
+tsan_loom() {
+  RUSTFLAGS="--cfg loom -Zsanitizer=thread" \
+    cargo +nightly test -Zbuild-std \
+      --target "$(rustc -vV | sed -n 's/^host: //p')" \
+      -p gradest-core --test loom
+}
+
+if [[ "$MODE" == deep ]]; then
   # Loom model checks: compiled only under --cfg loom, which swaps
   # gradest-core::sync onto the instrumented shim primitives.
-  echo "== loom model checks (LOOM_ITERATIONS=${LOOM_ITERATIONS:-512})"
-  RUSTFLAGS="--cfg loom" cargo test -p gradest-core --test loom
+  run_step "loom (LOOM_ITERATIONS=${LOOM_ITERATIONS:-512})" \
+    env RUSTFLAGS="--cfg loom" cargo test -p gradest-core --test loom
 
   # Miri: interpret the gradest-core unit tests looking for UB. The
   # nightly component cannot be installed in offline containers, so
   # probe first and skip gracefully rather than failing the gate.
-  echo "== miri (gradest-core unit tests)"
   if cargo +nightly miri --version >/dev/null 2>&1; then
-    cargo +nightly miri test -p gradest-core --lib
+    run_step "miri (gradest-core)" cargo +nightly miri test -p gradest-core --lib
   else
-    echo "SKIP: cargo +nightly miri not available (offline toolchain)"
+    skip_step "miri (gradest-core)" "cargo +nightly miri not available (offline toolchain)"
   fi
 
   # ThreadSanitizer: race-check the real concurrency code (fleet pool,
   # cloud aggregator) via the loom test suite compiled with TSan.
   # Needs nightly + rust-src for -Zbuild-std; probe and skip otherwise.
-  echo "== thread sanitizer (loom suite)"
   if rustc +nightly --print sysroot >/dev/null 2>&1 \
      && [[ -d "$(rustc +nightly --print sysroot)/lib/rustlib/src/rust/library" ]]; then
-    RUSTFLAGS="--cfg loom -Zsanitizer=thread" \
-      cargo +nightly test -Zbuild-std \
-        --target "$(rustc -vV | sed -n 's/^host: //p')" \
-        -p gradest-core --test loom
+    run_step "tsan (loom suite)" tsan_loom
   else
-    echo "SKIP: nightly rust-src not available (needed for -Zbuild-std)"
+    skip_step "tsan (loom suite)" "nightly rust-src not available (needed for -Zbuild-std)"
   fi
 fi
 
+# --- summary -----------------------------------------------------------------
+echo
+echo "== ci-gate summary (mode: ${MODE}) =="
+printf '%-38s %-6s %8s\n' "step" "status" "seconds"
+printf '%-38s %-6s %8s\n' "----" "------" "-------"
+for i in "${!STEP_NAMES[@]}"; do
+  printf '%-38s %-6s %8s\n' "${STEP_NAMES[$i]}" "${STEP_STATUS[$i]}" "${STEP_SECS[$i]}"
+done
+
+if [[ "$FAILURES" -gt 0 ]]; then
+  echo "ci-gate: FAIL (${FAILURES} step(s))"
+  exit 1
+fi
 echo "ci-gate: OK"

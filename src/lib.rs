@@ -16,6 +16,8 @@
 //! * [`sensors`] — smartphone sensor models and coordinate alignment.
 //! * [`baselines`] — the altitude-EKF and ANN comparison methods.
 //! * [`emissions`] — VSP fuel model, emission factors, traffic maps.
+//! * [`obs`] — spans/counters/histograms over the pipeline and fleet;
+//!   the no-op recorder is erased at compile time.
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@ pub use gradest_core as core;
 pub use gradest_emissions as emissions;
 pub use gradest_geo as geo;
 pub use gradest_math as math;
+pub use gradest_obs as obs;
 pub use gradest_sensors as sensors;
 pub use gradest_sim as sim;
 
