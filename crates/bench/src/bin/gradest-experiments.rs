@@ -108,9 +108,16 @@ fn main() {
             Some(0),
             "recorded warm estimation path allocated"
         );
+        assert_eq!(
+            r.allocs_per_trip_warm_traced,
+            Some(0),
+            "warm estimation path with a live trace ring allocated"
+        );
         assert!(r.fast_vs_generic_max_abs_diff < 1e-12, "fast LOWESS path diverged");
         assert!(r.generic_bit_identical, "warm scratch broke bit-identity");
         assert!(r.recorded_bit_identical, "recorder changed the estimate");
+        assert!(r.traced_bit_identical, "trace ring changed the estimate");
+        assert!(r.trace_overflow_dropped > 0, "overflowing ring did not count drops");
         pipeline_hotpath::print_report(&r);
         ran += 1;
     }

@@ -23,7 +23,7 @@ use crate::scenarios::red_road_drive;
 use gradest_core::pipeline::{
     EstimatorConfig, EstimatorScratch, GradientEstimate, GradientEstimator, StageNanos,
 };
-use gradest_obs::{RunRecorder, RunReport};
+use gradest_obs::{RunRecorder, RunReport, Tee, TraceRing};
 use serde::{Deserialize, Serialize};
 
 /// Pipeline hot-path benchmark result (`BENCH_pipeline.json`).
@@ -62,6 +62,20 @@ pub struct PipelineHotpathBench {
     /// timings out of this field when diffing against the committed
     /// baseline.
     pub obs: RunReport,
+    /// Whether the warm path with a live flight-recorder ring teed in
+    /// reproduced the plain warm-path estimate bit for bit.
+    pub traced_bit_identical: bool,
+    /// Heap allocations during one warm trip with metrics *and* the
+    /// trace ring live — the ring's buffer is pre-sized, so this must
+    /// match [`Self::allocs_per_trip_warm`]. `None` without a counting
+    /// allocator.
+    pub allocs_per_trip_warm_traced: Option<u64>,
+    /// Events one warm trip pushes into an amply-sized trace ring.
+    pub trace_events_per_trip: u64,
+    /// Events a deliberately tiny (capacity 8) ring dropped while the
+    /// same trip ran against it — overflow must shed load by counting,
+    /// not by growing.
+    pub trace_overflow_dropped: u64,
 }
 
 /// Runs the hot-path benchmark over the standard red-road trip.
@@ -148,6 +162,46 @@ pub fn run(seed: u64, samples: usize) -> PipelineHotpathBench {
     let recorded_bit_identical = rec_out == out;
     let obs = rec.report();
 
+    // Traced pass: metrics plus a live flight-recorder ring. The ring's
+    // buffer is allocated up front, so the warm instrumented trip must
+    // still not touch the heap, and the estimate stays bit-identical.
+    let ring = TraceRing::with_capacity(4096);
+    let traced = Tee::new(&rec, &ring);
+    let mut traced_out = GradientEstimate::default();
+    fast.estimate_into_recorded(log, map, &mut scratch, &mut traced_out, &traced);
+    let events_warmup = ring.len() as u64;
+    let allocs_per_trip_warm_traced = if alloc_counter::is_installed() {
+        let before = alloc_counter::allocations();
+        fast.estimate_into_recorded(log, map, &mut scratch, &mut traced_out, &traced);
+        Some(alloc_counter::allocations() - before)
+    } else {
+        fast.estimate_into_recorded(log, map, &mut scratch, &mut traced_out, &traced);
+        None
+    };
+    let traced_bit_identical = traced_out == out;
+    let trace_events_per_trip = ring.len() as u64 - events_warmup;
+    assert_eq!(ring.dropped(), 0, "amply-sized ring must not drop events");
+
+    // Overflow pass: a ring too small for even one trip must shed the
+    // excess by bumping its drop counter — never by reallocating.
+    let tiny = TraceRing::with_capacity(8);
+    let tee_tiny = Tee::new(&rec, &tiny);
+    fast.estimate_into_recorded(log, map, &mut scratch, &mut traced_out, &tee_tiny);
+    let overflow_allocs = if alloc_counter::is_installed() {
+        let before = alloc_counter::allocations();
+        fast.estimate_into_recorded(log, map, &mut scratch, &mut traced_out, &tee_tiny);
+        Some(alloc_counter::allocations() - before)
+    } else {
+        None
+    };
+    assert_eq!(
+        overflow_allocs.unwrap_or(0),
+        0,
+        "overflowing trace ring allocated instead of dropping"
+    );
+    let trace_overflow_dropped = tiny.dropped();
+    assert!(tiny.len() <= 8, "tiny ring grew past its capacity");
+
     let speedup =
         baseline_cold_generic.median_ns_per_op / optimized_warm_fast.median_ns_per_op.max(1.0);
     PipelineHotpathBench {
@@ -163,6 +217,10 @@ pub fn run(seed: u64, samples: usize) -> PipelineHotpathBench {
         recorded_bit_identical,
         allocs_per_trip_warm_recorded,
         obs,
+        traced_bit_identical,
+        allocs_per_trip_warm_traced,
+        trace_events_per_trip,
+        trace_overflow_dropped,
     }
 }
 
@@ -215,6 +273,17 @@ pub fn print_report(r: &PipelineHotpathBench) {
         },
         r.obs.render()
     );
+    println!(
+        "== Traced warm trip (Tee: RunRecorder + TraceRing) — bit-identical={}, \
+         allocs/trip={}, events/trip={}, tiny-ring dropped={} ==",
+        r.traced_bit_identical,
+        match r.allocs_per_trip_warm_traced {
+            Some(n) => n.to_string(),
+            None => "not measured".to_string(),
+        },
+        r.trace_events_per_trip,
+        r.trace_overflow_dropped,
+    );
     save_json("BENCH_pipeline", r);
 }
 
@@ -243,6 +312,12 @@ mod tests {
         for span in ["trip", "steering", "detection", "tracks", "fusion"] {
             assert!(r.obs.span(span).is_some(), "missing span {span}");
         }
+        assert!(r.traced_bit_identical, "traced warm path diverged from plain warm path");
+        assert_eq!(r.allocs_per_trip_warm_traced, None);
+        // Every trip emits at least trip-start/trip-end plus the
+        // per-track span-end events.
+        assert!(r.trace_events_per_trip >= 2, "trace ring saw {} events", r.trace_events_per_trip);
+        assert!(r.trace_overflow_dropped > 0, "capacity-8 ring should have dropped events");
     }
 
     #[test]

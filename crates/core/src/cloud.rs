@@ -20,7 +20,7 @@
 
 use crate::sync::{AtomicU64, Ordering, RwLock};
 use crate::track::GradientTrack;
-use gradest_obs::{Counter, NoopRecorder, Recorder, Span, SpanTimer};
+use gradest_obs::{Counter, NoopRecorder, Recorder, Span, SpanTimer, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -174,6 +174,9 @@ impl CloudAggregator {
         timer.finish(rec, Span::CloudUpload);
         rec.incr(Counter::CloudUploads, 1);
         rec.incr(Counter::CloudCellsTouched, cells_touched);
+        if rec.enabled() {
+            rec.event(TraceEvent::CloudUpload { road_id, cells: cells_touched as u32 });
+        }
     }
 
     /// The fused profile of a road, or `None` if the road is unknown.

@@ -119,6 +119,15 @@ impl GradientEkf {
         self.p.m[1][1]
     }
 
+    /// Predicted innovation variance `S = P_vv + r` for a velocity
+    /// measurement of variance `r` — the same `S` [`Self::update`] uses
+    /// for its Kalman gain, exposed so consistency monitors
+    /// (`diagnostics::InnovationMonitor`) can normalize innovations
+    /// without duplicating filter internals.
+    pub fn innovation_variance(&self, r: f64) -> f64 {
+        self.p.m[0][0] + r
+    }
+
     /// Predict step: propagate the state through Eq (5) with the measured
     /// longitudinal acceleration `a_meas` over `dt` seconds.
     ///

@@ -20,7 +20,9 @@ use crate::cloud::CloudAggregator;
 use crate::pipeline::{GradientEstimate, GradientEstimator};
 use crossbeam::channel;
 use gradest_geo::Route;
-use gradest_obs::{saturating_ns, Counter, Histogram, NoopRecorder, Recorder, Span, SpanTimer};
+use gradest_obs::{
+    saturating_ns, Counter, Histogram, NoopRecorder, Recorder, Span, SpanTimer, TraceEvent,
+};
 use gradest_sensors::suite::SensorLog;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -206,6 +208,9 @@ impl FleetEngine {
                     let mut busy_ns = 0u64;
                     while let Ok(i) = job_rx.recv() {
                         let t0 = if rec.enabled() { Some(Instant::now()) } else { None };
+                        if rec.enabled() {
+                            rec.event(TraceEvent::FleetJobStart { job: i as u32 });
+                        }
                         let est =
                             estimator.estimate_with_recorded(&logs[i], map, &mut scratch, rec);
                         if let Some((road_ids, cloud)) = cloud {
@@ -215,6 +220,7 @@ impl FleetEngine {
                             let ns = saturating_ns(t0);
                             busy_ns += ns;
                             rec.record_span(Span::FleetWorkerTrip, ns);
+                            rec.event(TraceEvent::FleetJobEnd { job: i as u32 });
                         }
                         rec.incr(Counter::FleetJobsCompleted, 1);
                         if res_tx.send((i, est)).is_err() {

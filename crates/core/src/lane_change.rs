@@ -14,6 +14,7 @@
 //!    `v_L = v·cos(Σ w_steer·Ω)`.
 
 use crate::steering::SmoothedProfile;
+use gradest_obs::{NoopRecorder, Recorder, TraceEvent};
 use gradest_sim::LaneChangeDirection;
 use serde::{Deserialize, Serialize};
 
@@ -230,6 +231,24 @@ impl LaneChangeDetector {
         bumps: &mut Vec<Bump>,
         detections: &mut Vec<LaneChangeDetection>,
     ) -> DetectStats {
+        self.detect_into_recorded(profile, v_at, bumps, detections, &NoopRecorder)
+    }
+
+    /// [`Self::detect_into_stats`] that additionally emits one flight-
+    /// recorder event per Eq-1 decision — accept or S-curve reject,
+    /// each carrying the maneuver window midpoint and the Eq-1
+    /// displacement — through `rec` (`obs::trace`). Events are `Copy`,
+    /// so the warm path stays allocation-free with a live ring
+    /// attached; with a disabled recorder this is exactly
+    /// [`Self::detect_into_stats`].
+    pub fn detect_into_recorded<R: Recorder>(
+        &self,
+        profile: &SmoothedProfile,
+        v_at: &dyn Fn(f64) -> f64,
+        bumps: &mut Vec<Bump>,
+        detections: &mut Vec<LaneChangeDetection>,
+        rec: &R,
+    ) -> DetectStats {
         let cfg = &self.config;
         self.find_bumps_into(profile, bumps);
         detections.clear();
@@ -249,6 +268,12 @@ impl LaneChangeDetector {
                     stats.pairs_tested += 1;
                     if w.abs() <= 3.0 * cfg.lane_width_m {
                         stats.detected += 1;
+                        if rec.enabled() {
+                            rec.event(TraceEvent::LaneChangeAccepted {
+                                t_mid_s: 0.5 * (prev.t_start + bump.t_end),
+                                displacement_m: w,
+                            });
+                        }
                         detections.push(LaneChangeDetection {
                             direction: if prev.sign > 0.0 {
                                 LaneChangeDirection::Left
@@ -264,6 +289,12 @@ impl LaneChangeDetector {
                         // S-curve: discard the pair but keep the newer
                         // bump as a potential first half of the next pair.
                         stats.scurve_rejected += 1;
+                        if rec.enabled() {
+                            rec.event(TraceEvent::LaneChangeRejected {
+                                t_mid_s: 0.5 * (prev.t_start + bump.t_end),
+                                displacement_m: w,
+                            });
+                        }
                         held = Some(bump);
                     }
                 }

@@ -10,6 +10,7 @@
 //!    and updating with that source's velocity measurements;
 //! 4. track fusion by convex combination.
 
+use crate::diagnostics::{FilterHealth, InnovationMonitor, MonitorConfig};
 use crate::ekf::{EkfConfig, GradientEkf};
 use crate::fusion::fuse_tracks_into;
 use crate::lane_change::{Bump, LaneChangeConfig, LaneChangeDetection, LaneChangeDetector};
@@ -19,7 +20,10 @@ use crate::track::GradientTrack;
 use gradest_geo::Route;
 use gradest_math::lowess::LowessScratch;
 use gradest_math::{Mat2, Vec2};
-use gradest_obs::{Counter, Histogram, NoopRecorder, Recorder, Span, SpanTimer};
+use gradest_obs::{
+    Counter, Histogram, NoopRecorder, Recorder, Span, SpanTimer, TraceEvent, TraceHealth,
+    TraceSource,
+};
 use gradest_sensors::alignment::{steering_rate_profile_into, MapMatcher, WRoadScratch};
 use gradest_sensors::columnar::ImuColumns;
 use gradest_sensors::suite::SensorLog;
@@ -141,6 +145,11 @@ pub struct TrackScratch {
     history: Vec<RtsStep>,
     smoothed: Vec<(Vec2, Mat2)>,
     track: GradientTrack,
+    // Lazily built on the first *recorded* trip and then reset-and-
+    // reused (reset keeps the window's capacity), so the warm recorded
+    // path monitors filter consistency without allocating. Never
+    // touched by un-recorded runs.
+    monitor: Option<InnovationMonitor>,
 }
 
 /// Modules the warm [`GradientEstimator::estimate_into`] call graph
@@ -165,6 +174,7 @@ pub const WARM_PATH_MODULES: &[&str] = &[
     "math::signal",
     "obs::metrics",
     "obs::recorder",
+    "obs::trace",
     "sensors::alignment",
     "sensors::columnar",
 ];
@@ -335,6 +345,10 @@ impl GradientEstimator {
         rec: &R,
     ) {
         assert!(log.imu.len() >= 2, "need at least two IMU samples");
+        if rec.enabled() {
+            rec.event(TraceEvent::TripStart);
+            record_gps_gaps(rec, log);
+        }
         let cfg = &self.config;
         let dt = log.imu_dt();
         // Split the scratch into disjoint borrows so stage outputs can be
@@ -376,7 +390,8 @@ impl GradientEstimator {
         fill_speed_series(log, speed_t, speed_v);
         let v_lookup = SpeedLookup::new(speed_t, speed_v);
         let detector = LaneChangeDetector::new(cfg.lane_change);
-        let lc_stats = detector.detect_into_stats(profile, &|t| v_lookup.at(t), bumps, detections);
+        let lc_stats =
+            detector.detect_into_recorded(profile, &|t| v_lookup.at(t), bumps, detections, rec);
         if rec.enabled() {
             rec.incr(Counter::LaneChangesDetected, lc_stats.detected);
             rec.incr(Counter::LaneChangesRejected, lc_stats.scurve_rejected);
@@ -497,6 +512,7 @@ impl GradientEstimator {
             rec.record_span(Span::Trip, stages.total());
             rec.incr(Counter::TripsProcessed, 1);
             record_fusion_weights(rec, &out.tracks, &out.fused);
+            rec.event(TraceEvent::TripEnd { detections: out.detections.len() as u32 });
         }
     }
 
@@ -581,11 +597,22 @@ impl GradientEstimator {
         ts: &mut TrackScratch,
         rec: &R,
     ) {
-        let TrackScratch { measurements, history, smoothed, track } = ts;
+        let TrackScratch { measurements, history, smoothed, track, monitor } = ts;
         let measurements: &[(f64, f64)] = measurements;
         let v0 = measurements.first().map(|m| m.1).unwrap_or(10.0);
         let mut ekf = GradientEkf::new(self.config.ekf, v0);
         let mut updates = 0u64;
+        // NIS consistency monitoring only runs when a recorder listens;
+        // the monitor is built once (first recorded trip) and reset
+        // thereafter, so warm recorded trips stay allocation-free.
+        let mut mon = if rec.enabled() {
+            let mon =
+                monitor.get_or_insert_with(|| InnovationMonitor::new(MonitorConfig::default()));
+            mon.reset();
+            Some(mon)
+        } else {
+            None
+        };
         track.label.clear();
         track.label.push_str(source.label());
         track.s.clear();
@@ -621,7 +648,16 @@ impl GradientEstimator {
                 if rec.enabled() {
                     // Innovation as the update will see it: measurement
                     // minus the predicted velocity state.
-                    rec.observe(Histogram::EkfInnovation, corrected - ekf.velocity());
+                    let innovation = corrected - ekf.velocity();
+                    rec.observe(Histogram::EkfInnovation, innovation);
+                    if let Some(mon) = mon.as_deref_mut() {
+                        let before = mon.health();
+                        mon.record(innovation, ekf.innovation_variance(r));
+                        let after = mon.health();
+                        if after != before {
+                            record_health_transition(rec, source, before, after);
+                        }
+                    }
                 }
                 ekf.update(corrected, r);
                 updates += 1;
@@ -665,6 +701,16 @@ impl GradientEstimator {
         if rec.enabled() {
             rec.incr(Counter::EkfPredicts, log.imu.len() as u64);
             rec.incr(update_counter(source), updates);
+            if let Some(mon) = mon {
+                if updates > 0 {
+                    rec.observe(Histogram::EkfMeanNis, mon.mean_nis());
+                }
+                let verdict = mon.health();
+                rec.incr(track_health_counter(verdict), 1);
+                if verdict == FilterHealth::Diverged {
+                    rec.event(TraceEvent::TrackDiverged { source: trace_source(source) });
+                }
+            }
         }
     }
 }
@@ -689,6 +735,77 @@ fn update_counter(source: VelocitySource) -> Counter {
     }
 }
 
+/// The trace-event identity of a velocity source.
+fn trace_source(source: VelocitySource) -> TraceSource {
+    match source {
+        VelocitySource::Gps => TraceSource::Gps,
+        VelocitySource::Speedometer => TraceSource::Speedometer,
+        VelocitySource::CanBus => TraceSource::CanBus,
+        VelocitySource::Accelerometer => TraceSource::Accelerometer,
+    }
+}
+
+/// The trace-event spelling of a filter-health verdict.
+fn trace_health(health: FilterHealth) -> TraceHealth {
+    match health {
+        FilterHealth::Healthy => TraceHealth::Healthy,
+        FilterHealth::Inconsistent => TraceHealth::Inconsistent,
+        FilterHealth::Diverged => TraceHealth::Diverged,
+    }
+}
+
+/// The end-of-track verdict counter of a filter-health state.
+fn track_health_counter(health: FilterHealth) -> Counter {
+    match health {
+        FilterHealth::Healthy => Counter::TracksHealthy,
+        FilterHealth::Inconsistent => Counter::TracksDegraded,
+        FilterHealth::Diverged => Counter::TracksDiverged,
+    }
+}
+
+/// Counts an in-flight health transition and emits the typed event.
+/// Recovery is a transition *to* Healthy; anything else degrades.
+fn record_health_transition<R: Recorder>(
+    rec: &R,
+    source: VelocitySource,
+    from: FilterHealth,
+    to: FilterHealth,
+) {
+    let counter = if to == FilterHealth::Healthy {
+        Counter::EkfHealthRecovered
+    } else {
+        Counter::EkfHealthDegraded
+    };
+    rec.incr(counter, 1);
+    rec.event(TraceEvent::EkfHealth {
+        source: trace_source(source),
+        from: trace_health(from),
+        to: trace_health(to),
+    });
+}
+
+/// A GPS outage long enough to matter: the nominal fix cadence is 1 Hz,
+/// so anything past a couple of missed fixes is a real dropout rather
+/// than jitter.
+const GPS_GAP_THRESHOLD_S: f64 = 2.5;
+
+/// Scans the valid GPS fixes for dropouts longer than
+/// [`GPS_GAP_THRESHOLD_S`], counting each and emitting a typed event.
+fn record_gps_gaps<R: Recorder>(rec: &R, log: &SensorLog) {
+    let mut prev_t: Option<f64> = None;
+    for fix in log.gps.iter().filter(|g| g.valid) {
+        if let Some(prev) = prev_t {
+            let gap = fix.t - prev;
+            if gap > GPS_GAP_THRESHOLD_S {
+                rec.incr(Counter::GpsGaps, 1);
+                rec.observe(Histogram::GpsGapSeconds, gap);
+                rec.event(TraceEvent::GpsGap { t_start_s: prev, duration_s: gap });
+            }
+        }
+        prev_t = Some(fix.t);
+    }
+}
+
 /// The fusion-weight histogram of a source track, by label.
 fn fusion_weight_hist(label: &str) -> Option<Histogram> {
     match label {
@@ -706,6 +823,10 @@ fn fusion_weight_hist(label: &str) -> Option<Histogram> {
 /// reciprocal of that sum, so the weight equals
 /// `fused.variance[i] / track.variance[i]`.
 fn record_fusion_weights<R: Recorder>(rec: &R, tracks: &[GradientTrack], fused: &GradientTrack) {
+    // Snapshot slots follow `TraceSource::ALL` order; absent sources
+    // stay at 0.0 so the event shape is fixed.
+    let mut weights = [0.0f64; 4];
+    let mut any = false;
     for track in tracks {
         let Some(hist) = fusion_weight_hist(&track.label) else {
             continue;
@@ -719,8 +840,22 @@ fn record_fusion_weights<R: Recorder>(rec: &R, tracks: &[GradientTrack], fused: 
             }
         }
         if n > 0 {
-            rec.observe(hist, sum / n as f64);
+            let mean = sum / n as f64;
+            rec.observe(hist, mean);
+            let slot = match hist {
+                Histogram::FusionWeightGps => 0usize,
+                Histogram::FusionWeightSpeedometer => 1,
+                Histogram::FusionWeightCanBus => 2,
+                _ => 3,
+            };
+            if let Some(w) = weights.get_mut(slot) {
+                *w = mean;
+            }
+            any = true;
         }
+    }
+    if any {
+        rec.event(TraceEvent::FusionWeights { weights });
     }
 }
 

@@ -60,12 +60,14 @@ counter ekf-updates:gps = 140
 counter ekf-updates:speedometer = 1392
 counter ekf-updates:can-bus = 2784
 counter ekf-updates:accelerometer = 1392
+counter tracks-healthy = 4
 hist ekf-innovation count=5708
 hist fusion-weight:gps count=1
 hist fusion-weight:speedometer count=1
 hist fusion-weight:can-bus count=1
 hist fusion-weight:accelerometer count=1
 hist lane-change-displacement count=1
+hist ekf-mean-nis count=4
 ";
     assert_eq!(
         actual, expected,

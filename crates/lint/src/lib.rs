@@ -52,6 +52,7 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "obs::metrics",
     "obs::recorder",
     "obs::run",
+    "obs::trace",
     "sensors::alignment",
     "sensors::columnar",
 ];
@@ -76,6 +77,7 @@ pub const WARM_ALLOC_GATED_MODULES: &[&str] = &[
     "math::signal",
     "obs::metrics",
     "obs::recorder",
+    "obs::trace",
     "sensors::alignment",
     "sensors::columnar",
 ];

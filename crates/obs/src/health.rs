@@ -1,0 +1,215 @@
+//! `obs::health` — fleet-level quality screening.
+//!
+//! Crowd-sourced grade estimation lives or dies on per-track quality
+//! screening before fusion: one phone with a bad mount or a starved
+//! GPS can poison a cloud cell for everyone. The pipeline's
+//! `InnovationMonitor` produces a per-track verdict
+//! (healthy/inconsistent/diverged) plus a windowed mean NIS; the
+//! recorded entry points fold those into `RunRecorder` counters and the
+//! `ekf-mean-nis` histogram. [`FleetHealth::from_run`] reads that back
+//! as one fleet-level report: track verdict counts, health-transition
+//! churn, NIS bands, and GPS dropout rates — the per-segment confidence
+//! context a map consumer needs next to the gradient number.
+
+use crate::metrics::{Counter, Histogram};
+use crate::run::{RunRecorder, DECADE_MIN_EXP};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Aggregated fleet quality over everything one [`RunRecorder`] saw.
+///
+/// All fields derive from counters and decade buckets, so building the
+/// report is cheap and the underlying recorder keeps no raw
+/// observations. Serializable (named fields only) for embedding in
+/// bench JSON and the Prometheus export.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetHealth {
+    /// Trips processed.
+    pub trips: u64,
+    /// Per-source tracks that finished `Healthy`.
+    pub tracks_healthy: u64,
+    /// Per-source tracks that finished `Inconsistent`.
+    pub tracks_degraded: u64,
+    /// Per-source tracks that finished `Diverged`.
+    pub tracks_diverged: u64,
+    /// Monitor transitions out of `Healthy` during tracking.
+    pub health_degraded_transitions: u64,
+    /// Monitor transitions back to `Healthy` during tracking.
+    pub health_recovered_transitions: u64,
+    /// GPS dropouts detected (gaps between valid fixes over threshold).
+    pub gps_gaps: u64,
+    /// Mean dropouts per trip (0 when no trips ran).
+    pub gps_gap_rate_per_trip: f64,
+    /// Tracks contributing a windowed mean NIS sample.
+    pub nis_tracks: u64,
+    /// Mean of the per-track mean NIS samples (~1 for honest filters).
+    pub nis_mean: f64,
+    /// Tracks with mean NIS below 1 (conservative covariance).
+    pub nis_band_lt_1: u64,
+    /// Tracks with mean NIS in `[1, 10)` (consistent band).
+    pub nis_band_1_to_10: u64,
+    /// Tracks with mean NIS in `[10, 100)` (optimistic covariance).
+    pub nis_band_10_to_100: u64,
+    /// Tracks with mean NIS at or above 100 (divergence territory).
+    pub nis_band_ge_100: u64,
+}
+
+impl FleetHealth {
+    /// Fold a recorder's health counters and NIS decade buckets into a
+    /// fleet report. Works on a recorder from one trip or a whole
+    /// fleet batch — the counters already aggregate across workers.
+    pub fn from_run(rec: &RunRecorder) -> FleetHealth {
+        let trips = rec.counter_value(Counter::TripsProcessed);
+        let gps_gaps = rec.counter_value(Counter::GpsGaps);
+        let (nis_tracks, nis_mean) = rec.histogram_stats(Histogram::EkfMeanNis).unwrap_or((0, 0.0));
+        let decades = rec.histogram_decades(Histogram::EkfMeanNis);
+        // Decade bucket i covers magnitudes with exponent
+        // i + DECADE_MIN_EXP, so the NIS bands are contiguous slices:
+        // exponents <= -1, exactly 0, exactly 1, and >= 2.
+        let band = |lo_exp: i32, hi_exp: i32| -> u64 {
+            decades
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| {
+                    let exp = *i as i32 + DECADE_MIN_EXP;
+                    exp >= lo_exp && exp <= hi_exp
+                })
+                .map(|(_, n)| *n)
+                .sum()
+        };
+        FleetHealth {
+            trips,
+            tracks_healthy: rec.counter_value(Counter::TracksHealthy),
+            tracks_degraded: rec.counter_value(Counter::TracksDegraded),
+            tracks_diverged: rec.counter_value(Counter::TracksDiverged),
+            health_degraded_transitions: rec.counter_value(Counter::EkfHealthDegraded),
+            health_recovered_transitions: rec.counter_value(Counter::EkfHealthRecovered),
+            gps_gaps,
+            gps_gap_rate_per_trip: if trips > 0 { gps_gaps as f64 / trips as f64 } else { 0.0 },
+            nis_tracks,
+            nis_mean,
+            nis_band_lt_1: band(i32::MIN + 1, -1),
+            nis_band_1_to_10: band(0, 0),
+            nis_band_10_to_100: band(1, 1),
+            nis_band_ge_100: band(2, i32::MAX),
+        }
+    }
+
+    /// Total tracks that reported a final verdict.
+    pub fn tracks_total(&self) -> u64 {
+        self.tracks_healthy + self.tracks_degraded + self.tracks_diverged
+    }
+
+    /// Fraction of verdict-reporting tracks that finished `Healthy`
+    /// (1.0 when no tracks reported, so an empty fleet reads healthy).
+    pub fn healthy_fraction(&self) -> f64 {
+        let total = self.tracks_total();
+        if total == 0 {
+            1.0
+        } else {
+            self.tracks_healthy as f64 / total as f64
+        }
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "fleet health over {} trip(s)", self.trips);
+        let _ = writeln!(
+            out,
+            "  tracks: {} healthy / {} degraded / {} diverged ({:.1}% healthy)",
+            self.tracks_healthy,
+            self.tracks_degraded,
+            self.tracks_diverged,
+            self.healthy_fraction() * 100.0,
+        );
+        let _ = writeln!(
+            out,
+            "  monitor churn: {} degraded, {} recovered transitions",
+            self.health_degraded_transitions, self.health_recovered_transitions,
+        );
+        let _ = writeln!(
+            out,
+            "  mean NIS: {:.3} over {} track(s); bands <1:{} 1-10:{} 10-100:{} >=100:{}",
+            self.nis_mean,
+            self.nis_tracks,
+            self.nis_band_lt_1,
+            self.nis_band_1_to_10,
+            self.nis_band_10_to_100,
+            self.nis_band_ge_100,
+        );
+        let _ = writeln!(
+            out,
+            "  gps dropouts: {} ({:.2} per trip)",
+            self.gps_gaps, self.gps_gap_rate_per_trip,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn seeded_recorder() -> RunRecorder {
+        let rec = RunRecorder::new();
+        rec.incr(Counter::TripsProcessed, 4);
+        rec.incr(Counter::TracksHealthy, 13);
+        rec.incr(Counter::TracksDegraded, 2);
+        rec.incr(Counter::TracksDiverged, 1);
+        rec.incr(Counter::EkfHealthDegraded, 5);
+        rec.incr(Counter::EkfHealthRecovered, 3);
+        rec.incr(Counter::GpsGaps, 6);
+        // One NIS sample per band.
+        rec.observe(Histogram::EkfMeanNis, 0.4);
+        rec.observe(Histogram::EkfMeanNis, 2.5);
+        rec.observe(Histogram::EkfMeanNis, 40.0);
+        rec.observe(Histogram::EkfMeanNis, 300.0);
+        rec
+    }
+
+    #[test]
+    fn from_run_folds_counters_and_bands() {
+        let h = FleetHealth::from_run(&seeded_recorder());
+        assert_eq!(h.trips, 4);
+        assert_eq!(h.tracks_healthy, 13);
+        assert_eq!(h.tracks_degraded, 2);
+        assert_eq!(h.tracks_diverged, 1);
+        assert_eq!(h.tracks_total(), 16);
+        assert_eq!(h.health_degraded_transitions, 5);
+        assert_eq!(h.health_recovered_transitions, 3);
+        assert_eq!(h.gps_gaps, 6);
+        assert!((h.gps_gap_rate_per_trip - 1.5).abs() < 1e-12);
+        assert_eq!(h.nis_tracks, 4);
+        assert!((h.nis_mean - (0.4 + 2.5 + 40.0 + 300.0) / 4.0).abs() < 1e-12);
+        assert_eq!(h.nis_band_lt_1, 1);
+        assert_eq!(h.nis_band_1_to_10, 1);
+        assert_eq!(h.nis_band_10_to_100, 1);
+        assert_eq!(h.nis_band_ge_100, 1);
+        assert!((h.healthy_fraction() - 13.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_reads_healthy() {
+        let h = FleetHealth::from_run(&RunRecorder::new());
+        assert_eq!(h, FleetHealth::default());
+        assert_eq!(h.healthy_fraction(), 1.0);
+        assert_eq!(h.gps_gap_rate_per_trip, 0.0);
+    }
+
+    #[test]
+    fn health_json_round_trips() {
+        let h = FleetHealth::from_run(&seeded_recorder());
+        let json = serde_json::to_string_pretty(&h).expect("serialize");
+        let back: FleetHealth = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn render_mentions_the_verdicts() {
+        let text = FleetHealth::from_run(&seeded_recorder()).render();
+        assert!(text.contains("13 healthy / 2 degraded / 1 diverged"));
+        assert!(text.contains("gps dropouts: 6"));
+    }
+}

@@ -1,7 +1,7 @@
 //! `gradest-obs` — the observability substrate for the gradient
 //! estimation stack.
 //!
-//! Three pieces (DESIGN.md §9):
+//! Six pieces (DESIGN.md §9–§10):
 //!
 //! - [`metrics`]: the closed taxonomy of [`Span`]s (a static forest of
 //!   timed regions: trip stages, per-source EKF tracks, fleet workers,
@@ -15,6 +15,16 @@
 //!   share across worker threads, and the [`RunReport`] it emits
 //!   (JSON for `BENCH_*.json` and `bench-gate.sh`, rendered tables
 //!   for humans, an integers-only snapshot string for tests).
+//! - [`trace`]: the flight recorder — a bounded, allocation-free
+//!   [`TraceRing`] of typed [`TraceEvent`]s (trip/lane-change/EKF
+//!   health/fusion-weight/GPS-gap/fleet/cloud), plus [`Tee`] to fan a
+//!   run out to metrics and trace simultaneously.
+//! - [`health`]: [`FleetHealth`], folding per-track monitor verdicts
+//!   and dropout counters from a [`RunRecorder`] into a fleet-level
+//!   quality report (healthy/degraded/diverged tracks, NIS bands).
+//! - [`export`]: standard telemetry formats — Perfetto/Chrome
+//!   `trace_event` JSON for trace snapshots and Prometheus text
+//!   exposition for reports and fleet health.
 //!
 //! The crate depends only on the vendored serde shims, so every layer
 //! from `gradest-math` up can adopt it without dependency cycles.
@@ -31,10 +41,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
+pub mod health;
 pub mod metrics;
 pub mod recorder;
 pub mod run;
+pub mod trace;
 
+pub use export::{chrome_trace_json, prometheus_text, validate_prometheus_text};
+pub use health::FleetHealth;
 pub use metrics::{Counter, Histogram, Span, StageNanos};
 pub use recorder::{saturating_ns, NoopRecorder, Recorder, SpanTimer};
 pub use run::{CounterReport, HistogramReport, RunRecorder, RunReport, SpanReport};
+pub use trace::{Tee, TraceEvent, TraceHealth, TraceRecord, TraceRing, TraceSnapshot, TraceSource};

@@ -157,11 +157,23 @@ pub enum Counter {
     CloudUploads,
     /// Arc cells updated across all cloud uploads.
     CloudCellsTouched,
+    /// `InnovationMonitor` transitions out of `Healthy` (any source).
+    EkfHealthDegraded,
+    /// `InnovationMonitor` transitions back to `Healthy` (any source).
+    EkfHealthRecovered,
+    /// Per-source tracks that finished their trip `Healthy`.
+    TracksHealthy,
+    /// Per-source tracks that finished their trip `Inconsistent`.
+    TracksDegraded,
+    /// Per-source tracks that finished their trip `Diverged` (latched).
+    TracksDiverged,
+    /// Gaps between valid GPS fixes longer than the dropout threshold.
+    GpsGaps,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 18] = [
         Counter::TripsProcessed,
         Counter::LaneChangesDetected,
         Counter::LaneChangesRejected,
@@ -174,6 +186,12 @@ impl Counter {
         Counter::FleetJobsCompleted,
         Counter::CloudUploads,
         Counter::CloudCellsTouched,
+        Counter::EkfHealthDegraded,
+        Counter::EkfHealthRecovered,
+        Counter::TracksHealthy,
+        Counter::TracksDegraded,
+        Counter::TracksDiverged,
+        Counter::GpsGaps,
     ];
 
     /// Number of counters (array-slot count for recorders).
@@ -194,6 +212,12 @@ impl Counter {
             Counter::FleetJobsCompleted => "fleet-jobs-completed",
             Counter::CloudUploads => "cloud-uploads",
             Counter::CloudCellsTouched => "cloud-cells-touched",
+            Counter::EkfHealthDegraded => "ekf-health-degraded",
+            Counter::EkfHealthRecovered => "ekf-health-recovered",
+            Counter::TracksHealthy => "tracks-healthy",
+            Counter::TracksDegraded => "tracks-degraded",
+            Counter::TracksDiverged => "tracks-diverged",
+            Counter::GpsGaps => "gps-gaps",
         }
     }
 }
@@ -218,11 +242,16 @@ pub enum Histogram {
     FleetHoldbackDepth,
     /// Per-worker busy fraction over the worker's lifetime, 0..1.
     FleetWorkerUtilization,
+    /// Per-track windowed mean NIS at trip end (consistency statistic
+    /// of the `InnovationMonitor`; ~1 when the filter is honest).
+    EkfMeanNis,
+    /// Length of each detected GPS dropout, seconds.
+    GpsGapSeconds,
 }
 
 impl Histogram {
     /// Every histogram, in report order.
-    pub const ALL: [Histogram; 8] = [
+    pub const ALL: [Histogram; 10] = [
         Histogram::EkfInnovation,
         Histogram::FusionWeightGps,
         Histogram::FusionWeightSpeedometer,
@@ -231,6 +260,8 @@ impl Histogram {
         Histogram::LaneChangeDisplacement,
         Histogram::FleetHoldbackDepth,
         Histogram::FleetWorkerUtilization,
+        Histogram::EkfMeanNis,
+        Histogram::GpsGapSeconds,
     ];
 
     /// Number of histograms (array-slot count for recorders).
@@ -247,6 +278,8 @@ impl Histogram {
             Histogram::LaneChangeDisplacement => "lane-change-displacement",
             Histogram::FleetHoldbackDepth => "fleet-holdback-depth",
             Histogram::FleetWorkerUtilization => "fleet-worker-utilization",
+            Histogram::EkfMeanNis => "ekf-mean-nis",
+            Histogram::GpsGapSeconds => "gps-gap-seconds",
         }
     }
 }

@@ -10,6 +10,7 @@
 //! 0-alloc invariant relies on (DESIGN.md §9).
 
 use crate::metrics::{Counter, Histogram, Span};
+use crate::trace::TraceEvent;
 use std::time::Instant;
 
 /// A sink for spans, counters, and histogram observations.
@@ -40,6 +41,14 @@ pub trait Recorder: Sync {
     fn observe(&self, hist: Histogram, value: f64) {
         let _ = (hist, value);
     }
+
+    /// Record one typed flight-recorder event (`obs::trace`). Metric
+    /// sinks ignore events by default; the `TraceRing` stores them.
+    /// Events are `Copy` and heap-free, so emitting one through an
+    /// enabled recorder never allocates.
+    fn event(&self, ev: TraceEvent) {
+        let _ = ev;
+    }
 }
 
 // sync: forwarding impl — `&R` shares the underlying sink, which is
@@ -59,6 +68,10 @@ impl<R: Recorder + ?Sized> Recorder for &R {
 
     fn observe(&self, hist: Histogram, value: f64) {
         (**self).observe(hist, value);
+    }
+
+    fn event(&self, ev: TraceEvent) {
+        (**self).event(ev);
     }
 }
 

@@ -16,11 +16,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Decade histogram buckets cover `10^-9 ..= 10^9` by power of ten.
-const MIN_EXP: i32 = -9;
+/// Bucket `i` counts magnitudes in `[10^(i + DECADE_MIN_EXP),
+/// 10^(i + DECADE_MIN_EXP + 1))` — exposed for consumers that band
+/// distributions, like `obs::health`'s NIS bands.
+pub const DECADE_MIN_EXP: i32 = -9;
 /// Upper decade exponent (inclusive).
 const MAX_EXP: i32 = 9;
-/// Bucket count: one per decade exponent in `MIN_EXP..=MAX_EXP`.
-const BUCKETS: usize = 19;
+/// Bucket count: one per decade exponent in `DECADE_MIN_EXP..=MAX_EXP`.
+pub const DECADE_BUCKETS: usize = 19;
+
+/// Internal aliases keeping the original short names readable.
+const MIN_EXP: i32 = DECADE_MIN_EXP;
+/// See [`DECADE_BUCKETS`].
+const BUCKETS: usize = DECADE_BUCKETS;
 
 /// Bucket index for `|value|`'s decade; zero and subnormal magnitudes
 /// land in the lowest bucket, huge magnitudes saturate into the top.
@@ -156,6 +164,35 @@ impl RunRecorder {
             }
         }
         RunReport { spans, counters, histograms }
+    }
+
+    /// Current value of one counter (0 if never incremented). Cheaper
+    /// than building a full report when one value drives a decision —
+    /// `obs::health` folds several of these into `FleetHealth`.
+    pub fn counter_value(&self, counter: Counter) -> u64 {
+        // sync: report-side read; Relaxed per the field contract.
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Observation count and mean of one histogram, or `None` if it was
+    /// never observed.
+    pub fn histogram_stats(&self, hist: Histogram) -> Option<(u64, f64)> {
+        match self.hists[hist as usize].lock() {
+            Ok(cell) if cell.count > 0 => Some((cell.count, cell.sum / cell.count as f64)),
+            _ => None,
+        }
+    }
+
+    /// Copy of one histogram's decade buckets: slot `i` counts
+    /// magnitudes with decade exponent `i + DECADE_MIN_EXP` (clamped at
+    /// the ends). Lets consumers band a distribution — e.g. NIS bands
+    /// `<1`, `1–10`, `10–100`, `≥100` — without the recorder keeping
+    /// raw observations.
+    pub fn histogram_decades(&self, hist: Histogram) -> [u64; DECADE_BUCKETS] {
+        match self.hists[hist as usize].lock() {
+            Ok(cell) => cell.buckets,
+            Err(_) => [0; DECADE_BUCKETS],
+        }
     }
 
     /// A deterministic, integers-only rendering of what was recorded:
@@ -307,6 +344,63 @@ impl RunReport {
         serde_json::from_str(s).map_err(|e| e.to_string())
     }
 
+    /// Combine two reports as if one recorder had seen both runs:
+    /// span/counter/histogram entries with the same name are folded
+    /// (counts and totals add, extremes take the wider bound, means and
+    /// standard deviations recompute count-weighted), names unique to
+    /// either side pass through. Order: `self`'s entries first, then
+    /// `other`'s extras — both already in taxonomy order, so merging
+    /// reports from the same build preserves it.
+    ///
+    /// This is the multi-run aggregation primitive: fleet health over
+    /// several batches, bench-gate averaging across repeats.
+    pub fn merge(&self, other: &RunReport) -> RunReport {
+        let mut spans: Vec<SpanReport> = self.spans.clone();
+        for os in &other.spans {
+            if let Some(s) = spans.iter_mut().find(|s| s.name == os.name) {
+                s.count += os.count;
+                s.total_ns += os.total_ns;
+                s.mean_ns = s.total_ns.checked_div(s.count).unwrap_or(0);
+                s.min_ns = s.min_ns.min(os.min_ns);
+                s.max_ns = s.max_ns.max(os.max_ns);
+            } else {
+                spans.push(os.clone());
+            }
+        }
+        let mut counters: Vec<CounterReport> = self.counters.clone();
+        for oc in &other.counters {
+            if let Some(c) = counters.iter_mut().find(|c| c.name == oc.name) {
+                c.value += oc.value;
+            } else {
+                counters.push(oc.clone());
+            }
+        }
+        let mut histograms: Vec<HistogramReport> = self.histograms.clone();
+        for oh in &other.histograms {
+            if let Some(h) = histograms.iter_mut().find(|h| h.name == oh.name) {
+                let (n1, n2) = (h.count as f64, oh.count as f64);
+                let n = n1 + n2;
+                if n > 0.0 {
+                    // Recover E[x] and E[x²] per side, combine
+                    // count-weighted, and rebuild mean/stddev — exact
+                    // for the population statistics the reports carry.
+                    let mean = (n1 * h.mean + n2 * oh.mean) / n;
+                    let e2_1 = h.stddev * h.stddev + h.mean * h.mean;
+                    let e2_2 = oh.stddev * oh.stddev + oh.mean * oh.mean;
+                    let e2 = (n1 * e2_1 + n2 * e2_2) / n;
+                    h.mean = mean;
+                    h.stddev = (e2 - mean * mean).max(0.0).sqrt();
+                }
+                h.count += oh.count;
+                h.min = h.min.min(oh.min);
+                h.max = h.max.max(oh.max);
+            } else {
+                histograms.push(oh.clone());
+            }
+        }
+        RunReport { spans, counters, histograms }
+    }
+
     /// Human-readable rendering: the span tree (indented by depth)
     /// with timing columns, then counters, then histograms.
     pub fn render(&self) -> String {
@@ -441,6 +535,98 @@ mod tests {
         let text = rec.report().render();
         assert!(text.contains("\ntrip "));
         assert!(text.contains("    track:gps"), "depth-2 span indented:\n{text}");
+    }
+
+    #[test]
+    fn counter_value_and_histogram_accessors() {
+        let rec = RunRecorder::new();
+        assert_eq!(rec.counter_value(Counter::GpsGaps), 0);
+        rec.incr(Counter::GpsGaps, 3);
+        assert_eq!(rec.counter_value(Counter::GpsGaps), 3);
+
+        assert_eq!(rec.histogram_stats(Histogram::EkfMeanNis), None);
+        rec.observe(Histogram::EkfMeanNis, 0.5); // decade -1
+        rec.observe(Histogram::EkfMeanNis, 1.5); // decade 0
+        rec.observe(Histogram::EkfMeanNis, 250.0); // decade 2
+        let (count, mean) = rec.histogram_stats(Histogram::EkfMeanNis).expect("observed");
+        assert_eq!(count, 3);
+        assert!((mean - 252.0 / 3.0).abs() < 1e-12);
+        let decades = rec.histogram_decades(Histogram::EkfMeanNis);
+        assert_eq!(decades[(-1 - DECADE_MIN_EXP) as usize], 1);
+        assert_eq!(decades[(0 - DECADE_MIN_EXP) as usize], 1);
+        assert_eq!(decades[(2 - DECADE_MIN_EXP) as usize], 1);
+        assert_eq!(decades.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn merge_disjoint_metric_sets_concatenates() {
+        let a = RunRecorder::new();
+        a.record_span(Span::Trip, 100);
+        a.incr(Counter::TripsProcessed, 1);
+        a.observe(Histogram::EkfInnovation, 1.0);
+        let b = RunRecorder::new();
+        b.record_span(Span::CloudUpload, 50);
+        b.incr(Counter::CloudUploads, 2);
+        b.observe(Histogram::GpsGapSeconds, 4.0);
+
+        let merged = a.report().merge(&b.report());
+        assert_eq!(merged.spans.len(), 2);
+        assert_eq!(merged.span("trip").map(|s| s.count), Some(1));
+        assert_eq!(merged.span("cloud-upload").map(|s| s.count), Some(1));
+        assert_eq!(merged.counter("trips-processed"), Some(1));
+        assert_eq!(merged.counter("cloud-uploads"), Some(2));
+        assert_eq!(merged.histogram("ekf-innovation").map(|h| h.count), Some(1));
+        assert_eq!(merged.histogram("gps-gap-seconds").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn merge_overlapping_metric_sets_folds() {
+        let a = RunRecorder::new();
+        a.record_span(Span::Trip, 100);
+        a.record_span(Span::Trip, 300);
+        a.incr(Counter::TripsProcessed, 2);
+        a.observe(Histogram::EkfInnovation, 1.0);
+        a.observe(Histogram::EkfInnovation, 3.0);
+        let b = RunRecorder::new();
+        b.record_span(Span::Trip, 500);
+        b.incr(Counter::TripsProcessed, 1);
+        b.incr(Counter::GpsGaps, 4);
+        b.observe(Histogram::EkfInnovation, 5.0);
+
+        let merged = a.report().merge(&b.report());
+        let trip = merged.span("trip").expect("trip span merged");
+        assert_eq!(trip.count, 3);
+        assert_eq!(trip.total_ns, 900);
+        assert_eq!(trip.mean_ns, 300);
+        assert_eq!(trip.min_ns, 100);
+        assert_eq!(trip.max_ns, 500);
+        assert_eq!(merged.counter("trips-processed"), Some(3));
+        assert_eq!(merged.counter("gps-gaps"), Some(4));
+        let h = merged.histogram("ekf-innovation").expect("merged hist");
+        assert_eq!(h.count, 3);
+        assert!((h.mean - 3.0).abs() < 1e-12);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 5.0);
+        // Population stddev of {1, 3, 5} is sqrt(8/3) — the merge must
+        // match a single recorder that saw all three observations.
+        let all = RunRecorder::new();
+        for v in [1.0, 3.0, 5.0] {
+            all.observe(Histogram::EkfInnovation, v);
+        }
+        let direct = all.report();
+        let dh = direct.histogram("ekf-innovation").expect("direct hist");
+        assert!((h.stddev - dh.stddev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = RunRecorder::new();
+        a.record_span(Span::Fusion, 10);
+        a.incr(Counter::CloudUploads, 1);
+        a.observe(Histogram::FusionWeightGps, 0.5);
+        let report = a.report();
+        assert_eq!(report.merge(&RunReport::default()), report);
+        assert_eq!(RunReport::default().merge(&report), report);
     }
 
     #[test]
