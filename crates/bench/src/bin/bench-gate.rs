@@ -7,13 +7,19 @@
 //! cargo run --release -p gradest-bench --bin bench-gate -- --inject-regression
 //! ```
 //!
-//! Re-runs the `pipeline_hotpath` and `fleet_scaling` experiments,
-//! extracts the gated latency metrics (benchmark medians plus the
-//! per-stage span means from each result's embedded obs `RunReport`),
-//! and diffs them against `BENCH_pipeline.json` / `BENCH_fleet.json`
+//! Re-runs the `pipeline_hotpath`, `fleet_scaling`, and
+//! `kernel_microbench` experiments, extracts the gated latency metrics
+//! (benchmark medians plus the per-stage span means from each result's
+//! embedded obs `RunReport`), and diffs them against
+//! `BENCH_pipeline.json` / `BENCH_fleet.json` / `BENCH_kernels.json`
 //! at the repository root. Exit codes: 0 all metrics within tolerance,
 //! 1 at least one regression or missing metric, 2 usage or missing
 //! baseline files.
+//!
+//! Like `gradest-experiments`, this binary installs a counting global
+//! allocator, so the baselines it writes carry measured
+//! `allocs_per_trip_warm*` counts (the hot-path JSON asserts 0)
+//! instead of "not measured" nulls.
 //!
 //! Tolerance precedence: `--tolerance` flag, then the
 //! `BENCH_GATE_TOLERANCE` environment variable, then the built-in
@@ -21,12 +27,41 @@
 //! after measurement — a self-test hook proving the gate actually
 //! fails (used by `scripts/bench-gate.sh --self-test`).
 
-use gradest_bench::experiments::{fleet_bench, pipeline_hotpath};
+use gradest_bench::experiments::{fleet_bench, kernels, pipeline_hotpath};
 use gradest_bench::gate::{self, GateReport, MetricSpec, DEFAULT_TOLERANCE};
+use gradest_bench::perfbench::alloc_counter;
 use gradest_bench::report::print_table;
 use serde_json::Value;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// System allocator wrapped to count allocations (see the identical
+/// wrapper in `gradest-experiments`): the hot-path benchmark can only
+/// record `allocs_per_trip_warm*` when the process installs one, and
+/// the committed baseline must carry the measured zeros.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to the system allocator;
+// the counter update is a side effect with no allocator state.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        alloc_counter::record();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        alloc_counter::record();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// Pipeline experiment parameters: the same seed/sample count the
 /// `gradest-experiments` binary uses, so the baseline and the gate
@@ -36,6 +71,10 @@ const PIPELINE_SAMPLES: usize = 5;
 /// Fleet experiment seed; trips/workers are read from the committed
 /// baseline so the gate replays the baseline's workload shape.
 const FLEET_SEED: u64 = 900;
+/// Kernel microbench parameters (mirrors `kernel_microbench` in the
+/// `gradest-experiments` binary).
+const KERNEL_SEED: u64 = 77;
+const KERNEL_SAMPLES: usize = 5;
 
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -120,18 +159,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    alloc_counter::mark_installed();
     let root = workspace_root();
     let pipeline_path = root.join("BENCH_pipeline.json");
     let fleet_path = root.join("BENCH_fleet.json");
+    let kernels_path = root.join("BENCH_kernels.json");
 
-    let (baseline_pipeline, baseline_fleet) =
-        match (load_baseline(&pipeline_path), load_baseline(&fleet_path)) {
-            (Ok(p), Ok(f)) => (p, f),
-            (Err(e), _) | (_, Err(e)) => {
-                eprintln!("bench-gate: {e}");
-                return ExitCode::from(2);
-            }
-        };
+    let (baseline_pipeline, baseline_fleet, baseline_kernels) = match (
+        load_baseline(&pipeline_path),
+        load_baseline(&fleet_path),
+        load_baseline(&kernels_path),
+    ) {
+        (Ok(p), Ok(f), Ok(k)) => (p, f, k),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("bench-gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     // Replay the baseline's fleet workload shape; fall back to the
     // experiment binary's defaults on a fresh checkout.
@@ -147,12 +191,15 @@ fn main() -> ExitCode {
 
     println!(
         "bench-gate: pipeline(seed={PIPELINE_SEED}, samples={PIPELINE_SAMPLES}), \
-         fleet(seed={FLEET_SEED}, trips={trips}, workers={workers})"
+         fleet(seed={FLEET_SEED}, trips={trips}, workers={workers}), \
+         kernels(seed={KERNEL_SEED}, samples={KERNEL_SAMPLES})"
     );
     let pipeline_run = pipeline_hotpath::run(PIPELINE_SEED, PIPELINE_SAMPLES);
     let fleet_run = fleet_bench::run(FLEET_SEED, trips, workers);
+    let kernels_run = kernels::run(KERNEL_SEED, KERNEL_SAMPLES);
     let current_pipeline = serde_json::to_value(&pipeline_run);
     let current_fleet = serde_json::to_value(&fleet_run);
+    let current_kernels = serde_json::to_value(&kernels_run);
 
     if args.update {
         let write = |path: &Path, value: &Value| match std::fs::write(
@@ -168,16 +215,20 @@ fn main() -> ExitCode {
                 false
             }
         };
-        let ok = write(&pipeline_path, &current_pipeline) & write(&fleet_path, &current_fleet);
+        let ok = write(&pipeline_path, &current_pipeline)
+            & write(&fleet_path, &current_fleet)
+            & write(&kernels_path, &current_kernels);
         return if ok { ExitCode::SUCCESS } else { ExitCode::from(2) };
     }
 
-    let (Some(baseline_pipeline), Some(baseline_fleet)) = (baseline_pipeline, baseline_fleet)
+    let (Some(baseline_pipeline), Some(baseline_fleet), Some(baseline_kernels)) =
+        (baseline_pipeline, baseline_fleet, baseline_kernels)
     else {
         eprintln!(
-            "bench-gate: missing baseline(s) {} / {} — run with --update to create them",
+            "bench-gate: missing baseline(s) {} / {} / {} — run with --update to create them",
             pipeline_path.display(),
-            fleet_path.display()
+            fleet_path.display(),
+            kernels_path.display()
         );
         return ExitCode::from(2);
     };
@@ -204,8 +255,16 @@ fn main() -> ExitCode {
         args.tolerance,
         inject,
     );
+    let kernels_report = gate_suite(
+        "Kernel microbenches vs BENCH_kernels.json",
+        &baseline_kernels,
+        &current_kernels,
+        gate::KERNEL_METRICS,
+        args.tolerance,
+        inject,
+    );
 
-    let failures = pipeline_report.failures() + fleet_report.failures();
+    let failures = pipeline_report.failures() + fleet_report.failures() + kernels_report.failures();
     if failures == 0 {
         println!("\nbench-gate: PASS — all metrics within ±{:.0}%", args.tolerance * 100.0);
         ExitCode::SUCCESS

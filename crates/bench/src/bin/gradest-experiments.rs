@@ -94,6 +94,7 @@ fn main() {
     run_exp("pipeline_hotpath", &mut || {
         pipeline_hotpath::print_report(&pipeline_hotpath::run(77, 5))
     });
+    run_exp("kernel_microbench", &mut || kernels::print_report(&kernels::run(77, 5)));
 
     // CI smoke gate: exact-name only, so plain `pipeline_hotpath` runs
     // don't trigger it. One trip, and the warm path must not allocate —

@@ -15,6 +15,7 @@ pub mod fig8b;
 pub mod fig9;
 pub mod fleet_bench;
 pub mod headline_fuel;
+pub mod kernels;
 pub mod lane_accuracy;
 pub mod motivating;
 pub mod pipeline_hotpath;

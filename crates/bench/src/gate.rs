@@ -91,6 +91,25 @@ pub const FLEET_METRICS: &[MetricSpec] = &[
     MetricSpec { name: "fleet/span/batch", source: MetricSource::ObsSpanMean("fleet-batch") },
 ];
 
+/// Gated metrics of the `kernel_microbench` experiment
+/// (`BENCH_kernels.json`): the isolated inner-loop medians. The scalar
+/// EKF reference bench is reported but not gated — it exists as the
+/// comparison point, not as a hot path.
+pub const KERNEL_METRICS: &[MetricSpec] = &[
+    MetricSpec {
+        name: "kernels/ekf_lanes_x4_step",
+        source: MetricSource::Path(&["ekf_lanes_x4", "median_ns_per_op"]),
+    },
+    MetricSpec {
+        name: "kernels/lowess_uniform_window",
+        source: MetricSource::Path(&["lowess_uniform_window", "median_ns_per_op"]),
+    },
+    MetricSpec {
+        name: "kernels/steering_profile",
+        source: MetricSource::Path(&["steering_profile", "median_ns_per_op"]),
+    },
+];
+
 /// Reads the metrics named by `specs` out of an experiment document.
 /// A metric the document does not contain extracts as `None` (and
 /// later fails the comparison) rather than aborting the whole gate.

@@ -1,0 +1,429 @@
+//! Four-lane structure-of-arrays (SoA) gradient EKF.
+//!
+//! The pipeline runs one independent [`GradientEkf`](crate::ekf::GradientEkf)
+//! per velocity source over the *same* IMU stream. Iterating the four
+//! filters separately walks the IMU columns four times and re-evaluates
+//! `sinθ`/`cosθ` twice per filter step (once for the state propagation,
+//! once for the Jacobian). This module keeps the four filters' state,
+//! covariance, and Jacobian terms as `[f64; 4]` lanes so one pass over
+//! [`ImuColumns`](gradest_sensors::columnar::ImuColumns) advances every
+//! track, with the transcendentals evaluated exactly once per lane-step.
+//!
+//! ## Bit-identity contract
+//!
+//! Every lane reproduces the scalar [`GradientEkf`](crate::ekf::GradientEkf)
+//! **bit for bit**: the per-lane arithmetic is a literal transcription of
+//! the scalar `Mat2`/`Vec2` operation sequence (down to the `1.0 * x`
+//! factors and `+ 0.0` terms from the identity/zero matrix entries, whose
+//! removal would flip signed zeros). Unit tests and the
+//! `ekf_lanes_proptest` suite pin this equivalence on randomized trips.
+//!
+//! ## `simd` feature gate
+//!
+//! The covariance propagation (the pure mul/add half of the predict) has
+//! an SSE2 twin behind `--features simd` on `x86_64`, processing lanes in
+//! pairs of `__m128d`. SSE2 `f64` multiply/add round exactly like their
+//! scalar counterparts, so the intrinsics path is bit-identical too —
+//! the feature trades nothing but instruction count. The scalar fallback
+//! is always compiled on non-x86_64 targets and whenever the feature is
+//! off, and every intrinsics block must carry an adjacent
+//! `#[cfg(not(...))]` scalar twin (enforced by `gradest-lint`'s
+//! `simd-twin` rule). Anything with `max`/`clamp` semantics stays in the
+//! shared scalar code: SSE2 `_mm_max_pd` disagrees with `f64::max` on
+//! NaN, so floors and clamps never enter the intrinsics path.
+
+use crate::ekf::EkfConfig;
+use gradest_math::{Mat2, Vec2, GRAVITY};
+
+/// Number of SoA lanes — one per paper velocity source.
+pub const MAX_LANES: usize = 4;
+
+/// Four gradient EKFs advanced in lockstep, stored lane-wise.
+///
+/// All four lanes share the predict input (`a_meas`, `dt`) — the IMU
+/// stream is common to every source track — while updates address a
+/// single lane (each source has its own measurement times and variance).
+/// Inactive lanes (when fewer than four sources run) simply idle on
+/// their initial state; their results are never read.
+#[derive(Debug, Clone)]
+pub struct EkfLanes {
+    config: EkfConfig,
+    /// Velocity state per lane, m/s.
+    v: [f64; MAX_LANES],
+    /// Gradient state per lane, radians.
+    th: [f64; MAX_LANES],
+    /// Covariance P[0][0] per lane.
+    p00: [f64; MAX_LANES],
+    /// Covariance off-diagonal per lane (kept symmetric, so one slot).
+    p01: [f64; MAX_LANES],
+    /// Covariance P[1][1] per lane.
+    p11: [f64; MAX_LANES],
+    /// Last predict Jacobian ∂v'/∂θ per lane (F[0][0] is always 1).
+    f01: [f64; MAX_LANES],
+    /// Last predict Jacobian ∂θ'/∂v per lane.
+    f10: [f64; MAX_LANES],
+    /// Last predict Jacobian ∂θ'/∂θ per lane.
+    f11: [f64; MAX_LANES],
+}
+
+impl EkfLanes {
+    /// Creates four filters with per-lane initial speeds and zero initial
+    /// gradient — lane `l` starts exactly like
+    /// `GradientEkf::new(config, v0[l])`.
+    pub fn new(config: EkfConfig, v0: [f64; MAX_LANES]) -> Self {
+        EkfLanes {
+            config,
+            v: v0,
+            th: [0.0; MAX_LANES],
+            p00: [config.p0_velocity; MAX_LANES],
+            p01: [0.0; MAX_LANES],
+            p11: [config.p0_theta; MAX_LANES],
+            f01: [0.0; MAX_LANES],
+            f10: [0.0; MAX_LANES],
+            f11: [1.0; MAX_LANES],
+        }
+    }
+
+    /// Lane `l`'s velocity estimate, m/s.
+    #[inline]
+    pub fn velocity(&self, lane: usize) -> f64 {
+        self.v[lane]
+    }
+
+    /// Lane `l`'s gradient estimate θ, radians.
+    #[inline]
+    pub fn theta(&self, lane: usize) -> f64 {
+        self.th[lane]
+    }
+
+    /// Lane `l`'s gradient variance `P_θθ`, rad².
+    #[inline]
+    pub fn theta_variance(&self, lane: usize) -> f64 {
+        self.p11[lane]
+    }
+
+    /// Lane `l`'s predicted innovation variance `S = P_vv + r` — same
+    /// contract as `GradientEkf::innovation_variance`.
+    #[inline]
+    pub fn innovation_variance(&self, lane: usize, r: f64) -> f64 {
+        self.p00[lane] + r
+    }
+
+    /// Lane `l`'s state as the scalar filter's `[v, θ]` vector.
+    #[inline]
+    pub fn state(&self, lane: usize) -> Vec2 {
+        Vec2::new(self.v[lane], self.th[lane])
+    }
+
+    /// Lane `l`'s covariance matrix (symmetric by construction).
+    #[inline]
+    pub fn covariance(&self, lane: usize) -> Mat2 {
+        Mat2::new(self.p00[lane], self.p01[lane], self.p01[lane], self.p11[lane])
+    }
+
+    /// Lane `l`'s most recent predict Jacobian `F` (what the RTS
+    /// smoother records per step). Identity before the first predict.
+    #[inline]
+    pub fn jacobian(&self, lane: usize) -> Mat2 {
+        Mat2::new(1.0, self.f01[lane], self.f10[lane], self.f11[lane])
+    }
+
+    /// Predict step for all four lanes: one `a_meas`/`dt` shared across
+    /// lanes, transcendentals evaluated once per lane, covariance
+    /// propagated by [`propagate_cov`] (scalar or SSE2 twin).
+    ///
+    /// Lane-for-lane bit-identical to
+    /// `GradientEkf::predict_returning_jacobian(a_meas, dt)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `dt <= 0`.
+    pub fn predict(&mut self, a_meas: f64, dt: f64) {
+        debug_assert!(dt > 0.0, "dt must be positive");
+        let p = &self.config.vehicle;
+        // Same association order as the scalar filter's `c`.
+        let c = p.air_density * p.frontal_area_m2 * p.drag_coefficient / (p.mass_kg * GRAVITY);
+        let literal_eq5 = self.config.literal_eq5;
+        for l in 0..MAX_LANES {
+            let (v, theta) = (self.v[l], self.th[l]);
+            // One sin/cos pair per lane-step: the scalar filter calls
+            // `theta.cos()` twice (clamped for Eq 5, raw for the
+            // Jacobian) and `theta.sin()` twice — identical values.
+            let sin_th = theta.sin();
+            let cos_raw = theta.cos();
+            let cos_th = cos_raw.max(0.2); // θ never approaches ±90° on a road
+            let theta_dot = c * v * a_meas / cos_th;
+            let (v_next, dv_dtheta) = if literal_eq5 {
+                (v + a_meas * dt, 0.0)
+            } else {
+                (v + (a_meas - GRAVITY * sin_th) * dt, -GRAVITY * cos_raw * dt)
+            };
+            let theta_next = theta + theta_dot * dt;
+            self.f01[l] = dv_dtheta;
+            self.f10[l] = c * a_meas / cos_th * dt;
+            self.f11[l] = 1.0 + c * v * a_meas * sin_th / (cos_th * cos_th) * dt;
+            self.v[l] = v_next.max(0.0);
+            self.th[l] = theta_next.clamp(-0.5, 0.5);
+        }
+        propagate_cov(
+            &mut self.p00,
+            &mut self.p01,
+            &mut self.p11,
+            &self.f01,
+            &self.f10,
+            &self.f11,
+            self.config.q_velocity * dt,
+            self.config.q_theta * dt,
+        );
+    }
+
+    /// Update step for one lane: correct with a measured velocity
+    /// `v_meas` of variance `r`. Bit-identical to
+    /// `GradientEkf::update(v_meas, r)` on that lane.
+    // The `0.0 - 0.0` operands below are deliberate (clippy's eq_op):
+    // they are the identity-matrix entries the scalar path subtracts,
+    // transcribed literally so signed zeros round identically.
+    #[allow(clippy::eq_op)]
+    pub fn update(&mut self, lane: usize, v_meas: f64, r: f64) {
+        debug_assert!(r > 0.0, "measurement variance must be positive");
+        let (a00, a01, a11) = (self.p00[lane], self.p01[lane], self.p11[lane]);
+        let innovation = v_meas - self.v[lane];
+        let s = a00 + r;
+        let k0 = a00 / s;
+        let k1 = a01 / s; // P[1][0] == P[0][1]: kept symmetric
+        self.v[lane] = (self.v[lane] + k0 * innovation).max(0.0);
+        self.th[lane] = (self.th[lane] + k1 * innovation).clamp(-0.5, 0.5);
+        // Literal (I − K·H)·P expansion; the `0.0 - ...` and `1.0 - 0.0`
+        // terms are the identity-matrix entries the scalar path
+        // subtracts, kept so signed zeros round identically.
+        let t00 = (1.0 - k0) * a00 + (0.0 - 0.0) * a01;
+        let t01 = (1.0 - k0) * a01 + (0.0 - 0.0) * a11;
+        let t10 = (0.0 - k1) * a00 + (1.0 - 0.0) * a01;
+        let t11 = (0.0 - k1) * a01 + (1.0 - 0.0) * a11;
+        let off = 0.5 * (t01 + t10);
+        self.p00[lane] = t00.max(1e-6);
+        self.p01[lane] = off;
+        self.p11[lane] = t11.max(1e-9);
+    }
+}
+
+/// Scalar covariance propagation: `P ← F·P·Fᵀ + Q`, re-symmetrized —
+/// the literal expansion of the scalar filter's two `Mat2`
+/// multiplications with `F = [[1, f01], [f10, f11]]`.
+///
+/// This is the scalar twin of the SSE2 version below; both perform the
+/// identical IEEE-754 operation sequence per lane.
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[allow(clippy::too_many_arguments)]
+fn propagate_cov(
+    p00: &mut [f64; MAX_LANES],
+    p01: &mut [f64; MAX_LANES],
+    p11: &mut [f64; MAX_LANES],
+    f01: &[f64; MAX_LANES],
+    f10: &[f64; MAX_LANES],
+    f11: &[f64; MAX_LANES],
+    qv_dt: f64,
+    qt_dt: f64,
+) {
+    for l in 0..MAX_LANES {
+        let (a00, a01, a11) = (p00[l], p01[l], p11[l]);
+        let (b, g10, g11) = (f01[l], f10[l], f11[l]);
+        // M = F·P (P symmetric: P[1][0] == a01).
+        let m00 = 1.0 * a00 + b * a01;
+        let m01 = 1.0 * a01 + b * a11;
+        let m10 = g10 * a00 + g11 * a01;
+        let m11 = g10 * a01 + g11 * a11;
+        // R = M·Fᵀ, then + diag(qv·dt, qt·dt) with the zero
+        // off-diagonals added literally (signed-zero parity).
+        let r00 = m00 * 1.0 + m01 * b;
+        let r01 = m00 * g10 + m01 * g11;
+        let r10 = m10 * 1.0 + m11 * b;
+        let r11 = m10 * g10 + m11 * g11;
+        let n00 = r00 + qv_dt;
+        let n01 = r01 + 0.0;
+        let n10 = r10 + 0.0;
+        let n11 = r11 + qt_dt;
+        p00[l] = n00;
+        p01[l] = 0.5 * (n01 + n10);
+        p11[l] = n11;
+    }
+}
+
+/// SSE2 covariance propagation: same operation sequence as the scalar
+/// twin above, two lanes per `__m128d`. Packed `f64` multiply/add are
+/// IEEE-754 exact, so this is bit-identical to the scalar path.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(clippy::too_many_arguments)]
+#[allow(unsafe_code)] // intrinsics below; see the SAFETY comment
+fn propagate_cov(
+    p00: &mut [f64; MAX_LANES],
+    p01: &mut [f64; MAX_LANES],
+    p11: &mut [f64; MAX_LANES],
+    f01: &[f64; MAX_LANES],
+    f10: &[f64; MAX_LANES],
+    f11: &[f64; MAX_LANES],
+    qv_dt: f64,
+    qt_dt: f64,
+) {
+    use std::arch::x86_64::{
+        _mm_add_pd, _mm_cvtsd_f64, _mm_mul_pd, _mm_set1_pd, _mm_set_pd, _mm_unpackhi_pd,
+    };
+    // SAFETY: SSE2 is part of the x86_64 baseline instruction set, so
+    // these intrinsics are unconditionally available on this target (the
+    // cfg above never compiles them elsewhere). Every operand is passed
+    // and returned by value — no pointers, no alignment requirements.
+    unsafe {
+        let one = _mm_set1_pd(1.0);
+        let zero = _mm_set1_pd(0.0);
+        let half = _mm_set1_pd(0.5);
+        let qv = _mm_set1_pd(qv_dt);
+        let qt = _mm_set1_pd(qt_dt);
+        for pair in 0..2 {
+            let lo = pair * 2;
+            let hi = lo + 1;
+            let a00 = _mm_set_pd(p00[hi], p00[lo]);
+            let a01 = _mm_set_pd(p01[hi], p01[lo]);
+            let a11 = _mm_set_pd(p11[hi], p11[lo]);
+            let b = _mm_set_pd(f01[hi], f01[lo]);
+            let g10 = _mm_set_pd(f10[hi], f10[lo]);
+            let g11 = _mm_set_pd(f11[hi], f11[lo]);
+            let m00 = _mm_add_pd(_mm_mul_pd(one, a00), _mm_mul_pd(b, a01));
+            let m01 = _mm_add_pd(_mm_mul_pd(one, a01), _mm_mul_pd(b, a11));
+            let m10 = _mm_add_pd(_mm_mul_pd(g10, a00), _mm_mul_pd(g11, a01));
+            let m11 = _mm_add_pd(_mm_mul_pd(g10, a01), _mm_mul_pd(g11, a11));
+            let r00 = _mm_add_pd(_mm_mul_pd(m00, one), _mm_mul_pd(m01, b));
+            let r01 = _mm_add_pd(_mm_mul_pd(m00, g10), _mm_mul_pd(m01, g11));
+            let r10 = _mm_add_pd(_mm_mul_pd(m10, one), _mm_mul_pd(m11, b));
+            let r11 = _mm_add_pd(_mm_mul_pd(m10, g10), _mm_mul_pd(m11, g11));
+            let n00 = _mm_add_pd(r00, qv);
+            let n01 = _mm_add_pd(r01, zero);
+            let n10 = _mm_add_pd(r10, zero);
+            let n11 = _mm_add_pd(r11, qt);
+            let off = _mm_mul_pd(half, _mm_add_pd(n01, n10));
+            p00[lo] = _mm_cvtsd_f64(n00);
+            p00[hi] = _mm_cvtsd_f64(_mm_unpackhi_pd(n00, n00));
+            p01[lo] = _mm_cvtsd_f64(off);
+            p01[hi] = _mm_cvtsd_f64(_mm_unpackhi_pd(off, off));
+            p11[lo] = _mm_cvtsd_f64(n11);
+            p11[hi] = _mm_cvtsd_f64(_mm_unpackhi_pd(n11, n11));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ekf::GradientEkf;
+
+    /// Drives lane `l` of an [`EkfLanes`] and a scalar [`GradientEkf`]
+    /// through the same deterministic predict/update schedule and
+    /// asserts bit-identity after every step.
+    fn assert_lane_matches_scalar(lane: usize, v0: f64, r: f64, a_scale: f64) {
+        let cfg = EkfConfig::default();
+        let mut v0s = [10.0; MAX_LANES];
+        v0s[lane] = v0;
+        let mut lanes = EkfLanes::new(cfg, v0s);
+        let mut scalar = GradientEkf::new(cfg, v0);
+        let dt = 0.02;
+        let mut state = 0x2545f4914f6cdd1du64 ^ lane as u64;
+        for step in 0..600 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = a_scale * (((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0);
+            let f_scalar = scalar.predict_returning_jacobian(a, dt);
+            lanes.predict(a, dt);
+            if step % 5 == 0 {
+                let v_meas = v0 + ((state >> 20) & 0xff) as f64 / 256.0 - 0.5;
+                scalar.update(v_meas, r);
+                lanes.update(lane, v_meas, r);
+            }
+            assert_eq!(lanes.velocity(lane).to_bits(), scalar.velocity().to_bits(), "v@{step}");
+            assert_eq!(lanes.theta(lane).to_bits(), scalar.theta().to_bits(), "θ@{step}");
+            let sp = scalar.covariance();
+            let lp = lanes.covariance(lane);
+            for (i, (a, b)) in
+                [(lp.m[0][0], sp.m[0][0]), (lp.m[0][1], sp.m[0][1]), (lp.m[1][1], sp.m[1][1])]
+                    .iter()
+                    .enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "P[{i}]@{step}");
+            }
+            assert_eq!(lanes.jacobian(lane).m, f_scalar.m, "F@{step}");
+            assert_eq!(
+                lanes.innovation_variance(lane, r).to_bits(),
+                scalar.innovation_variance(r).to_bits(),
+                "S@{step}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_lane_is_bit_identical_to_scalar() {
+        assert_lane_matches_scalar(0, 15.0, 0.15, 1.5);
+        assert_lane_matches_scalar(1, 12.0, 0.04, 0.8);
+        assert_lane_matches_scalar(2, 18.0, 0.01, 2.5);
+        assert_lane_matches_scalar(3, 9.0, 1.5, 0.4);
+    }
+
+    #[test]
+    fn four_lanes_track_four_scalars_simultaneously() {
+        let cfg = EkfConfig::default();
+        let v0s = [15.0, 12.0, 18.0, 9.0];
+        let rs = [0.15, 0.04, 0.01, 1.5];
+        let mut lanes = EkfLanes::new(cfg, v0s);
+        let mut scalars: Vec<GradientEkf> =
+            v0s.iter().map(|&v0| GradientEkf::new(cfg, v0)).collect();
+        let dt = 0.02;
+        for step in 0..400 {
+            let a = 0.9 * ((step as f64) * 0.05).sin();
+            lanes.predict(a, dt);
+            for s in scalars.iter_mut() {
+                s.predict(a, dt);
+            }
+            // Staggered updates: each lane on its own cadence.
+            for (l, s) in scalars.iter_mut().enumerate() {
+                if step % (l + 2) == 0 {
+                    let v_meas = v0s[l] + 0.2 * ((step as f64) * 0.11).cos();
+                    lanes.update(l, v_meas, rs[l]);
+                    s.update(v_meas, rs[l]);
+                }
+            }
+            for (l, s) in scalars.iter().enumerate() {
+                assert_eq!(lanes.velocity(l).to_bits(), s.velocity().to_bits());
+                assert_eq!(lanes.theta(l).to_bits(), s.theta().to_bits());
+                assert_eq!(
+                    lanes.theta_variance(l).to_bits(),
+                    s.theta_variance().to_bits(),
+                    "lane {l} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn initial_state_matches_scalar_constructor() {
+        let cfg = EkfConfig::default();
+        let lanes = EkfLanes::new(cfg, [5.0, 6.0, 7.0, 8.0]);
+        for (l, v0) in [5.0, 6.0, 7.0, 8.0].iter().enumerate() {
+            let s = GradientEkf::new(cfg, *v0);
+            assert_eq!(lanes.state(l), Vec2::new(s.velocity(), s.theta()));
+            assert_eq!(lanes.covariance(l), s.covariance());
+        }
+    }
+
+    #[test]
+    fn covariance_stays_symmetric_and_finite() {
+        let mut lanes = EkfLanes::new(EkfConfig::default(), [10.0; MAX_LANES]);
+        for i in 0..5000 {
+            lanes.predict(0.3, 0.02);
+            if i % 5 == 0 {
+                lanes.update(i % MAX_LANES, 10.0 + (i as f64 * 0.01).sin(), 0.1);
+            }
+        }
+        for l in 0..MAX_LANES {
+            let p = lanes.covariance(l);
+            assert!(p.is_finite());
+            assert_eq!(p.m[0][1].to_bits(), p.m[1][0].to_bits());
+            assert!(lanes.theta_variance(l) > 0.0);
+        }
+    }
+}

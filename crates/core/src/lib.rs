@@ -39,12 +39,18 @@
 //! assert!(!estimate.fused.is_empty());
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is forbidden everywhere except the opt-in `simd` feature,
+// whose intrinsics path needs `unsafe` blocks (each carrying a SAFETY
+// comment and an item-level `#[allow(unsafe_code)]`); `deny` keeps any
+// other unsafe out even with the feature on.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod cloud;
 pub mod diagnostics;
 pub mod ekf;
+pub mod ekf_lanes;
 pub mod eval;
 pub mod fleet;
 pub mod fusion;
@@ -59,6 +65,7 @@ pub mod track;
 pub use cloud::{CloudAggregator, CloudSnapshot};
 pub use diagnostics::{FilterHealth, InnovationMonitor, MonitorConfig};
 pub use ekf::{EkfConfig, GradientEkf};
+pub use ekf_lanes::{EkfLanes, MAX_LANES};
 pub use fleet::FleetEngine;
 pub use fusion::{fuse_tracks, fuse_tracks_into, fuse_values};
 pub use lane_change::{LaneChangeConfig, LaneChangeDetection, LaneChangeDetector};
@@ -67,5 +74,5 @@ pub use pipeline::{
     EstimatorConfig, EstimatorScratch, GradientEstimate, GradientEstimator, StageNanos,
     VelocitySource,
 };
-pub use smoother::{rts_smooth, rts_smooth_into, RtsStep};
+pub use smoother::{rts_smooth, rts_smooth_into, rts_smooth_lanes_into, RtsStep};
 pub use track::GradientTrack;

@@ -12,9 +12,10 @@
 
 use crate::diagnostics::{FilterHealth, InnovationMonitor, MonitorConfig};
 use crate::ekf::{EkfConfig, GradientEkf};
+use crate::ekf_lanes::{EkfLanes, MAX_LANES};
 use crate::fusion::fuse_tracks_into;
 use crate::lane_change::{Bump, LaneChangeConfig, LaneChangeDetection, LaneChangeDetector};
-use crate::smoother::{rts_smooth_into, RtsStep};
+use crate::smoother::{rts_smooth_into, rts_smooth_lanes_into, RtsStep};
 use crate::steering::{smooth_profile_into, SmoothedProfile};
 use crate::track::GradientTrack;
 use gradest_geo::Route;
@@ -95,13 +96,21 @@ pub struct EstimatorConfig {
     /// accuracy; the paper's filter is forward-only — disable for strict
     /// paper fidelity or causal comparisons).
     pub rts_smoothing: bool,
-    /// Run the per-source EKF tracks on scoped threads. The tracks are
-    /// independent filters over shared read-only inputs and results are
-    /// collected in source order, so the output is bit-identical to the
-    /// serial path — this only trades thread startup against track
-    /// runtime. Ignored (serial path) when the host reports a single
-    /// available core, where the spawns are pure overhead.
+    /// Run the per-source EKF tracks on scoped threads. Only consulted
+    /// by the scalar fallback path (see
+    /// [`Self::force_scalar_tracks`]): the default fused SoA sweep
+    /// advances every lane in one pass and has nothing to fan out. On
+    /// the fallback, tracks are independent filters over shared
+    /// read-only inputs collected in source order, so the output is
+    /// bit-identical to the serial path; ignored when the host reports
+    /// a single available core, where the spawns are pure overhead.
     pub parallel_tracks: bool,
+    /// Run the per-source scalar [`GradientEkf`] tracks one source at a
+    /// time instead of the fused four-lane SoA sweep
+    /// ([`crate::ekf_lanes`]). The fused sweep is bit-identical lane
+    /// for lane, so this switch exists for A/B validation; configs
+    /// with more sources than lanes fall back to it automatically.
+    pub force_scalar_tracks: bool,
     /// Disable the uniform-grid LOWESS fast path in steering smoothing
     /// (see [`gradest_math::lowess::LowessConfig::force_generic`]): the
     /// generic path is the bit-exact reference, the fast path agrees
@@ -124,6 +133,7 @@ impl Default for EstimatorConfig {
             disable_lane_correction: false,
             rts_smoothing: true,
             parallel_tracks: true,
+            force_scalar_tracks: false,
             force_generic_lowess: false,
         }
     }
@@ -164,6 +174,7 @@ pub struct TrackScratch {
 pub const WARM_PATH_MODULES: &[&str] = &[
     "core::pipeline",
     "core::ekf",
+    "core::ekf_lanes",
     "core::fusion",
     "core::lane_change",
     "core::steering",
@@ -428,34 +439,55 @@ impl GradientEstimator {
             }
         }
         let matched_s: &[f64] = matched_s;
-        let run_source = |source: VelocitySource, ts: &mut TrackScratch| {
-            let r = match source {
-                VelocitySource::Gps => cfg.r_gps,
-                VelocitySource::Speedometer => cfg.r_speedometer,
-                VelocitySource::CanBus => cfg.r_can,
-                VelocitySource::Accelerometer => cfg.r_accelerometer,
-            };
-            let timer = SpanTimer::start(rec);
-            self.measurement_series_into(log, source, &mut ts.measurements);
-            self.run_ekf_track_into(log, r, source, profile, alpha, dt, matched_s, ts, rec);
-            timer.finish(rec, track_span(source));
-        };
-        // `available_parallelism` is only consulted when the parallel path
-        // is plausible at all — it can allocate on some platforms, and the
-        // serial warm path must stay allocation-free.
-        let parallel = cfg.parallel_tracks
-            && n_src > 1
-            && std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1;
-        if parallel {
-            std::thread::scope(|scope| {
-                for (ts, &source) in track_scratch[..n_src].iter_mut().zip(&cfg.sources) {
-                    let run = &run_source;
-                    scope.spawn(move || run(source, ts));
-                }
-            });
+        // The fused SoA sweep ([`crate::ekf_lanes`]) advances every source
+        // in one pass over the columnar IMU — one transcendental set per
+        // sample instead of one per sample per source. Per lane it runs
+        // the exact scalar operation sequence, so the estimate is
+        // bit-identical to the per-source path below, which remains as an
+        // A/B switch and as the fallback for configs with more sources
+        // than lanes.
+        if !cfg.force_scalar_tracks && (1..=MAX_LANES).contains(&n_src) {
+            self.run_ekf_lanes_into(
+                log,
+                imu_cols,
+                profile,
+                alpha,
+                dt,
+                matched_s,
+                &mut track_scratch[..n_src],
+                rec,
+            );
         } else {
-            for (ts, &source) in track_scratch[..n_src].iter_mut().zip(&cfg.sources) {
-                run_source(source, ts);
+            let run_source = |source: VelocitySource, ts: &mut TrackScratch| {
+                let r = match source {
+                    VelocitySource::Gps => cfg.r_gps,
+                    VelocitySource::Speedometer => cfg.r_speedometer,
+                    VelocitySource::CanBus => cfg.r_can,
+                    VelocitySource::Accelerometer => cfg.r_accelerometer,
+                };
+                let timer = SpanTimer::start(rec);
+                self.measurement_series_into(log, source, &mut ts.measurements);
+                self.run_ekf_track_into(log, r, source, profile, alpha, dt, matched_s, ts, rec);
+                timer.finish(rec, track_span(source));
+            };
+            // `available_parallelism` is only consulted when the parallel
+            // path is plausible at all — it can allocate on some
+            // platforms, and the serial warm path must stay
+            // allocation-free.
+            let parallel = cfg.parallel_tracks
+                && n_src > 1
+                && std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1;
+            if parallel {
+                std::thread::scope(|scope| {
+                    for (ts, &source) in track_scratch[..n_src].iter_mut().zip(&cfg.sources) {
+                        let run = &run_source;
+                        scope.spawn(move || run(source, ts));
+                    }
+                });
+            } else {
+                for (ts, &source) in track_scratch[..n_src].iter_mut().zip(&cfg.sources) {
+                    run_source(source, ts);
+                }
             }
         }
         let t3 = Instant::now();
@@ -709,6 +741,195 @@ impl GradientEstimator {
                 rec.incr(track_health_counter(verdict), 1);
                 if verdict == FilterHealth::Diverged {
                     rec.event(TraceEvent::TrackDiverged { source: trace_source(source) });
+                }
+            }
+        }
+    }
+
+    /// Fused SoA track stage: runs up to [`MAX_LANES`] source tracks
+    /// through one [`EkfLanes`] filter in a single pass over the columnar
+    /// IMU, then smooths all lanes with one interleaved backward RTS
+    /// recursion. Per lane this executes [`Self::run_ekf_track_into`]'s
+    /// exact operation sequence (same predict/update arithmetic, same
+    /// cursor advances, same anchor order), so each lane's track is
+    /// bit-identical to the scalar path — asserted by
+    /// `fused_lanes_bit_identical_to_scalar_tracks`.
+    ///
+    /// The shared sweep halves the dominating per-sample cost: the
+    /// `sin`/`cos` pair and the GPS cursor advance are computed once per
+    /// sample instead of once per sample per source, and the covariance
+    /// propagation vectorizes across lanes (SSE2 under the `simd`
+    /// feature, unrolled scalar otherwise).
+    ///
+    /// Per-source spans (`track:gps`, …) cover only the staging work here
+    /// (measurement series + buffer resets); the shared sweep and RTS
+    /// pass are attributed to the `tracks` stage span. DESIGN.md §11
+    /// records this semantics change.
+    #[allow(clippy::too_many_arguments)]
+    fn run_ekf_lanes_into<R: Recorder>(
+        &self,
+        log: &SensorLog,
+        imu_cols: &ImuColumns,
+        profile: &SmoothedProfile,
+        alpha: &[f64],
+        dt: f64,
+        matched_s: &[f64],
+        lanes: &mut [TrackScratch],
+        rec: &R,
+    ) {
+        let cfg = &self.config;
+        let n_src = lanes.len();
+        debug_assert!((1..=MAX_LANES).contains(&n_src));
+        let n_imu = imu_cols.len();
+        // Per-lane staging: measurement series, buffer resets, monitor
+        // reset, and the R / initial-velocity capture the sweep reads.
+        let mut srcs = [VelocitySource::Gps; MAX_LANES];
+        let mut rs = [1.0f64; MAX_LANES];
+        let mut v0 = [10.0f64; MAX_LANES];
+        for (l, (ts, &source)) in lanes.iter_mut().zip(&cfg.sources).enumerate() {
+            let timer = SpanTimer::start(rec);
+            self.measurement_series_into(log, source, &mut ts.measurements);
+            srcs[l] = source;
+            rs[l] = match source {
+                VelocitySource::Gps => cfg.r_gps,
+                VelocitySource::Speedometer => cfg.r_speedometer,
+                VelocitySource::CanBus => cfg.r_can,
+                VelocitySource::Accelerometer => cfg.r_accelerometer,
+            };
+            v0[l] = ts.measurements.first().map(|m| m.1).unwrap_or(10.0);
+            if rec.enabled() {
+                let mon = ts
+                    .monitor
+                    .get_or_insert_with(|| InnovationMonitor::new(MonitorConfig::default()));
+                mon.reset();
+            }
+            ts.track.label.clear();
+            ts.track.label.push_str(source.label());
+            ts.track.s.clear();
+            ts.track.theta.clear();
+            ts.track.variance.clear();
+            ts.history.clear();
+            timer.finish(rec, track_span(source));
+        }
+        let mut ekf = EkfLanes::new(cfg.ekf, v0);
+        let rts = cfg.rts_smoothing;
+        let mut s_arc = [0.0f64; MAX_LANES];
+        let mut m_idx = [0usize; MAX_LANES];
+        // Measurement times are non-decreasing, so the α lookup advances
+        // a per-lane cursor exactly as the scalar path does.
+        let mut a_idx = [0usize; MAX_LANES];
+        let mut updates = [0u64; MAX_LANES];
+        let mut gps_idx = 0usize;
+        for i in 0..n_imu {
+            let ti = imu_cols.t[i];
+            // One shared predict advances every lane (inactive lanes ride
+            // along; their state is never read).
+            ekf.predict(imu_cols.accel_long[i], dt);
+            // GPS fixes crossing this sample anchor every lane, so the
+            // cursor advances once and the lanes replay the range.
+            let gps_lo = gps_idx;
+            while gps_idx < log.gps.len() && log.gps[gps_idx].t <= ti {
+                gps_idx += 1;
+            }
+            for (l, ts) in lanes.iter_mut().enumerate() {
+                let x_pred = ekf.state(l);
+                let p_pred = ekf.covariance(l);
+                let f = ekf.jacobian(l);
+                let measurements: &[(f64, f64)] = &ts.measurements;
+                let mut mi = m_idx[l];
+                let mut ai = a_idx[l];
+                while mi < measurements.len() && measurements[mi].0 <= ti {
+                    let (mt, mv) = measurements[mi];
+                    // Eq 2: longitudinal velocity during lane changes;
+                    // α is exactly 0.0 outside detection windows, and
+                    // `mv * cos(0) == mv` bit-for-bit — skip the cosine.
+                    let corrected = if cfg.disable_lane_correction {
+                        mv
+                    } else {
+                        let a = alpha_at_cursor(profile, alpha, mt, &mut ai);
+                        if a == 0.0 {
+                            mv
+                        } else {
+                            mv * a.cos()
+                        }
+                    };
+                    if rec.enabled() {
+                        let innovation = corrected - ekf.velocity(l);
+                        rec.observe(Histogram::EkfInnovation, innovation);
+                        if let Some(mon) = ts.monitor.as_mut() {
+                            let before = mon.health();
+                            mon.record(innovation, ekf.innovation_variance(l, rs[l]));
+                            let after = mon.health();
+                            if after != before {
+                                record_health_transition(rec, srcs[l], before, after);
+                            }
+                        }
+                    }
+                    ekf.update(l, corrected, rs[l]);
+                    updates[l] += 1;
+                    mi += 1;
+                }
+                m_idx[l] = mi;
+                a_idx[l] = ai;
+                let mut s = s_arc[l] + ekf.velocity(l) * dt;
+                for fix_idx in gps_lo..gps_idx {
+                    if !log.gps[fix_idx].valid {
+                        continue;
+                    }
+                    if let Some(&s_gps) = matched_s.get(fix_idx) {
+                        s += 0.35 * (s_gps - s);
+                    }
+                }
+                // Track arc positions must not regress.
+                if let Some(&last) = ts.track.s.last() {
+                    s = s.max(last);
+                }
+                s_arc[l] = s;
+                ts.track.push(s, ekf.theta(l), ekf.theta_variance(l).max(1e-12));
+                if rts {
+                    ts.history.push(RtsStep {
+                        x_pred,
+                        p_pred,
+                        x_filt: gradest_math::Vec2::new(ekf.velocity(l), ekf.theta(l)),
+                        p_filt: ekf.covariance(l),
+                        f,
+                    });
+                }
+            }
+        }
+        if rts {
+            // Full lane complement: one interleaved backward pass;
+            // otherwise fall back to sequential per-lane passes.
+            if let [a, b, c, d] = lanes {
+                rts_smooth_lanes_into(
+                    [&a.history, &b.history, &c.history, &d.history],
+                    [&mut a.smoothed, &mut b.smoothed, &mut c.smoothed, &mut d.smoothed],
+                );
+            } else {
+                for ts in lanes.iter_mut() {
+                    rts_smooth_into(&ts.history, &mut ts.smoothed);
+                }
+            }
+            for ts in lanes.iter_mut() {
+                for (i, (x, p)) in ts.smoothed.iter().enumerate() {
+                    ts.track.theta[i] = x.y;
+                    ts.track.variance[i] = p.m[1][1].max(1e-12);
+                }
+            }
+        }
+        if rec.enabled() {
+            for (l, ts) in lanes.iter().enumerate() {
+                rec.incr(Counter::EkfPredicts, n_imu as u64);
+                rec.incr(update_counter(srcs[l]), updates[l]);
+                if let Some(mon) = ts.monitor.as_ref() {
+                    if updates[l] > 0 {
+                        rec.observe(Histogram::EkfMeanNis, mon.mean_nis());
+                    }
+                    let verdict = mon.health();
+                    rec.incr(track_health_counter(verdict), 1);
+                    if verdict == FilterHealth::Diverged {
+                        rec.event(TraceEvent::TrackDiverged { source: trace_source(srcs[l]) });
+                    }
                 }
             }
         }
@@ -1006,6 +1227,73 @@ mod tests {
         let parallel =
             GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn fused_lanes_bit_identical_to_scalar_tracks() {
+        // The fused SoA sweep must reproduce the per-source scalar path
+        // bit for bit: with a map and lane changes, without a map, and
+        // with a subset of sources (partial lane occupancy).
+        let scalar_cfg = EstimatorConfig {
+            force_scalar_tracks: true,
+            parallel_tracks: false,
+            ..Default::default()
+        };
+        let route = Route::new(vec![red_road()]).unwrap();
+        let trip = TripConfig {
+            driver: DriverProfile { lane_change_rate_per_km: 0.5, ..Default::default() },
+            ..Default::default()
+        };
+        let traj = simulate_trip(&route, &trip, 23);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 23);
+        let fused = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, Some(&route));
+        let scalar = GradientEstimator::new(scalar_cfg.clone()).estimate(&log, Some(&route));
+        assert_eq!(fused, scalar);
+
+        let fused_no_map = GradientEstimator::new(EstimatorConfig::default()).estimate(&log, None);
+        let scalar_no_map = GradientEstimator::new(scalar_cfg.clone()).estimate(&log, None);
+        assert_eq!(fused_no_map, scalar_no_map);
+
+        let sources = vec![VelocitySource::CanBus, VelocitySource::Accelerometer];
+        let fused_sub = GradientEstimator::new(EstimatorConfig {
+            sources: sources.clone(),
+            ..Default::default()
+        })
+        .estimate(&log, Some(&route));
+        let scalar_sub = GradientEstimator::new(EstimatorConfig { sources, ..scalar_cfg })
+            .estimate(&log, Some(&route));
+        assert_eq!(fused_sub, scalar_sub);
+    }
+
+    #[test]
+    fn fused_lanes_record_the_same_counters_as_scalar_tracks() {
+        let route = Route::new(vec![straight_road(800.0, 2.0)]).unwrap();
+        let traj = simulate_trip(&route, &TripConfig::default(), 5);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 5);
+        let reports = [false, true].map(|force_scalar| {
+            let estimator = GradientEstimator::new(EstimatorConfig {
+                force_scalar_tracks: force_scalar,
+                parallel_tracks: false,
+                ..Default::default()
+            });
+            let rec = gradest_obs::RunRecorder::new();
+            let mut scratch = EstimatorScratch::new();
+            estimator.estimate_with_recorded(&log, Some(&route), &mut scratch, &rec);
+            rec.report()
+        });
+        let [fused, scalar] = reports;
+        for counter in [
+            "ekf-predicts",
+            "ekf-updates-gps",
+            "ekf-updates-speedometer",
+            "ekf-updates-can-bus",
+            "ekf-updates-accelerometer",
+            "tracks-healthy",
+            "tracks-degraded",
+            "tracks-diverged",
+        ] {
+            assert_eq!(fused.counter(counter), scalar.counter(counter), "counter {counter}");
+        }
     }
 
     #[test]

@@ -64,6 +64,50 @@ pub fn rts_smooth_into(history: &[RtsStep], out: &mut Vec<(Vec2, Mat2)>) {
     }
 }
 
+/// Four [`rts_smooth_into`] passes with their backward recursions
+/// interleaved: step `k` of every lane is computed before stepping to
+/// `k − 1`, so the four independent dependency chains (each serialized
+/// on a `Mat2` inverse and three small matrix products) overlap instead
+/// of running back to back. Per lane the operation sequence is exactly
+/// [`rts_smooth_into`]'s, so results are bit-identical.
+///
+/// The interleave requires equal history lengths (the fused pipeline
+/// records one step per IMU sample per lane, so they always match
+/// there); unequal lengths fall back to four sequential passes.
+pub fn rts_smooth_lanes_into(histories: [&[RtsStep]; 4], outs: [&mut Vec<(Vec2, Mat2)>; 4]) {
+    let n = histories[0].len();
+    if histories.iter().any(|h| h.len() != n) {
+        for (history, out) in histories.into_iter().zip(outs) {
+            rts_smooth_into(history, out);
+        }
+        return;
+    }
+    let mut lane_outs = outs;
+    for (history, out) in histories.iter().zip(lane_outs.iter_mut()) {
+        out.clear();
+        out.extend(history.iter().map(|s| (s.x_filt, s.p_filt)));
+    }
+    if n == 0 {
+        return;
+    }
+    for k in (0..n - 1).rev() {
+        for (history, out) in histories.iter().zip(lane_outs.iter_mut()) {
+            let next = &history[k + 1]; // lint:allow(hot-index) k < n - 1 from the loop range
+            let Ok(p_pred_inv) = next.p_pred.inverse() else {
+                continue; // keep the filtered estimate at this step
+            };
+            let c = history[k].p_filt * next.f.transpose() * p_pred_inv;
+            let (x_s_next, p_s_next) = out[k + 1]; // lint:allow(hot-index) out holds n entries; k + 1 <= n - 1
+            let x = history[k].x_filt + c * (x_s_next - next.x_pred);
+            let mut p = history[k].p_filt + c * (p_s_next - next.p_pred) * c.transpose();
+            p.symmetrize();
+            p.m[0][0] = p.m[0][0].max(1e-12);
+            p.m[1][1] = p.m[1][1].max(1e-12);
+            out[k] = (x, p);
+        }
+    }
+}
+
 /// Runs the backward RTS recursion over a forward history, returning the
 /// smoothed `(state, covariance)` per step.
 ///
@@ -154,6 +198,35 @@ mod tests {
                 truth[i]
             );
         }
+    }
+
+    #[test]
+    fn interleaved_lanes_match_sequential_passes() {
+        // Four different drives, equal history lengths: the interleaved
+        // backward pass must reproduce each sequential pass bit for bit.
+        let hists: Vec<Vec<RtsStep>> = [0.02f64, -0.035, 0.0, 0.05]
+            .iter()
+            .map(|&th| run_with_history(|t| if t < 15.0 { th } else { -th }, 30.0).0)
+            .collect();
+        let mut expected: Vec<Vec<(gradest_math::Vec2, gradest_math::Mat2)>> =
+            hists.iter().map(|h| rts_smooth(h)).collect();
+        let mut outs: Vec<Vec<(gradest_math::Vec2, gradest_math::Mat2)>> = vec![Vec::new(); 4];
+        let [o0, o1, o2, o3] = &mut outs[..] else { unreachable!() };
+        rts_smooth_lanes_into([&hists[0], &hists[1], &hists[2], &hists[3]], [o0, o1, o2, o3]);
+        assert_eq!(outs, expected);
+
+        // Unequal lengths take the sequential fallback — same results.
+        let short: Vec<RtsStep> = hists[3][..hists[3].len() / 2].to_vec();
+        expected[3] = rts_smooth(&short);
+        let [o0, o1, o2, o3] = &mut outs[..] else { unreachable!() };
+        rts_smooth_lanes_into([&hists[0], &hists[1], &hists[2], &short], [o0, o1, o2, o3]);
+        assert_eq!(outs, expected);
+
+        // All-empty histories clear the outputs and return.
+        let empty: [&[RtsStep]; 4] = [&[], &[], &[], &[]];
+        let [o0, o1, o2, o3] = &mut outs[..] else { unreachable!() };
+        rts_smooth_lanes_into(empty, [o0, o1, o2, o3]);
+        assert!(outs.iter().all(|o| o.is_empty()));
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Property suite pinning the SoA EKF lanes to the scalar filter.
+//!
+//! [`EkfLanes`] runs four tracks' predict/update in structure-of-arrays
+//! lanes; the pipeline trusts it to reproduce four independent
+//! [`GradientEkf`] filters. These tests drive both through randomized
+//! trips (mixed accelerations, per-lane update cadences and noise) and
+//! compare every state/covariance entry at every step:
+//!
+//! * **scalar fallback** (default build): bit-identical — zero ULPs.
+//! * **intrinsics path** (`--features simd` on x86_64): the SSE2
+//!   covariance propagation performs the same IEEE-754 operations in
+//!   the same order, so the measured distance is also 0 ULPs; the
+//!   bound is pinned at ≤ 2 ULPs to leave room for a future fused
+//!   reassociation without letting real divergence slip through.
+
+// `MAX_ULPS` is 0 on the scalar path and 2 with `--features simd`:
+// `<= MAX_ULPS` is the cfg-generic bound, degenerate only on one side.
+#![allow(clippy::absurd_extreme_comparisons)]
+
+use gradest_core::ekf::{EkfConfig, GradientEkf};
+use gradest_core::ekf_lanes::{EkfLanes, MAX_LANES};
+use proptest::prelude::*;
+
+/// Maximum allowed ULP distance between a lane and its scalar twin.
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+const MAX_ULPS: u64 = 0;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+const MAX_ULPS: u64 = 2;
+
+/// Maps a float to an order-preserving integer so ULP distance is a
+/// plain absolute difference (the classic sign-magnitude flip).
+fn ordered_bits(x: f64) -> u64 {
+    let u = x.to_bits();
+    if u >> 63 == 1 {
+        !u
+    } else {
+        u | 0x8000_0000_0000_0000
+    }
+}
+
+/// ULP distance; `-0.0` and `0.0` compare equal, NaN never matches.
+fn ulps(a: f64, b: f64) -> u64 {
+    if a == b {
+        0
+    } else if a.is_nan() || b.is_nan() {
+        u64::MAX
+    } else {
+        ordered_bits(a).abs_diff(ordered_bits(b))
+    }
+}
+
+/// Splitmix-style LCG matching the workspace's other property tests.
+fn lcg(s: &mut u64) -> f64 {
+    *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    ((*s >> 33) as f64 / u32::MAX as f64) - 0.5
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized trip: shared acceleration stream, per-lane update
+    /// cadence/noise, full-state comparison after every step.
+    #[test]
+    fn lanes_match_four_scalar_filters_stepwise(
+        seed in 0u64..10_000,
+        v0s in prop::collection::vec(0.0..30.0f64, MAX_LANES),
+        steps in 100usize..600,
+    ) {
+        let v0 = [v0s[0], v0s[1], v0s[2], v0s[3]];
+        let mut lanes = EkfLanes::new(EkfConfig::default(), v0);
+        let mut scalars: Vec<GradientEkf> =
+            v0.iter().map(|&v| GradientEkf::new(EkfConfig::default(), v)).collect();
+        let mut s = seed;
+        let dt = 0.02;
+        for k in 0..steps {
+            let a = 4.0 * lcg(&mut s);
+            lanes.predict(a, dt);
+            for ekf in scalars.iter_mut() {
+                ekf.predict(a, dt);
+            }
+            for (l, ekf) in scalars.iter_mut().enumerate() {
+                // Staggered cadences so the lanes desynchronize: lane l
+                // updates every l+3 steps with its own draw of noise.
+                if k % (l + 3) == 0 {
+                    let v_meas = (10.0 + 8.0 * lcg(&mut s)).max(0.0);
+                    let r = 0.01 + lcg(&mut s).abs();
+                    lanes.update(l, v_meas, r);
+                    ekf.update(v_meas, r);
+                }
+                let p_lane = lanes.covariance(l);
+                let p_ref = ekf.covariance();
+                let pairs = [
+                    ("v", lanes.velocity(l), ekf.velocity()),
+                    ("theta", lanes.theta(l), ekf.theta()),
+                    ("p00", p_lane.m[0][0], p_ref.m[0][0]),
+                    ("p01", p_lane.m[0][1], p_ref.m[0][1]),
+                    ("p10", p_lane.m[1][0], p_ref.m[1][0]),
+                    ("p11", p_lane.m[1][1], p_ref.m[1][1]),
+                ];
+                for (what, got, want) in pairs {
+                    prop_assert!(
+                        ulps(got, want) <= MAX_ULPS,
+                        "step {k} lane {l} {what}: lanes {got:?} vs scalar {want:?} \
+                         ({} ULPs, bound {MAX_ULPS})",
+                        ulps(got, want)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The derived read-outs the pipeline consumes (θ variance and the
+    /// innovation variance used for NIS gating) agree at trip end.
+    #[test]
+    fn derived_readouts_match_after_a_trip(
+        seed in 0u64..10_000,
+        r_gate in 0.01..0.5f64,
+    ) {
+        let v0 = [8.0, 12.0, 16.0, 20.0];
+        let mut lanes = EkfLanes::new(EkfConfig::default(), v0);
+        let mut scalars: Vec<GradientEkf> =
+            v0.iter().map(|&v| GradientEkf::new(EkfConfig::default(), v)).collect();
+        let mut s = seed;
+        let dt = 0.02;
+        for k in 0u64..800 {
+            let a = 3.0 * lcg(&mut s);
+            lanes.predict(a, dt);
+            for ekf in scalars.iter_mut() {
+                ekf.predict(a, dt);
+            }
+            for (l, ekf) in scalars.iter_mut().enumerate() {
+                if k % 5 == l as u64 % 5 {
+                    let v_meas = (12.0 + 6.0 * lcg(&mut s)).max(0.0);
+                    lanes.update(l, v_meas, 0.25);
+                    ekf.update(v_meas, 0.25);
+                }
+            }
+        }
+        for (l, ekf) in scalars.iter().enumerate() {
+            prop_assert!(
+                ulps(lanes.theta_variance(l), ekf.theta_variance()) <= MAX_ULPS,
+                "lane {l} theta_variance diverged"
+            );
+            prop_assert!(
+                ulps(lanes.innovation_variance(l, r_gate), ekf.innovation_variance(r_gate))
+                    <= MAX_ULPS,
+                "lane {l} innovation_variance diverged"
+            );
+            let x = lanes.state(l);
+            prop_assert!(ulps(x.x, ekf.velocity()) <= MAX_ULPS);
+            prop_assert!(ulps(x.y, ekf.theta()) <= MAX_ULPS);
+        }
+    }
+}

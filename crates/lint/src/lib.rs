@@ -1,6 +1,6 @@
 //! # gradest-lint
 //!
-//! Workspace invariant checker for the gradest crates. Four rule
+//! Workspace invariant checker for the gradest crates. Five rule
 //! families, deny-by-default, with an audited in-source allowlist
 //! (`// lint:allow(<rule>) reason`):
 //!
@@ -17,6 +17,9 @@
 //! * **sync-comment** — every atomic `Ordering::*` use and every
 //!   `Mutex`/`RwLock`/atomic declaration carries a `// sync:`
 //!   invariant comment.
+//! * **simd-twin** — every function gated on the `simd` feature has a
+//!   same-named scalar twin behind the negated cfg in the same file,
+//!   so the fallback compiles everywhere the intrinsics path does.
 //!
 //! The module lists are exported as constants so other crates (the
 //! bench harness's `pipeline_hotpath_smoke` gate) can assert they
@@ -40,6 +43,7 @@ use std::path::{Path, PathBuf};
 pub const HOT_PATH_MODULES: &[&str] = &[
     "core::pipeline",
     "core::ekf",
+    "core::ekf_lanes",
     "core::fusion",
     "core::lane_change",
     "core::steering",
@@ -67,6 +71,7 @@ pub const HOT_PATH_MODULES: &[&str] = &[
 pub const WARM_ALLOC_GATED_MODULES: &[&str] = &[
     "core::pipeline",
     "core::ekf",
+    "core::ekf_lanes",
     "core::fusion",
     "core::lane_change",
     "core::steering",

@@ -1,0 +1,30 @@
+//! Fixture: the sanctioned shape — every `simd`-gated function has a
+//! same-named scalar twin behind the negated cfg, so the fallback
+//! compiles (and tests) everywhere the intrinsics path does. Gated
+//! `use` items and other feature gates are outside the rule's scope.
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+use core::arch::x86_64::*;
+
+pub struct Lanes {
+    v: [f64; 4],
+}
+
+impl Lanes {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    fn propagate(&mut self, dt: f64) {
+        for lane in self.v.iter_mut() {
+            *lane += dt;
+        }
+    }
+
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    fn propagate(&mut self, dt: f64) {
+        for lane in self.v.iter_mut() {
+            *lane += dt;
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    fn spawn(&self) {}
+}

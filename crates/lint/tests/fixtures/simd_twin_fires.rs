@@ -1,0 +1,24 @@
+//! Fixture: a `simd`-feature-gated function with no same-named
+//! `#[cfg(not(..))]` scalar twin must be flagged — the intrinsics
+//! path would be the only implementation, so default builds break.
+
+pub struct Lanes {
+    v: [f64; 4],
+}
+
+impl Lanes {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    fn propagate(&mut self, dt: f64) {
+        for lane in self.v.iter_mut() {
+            *lane += dt;
+        }
+    }
+
+    // A twin with a *different* name does not satisfy the pairing.
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    fn propagate_scalar(&mut self, dt: f64) {
+        for lane in self.v.iter_mut() {
+            *lane += dt;
+        }
+    }
+}

@@ -400,6 +400,10 @@ fn fit_pass_uniform(
     for (i, f) in fitted.iter_mut().enumerate().take(n).skip(n - h) {
         *f = fit_local(xs, ys, robust, i, window);
     }
+    if first_pass {
+        fit_interior_first_pass(xs, ys, window, h, even, coeff_a, coeff_b, fitted);
+        return;
+    }
     for i in h..(n - h) {
         let x0 = xs[i];
         // Replicate the generic nearest-neighbour slide. For odd windows
@@ -408,14 +412,8 @@ fn fit_pass_uniform(
         // drift decides, so evaluate the same comparison on the same
         // values.
         // lint:allow(hot-index) i ranges over h..n - h, so i - h >= 0 and i + h < n
-        let (lo, coeff) = if even && (xs[i + h] - x0) < (x0 - xs[i - h]) {
-            (i - h + 1, coeff_b)
-        } else {
-            (i - h, coeff_a)
-        };
-        if first_pass {
-            fitted[i] = dot_window(coeff, &ys[lo..lo + window]); // lint:allow(hot-index) lo + window <= i + h + 1 <= n
-        } else {
+        let lo = if even && (xs[i + h] - x0) < (x0 - xs[i - h]) { i - h + 1 } else { i - h };
+        {
             let (mut sw, mut swx, mut swy, mut swxx, mut swxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
             for k in lo..lo + window {
                 let w = tri[k.abs_diff(i)] * robust[k];
@@ -440,6 +438,78 @@ fn fit_pass_uniform(
                 }
             };
         }
+    }
+}
+
+/// Interior fits of the unit-robustness pass. Each output is a fixed
+/// dot product, and consecutive outputs slide the same coefficient
+/// vector one sample along `ys`, so the blocked loop computes four
+/// outputs per traversal of `coeff`: every loaded `ys` band serves four
+/// accumulators instead of one, and the fused form vectorizes across
+/// the outputs. The per-output accumulation order differs from
+/// [`dot_window`] (sequential over the window instead of four-way
+/// chunks), which stays inside the fast path's ~1e-12 agreement
+/// contract with the generic reference.
+#[allow(clippy::too_many_arguments)]
+fn fit_interior_first_pass(
+    xs: &[f64],
+    ys: &[f64],
+    window: usize,
+    h: usize,
+    even: bool,
+    coeff_a: &[f64],
+    coeff_b: &[f64],
+    fitted: &mut [f64],
+) {
+    let n = xs.len();
+    // The generic nearest-neighbour slide (see `fit_pass_uniform`): odd
+    // windows always take the symmetric variant; even windows end on an
+    // exact-tie comparison that rounding drift decides.
+    // lint:allow(hot-index) callers keep i in h..n - h, so i - h >= 0 and i + h < n
+    let slide_b = |i: usize| even && (xs[i + h] - xs[i]) < (xs[i] - xs[i - h]);
+    let fit_one = |i: usize, fitted: &mut [f64]| {
+        let (lo, coeff) = if slide_b(i) { (i - h + 1, coeff_b) } else { (i - h, coeff_a) };
+        fitted[i] = dot_window(coeff, &ys[lo..lo + window]); // lint:allow(hot-index) lo + window <= i + h + 1 <= n
+    };
+    let mut i = h;
+    while i + 3 < n - h {
+        let b0 = slide_b(i);
+        if slide_b(i + 1) != b0 || slide_b(i + 2) != b0 || slide_b(i + 3) != b0 {
+            // Mixed tie outcomes (at most a handful of points per grid):
+            // take the one-output path until the block realigns.
+            fit_one(i, fitted);
+            i += 1;
+            continue;
+        }
+        let lo = if b0 { i - h + 1 } else { i - h };
+        let coeff = if b0 { coeff_b } else { coeff_a };
+        let hi = lo + window + 3;
+        if hi > n {
+            // Unreachable given i + 3 < n - h; keeps the kernel
+            // panic-free if the slide bounds ever change.
+            fit_one(i, fitted);
+            i += 1;
+            continue;
+        }
+        let win = &ys[lo..hi];
+        let i4 = i + 4;
+        let out = &mut fitted[i..i4];
+        let (mut acc0, mut acc1, mut acc2, mut acc3) = (0.0f64, 0.0, 0.0, 0.0);
+        for (c, y) in coeff.iter().zip(win.windows(4)) {
+            acc0 += c * y[0];
+            acc1 += c * y[1];
+            acc2 += c * y[2];
+            acc3 += c * y[3];
+        }
+        out[0] = acc0;
+        out[1] = acc1;
+        out[2] = acc2;
+        out[3] = acc3;
+        i = i4;
+    }
+    while i < n - h {
+        fit_one(i, fitted);
+        i += 1;
     }
 }
 
@@ -583,6 +653,32 @@ mod tests {
             let generic = lowess(&xs, &ys, cfg.generic_only()).unwrap();
             let diff = max_abs_diff(&fast, &generic);
             assert!(diff < 1e-12, "n={n} frac={frac} iters={iters}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn blocked_first_pass_matches_generic_on_accumulated_grid() {
+        // Accumulated `t += dt` timestamps (how real sensor logs are
+        // built) let the even-window tie comparison flip between
+        // variants mid-grid, exercising the blocked kernel's mixed-tie
+        // one-output fallback as well as its aligned four-output path.
+        let mut t = 0.0f64;
+        let xs: Vec<f64> = (0..4000)
+            .map(|_| {
+                let v = t;
+                t += 0.02;
+                v
+            })
+            .collect();
+        let ys: Vec<f64> =
+            (0..4000).map(|i| (i as f64 * 0.37).sin() + 0.5 * (i as f64 * 1.7).cos()).collect();
+        // Odd and even windows.
+        for frac in [0.01125, 0.0125] {
+            let cfg = LowessConfig { fraction: frac, robust_iterations: 0, force_generic: false };
+            let fast = lowess(&xs, &ys, cfg).unwrap();
+            let generic = lowess(&xs, &ys, cfg.generic_only()).unwrap();
+            let diff = max_abs_diff(&fast, &generic);
+            assert!(diff < 1e-12, "frac={frac}: diff {diff}");
         }
     }
 

@@ -178,31 +178,53 @@ pub fn steering_rate_profile_into(
         (Some(&lt), Some(&lw)) => Some((fix_times[0], fix_wroad[0], lt, lw)),
         _ => None,
     };
+    // Segment sweep over the non-decreasing IMU timestamps: instead of
+    // re-deciding clamp-vs-interpolate and re-loading the bracketing fix
+    // per sample, emit each region in its own tight loop with the
+    // segment endpoints hoisted. Per sample the arithmetic is exactly
+    // the cursor-scan form this replaces (same clamp, same per-sample
+    // division), so the output is bit-identical — asserted by
+    // `segment_sweep_matches_reference`.
+    let n = t.len();
+    let mut idx = 0usize;
+    let Some((first_t, first_w, last_t, last_w)) = ends else {
+        // No fixes (or no map): w_road is 0 everywhere.
+        out_w.extend(gyro_z.iter().map(|&gz| gz - 0.0));
+        return;
+    };
+    // Head clamp: everything at or before the first fix.
+    while idx < n && t[idx] <= first_t {
+        out_w.push(gyro_z[idx] - first_w);
+        idx += 1;
+    }
+    // Interior: linearly interpolate w_road between fixes; a zero-order
+    // hold would inject sign-flip transients at curve transitions that
+    // look like steering bumps.
     let mut cursor = 0usize;
-    for (&ti, &gz) in t.iter().zip(gyro_z) {
-        // Linearly interpolate w_road between fixes (clamped at the ends);
-        // a zero-order hold would inject sign-flip transients at curve
-        // transitions that look like steering bumps.
-        let w_road = match ends {
-            None => 0.0,
-            Some((first_t, first_w, _, _)) if ti <= first_t => first_w,
-            Some((_, _, last_t, last_w)) if ti >= last_t => last_w,
-            Some(_) => {
-                // `cursor + 1` stays in bounds: the while condition
-                // checks it, and the `ti >= last_t` arm above means the
-                // scan stops before the final fix.
-                // lint:allow(hot-index) left operand of && proves cursor + 1 < len
-                while cursor + 1 < fix_times.len() && fix_times[cursor + 1] <= ti {
-                    cursor += 1;
-                }
-                let t0 = fix_times[cursor];
-                let t1 = fix_times[cursor + 1]; // lint:allow(hot-index) while-loop condition bounds cursor + 1
-                let u = ((ti - t0) / (t1 - t0)).clamp(0.0, 1.0);
-                let w1 = fix_wroad[cursor + 1]; // lint:allow(hot-index) fix_wroad grows in lockstep with fix_times
-                fix_wroad[cursor] * (1.0 - u) + w1 * u
-            }
-        };
-        out_w.push(gz - w_road);
+    while idx < n && t[idx] < last_t {
+        // `cursor + 1` stays in bounds: the while condition checks it,
+        // and `t[idx] < last_t` means the scan stops before the final
+        // fix.
+        // lint:allow(hot-index) left operand of && proves cursor + 1 < len
+        while cursor + 1 < fix_times.len() && fix_times[cursor + 1] <= t[idx] {
+            cursor += 1;
+        }
+        let t0 = fix_times[cursor];
+        let t1 = fix_times[cursor + 1]; // lint:allow(hot-index) the scan above leaves cursor + 1 <= len - 1
+        let w0 = fix_wroad[cursor];
+        let w1 = fix_wroad[cursor + 1]; // lint:allow(hot-index) fix_wroad grows in lockstep with fix_times
+                                        // After the scan, t1 > t[idx] (the final fix time is last_t),
+                                        // so this inner loop always advances — no livelock.
+        while idx < n && t[idx] < last_t && t[idx] < t1 {
+            let u = ((t[idx] - t0) / (t1 - t0)).clamp(0.0, 1.0);
+            out_w.push(gyro_z[idx] - (w0 * (1.0 - u) + w1 * u));
+            idx += 1;
+        }
+    }
+    // Tail clamp: everything at or after the last fix.
+    while idx < n {
+        out_w.push(gyro_z[idx] - last_w);
+        idx += 1;
     }
 }
 
@@ -355,6 +377,79 @@ mod tests {
             assert_eq!(t, ct);
             assert_eq!(pw, cw);
         }
+    }
+
+    /// The per-sample cursor scan the segment sweep replaced, kept as
+    /// the test oracle: one clamp-vs-interpolate decision per sample.
+    fn reference_profile(t: &[f64], gyro_z: &[f64], gps: &[GpsSample], route: &Route) -> Vec<f64> {
+        let mut scratch = WRoadScratch::default();
+        let mut sink = Vec::new();
+        // Reuse the production fix staging (identical by construction),
+        // then replay the original per-sample lookup.
+        steering_rate_profile_into(t, gyro_z, gps, Some(route), &mut scratch, &mut sink);
+        let (fix_times, fix_wroad) = (&scratch.fix_times, &scratch.fix_wroad);
+        let ends = match (fix_times.last(), fix_wroad.last()) {
+            (Some(&lt), Some(&lw)) => Some((fix_times[0], fix_wroad[0], lt, lw)),
+            _ => None,
+        };
+        let mut cursor = 0usize;
+        let mut out = Vec::with_capacity(t.len());
+        for (&ti, &gz) in t.iter().zip(gyro_z) {
+            let w_road = match ends {
+                None => 0.0,
+                Some((first_t, first_w, _, _)) if ti <= first_t => first_w,
+                Some((_, _, last_t, last_w)) if ti >= last_t => last_w,
+                Some(_) => {
+                    while cursor + 1 < fix_times.len() && fix_times[cursor + 1] <= ti {
+                        cursor += 1;
+                    }
+                    let t0 = fix_times[cursor];
+                    let t1 = fix_times[cursor + 1];
+                    let u = ((ti - t0) / (t1 - t0)).clamp(0.0, 1.0);
+                    fix_wroad[cursor] * (1.0 - u) + fix_wroad[cursor + 1] * u
+                }
+            };
+            out.push(gz - w_road);
+        }
+        out
+    }
+
+    #[test]
+    fn segment_sweep_matches_reference() {
+        // The hoisted three-phase sweep must reproduce the per-sample
+        // cursor scan bit for bit, including samples clamped before the
+        // first fix and after the last one.
+        let route = Route::new(vec![s_curve_road(150.0, 50.0)]).unwrap();
+        let traj = simulate_trip(&route, &quiet_cfg(), 36);
+        let log = SensorSuite::new(SensorConfig::default()).run(&traj, 36);
+        let cols = crate::columnar::ImuColumns::from_samples(&log.imu);
+
+        let mut scratch = WRoadScratch::default();
+        let mut fused = Vec::new();
+        let mut check = |gps: &[GpsSample]| {
+            steering_rate_profile_into(
+                &cols.t,
+                &cols.gyro_z,
+                gps,
+                Some(&route),
+                &mut scratch,
+                &mut fused,
+            );
+            let expected = reference_profile(&cols.t, &cols.gyro_z, gps, &route);
+            assert_eq!(fused, expected);
+        };
+        // Full fix sequence.
+        check(&log.gps);
+        // A truncated fix window forces head and tail clamp regions to
+        // cover real samples on both sides.
+        let inner: Vec<GpsSample> =
+            log.gps.iter().filter(|g| g.t > 30.0 && g.t < 90.0).cloned().collect();
+        assert!(!inner.is_empty());
+        check(&inner);
+        // A single fix degenerates to pure clamping (no interior).
+        check(&inner[..1]);
+        // No fixes at all: the raw gyro passes through.
+        check(&[]);
     }
 
     #[test]

@@ -12,22 +12,27 @@
 #   2. cargo fmt --check               — formatting drift
 #   3. gradest-lint                    — workspace invariants (no-panic /
 #                                        no-alloc-into / float hygiene /
-#                                        sync-comment audit), deny-by-default
+#                                        sync-comment audit / simd scalar
+#                                        twins), deny-by-default
+#   4. gradest-core --features simd    — both cfg halves of the SoA EKF
+#                                        lanes: the featureless steps
+#                                        above cover the scalar fallback;
+#                                        this one tests the SSE2 twins
 #
 # Default path adds:
-#   4. pipeline_hotpath_smoke          — zero warm-path allocations (plain AND
+#   5. pipeline_hotpath_smoke          — zero warm-path allocations (plain AND
 #                                        recorded), fast-vs-generic LOWESS
 #                                        agreement, recorder bit-identity,
 #                                        lint/runtime module-list agreement
 #
 # Deep path (--deep, opt-in because of runtime) adds:
-#   5. loom model checks               — CloudAggregator upload shard protocol
+#   6. loom model checks               — CloudAggregator upload shard protocol
 #                                        and fleet shutdown/drain ordering under
 #                                        randomised schedule perturbation
-#   6. Miri (subset)                   — UB check on gradest-core; probed and
+#   7. Miri (subset)                   — UB check on gradest-core; probed and
 #                                        SKIPped when the nightly component is
 #                                        not installed (offline containers)
-#   7. ThreadSanitizer                 — data-race check on the loom suite;
+#   8. ThreadSanitizer                 — data-race check on the loom suite;
 #                                        probed and SKIPped without rust-src
 #                                        (needs -Zbuild-std)
 #
@@ -88,6 +93,11 @@ run_step "fmt" cargo fmt --check
 # Workspace invariant linter: deny-by-default, every suppression needs
 # an in-source `lint:allow(<rule>) reason`.
 run_step "gradest-lint" cargo run --release -q -p gradest-lint
+# The EKF-lane kernels carry scalar/SSE2 twins behind the `simd`
+# feature. The featureless steps above already exercise the scalar
+# fallback (the default build); this step compiles and tests the
+# intrinsics half so neither cfg path can rot unnoticed.
+run_step "gradest-core (--features simd)" cargo test -q -p gradest-core --features simd
 
 # --- default steps -----------------------------------------------------------
 if [[ "$MODE" != quick ]]; then
