@@ -7,12 +7,12 @@
 //! cargo run --release -p gradest-bench --bin bench-gate -- --inject-regression
 //! ```
 //!
-//! Re-runs the `pipeline_hotpath`, `fleet_scaling`, and
-//! `kernel_microbench` experiments, extracts the gated latency metrics
-//! (benchmark medians plus the per-stage span means from each result's
-//! embedded obs `RunReport`), and diffs them against
-//! `BENCH_pipeline.json` / `BENCH_fleet.json` / `BENCH_kernels.json`
-//! at the repository root. Exit codes: 0 all metrics within tolerance,
+//! Re-runs the `pipeline_hotpath`, `fleet_scaling`,
+//! `kernel_microbench`, and `geo_index` experiments, extracts the
+//! gated latency metrics (benchmark medians plus the per-stage span
+//! means from each result's embedded obs `RunReport`), and diffs them
+//! against `BENCH_pipeline.json` / `BENCH_fleet.json` /
+//! `BENCH_kernels.json` / `BENCH_geo.json` at the repository root. Exit codes: 0 all metrics within tolerance,
 //! 1 at least one regression or missing metric, 2 usage or missing
 //! baseline files.
 //!
@@ -27,7 +27,7 @@
 //! after measurement — a self-test hook proving the gate actually
 //! fails (used by `scripts/bench-gate.sh --self-test`).
 
-use gradest_bench::experiments::{fleet_bench, kernels, pipeline_hotpath};
+use gradest_bench::experiments::{fleet_bench, geo_index, kernels, pipeline_hotpath};
 use gradest_bench::gate::{self, GateReport, MetricSpec, DEFAULT_TOLERANCE};
 use gradest_bench::perfbench::alloc_counter;
 use gradest_bench::report::print_table;
@@ -75,6 +75,12 @@ const FLEET_SEED: u64 = 900;
 /// `gradest-experiments` binary).
 const KERNEL_SEED: u64 = 77;
 const KERNEL_SAMPLES: usize = 5;
+/// Geo index tier parameters (mirrors `geo_index` in the
+/// `gradest-experiments` binary): a 200 km country network keeps the
+/// gate fast while still exercising the packed-tree traversal depth.
+const GEO_SEED: u64 = 77;
+const GEO_TARGET_KM: f64 = 200.0;
+const GEO_SAMPLES: usize = 3;
 
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -164,14 +170,16 @@ fn main() -> ExitCode {
     let pipeline_path = root.join("BENCH_pipeline.json");
     let fleet_path = root.join("BENCH_fleet.json");
     let kernels_path = root.join("BENCH_kernels.json");
+    let geo_path = root.join("BENCH_geo.json");
 
-    let (baseline_pipeline, baseline_fleet, baseline_kernels) = match (
+    let (baseline_pipeline, baseline_fleet, baseline_kernels, baseline_geo) = match (
         load_baseline(&pipeline_path),
         load_baseline(&fleet_path),
         load_baseline(&kernels_path),
+        load_baseline(&geo_path),
     ) {
-        (Ok(p), Ok(f), Ok(k)) => (p, f, k),
-        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+        (Ok(p), Ok(f), Ok(k), Ok(g)) => (p, f, k, g),
+        (Err(e), _, _, _) | (_, Err(e), _, _) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
             eprintln!("bench-gate: {e}");
             return ExitCode::from(2);
         }
@@ -192,14 +200,17 @@ fn main() -> ExitCode {
     println!(
         "bench-gate: pipeline(seed={PIPELINE_SEED}, samples={PIPELINE_SAMPLES}), \
          fleet(seed={FLEET_SEED}, trips={trips}, workers={workers}), \
-         kernels(seed={KERNEL_SEED}, samples={KERNEL_SAMPLES})"
+         kernels(seed={KERNEL_SEED}, samples={KERNEL_SAMPLES}), \
+         geo(seed={GEO_SEED}, target_km={GEO_TARGET_KM}, samples={GEO_SAMPLES})"
     );
     let pipeline_run = pipeline_hotpath::run(PIPELINE_SEED, PIPELINE_SAMPLES);
     let fleet_run = fleet_bench::run(FLEET_SEED, trips, workers);
     let kernels_run = kernels::run(KERNEL_SEED, KERNEL_SAMPLES);
+    let geo_run = geo_index::run(GEO_SEED, GEO_TARGET_KM, GEO_SAMPLES);
     let current_pipeline = serde_json::to_value(&pipeline_run);
     let current_fleet = serde_json::to_value(&fleet_run);
     let current_kernels = serde_json::to_value(&kernels_run);
+    let current_geo = serde_json::to_value(&geo_run);
 
     if args.update {
         let write = |path: &Path, value: &Value| match std::fs::write(
@@ -217,18 +228,20 @@ fn main() -> ExitCode {
         };
         let ok = write(&pipeline_path, &current_pipeline)
             & write(&fleet_path, &current_fleet)
-            & write(&kernels_path, &current_kernels);
+            & write(&kernels_path, &current_kernels)
+            & write(&geo_path, &current_geo);
         return if ok { ExitCode::SUCCESS } else { ExitCode::from(2) };
     }
 
-    let (Some(baseline_pipeline), Some(baseline_fleet), Some(baseline_kernels)) =
-        (baseline_pipeline, baseline_fleet, baseline_kernels)
+    let (Some(baseline_pipeline), Some(baseline_fleet), Some(baseline_kernels), Some(baseline_geo)) =
+        (baseline_pipeline, baseline_fleet, baseline_kernels, baseline_geo)
     else {
         eprintln!(
-            "bench-gate: missing baseline(s) {} / {} / {} — run with --update to create them",
+            "bench-gate: missing baseline(s) {} / {} / {} / {} — run with --update to create them",
             pipeline_path.display(),
             fleet_path.display(),
-            kernels_path.display()
+            kernels_path.display(),
+            geo_path.display()
         );
         return ExitCode::from(2);
     };
@@ -263,8 +276,19 @@ fn main() -> ExitCode {
         args.tolerance,
         inject,
     );
+    let geo_report = gate_suite(
+        "Geo index vs BENCH_geo.json",
+        &baseline_geo,
+        &current_geo,
+        gate::GEO_METRICS,
+        args.tolerance,
+        inject,
+    );
 
-    let failures = pipeline_report.failures() + fleet_report.failures() + kernels_report.failures();
+    let failures = pipeline_report.failures()
+        + fleet_report.failures()
+        + kernels_report.failures()
+        + geo_report.failures();
     if failures == 0 {
         println!("\nbench-gate: PASS — all metrics within ±{:.0}%", args.tolerance * 100.0);
         ExitCode::SUCCESS

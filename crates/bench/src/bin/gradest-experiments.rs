@@ -95,6 +95,7 @@ fn main() {
         pipeline_hotpath::print_report(&pipeline_hotpath::run(77, 5))
     });
     run_exp("kernel_microbench", &mut || kernels::print_report(&kernels::run(77, 5)));
+    run_exp("geo_index", &mut || geo_index::print_report(&geo_index::run(77, 200.0, 3)));
 
     // CI smoke gate: exact-name only, so plain `pipeline_hotpath` runs
     // don't trigger it. One trip, and the warm path must not allocate —
@@ -120,6 +121,25 @@ fn main() {
         assert!(r.traced_bit_identical, "trace ring changed the estimate");
         assert!(r.trace_overflow_dropped > 0, "overflowing ring did not count drops");
         pipeline_hotpath::print_report(&r);
+        ran += 1;
+    }
+
+    // Spatial-index smoke gate: exact-name only. A country-scale
+    // network (≥ 10⁵ segments) where the packed tree must beat the
+    // brute-force oracle ≥ 10x at identical answers, with zero heap
+    // allocations per warm query.
+    if filter.iter().any(|f| f == "geo_index_smoke") {
+        println!("\n################ geo_index_smoke ################");
+        let r = geo_index::run(77, 1000.0, 1);
+        assert!(r.segments >= 100_000, "expected >= 1e5 segments, got {}", r.segments);
+        assert!(r.nearest_matches_oracle, "indexed nearest diverged from brute force");
+        assert!(
+            r.nearest_speedup_vs_oracle >= 10.0,
+            "index only {:.1}x faster than linear scan",
+            r.nearest_speedup_vs_oracle
+        );
+        assert_eq!(r.allocs_per_query_warm, Some(0), "warm nearest query allocated");
+        geo_index::print_report(&r);
         ran += 1;
     }
 

@@ -14,6 +14,7 @@ pub mod fig8a;
 pub mod fig8b;
 pub mod fig9;
 pub mod fleet_bench;
+pub mod geo_index;
 pub mod headline_fuel;
 pub mod kernels;
 pub mod lane_accuracy;

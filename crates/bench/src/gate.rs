@@ -110,6 +110,29 @@ pub const KERNEL_METRICS: &[MetricSpec] = &[
     },
 ];
 
+/// Gated metrics of the `geo_index` experiment (`BENCH_geo.json`):
+/// index build and the three query-path medians. The oracle scan is
+/// reported but not gated — it exists as the comparison point for the
+/// speedup figure, not as a hot path.
+pub const GEO_METRICS: &[MetricSpec] = &[
+    MetricSpec {
+        name: "geo/index_build",
+        source: MetricSource::Path(&["index_build", "median_ns_per_op"]),
+    },
+    MetricSpec {
+        name: "geo/nearest_query_hot",
+        source: MetricSource::Path(&["nearest_query_hot", "median_ns_per_op"]),
+    },
+    MetricSpec {
+        name: "geo/bbox_query",
+        source: MetricSource::Path(&["bbox_query", "median_ns_per_op"]),
+    },
+    MetricSpec {
+        name: "geo/network_match_trip",
+        source: MetricSource::Path(&["network_match_trip", "median_ns_per_op"]),
+    },
+];
+
 /// Reads the metrics named by `specs` out of an experiment document.
 /// A metric the document does not contain extracts as `None` (and
 /// later fails the comparison) rather than aborting the whole gate.

@@ -19,13 +19,26 @@
 use crate::cloud::CloudAggregator;
 use crate::pipeline::{GradientEstimate, GradientEstimator};
 use crossbeam::channel;
+use gradest_geo::index::NetworkIndex;
+use gradest_geo::network::RoadNetwork;
 use gradest_geo::Route;
 use gradest_obs::{
     saturating_ns, Counter, Histogram, NoopRecorder, Recorder, Span, SpanTimer, TraceEvent,
 };
 use gradest_sensors::suite::SensorLog;
+use gradest_sensors::NetworkMatcher;
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// How batch trips obtain their map geometry.
+#[derive(Debug, Clone, Copy)]
+enum MapMode<'a> {
+    /// Every trip shares one known route (or drives unmapped).
+    Shared(Option<&'a Route>),
+    /// Each trip is free-space map-matched against a whole network
+    /// through its spatial index; the recovered route is its map.
+    Network(&'a RoadNetwork, &'a NetworkIndex),
+}
 
 /// A multi-trip estimation engine running a fixed worker pool.
 ///
@@ -92,7 +105,38 @@ impl FleetEngine {
         rec: &R,
     ) -> Vec<GradientEstimate> {
         let mut out = Vec::with_capacity(logs.len());
-        self.run_pool(logs, map, None, rec, |_, est| out.push(est));
+        self.run_pool(logs, MapMode::Shared(map), None, rec, |_, est| out.push(est));
+        out
+    }
+
+    /// Estimates every trip in the batch with **network matching**: no
+    /// shared route is supplied; instead each worker free-space
+    /// map-matches its trip's GPS trace against `net` through `index`
+    /// (exact nearest-edge queries, Dijkstra route recovery) and runs
+    /// estimation with the recovered route as the trip's map. Results
+    /// come back in submission order, bit-identical for any worker
+    /// count.
+    pub fn process_batch_network(
+        &self,
+        logs: &[SensorLog],
+        net: &RoadNetwork,
+        index: &NetworkIndex,
+    ) -> Vec<GradientEstimate> {
+        self.process_batch_network_recorded(logs, net, index, &NoopRecorder)
+    }
+
+    /// [`Self::process_batch_network`] reporting to an observability
+    /// [`Recorder`]: each trip's match time is recorded under the
+    /// `network-match-trip` span alongside the usual pool activity.
+    pub fn process_batch_network_recorded<R: Recorder>(
+        &self,
+        logs: &[SensorLog],
+        net: &RoadNetwork,
+        index: &NetworkIndex,
+        rec: &R,
+    ) -> Vec<GradientEstimate> {
+        let mut out = Vec::with_capacity(logs.len());
+        self.run_pool(logs, MapMode::Network(net, index), None, rec, |_, est| out.push(est));
         out
     }
 
@@ -105,7 +149,7 @@ impl FleetEngine {
     where
         F: FnMut(usize, GradientEstimate),
     {
-        self.run_pool(logs, map, None, &NoopRecorder, on_result);
+        self.run_pool(logs, MapMode::Shared(map), None, &NoopRecorder, on_result);
     }
 
     /// [`Self::process_streaming`] reporting to an observability
@@ -120,7 +164,7 @@ impl FleetEngine {
         R: Recorder,
         F: FnMut(usize, GradientEstimate),
     {
-        self.run_pool(logs, map, None, rec, on_result);
+        self.run_pool(logs, MapMode::Shared(map), None, rec, on_result);
     }
 
     /// [`Self::process_batch`] with cloud fan-in: each worker uploads
@@ -162,14 +206,16 @@ impl FleetEngine {
     ) -> Vec<GradientEstimate> {
         assert_eq!(road_ids.len(), logs.len(), "one road id per trip");
         let mut out = Vec::with_capacity(logs.len());
-        self.run_pool(logs, map, Some((road_ids, cloud)), rec, |_, est| out.push(est));
+        self.run_pool(logs, MapMode::Shared(map), Some((road_ids, cloud)), rec, |_, est| {
+            out.push(est)
+        });
         out
     }
 
     fn run_pool<R, F>(
         &self,
         logs: &[SensorLog],
-        map: Option<&Route>,
+        map: MapMode<'_>,
         cloud: Option<(&[u64], &CloudAggregator)>,
         rec: &R,
         mut on_result: F,
@@ -202,6 +248,12 @@ impl FleetEngine {
                     // One warm scratch per worker: after the first trip,
                     // estimation reuses its buffers instead of the heap.
                     let mut scratch = crate::pipeline::EstimatorScratch::new();
+                    // Network mode keeps one matcher per worker so its
+                    // query scratch stays warm across trips.
+                    let mut net_matcher = match map {
+                        MapMode::Network(net, index) => Some(NetworkMatcher::new(net, index)),
+                        MapMode::Shared(_) => None,
+                    };
                     // Worker lifetime + busy time feed the utilization
                     // histogram; clock reads only when recording.
                     let spawned = if rec.enabled() { Some(Instant::now()) } else { None };
@@ -211,8 +263,25 @@ impl FleetEngine {
                         if rec.enabled() {
                             rec.event(TraceEvent::FleetJobStart { job: i as u32 });
                         }
-                        let est =
-                            estimator.estimate_with_recorded(&logs[i], map, &mut scratch, rec);
+                        let est = if let Some(matcher) = net_matcher.as_mut() {
+                            let tm = if rec.enabled() { Some(Instant::now()) } else { None };
+                            let matched = matcher.match_trip(&logs[i].gps);
+                            if let Some(tm) = tm {
+                                rec.record_span(Span::NetworkMatchTrip, saturating_ns(tm));
+                            }
+                            estimator.estimate_with_recorded(
+                                &logs[i],
+                                matched.route.as_ref(),
+                                &mut scratch,
+                                rec,
+                            )
+                        } else {
+                            let route = match map {
+                                MapMode::Shared(r) => r,
+                                MapMode::Network(..) => None,
+                            };
+                            estimator.estimate_with_recorded(&logs[i], route, &mut scratch, rec)
+                        };
                         if let Some((road_ids, cloud)) = cloud {
                             cloud.upload_recorded(road_ids[i], &est.fused, rec);
                         }
@@ -338,6 +407,42 @@ mod tests {
         assert_eq!(report.span("cloud-upload").map(|s| s.count), Some(6));
         // One utilization sample per worker (3 workers for 6 trips).
         assert_eq!(report.histogram("fleet-worker-utilization").map(|h| h.count), Some(3));
+    }
+
+    #[test]
+    fn network_mode_matches_trips_and_is_bit_identical_across_workers() {
+        use gradest_geo::generate::city_network;
+        use gradest_geo::index::NetworkIndex;
+        let net = city_network(13);
+        let index = NetworkIndex::build(&net);
+        // Trips on distinct network routes, simulated without telling the
+        // engine which route each trip drove.
+        let logs: Vec<SensorLog> = [(0usize, 25usize), (40, 70), (15, 88)]
+            .iter()
+            .enumerate()
+            .map(|(k, &(a, b))| {
+                let route = net.route_between(a, b, |r| r.length()).expect("grid is connected");
+                let traj = simulate_trip(&route, &TripConfig::default(), 60 + k as u64);
+                SensorSuite::new(SensorConfig::default()).run(&traj, 60 + k as u64)
+            })
+            .collect();
+        let estimator = GradientEstimator::new(EstimatorConfig::default());
+        let serial =
+            FleetEngine::new(estimator.clone(), 1).process_batch_network(&logs, &net, &index);
+        let parallel = FleetEngine::new(estimator, 4).process_batch_network(&logs, &net, &index);
+        assert_eq!(serial.len(), logs.len());
+        assert_eq!(serial, parallel, "network matching must stay deterministic");
+        for est in &serial {
+            assert!(!est.fused.is_empty());
+        }
+        // Recorded run reports one match span per trip.
+        let rec = gradest_obs::RunRecorder::new();
+        let engine = FleetEngine::new(GradientEstimator::new(EstimatorConfig::default()), 2);
+        let recorded = engine.process_batch_network_recorded(&logs, &net, &index, &rec);
+        assert_eq!(recorded, serial, "recording must not perturb network-mode output");
+        let report = rec.report();
+        assert_eq!(report.span("network-match-trip").map(|s| s.count), Some(3));
+        assert_eq!(report.span("fleet-worker-trip").map(|s| s.count), Some(3));
     }
 
     #[test]

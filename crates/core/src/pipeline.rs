@@ -180,6 +180,7 @@ pub const WARM_PATH_MODULES: &[&str] = &[
     "core::steering",
     "core::smoother",
     "core::track",
+    "geo::index",
     "math::lowess",
     "math::interp",
     "math::signal",

@@ -10,6 +10,9 @@
 //!   S-curve discrimination (Figure 5).
 //! * [`city_network`] — a ~165 km city road network over rolling-hills
 //!   terrain (Figure 7(a) stand-in).
+//! * [`country_network`] — a multi-city network scaled to a caller-chosen
+//!   total length (10⁵–10⁶ centerline segments), for spatial-index and
+//!   fleet network-matching workloads.
 
 use crate::network::RoadNetwork;
 use crate::polyline::Polyline;
@@ -209,6 +212,142 @@ pub fn city_network(seed: u64) -> RoadNetwork {
     net
 }
 
+/// Generates a deterministic multi-city road network totalling
+/// approximately `target_km` of road (within ~±20 %).
+///
+/// Cities are jittered square grids of ~1 km blocks (the
+/// [`city_network`] recipe) laid out on a super-grid and joined by
+/// straight highways between facing border intersections, all draped
+/// over one shared rolling-hills terrain so altitude is continuous at
+/// city boundaries. Roads are draped every 10 m, so the network carries
+/// ≈100 centerline segments per km: `target_km = 1000` yields a
+/// ≥10⁵-segment index workload, `target_km = 10_000` a 10⁶-segment one.
+/// Deterministic in `seed` (same seed, same network, byte for byte).
+///
+/// # Panics
+///
+/// Panics if `target_km < 20` or is not finite.
+pub fn country_network(seed: u64, target_km: f64) -> RoadNetwork {
+    assert!(target_km.is_finite() && target_km >= 20.0, "country needs at least 20 km");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let terrain = hilly_terrain(seed);
+    let spacing = 1000.0;
+
+    // A k×k city grid has 2k(k−1) edges of ~1.02 km. Cap cities at
+    // ~185 km so one city stays city_network-sized, then solve for k.
+    let cities = (target_km / 185.0).ceil().max(1.0) as usize;
+    let per_city_km = target_km / cities as f64;
+    let k = ((1.0 + (1.0 + 2.0 * per_city_km / 1.02).sqrt()) / 2.0).round() as usize;
+    let k = k.clamp(2, 12);
+    let super_cols = (cities as f64).sqrt().ceil() as usize;
+    let city_span = k as f64 * spacing;
+    let gap = 4000.0;
+
+    let mut net = RoadNetwork::new();
+    let mut edge_id = 100_000u64;
+    let mut add_road = |net: &mut RoadNetwork,
+                        rng: &mut StdRng,
+                        a: usize,
+                        b: usize,
+                        class: RoadClass| {
+        let pa = net.nodes()[a];
+        let pb = net.nodes()[b];
+        let n = ((pb - pa).norm() / 50.0).ceil() as usize;
+        let perp =
+            (pb - pa).rotated(std::f64::consts::FRAC_PI_2).normalized().expect("distinct nodes");
+        // Highways run straight; city streets bow like city_network's.
+        let amp: f64 = if class == RoadClass::Highway { 0.0 } else { rng.gen_range(-60.0..60.0) };
+        let pts: Vec<Vec2> = (0..=n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                pa.lerp(pb, t) + perp * (amp * (std::f64::consts::PI * t).sin())
+            })
+            .collect();
+        let line = Polyline::new(pts).expect("centerline is valid");
+        edge_id += 1;
+        let road = Road::over_terrain(
+            edge_id,
+            format!("cn-{edge_id}"),
+            &line,
+            &terrain,
+            10.0,
+            class.default_lanes(),
+            class,
+        )
+        .expect("draped road is valid");
+        net.add_edge(a, b, road).expect("endpoints coincide with nodes");
+    };
+
+    // Per-city node grids, kept so highways can pick border nodes.
+    let mut city_nodes: Vec<Vec<Vec<usize>>> = Vec::with_capacity(cities);
+    for ci in 0..cities {
+        let origin = Vec2::new(
+            (ci % super_cols) as f64 * (city_span + gap),
+            (ci / super_cols) as f64 * (city_span + gap),
+        );
+        let mut ids = vec![vec![0usize; k]; k];
+        for (r, row_ids) in ids.iter_mut().enumerate() {
+            for (c, id) in row_ids.iter_mut().enumerate() {
+                let jitter = Vec2::new(rng.gen_range(-80.0..80.0), rng.gen_range(-80.0..80.0));
+                let p = origin + Vec2::new(c as f64 * spacing, r as f64 * spacing) + jitter;
+                *id = net.add_node(p);
+            }
+        }
+        for r in 0..k {
+            for c in 0..k {
+                if c + 1 < k {
+                    let class = if r % 3 == 0 {
+                        RoadClass::Arterial
+                    } else if r % 2 == 0 {
+                        RoadClass::Collector
+                    } else {
+                        RoadClass::Local
+                    };
+                    add_road(&mut net, &mut rng, ids[r][c], ids[r][c + 1], class);
+                }
+                if r + 1 < k {
+                    let class = if c % 3 == 0 {
+                        RoadClass::Arterial
+                    } else if c % 2 == 0 {
+                        RoadClass::Collector
+                    } else {
+                        RoadClass::Local
+                    };
+                    add_road(&mut net, &mut rng, ids[r][c], ids[r + 1][c], class);
+                }
+            }
+        }
+        city_nodes.push(ids);
+    }
+
+    // Straight highways between facing border nodes of adjacent cities
+    // (east and south neighbours on the super-grid keep it connected).
+    let mid = k / 2;
+    for ci in 0..cities {
+        let col = ci % super_cols;
+        let east = ci + 1;
+        if col + 1 < super_cols && east < cities {
+            let a = city_nodes[ci][mid][k - 1];
+            let b = city_nodes[east][mid][0];
+            add_road(&mut net, &mut rng, a, b, RoadClass::Highway);
+        }
+        let south = ci + super_cols;
+        if south < cities {
+            let a = city_nodes[ci][k - 1][mid];
+            let b = city_nodes[south][0][mid];
+            add_road(&mut net, &mut rng, a, b, RoadClass::Highway);
+        }
+        // Row-major layout can leave the last, partially-filled super
+        // row disconnected from a short first row; tie row ends too.
+        if col + 1 == super_cols && east < cities {
+            let a = city_nodes[ci][k - 1][mid];
+            let b = city_nodes[east][0][mid];
+            add_road(&mut net, &mut rng, a, b, RoadClass::Highway);
+        }
+    }
+    net
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +457,37 @@ mod tests {
             .edges()
             .iter()
             .any(|e| e.road.class() == RoadClass::Arterial && e.road.lanes_at(100.0) >= 2));
+    }
+
+    #[test]
+    fn country_network_hits_target_length() {
+        for target in [60.0, 400.0] {
+            let net = country_network(5, target);
+            let km = net.total_length_km();
+            assert!((km - target).abs() / target < 0.25, "target {target} km, got {km} km");
+            assert!(net.is_connected(), "{target} km country must be connected");
+        }
+    }
+
+    #[test]
+    fn country_network_is_deterministic() {
+        let a = country_network(11, 350.0);
+        let b = country_network(11, 350.0);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.total_length_km(), b.total_length_km());
+        // Byte-for-byte geometry, not just aggregate length.
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!(ea.road.centerline().points(), eb.road.centerline().points());
+        }
+        let c = country_network(12, 350.0);
+        assert_ne!(a.total_length_km(), c.total_length_km());
+    }
+
+    #[test]
+    fn country_network_has_highways_between_cities() {
+        let net = country_network(3, 400.0);
+        assert!(net.edges().iter().any(|e| e.road.class() == RoadClass::Highway));
     }
 
     #[test]

@@ -1,0 +1,812 @@
+//! Packed static spatial index over road networks.
+//!
+//! The paper's city-scale evaluation (Figure 7a) covers 164.8 km; the
+//! crowd-sourced workload the ROADMAP targets needs every fleet trip
+//! map-matched against a country-scale network (10⁵–10⁶ polyline
+//! segments) and gradient-map tiles served by bounding-box query. A
+//! linear scan over the segment list is O(n) per fix; this module
+//! provides the sublinear substrate:
+//!
+//! * [`PackedRtree`] — a build-once, flatbush-style packed R-tree:
+//!   item AABBs are sorted by the Hilbert value of their centers,
+//!   grouped into fixed-fanout nodes, and packed level-by-level into
+//!   one flat `Vec`. No pointers, no per-query allocation — queries
+//!   walk the tree through caller-owned [`QueryScratch`].
+//! * [`SegmentIndex`] — the R-tree specialised to line segments with
+//!   exact closed-form point-to-segment projection at the leaves.
+//! * [`NetworkIndex`] — both trees over a [`RoadNetwork`]: one over
+//!   whole-edge AABBs (bounding-box retrieval for tiles) and one over
+//!   every centerline segment (nearest-edge / nearest-arc queries).
+//!
+//! Warm queries are allocation-free: the traversal stacks live in
+//! [`QueryScratch`] and retain their capacity across calls, which the
+//! `geo_index` experiment asserts with the counting allocator.
+
+use crate::network::RoadNetwork;
+use gradest_math::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in the local planar frame (metres).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum x (west edge).
+    pub min_x: f64,
+    /// Minimum y (south edge).
+    pub min_y: f64,
+    /// Maximum x (east edge).
+    pub max_x: f64,
+    /// Maximum y (north edge).
+    pub max_y: f64,
+}
+
+impl Aabb {
+    /// An inverted box that unions to any other box.
+    pub const EMPTY: Aabb = Aabb {
+        min_x: f64::INFINITY,
+        min_y: f64::INFINITY,
+        max_x: f64::NEG_INFINITY,
+        max_y: f64::NEG_INFINITY,
+    };
+
+    /// The box spanning two corner points (in any order).
+    pub fn of_corners(a: Vec2, b: Vec2) -> Aabb {
+        Aabb { min_x: a.x.min(b.x), min_y: a.y.min(b.y), max_x: a.x.max(b.x), max_y: a.y.max(b.y) }
+    }
+
+    /// The smallest box containing both operands.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Whether the two boxes overlap (closed intervals).
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min_x <= other.max_x
+            && self.max_x >= other.min_x
+            && self.min_y <= other.max_y
+            && self.max_y >= other.min_y
+    }
+
+    /// Center point of the box.
+    pub fn center(&self) -> Vec2 {
+        Vec2::new(0.5 * (self.min_x + self.max_x), 0.5 * (self.min_y + self.max_y))
+    }
+
+    /// Squared distance from `p` to the nearest point of the box
+    /// (0 when `p` is inside).
+    pub fn dist_sq(&self, p: Vec2) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        dx * dx + dy * dy
+    }
+}
+
+/// Tree fanout: children per internal node. 16 keeps the tree shallow
+/// (10⁶ leaves → 5 levels) while the per-node child sweep still fits a
+/// fixed-size candidate buffer on the nearest-query stack frame.
+const NODE_SIZE: usize = 16;
+
+/// Hilbert-curve order: centers are quantized to a 2¹⁶ × 2¹⁶ grid over
+/// the data bounds before computing curve positions.
+const HILBERT_ORDER: u32 = 16;
+
+/// Hilbert curve position of quantized cell `(x, y)` on the
+/// `2^HILBERT_ORDER` grid (the classic xy→d bit-interleave walk).
+fn hilbert_d(mut x: u32, mut y: u32) -> u64 {
+    let n: u32 = 1 << HILBERT_ORDER;
+    let mut d: u64 = 0;
+    let mut s = n >> 1;
+    while s > 0 {
+        let rx: u32 = u32::from(x & s > 0);
+        let ry: u32 = u32::from(y & s > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s >>= 1;
+    }
+    d
+}
+
+/// Reusable traversal state for [`PackedRtree`] queries.
+///
+/// Holds the bounding-box stack and the nearest-query priority stack;
+/// both retain capacity across queries, so a warm query allocates
+/// nothing. One scratch per querying thread.
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    /// (level, index-within-level) stack for bbox traversal.
+    stack: Vec<(u32, u32)>,
+    /// (min dist², level, index) stack for nearest traversal.
+    near: Vec<(f64, u32, u32)>,
+}
+
+impl QueryScratch {
+    /// Creates an empty scratch (stacks grow on first query).
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
+}
+
+/// A packed, build-once static R-tree over item bounding boxes.
+///
+/// Built bottom-up from a Hilbert sort of the item AABB centers:
+/// leaves land in curve order (spatially coherent), every
+/// [`NODE_SIZE`] consecutive boxes get one parent, and all levels pack
+/// into a single flat `Vec` (leaves first, root last). The tree is
+/// immutable after [`PackedRtree::build`]; queries are read-only and
+/// allocation-free through a caller [`QueryScratch`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PackedRtree {
+    /// All node boxes: level 0 (leaves, Hilbert order) through the root.
+    boxes: Vec<Aabb>,
+    /// Leaf slot → original item id.
+    ids: Vec<u32>,
+    /// Offset of each level's first box inside `boxes`.
+    level_offsets: Vec<usize>,
+    /// Node count per level; `level_counts[0] == ids.len()`.
+    level_counts: Vec<usize>,
+    /// Bounds of the whole item set.
+    bounds: Aabb,
+}
+
+impl PackedRtree {
+    /// Builds the tree over `items` (item id = slice position).
+    ///
+    /// Bulk load: quantize each AABB center onto a 2¹⁶ grid spanning
+    /// the data bounds, sort by Hilbert curve position (ties broken by
+    /// id, so the build is deterministic), then pack parent levels.
+    /// Building allocates; queries never do.
+    pub fn build(items: &[Aabb]) -> PackedRtree {
+        let n = items.len();
+        if n == 0 {
+            return PackedRtree {
+                boxes: Vec::new(),
+                ids: Vec::new(),
+                level_offsets: Vec::new(),
+                level_counts: Vec::new(),
+                bounds: Aabb::EMPTY,
+            };
+        }
+        let mut bounds = Aabb::EMPTY;
+        for b in items {
+            bounds = bounds.union(b);
+        }
+        let w = bounds.max_x - bounds.min_x;
+        let h = bounds.max_y - bounds.min_y;
+        let side = f64::from((1u32 << HILBERT_ORDER) - 1);
+        // Degenerate spans (all centers on one line/point) quantize to
+        // cell 0 on that axis; the sort then falls back to id order.
+        let sx = if w > 0.0 { side / w } else { 0.0 };
+        let sy = if h > 0.0 { side / h } else { 0.0 };
+        let mut order: Vec<(u64, u32)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let c = b.center();
+                let qx = ((c.x - bounds.min_x) * sx) as u32;
+                let qy = ((c.y - bounds.min_y) * sy) as u32;
+                (hilbert_d(qx, qy), i as u32)
+            })
+            .collect();
+        order.sort_unstable();
+
+        // Level sizes bottom-up until a single root.
+        let mut level_counts = vec![n];
+        while *level_counts.last().unwrap_or(&1) > 1 {
+            let prev = *level_counts.last().unwrap_or(&1);
+            level_counts.push(prev.div_ceil(NODE_SIZE));
+        }
+        let mut level_offsets = Vec::with_capacity(level_counts.len());
+        let mut acc = 0usize;
+        for &c in &level_counts {
+            level_offsets.push(acc);
+            acc += c;
+        }
+        let mut boxes = vec![Aabb::EMPTY; acc];
+        let mut ids = Vec::with_capacity(n);
+        for (slot, &(_, id)) in order.iter().enumerate() {
+            let i = id as usize;
+            boxes[slot] = items[i];
+            ids.push(id);
+        }
+        // Pack parents: each groups NODE_SIZE children of the level below.
+        for lvl in 1..level_counts.len() {
+            let child_off = level_offsets[lvl - 1]; // lint:allow(hot-index) lvl >= 1 by the loop range
+            let child_n = level_counts[lvl - 1]; // lint:allow(hot-index) lvl >= 1 by the loop range
+            let off = level_offsets[lvl];
+            for i in 0..level_counts[lvl] {
+                let lo = i * NODE_SIZE;
+                let hi = (lo + NODE_SIZE).min(child_n);
+                let mut b = Aabb::EMPTY;
+                for c in lo..hi {
+                    // lint:allow(hot-index) c < child_n, and child_off + child_n <= boxes.len()
+                    b = b.union(&boxes[child_off + c]);
+                }
+                boxes[off + i] = b; // lint:allow(hot-index) i < level_counts[lvl] inside this level's span
+            }
+        }
+        PackedRtree { boxes, ids, level_offsets, level_counts, bounds }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Bounds of the indexed items ([`Aabb::EMPTY`] when empty).
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// The box of node `idx` at `level` (0 = leaves).
+    fn node(&self, level: usize, idx: usize) -> &Aabb {
+        let off = self.level_offsets[level];
+        // lint:allow(hot-index) idx < level_counts[level]; offsets partition `boxes` by level
+        &self.boxes[off + idx]
+    }
+
+    /// Item ids whose boxes intersect `query`, as a lazy iterator
+    /// driving a depth-first traversal through `scratch` (no
+    /// allocation on a warm scratch). Order is traversal order, not
+    /// sorted.
+    pub fn query_bbox<'t, 's>(
+        &'t self,
+        query: Aabb,
+        scratch: &'s mut QueryScratch,
+    ) -> BboxIter<'t, 's> {
+        scratch.stack.clear();
+        if !self.is_empty() {
+            let top = self.level_counts.len() - 1;
+            scratch.stack.push((top as u32, 0));
+        }
+        BboxIter { tree: self, query, stack: &mut scratch.stack }
+    }
+
+    /// Nearest item to `p` by branch-and-bound: internal nodes are
+    /// pruned on box distance, leaves are ranked by the caller's exact
+    /// metric `leaf_dist_sq(id)` (squared distance). Returns the best
+    /// `(id, dist_sq)`, or `None` when empty. Ties resolve to the
+    /// first leaf reached, which the Hilbert packing makes
+    /// deterministic for a given build.
+    pub fn nearest_with<F>(
+        &self,
+        p: Vec2,
+        scratch: &mut QueryScratch,
+        mut leaf_dist_sq: F,
+    ) -> Option<(u32, f64)>
+    where
+        F: FnMut(u32) -> f64,
+    {
+        if self.is_empty() {
+            return None;
+        }
+        let stack = &mut scratch.near;
+        stack.clear();
+        let top = self.level_counts.len() - 1;
+        stack.push((0.0, top as u32, 0));
+        let mut best: Option<(u32, f64)> = None;
+        let mut best_d = f64::INFINITY;
+        while let Some((d, lvl, idx)) = stack.pop() {
+            if d > best_d {
+                continue;
+            }
+            let lvl = lvl as usize;
+            let idx = idx as usize;
+            if lvl == 0 {
+                let id = self.ids[idx];
+                let dl = leaf_dist_sq(id);
+                if dl < best_d {
+                    best_d = dl;
+                    best = Some((id, dl));
+                }
+                continue;
+            }
+            let child_lvl = lvl - 1;
+            let lo = idx * NODE_SIZE;
+            let hi = (lo + NODE_SIZE).min(self.level_counts[child_lvl]);
+            // Rank the children so the closest is popped first: a good
+            // early best tightens the prune for every later pop.
+            let mut cand: [(f64, u32); NODE_SIZE] = [(0.0, 0); NODE_SIZE];
+            let mut m = 0usize;
+            for c in lo..hi {
+                let dc = self.node(child_lvl, c).dist_sq(p);
+                if dc <= best_d {
+                    cand[m] = (dc, c as u32);
+                    m += 1;
+                }
+            }
+            let live = &mut cand[..m];
+            // Insertion sort ascending (≤ NODE_SIZE entries, no alloc).
+            for i in 1..live.len() {
+                let mut j = i;
+                // lint:allow(hot-index) j > 0 on the left of && bounds j - 1
+                while j > 0 && live[j - 1].0 > live[j].0 {
+                    live.swap(j - 1, j);
+                    j -= 1;
+                }
+            }
+            // Push farthest first so the nearest child is on top.
+            for k in (0..live.len()).rev() {
+                let (dc, c) = live[k];
+                stack.push((dc, child_lvl as u32, c));
+            }
+        }
+        best
+    }
+}
+
+/// Lazy bounding-box query over a [`PackedRtree`] (see
+/// [`PackedRtree::query_bbox`]). Borrows the caller's scratch stack, so
+/// iteration allocates nothing once the stack is warm.
+#[derive(Debug)]
+pub struct BboxIter<'t, 's> {
+    tree: &'t PackedRtree,
+    query: Aabb,
+    stack: &'s mut Vec<(u32, u32)>,
+}
+
+impl Iterator for BboxIter<'_, '_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while let Some((lvl, idx)) = self.stack.pop() {
+            let lvl = lvl as usize;
+            let idx = idx as usize;
+            if !self.tree.node(lvl, idx).intersects(&self.query) {
+                continue;
+            }
+            if lvl == 0 {
+                return Some(self.tree.ids[idx]);
+            }
+            let child_lvl = lvl - 1;
+            let lo = idx * NODE_SIZE;
+            let hi = (lo + NODE_SIZE).min(self.tree.level_counts[child_lvl]);
+            for c in lo..hi {
+                self.stack.push((child_lvl as u32, c as u32));
+            }
+        }
+        None
+    }
+}
+
+/// One indexable line segment: endpoints, owning edge, and the edge
+/// arc length at the segment start.
+///
+/// Raw segments (rather than [`crate::Polyline`]s) are the build input
+/// so callers — the oracle property tests in particular — can index
+/// degenerate geometry (zero-length, collinear runs) that `Polyline`
+/// construction rejects; a zero-length segment projects as a point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point.
+    pub a: Vec2,
+    /// End point.
+    pub b: Vec2,
+    /// Index of the owning network edge.
+    pub edge: u32,
+    /// Arc length along the owning edge at `a`, metres.
+    pub s0: f64,
+}
+
+/// Result of a nearest query against a segment set: the winning
+/// segment, its owning edge, and the exact projection of the query
+/// point onto it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentHit {
+    /// Index of the winning segment in build order.
+    pub segment: usize,
+    /// Owning network edge index.
+    pub edge: usize,
+    /// Arc length of the projection along the owning edge, metres.
+    pub s: f64,
+    /// The projected (snapped) point.
+    pub point: Vec2,
+    /// Distance from the query point to `point`, metres.
+    pub dist_m: f64,
+}
+
+/// Exact closed-form projection of `p` onto segment `a→b`: returns the
+/// clamped parameter `t ∈ [0, 1]` and the squared distance. Zero-length
+/// segments project to `a` (`t = 0`).
+#[inline]
+pub fn project_point_segment(p: Vec2, a: Vec2, b: Vec2) -> (f64, f64) {
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    let len2 = dx * dx + dy * dy;
+    let t = if len2 > 0.0 {
+        (((p.x - a.x) * dx + (p.y - a.y) * dy) / len2).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let cx = a.x + t * dx;
+    let cy = a.y + t * dy;
+    let ex = p.x - cx;
+    let ey = p.y - cy;
+    (t, ex * ex + ey * ey)
+}
+
+/// A packed R-tree over line segments with exact point-to-segment
+/// projection at the leaves. Segment data is stored as structure-of-
+/// arrays so the leaf distance sweep reads contiguous memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SegmentIndex {
+    tree: PackedRtree,
+    ax: Vec<f64>,
+    ay: Vec<f64>,
+    bx: Vec<f64>,
+    by: Vec<f64>,
+    edge: Vec<u32>,
+    s0: Vec<f64>,
+}
+
+impl SegmentIndex {
+    /// Builds the index over `segments` (ids = slice positions).
+    pub fn build(segments: &[Segment]) -> SegmentIndex {
+        let mut boxes = Vec::with_capacity(segments.len());
+        let mut ax = Vec::with_capacity(segments.len());
+        let mut ay = Vec::with_capacity(segments.len());
+        let mut bx = Vec::with_capacity(segments.len());
+        let mut by = Vec::with_capacity(segments.len());
+        let mut edge = Vec::with_capacity(segments.len());
+        let mut s0 = Vec::with_capacity(segments.len());
+        for s in segments {
+            boxes.push(Aabb::of_corners(s.a, s.b));
+            ax.push(s.a.x);
+            ay.push(s.a.y);
+            bx.push(s.b.x);
+            by.push(s.b.y);
+            edge.push(s.edge);
+            s0.push(s.s0);
+        }
+        SegmentIndex { tree: PackedRtree::build(&boxes), ax, ay, bx, by, edge, s0 }
+    }
+
+    /// Number of indexed segments.
+    pub fn len(&self) -> usize {
+        self.edge.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edge.is_empty()
+    }
+
+    /// Bounds of the indexed segments.
+    pub fn bounds(&self) -> Aabb {
+        self.tree.bounds()
+    }
+
+    /// Endpoints of segment `id` in build order.
+    fn seg_points(&self, id: usize) -> (Vec2, Vec2) {
+        (Vec2::new(self.ax[id], self.ay[id]), Vec2::new(self.bx[id], self.by[id]))
+    }
+
+    /// Exact nearest segment to `p` (branch-and-bound over the tree,
+    /// closed-form projection at the leaves). Allocation-free on a
+    /// warm scratch. Returns `None` when empty.
+    pub fn nearest(&self, p: Vec2, scratch: &mut QueryScratch) -> Option<SegmentHit> {
+        let (id, _) = self.tree.nearest_with(p, scratch, |id| {
+            let i = id as usize;
+            let (a, b) = self.seg_points(i);
+            project_point_segment(p, a, b).1
+        })?;
+        Some(self.hit_for(p, id as usize))
+    }
+
+    /// The fully-resolved hit for the winning segment (projection is
+    /// recomputed once — cheaper than carrying it through the search).
+    fn hit_for(&self, p: Vec2, id: usize) -> SegmentHit {
+        let (a, b) = self.seg_points(id);
+        let (t, d2) = project_point_segment(p, a, b);
+        let seg_len = (b - a).norm();
+        SegmentHit {
+            segment: id,
+            edge: self.edge[id] as usize,
+            s: self.s0[id] + t * seg_len,
+            point: a.lerp(b, t),
+            dist_m: d2.sqrt(),
+        }
+    }
+
+    /// Segment ids whose AABBs intersect `query` (traversal order).
+    pub fn query_bbox<'t, 's>(
+        &'t self,
+        query: Aabb,
+        scratch: &'s mut QueryScratch,
+    ) -> BboxIter<'t, 's> {
+        self.tree.query_bbox(query, scratch)
+    }
+}
+
+/// Flattens a network's edge centerlines into raw [`Segment`]s, in
+/// edge order then vertex order — the build input for the segment
+/// half of a [`NetworkIndex`] and for brute-force oracles.
+pub fn network_segments(net: &RoadNetwork) -> Vec<Segment> {
+    let mut out = Vec::new();
+    for (ei, e) in net.edges().iter().enumerate() {
+        let line = e.road.centerline();
+        let pts = line.points();
+        let cum = line.cumulative_lengths();
+        for j in 0..pts.len().saturating_sub(1) {
+            out.push(Segment {
+                a: pts[j],
+                b: pts[j + 1], // lint:allow(hot-index) j < pts.len() - 1 by the loop bound
+                edge: ei as u32,
+                s0: cum[j],
+            });
+        }
+    }
+    out
+}
+
+/// The spatial index of a whole [`RoadNetwork`]: a packed R-tree over
+/// whole-edge AABBs (bounding-box retrieval) plus a [`SegmentIndex`]
+/// over every centerline segment (exact nearest queries).
+///
+/// # Example
+///
+/// ```
+/// use gradest_geo::generate::city_network;
+/// use gradest_geo::index::{NetworkIndex, QueryScratch};
+///
+/// let net = city_network(7);
+/// let index = NetworkIndex::build(&net);
+/// let mut scratch = QueryScratch::new();
+/// let p = net.nodes()[0];
+/// let hit = index.nearest_s_on_network(p, &mut scratch).unwrap();
+/// assert!(hit.dist_m < 1e-6);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkIndex {
+    edge_tree: PackedRtree,
+    segments: SegmentIndex,
+}
+
+impl NetworkIndex {
+    /// Builds both trees from the network's edge centerlines.
+    pub fn build(net: &RoadNetwork) -> NetworkIndex {
+        let mut edge_boxes = Vec::with_capacity(net.edge_count());
+        for e in net.edges() {
+            let mut b = Aabb::EMPTY;
+            for p in e.road.centerline().points() {
+                b = b.union(&Aabb::of_corners(*p, *p));
+            }
+            edge_boxes.push(b);
+        }
+        NetworkIndex {
+            edge_tree: PackedRtree::build(&edge_boxes),
+            segments: SegmentIndex::build(&network_segments(net)),
+        }
+    }
+
+    /// Number of indexed centerline segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of indexed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_tree.len()
+    }
+
+    /// Bounds of the whole network.
+    pub fn bounds(&self) -> Aabb {
+        self.edge_tree.bounds()
+    }
+
+    /// The segment-level index (for direct access / oracles).
+    pub fn segments(&self) -> &SegmentIndex {
+        &self.segments
+    }
+
+    /// Index of the network edge nearest to `p` (exact: ranked by
+    /// point-to-segment projection distance), or `None` for an empty
+    /// network.
+    pub fn nearest_edge(&self, p: Vec2, scratch: &mut QueryScratch) -> Option<usize> {
+        self.segments.nearest(p, scratch).map(|h| h.edge)
+    }
+
+    /// Exact nearest point on the network: the winning edge, the arc
+    /// length of the projection along it, the snapped point, and the
+    /// snap distance. Allocation-free on a warm scratch.
+    pub fn nearest_s_on_network(&self, p: Vec2, scratch: &mut QueryScratch) -> Option<SegmentHit> {
+        self.segments.nearest(p, scratch)
+    }
+
+    /// Edge indices whose AABBs intersect `query`, as a lazy iterator
+    /// reusing caller scratch (traversal order; no allocation warm).
+    pub fn edges_in_bbox<'t, 's>(
+        &'t self,
+        query: Aabb,
+        scratch: &'s mut QueryScratch,
+    ) -> BboxIter<'t, 's> {
+        self.edge_tree.query_bbox(query, scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::city_network;
+
+    fn brute_nearest(segs: &[Segment], p: Vec2) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in segs.iter().enumerate() {
+            let (_, d2) = project_point_segment(p, s.a, s.b);
+            if best.map(|(_, bd)| d2 < bd).unwrap_or(true) {
+                best = Some((i, d2));
+            }
+        }
+        best
+    }
+
+    fn grid_segments(n: usize) -> Vec<Segment> {
+        // n horizontal unit segments on staggered rows.
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64 * 10.0;
+                let y = (i / 10) as f64 * 7.0;
+                Segment { a: Vec2::new(x, y), b: Vec2::new(x + 6.0, y), edge: i as u32, s0: 0.0 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_yields_nothing() {
+        let idx = SegmentIndex::build(&[]);
+        let mut scratch = QueryScratch::new();
+        assert!(idx.nearest(Vec2::ZERO, &mut scratch).is_none());
+        let q = Aabb::of_corners(Vec2::new(-1.0, -1.0), Vec2::new(1.0, 1.0));
+        assert_eq!(idx.query_bbox(q, &mut scratch).count(), 0);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn single_segment_projects_exactly() {
+        let segs = [Segment { a: Vec2::ZERO, b: Vec2::new(10.0, 0.0), edge: 3, s0: 5.0 }];
+        let idx = SegmentIndex::build(&segs);
+        let mut scratch = QueryScratch::new();
+        let hit = idx.nearest(Vec2::new(4.0, 2.0), &mut scratch).unwrap();
+        assert_eq!(hit.edge, 3);
+        assert!((hit.s - 9.0).abs() < 1e-12, "s = {}", hit.s);
+        assert!((hit.dist_m - 2.0).abs() < 1e-12);
+        assert!((hit.point - Vec2::new(4.0, 0.0)).norm() < 1e-12);
+        // Beyond the end: clamps to b.
+        let hit = idx.nearest(Vec2::new(14.0, 3.0), &mut scratch).unwrap();
+        assert!((hit.s - 15.0).abs() < 1e-12);
+        assert!((hit.dist_m - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_segment_projects_as_point() {
+        let p = Vec2::new(2.0, 2.0);
+        let segs = [Segment { a: p, b: p, edge: 0, s0: 1.0 }];
+        let idx = SegmentIndex::build(&segs);
+        let mut scratch = QueryScratch::new();
+        let hit = idx.nearest(Vec2::new(5.0, 6.0), &mut scratch).unwrap();
+        assert!((hit.dist_m - 5.0).abs() < 1e-12);
+        assert_eq!(hit.s, 1.0);
+        assert_eq!(hit.point, p);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_on_grid() {
+        let segs = grid_segments(250);
+        let idx = SegmentIndex::build(&segs);
+        let mut scratch = QueryScratch::new();
+        for k in 0..200 {
+            let p = Vec2::new((k * 7 % 113) as f64 - 10.0, (k * 13 % 97) as f64 - 5.0);
+            let hit = idx.nearest(p, &mut scratch).unwrap();
+            let (_, bd2) = brute_nearest(&segs, p).unwrap();
+            assert!(
+                (hit.dist_m - bd2.sqrt()).abs() < 1e-9,
+                "query {p:?}: tree {} vs brute {}",
+                hit.dist_m,
+                bd2.sqrt()
+            );
+        }
+    }
+
+    #[test]
+    fn bbox_query_matches_linear_filter() {
+        let segs = grid_segments(250);
+        let idx = SegmentIndex::build(&segs);
+        let mut scratch = QueryScratch::new();
+        let q = Aabb::of_corners(Vec2::new(5.0, 3.0), Vec2::new(55.0, 60.0));
+        let mut got: Vec<u32> = idx.query_bbox(q, &mut scratch).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = segs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| Aabb::of_corners(s.a, s.b).intersects(&q))
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn network_index_snaps_onto_edges() {
+        let net = city_network(42);
+        let idx = NetworkIndex::build(&net);
+        assert_eq!(idx.edge_count(), net.edge_count());
+        assert!(idx.segment_count() > net.edge_count());
+        let mut scratch = QueryScratch::new();
+        // A point on an edge centerline snaps to that edge at ~0 dist.
+        for (ei, e) in net.edges().iter().enumerate().step_by(17) {
+            let mid = e.road.point_at(e.road.length() * 0.5);
+            let hit = idx.nearest_s_on_network(mid, &mut scratch).unwrap();
+            assert!(hit.dist_m < 1e-6, "edge {ei} snap dist {}", hit.dist_m);
+            assert_eq!(hit.edge, ei);
+            assert!((hit.s - e.road.length() * 0.5).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn network_bbox_returns_local_edges() {
+        let net = city_network(42);
+        let idx = NetworkIndex::build(&net);
+        let mut scratch = QueryScratch::new();
+        let c = net.nodes()[0];
+        let q = Aabb::of_corners(c - Vec2::new(600.0, 600.0), c + Vec2::new(600.0, 600.0));
+        let hits: Vec<u32> = idx.edges_in_bbox(q, &mut scratch).collect();
+        assert!(!hits.is_empty());
+        // Every returned edge's box really intersects; every edge with an
+        // endpoint inside is returned.
+        for &h in &hits {
+            let e = &net.edges()[h as usize];
+            let mut b = Aabb::EMPTY;
+            for p in e.road.centerline().points() {
+                b = b.union(&Aabb::of_corners(*p, *p));
+            }
+            assert!(b.intersects(&q));
+        }
+        for (ei, e) in net.edges().iter().enumerate() {
+            let start = e.road.point_at(0.0);
+            let inside = start.x >= q.min_x
+                && start.x <= q.max_x
+                && start.y >= q.min_y
+                && start.y <= q.max_y;
+            if inside {
+                assert!(hits.contains(&(ei as u32)), "edge {ei} missing from bbox result");
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_is_locality_preservingish() {
+        // Adjacent cells differ by a bounded curve step near the origin.
+        assert_eq!(hilbert_d(0, 0), 0);
+        let d1 = hilbert_d(1, 0);
+        let d2 = hilbert_d(0, 1);
+        assert_ne!(d1, d2);
+        assert!(d1 < 4 && d2 < 4, "first quadrant cells come first: {d1} {d2}");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let segs = grid_segments(100);
+        let a = SegmentIndex::build(&segs);
+        let b = SegmentIndex::build(&segs);
+        let mut sa = QueryScratch::new();
+        let mut sb = QueryScratch::new();
+        for k in 0..50 {
+            let p = Vec2::new((k * 3) as f64, (k * 5 % 31) as f64);
+            assert_eq!(a.nearest(p, &mut sa), b.nearest(p, &mut sb));
+        }
+    }
+}

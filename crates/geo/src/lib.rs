@@ -17,6 +17,9 @@
 //! * [`route`] — a drivable concatenation of roads with ground-truth
 //!   gradient along trip arc length.
 //! * [`network`] — a road-network graph with Dijkstra routing.
+//! * [`index`] — packed static R-tree spatial index over network edges
+//!   and centerline segments (nearest-edge / bbox queries, no per-query
+//!   allocation).
 //! * [`generate`] — procedural presets: the Table III red road, S-curve
 //!   roads, and a Charlottesville-scale synthetic city network.
 //! * [`refgrade`] — the paper's Section III-D reference gradient profiler
@@ -39,6 +42,7 @@
 pub mod dem;
 pub mod generate;
 pub mod geojson;
+pub mod index;
 pub mod latlon;
 pub mod network;
 pub mod polyline;
@@ -47,6 +51,7 @@ pub mod road;
 pub mod route;
 pub mod terrain;
 
+pub use index::{Aabb, NetworkIndex, QueryScratch, SegmentHit, SegmentIndex};
 pub use latlon::LatLon;
 pub use network::RoadNetwork;
 pub use polyline::Polyline;

@@ -96,6 +96,16 @@ impl Route {
         &self.roads
     }
 
+    /// Trip arc length at the start of each road, plus one trailing
+    /// entry with the total length (`offsets().len() == roads().len() + 1`).
+    ///
+    /// Exposed so callers that already walk the road sequence (the
+    /// exact-projection map matcher) can resolve road spans without a
+    /// [`Route::locate`] binary search per query.
+    pub fn offsets(&self) -> &[f64] {
+        &self.offsets
+    }
+
     /// Total trip length in metres.
     pub fn length(&self) -> f64 {
         *self.offsets.last().expect("offsets nonempty")
@@ -130,6 +140,14 @@ impl Route {
     pub fn heading_rate_at(&self, s: f64, window: f64) -> f64 {
         let (i, sr) = self.locate(s);
         self.roads[i].heading_rate_at(sr, window)
+    }
+
+    /// [`Route::heading_rate_at`] for a position already resolved to
+    /// `(road index, arc length on that road)` — skips the offset
+    /// binary search that `locate` would repeat. Out-of-range road
+    /// indices yield 0 (straight).
+    pub fn heading_rate_located(&self, road: usize, s_on_road: f64, window: f64) -> f64 {
+        self.roads.get(road).map(|r| r.heading_rate_at(s_on_road, window)).unwrap_or(0.0)
     }
 
     /// Altitude at trip arc length `s`.

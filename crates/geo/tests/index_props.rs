@@ -1,0 +1,139 @@
+//! Property-based tests pinning the packed R-tree against brute-force
+//! oracles: nearest queries (`SegmentIndex::nearest`,
+//! `NetworkIndex::nearest_edge`) and bbox queries (`edges_in_bbox`,
+//! `SegmentIndex::query_bbox`) must agree with a linear scan on
+//! randomized segment sets — including degenerate zero-length and
+//! collinear segments the Hilbert sort and projection must not choke
+//! on — and on generated road networks.
+
+use gradest_geo::generate::{city_network, country_network};
+use gradest_geo::index::{
+    network_segments, project_point_segment, Aabb, NetworkIndex, QueryScratch, Segment,
+    SegmentIndex,
+};
+use gradest_math::Vec2;
+use proptest::prelude::*;
+
+/// One raw segment: endpoints plus a shape selector that forces the
+/// degenerate cases (0 = general, 1 = zero-length, 2 = collinear on
+/// the x-axis).
+fn segment_strategy() -> impl Strategy<Value = Segment> {
+    (-500.0..500.0f64, -500.0..500.0f64, -500.0..500.0f64, -500.0..500.0f64, 0u8..3).prop_map(
+        |(ax, ay, bx, by, kind)| {
+            let (a, b) = match kind {
+                1 => (Vec2::new(ax, ay), Vec2::new(ax, ay)),
+                2 => (Vec2::new(ax, 0.0), Vec2::new(bx, 0.0)),
+                _ => (Vec2::new(ax, ay), Vec2::new(bx, by)),
+            };
+            Segment { a, b, edge: 0, s0: 0.0 }
+        },
+    )
+}
+
+/// Brute-force nearest: exact projection against every segment.
+fn oracle_nearest_d2(segments: &[Segment], p: Vec2) -> f64 {
+    segments.iter().map(|s| project_point_segment(p, s.a, s.b).1).fold(f64::INFINITY, f64::min)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nearest_matches_brute_force_on_random_segments(
+        segments in prop::collection::vec(segment_strategy(), 1..80),
+        qx in -600.0..600.0f64,
+        qy in -600.0..600.0f64,
+    ) {
+        let mut segments = segments;
+        for (i, s) in segments.iter_mut().enumerate() {
+            s.edge = i as u32;
+        }
+        let index = SegmentIndex::build(&segments);
+        let mut scratch = QueryScratch::new();
+        let p = Vec2::new(qx, qy);
+        let hit = index.nearest(p, &mut scratch).expect("non-empty index");
+        let oracle = oracle_nearest_d2(&segments, p).sqrt();
+        // Ties may resolve to a different segment; the distance is unique.
+        prop_assert!(
+            (hit.dist_m - oracle).abs() < 1e-9,
+            "index {} vs oracle {}", hit.dist_m, oracle
+        );
+        // The reported snap point really is on the reported segment at
+        // the reported distance.
+        let seg = &segments[hit.segment];
+        let (t, d2) = project_point_segment(p, seg.a, seg.b);
+        prop_assert!((d2.sqrt() - hit.dist_m).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn bbox_query_matches_linear_filter(
+        segments in prop::collection::vec(segment_strategy(), 1..80),
+        cx in -500.0..500.0f64,
+        cy in -500.0..500.0f64,
+        w in 1.0..400.0f64,
+        h in 1.0..400.0f64,
+    ) {
+        let index = SegmentIndex::build(&segments);
+        let mut scratch = QueryScratch::new();
+        let query = Aabb::of_corners(
+            Vec2::new(cx - w / 2.0, cy - h / 2.0),
+            Vec2::new(cx + w / 2.0, cy + h / 2.0),
+        );
+        let mut got: Vec<u32> = index.query_bbox(query, &mut scratch).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| Aabb::of_corners(s.a, s.b).intersects(&query))
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn network_index_matches_brute_force(seed in 0u64..200, qi in 0usize..16) {
+        let net = city_network(seed);
+        let index = NetworkIndex::build(&net);
+        let segments = network_segments(&net);
+        let mut scratch = QueryScratch::new();
+        // Probe a deterministic grid point derived from the case inputs.
+        let b = index.bounds();
+        let fx = (qi % 4) as f64 / 3.0;
+        let fy = (qi / 4) as f64 / 3.0;
+        let p = Vec2::new(
+            b.min_x + fx * (b.max_x - b.min_x),
+            b.min_y + fy * (b.max_y - b.min_y),
+        );
+        let hit = index.nearest_s_on_network(p, &mut scratch).expect("non-empty network");
+        let oracle = oracle_nearest_d2(&segments, p).sqrt();
+        prop_assert!((hit.dist_m - oracle).abs() < 1e-9);
+        // nearest_edge agrees with the full hit.
+        prop_assert_eq!(index.nearest_edge(p, &mut scratch), Some(hit.edge));
+        // The winning edge's AABB turns up in a bbox query around the
+        // snap point.
+        let pad = hit.dist_m + 1.0;
+        let query = Aabb::of_corners(
+            Vec2::new(p.x - pad, p.y - pad),
+            Vec2::new(p.x + pad, p.y + pad),
+        );
+        let edges: Vec<u32> = index.edges_in_bbox(query, &mut scratch).collect();
+        prop_assert!(edges.contains(&(hit.edge as u32)));
+    }
+
+    #[test]
+    fn country_network_is_deterministic_across_rebuilds(seed in 0u64..20) {
+        let a = country_network(seed, 40.0);
+        let b = country_network(seed, 40.0);
+        prop_assert_eq!(a.nodes().len(), b.nodes().len());
+        prop_assert_eq!(a.edges().len(), b.edges().len());
+        let ia = NetworkIndex::build(&a);
+        let ib = NetworkIndex::build(&b);
+        prop_assert_eq!(ia.segment_count(), ib.segment_count());
+        let ba = ia.bounds();
+        let bb = ib.bounds();
+        prop_assert!((ba.min_x - bb.min_x).abs() < 1e-12);
+        prop_assert!((ba.max_y - bb.max_y).abs() < 1e-12);
+    }
+}

@@ -50,6 +50,7 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "core::smoother",
     "core::track",
     "core::fleet",
+    "geo::index",
     "math::lowess",
     "math::interp",
     "math::signal",
@@ -77,6 +78,7 @@ pub const WARM_ALLOC_GATED_MODULES: &[&str] = &[
     "core::steering",
     "core::smoother",
     "core::track",
+    "geo::index",
     "math::lowess",
     "math::interp",
     "math::signal",

@@ -64,11 +64,15 @@ pub enum Span {
     FleetWorkerTrip,
     /// One track ingested by the cloud aggregator.
     CloudUpload,
+    /// One spatial-index construction over a road network.
+    GeoIndexBuild,
+    /// One trip map-matched against a whole network (free-space).
+    NetworkMatchTrip,
 }
 
 impl Span {
     /// Every span, in report order.
-    pub const ALL: [Span; 12] = [
+    pub const ALL: [Span; 14] = [
         Span::Trip,
         Span::Steering,
         Span::Detection,
@@ -81,6 +85,8 @@ impl Span {
         Span::FleetBatch,
         Span::FleetWorkerTrip,
         Span::CloudUpload,
+        Span::GeoIndexBuild,
+        Span::NetworkMatchTrip,
     ];
 
     /// Number of spans (array-slot count for recorders).
@@ -101,19 +107,22 @@ impl Span {
             Span::FleetBatch => "fleet-batch",
             Span::FleetWorkerTrip => "fleet-worker-trip",
             Span::CloudUpload => "cloud-upload",
+            Span::GeoIndexBuild => "geo-index-build",
+            Span::NetworkMatchTrip => "network-match-trip",
         }
     }
 
     /// The enclosing span, or `None` for a root.
     pub fn parent(self) -> Option<Span> {
         match self {
-            Span::Trip | Span::FleetBatch | Span::CloudUpload => None,
+            Span::Trip | Span::FleetBatch | Span::CloudUpload | Span::GeoIndexBuild => None,
             Span::Steering | Span::Detection | Span::Tracks | Span::Fusion => Some(Span::Trip),
             Span::TrackGps
             | Span::TrackSpeedometer
             | Span::TrackCanBus
             | Span::TrackAccelerometer => Some(Span::Tracks),
             Span::FleetWorkerTrip => Some(Span::FleetBatch),
+            Span::NetworkMatchTrip => Some(Span::FleetWorkerTrip),
         }
     }
 

@@ -48,7 +48,8 @@ pub mod samples;
 pub mod suite;
 
 pub use alignment::{
-    steering_rate_profile, steering_rate_profile_into, MapMatcher, PhoneMount, WRoadScratch,
+    steering_rate_profile, steering_rate_profile_into, MapMatcher, NetworkMatcher, PhoneMount,
+    TripMatch, WRoadScratch,
 };
 pub use calibration::{apply_mount, estimate_mount, CalibrationError};
 pub use columnar::ImuColumns;

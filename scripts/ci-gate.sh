@@ -24,6 +24,13 @@
 #                                        recorded), fast-vs-generic LOWESS
 #                                        agreement, recorder bit-identity,
 #                                        lint/runtime module-list agreement
+#   6. geo index property tests        — packed R-tree nearest/bbox queries
+#                                        pinned against brute-force oracles
+#                                        on randomized segment sets
+#   7. geo_index_smoke                 — country-scale (≥1e5-segment) network:
+#                                        indexed nearest must match the oracle
+#                                        exactly, beat it ≥10x, and allocate
+#                                        nothing per warm query
 #
 # Deep path (--deep, opt-in because of runtime) adds:
 #   6. loom model checks               — CloudAggregator upload shard protocol
@@ -108,6 +115,18 @@ if [[ "$MODE" != quick ]]; then
   # list matches the pipeline's declared warm path.
   run_step "pipeline_hotpath_smoke" \
     cargo run --release -p gradest-bench --bin gradest-experiments -- pipeline_hotpath_smoke
+
+  # Spatial-index oracle tests: the packed R-tree's nearest and bbox
+  # answers pinned against linear-scan oracles on randomized segment
+  # sets (including degenerate zero-length / collinear segments).
+  run_step "geo index property tests" \
+    cargo test -q -p gradest-geo --test index_props
+
+  # Spatial-index smoke: builds a >= 1e5-segment country network; the
+  # binary asserts exact oracle agreement, >= 10x speedup over the
+  # linear scan, and zero heap allocations per warm nearest query.
+  run_step "geo_index_smoke" \
+    cargo run --release -p gradest-bench --bin gradest-experiments -- geo_index_smoke
 fi
 
 # --- deep steps --------------------------------------------------------------
