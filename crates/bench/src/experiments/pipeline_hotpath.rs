@@ -85,17 +85,29 @@ pub struct PipelineHotpathBench {
 /// not within them. (Thread spawns would also allocate, clouding the
 /// warm-path allocation gate.)
 pub fn run(seed: u64, samples: usize) -> PipelineHotpathBench {
-    // The lint rule's alloc-gated module list is the source of truth
-    // for the zero-allocation discipline; the pipeline's declared
-    // warm-path set must match it exactly, or the smoke gate fails
-    // before any timing happens.
-    let mut lint_gated: Vec<&str> = gradest_lint::WARM_ALLOC_GATED_MODULES.to_vec();
-    let mut warm_path: Vec<&str> = gradest_core::pipeline::WARM_PATH_MODULES.to_vec();
-    lint_gated.sort_unstable();
-    warm_path.sort_unstable();
-    assert_eq!(
-        warm_path, lint_gated,
-        "pipeline::WARM_PATH_MODULES and gradest_lint::WARM_ALLOC_GATED_MODULES diverged"
+    // The warm-path module set is no longer eyeball-synchronised: the
+    // lint call graph derives which modules `estimate_into` actually
+    // reaches and cross-checks that against both the pipeline's
+    // declared `WARM_PATH_MODULES` const and the lint's alloc-gated
+    // list. Any drift fails the smoke gate before timing happens.
+    // (Source scan of the checked-out workspace: skipped gracefully by
+    // the drift check if the sources are not present at runtime.)
+    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (sources, unreadable) = gradest_lint::workspace_sources(&repo_root);
+    assert!(unreadable.is_empty(), "unreadable workspace sources: {unreadable:?}");
+    let graph = gradest_lint::graph::Graph::build(sources);
+    let warm: Vec<String> =
+        gradest_lint::WARM_ALLOC_GATED_MODULES.iter().map(|m| m.to_string()).collect();
+    let drift = gradest_lint::warm_drift_findings(&graph, &warm);
+    assert!(
+        drift.is_empty(),
+        "warm-path module drift between the call graph, pipeline::WARM_PATH_MODULES, \
+         and gradest_lint::WARM_ALLOC_GATED_MODULES:\n{}",
+        drift
+            .iter()
+            .map(|(p, d)| format!("  {}:{}: {}", p.display(), d.line, d.msg))
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 
     let drive = red_road_drive(seed);

@@ -253,7 +253,9 @@ impl RoadNetwork {
         let mut hops = Vec::new();
         let mut cur = to;
         while cur != from {
-            let (edge_idx, parent) = prev[cur].expect("reconstructed path is complete");
+            // A finite dist[to] implies a complete predecessor chain;
+            // bail defensively rather than panic if that ever breaks.
+            let (edge_idx, parent) = prev[cur]?;
             let forward = self.edges[edge_idx].a == parent;
             hops.push((edge_idx, forward));
             cur = parent;

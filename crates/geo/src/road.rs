@@ -294,11 +294,7 @@ impl Road {
         // becomes [len - b, len - a).
         let mut rev_sections = Vec::with_capacity(self.lane_sections.len());
         for (i, sec) in self.lane_sections.iter().enumerate().rev() {
-            let end = if i + 1 < self.lane_sections.len() {
-                self.lane_sections[i + 1].start_s
-            } else {
-                len
-            };
+            let end = self.lane_sections.get(i + 1).map_or(len, |next| next.start_s);
             rev_sections.push(LaneSection { start_s: (len - end).max(0.0), lanes: sec.lanes });
         }
         rev_sections[0].start_s = 0.0;
@@ -311,6 +307,7 @@ impl Road {
             self.speed_limit_mps,
             self.class,
         )
+        // lint:allow(transitive-panic) reversal preserves every Road::new invariant (point/altitude counts, section monotonicity), so this expect is unreachable; a Result return would force every route-stitching caller to handle an impossible error
         .expect("reversal of a valid road is valid")
     }
 }

@@ -108,7 +108,9 @@ impl Route {
 
     /// Total trip length in metres.
     pub fn length(&self) -> f64 {
-        *self.offsets.last().expect("offsets nonempty")
+        // offsets always holds roads+1 entries; 0.0 for the impossible
+        // empty case keeps this panic-free on the matcher hot path.
+        self.offsets.last().copied().unwrap_or(0.0)
     }
 
     /// Maps trip arc length to `(road index, arc length on that road)`.

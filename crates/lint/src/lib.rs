@@ -30,8 +30,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod graph;
 pub mod lexer;
+pub mod report;
 pub mod rules;
+pub mod taint;
 
 pub use rules::{scan_source, Diagnostic, Scope};
 
@@ -161,6 +164,268 @@ pub fn scan_workspace(root: &Path) -> Vec<FileDiagnostics> {
         }
     }
     out
+}
+
+/// Options for the full interprocedural [`analyze`] pass.
+pub struct AnalyzeOptions {
+    /// Hot-path module list (no-panic taint roots). Defaults to
+    /// [`HOT_PATH_MODULES`]; fixtures and the `--inject-violation`
+    /// self-test extend it.
+    pub hot_modules: Vec<String>,
+    /// Warm alloc-gated module list (no-alloc taint roots). Defaults to
+    /// [`WARM_ALLOC_GATED_MODULES`].
+    pub warm_modules: Vec<String>,
+    /// Derive warm-path module reachability from the graph and check it
+    /// against `pipeline::WARM_PATH_MODULES` (auto-skipped when the
+    /// pipeline file or const is absent, e.g. under fixture roots).
+    pub check_warm_drift: bool,
+    /// Emit note-severity unused-`pub` findings for internal crates.
+    pub unused_pub: bool,
+    /// Virtual `(path, source)` files appended to the scanned set —
+    /// the `--inject-violation` self-test seeds a cross-module
+    /// violation this way without touching the working tree.
+    pub extra_sources: Vec<(PathBuf, String)>,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            hot_modules: HOT_PATH_MODULES.iter().map(|s| s.to_string()).collect(),
+            warm_modules: WARM_ALLOC_GATED_MODULES.iter().map(|s| s.to_string()).collect(),
+            check_warm_drift: true,
+            unused_pub: true,
+            extra_sources: Vec::new(),
+        }
+    }
+}
+
+/// Entry points whose reachability defines the warm per-trip surface
+/// for the drift check: `(module, fn name)`.
+pub const WARM_ENTRY_FNS: &[(&str, &str)] =
+    &[("core::pipeline", "estimate_into"), ("core::pipeline", "estimate_into_recorded")];
+
+/// The full interprocedural pass: local token rules plus call-graph
+/// taint, allowlist applied once over the merged findings (so
+/// `lint:allow(transitive-*)` works and dead suppressions of any rule
+/// are errors), then the warm-path drift check and the unused-`pub`
+/// audit.
+pub fn analyze(root: &Path, opts: &AnalyzeOptions) -> Vec<FileDiagnostics> {
+    let (mut sources, unreadable) = workspace_sources(root);
+    sources.extend(opts.extra_sources.iter().cloned());
+
+    let graph = graph::Graph::build(sources);
+    let mut transitive = taint::transitive_findings(&graph, &opts.hot_modules, &opts.warm_modules);
+
+    let mut out = unreadable;
+    for (fi, file) in graph.files.iter().enumerate() {
+        let scope = scope_for_list(&file.path, &opts.hot_modules, &opts.warm_modules);
+        let mut raw = rules::raw_findings(&file.lexed, scope);
+        raw.extend(transitive.remove(&fi).unwrap_or_default());
+        raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+        let diagnostics = rules::apply_allowlist(&file.lexed, raw);
+        if !diagnostics.is_empty() {
+            out.push(FileDiagnostics { path: file.path.clone(), diagnostics });
+        }
+    }
+
+    if opts.check_warm_drift {
+        for (path, diag) in warm_drift_findings(&graph, &opts.warm_modules) {
+            match out.iter_mut().find(|f| f.path == path) {
+                Some(f) => f.diagnostics.push(diag),
+                None => out.push(FileDiagnostics { path, diagnostics: vec![diag] }),
+            }
+        }
+    }
+
+    if opts.unused_pub {
+        let corpus = ident_corpus(root);
+        for (item, msg) in graph.unused_pub_items(&corpus) {
+            let path = graph.files[item.file].path.clone();
+            let diag = Diagnostic { rule: rules::RULE_UNUSED_PUB, line: item.line, msg };
+            match out.iter_mut().find(|f| f.path == path) {
+                Some(f) => f.diagnostics.push(diag),
+                None => out.push(FileDiagnostics { path, diagnostics: vec![diag] }),
+            }
+        }
+    }
+
+    for f in &mut out {
+        f.diagnostics.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    out
+}
+
+/// Reads every first-party source file under `root` (`crates/*/src`
+/// and the facade `src/`) as workspace-relative `(path, source)`
+/// pairs, plus error diagnostics for unreadable files. The same file
+/// set [`analyze`] scans; exposed so external gates (the bench
+/// harness's warm-path drift check) can build a [`graph::Graph`] over
+/// the identical corpus.
+pub fn workspace_sources(root: &Path) -> (Vec<(PathBuf, String)>, Vec<FileDiagnostics>) {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs_files(&root.join("src"), &mut files);
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            collect_rs_files(&entry.path().join("src"), &mut files);
+        }
+    }
+    let mut sources: Vec<(PathBuf, String)> = Vec::new();
+    let mut unreadable: Vec<FileDiagnostics> = Vec::new();
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        match std::fs::read_to_string(&file) {
+            Ok(src) => sources.push((rel, src)),
+            Err(e) => unreadable.push(FileDiagnostics {
+                path: rel,
+                diagnostics: vec![Diagnostic {
+                    rule: rules::RULE_ALLOWLIST,
+                    line: 0,
+                    msg: format!("unreadable source file: {e}"),
+                }],
+            }),
+        }
+    }
+    (sources, unreadable)
+}
+
+/// Scope against explicit module lists (the analyze pass may extend the
+/// built-in lists for self-tests and fixtures).
+fn scope_for_list(rel: &Path, hot: &[String], warm: &[String]) -> Scope {
+    match module_for_path(rel) {
+        Some(m) => Scope { hot: hot.contains(&m), warm: warm.contains(&m) },
+        None => Scope::default(),
+    }
+}
+
+/// Generated-vs-declared warm-path check: derives the modules the warm
+/// entry points actually reach from the call graph and compares
+/// three ways — derived ⊆ declared (`pipeline::WARM_PATH_MODULES`),
+/// and declared == the lint's own gated list. Skipped (empty) when the
+/// pipeline file, the const, or the entry points are absent.
+pub fn warm_drift_findings(
+    graph: &graph::Graph,
+    warm_modules: &[String],
+) -> Vec<(PathBuf, Diagnostic)> {
+    let Some(pipeline) = graph.files.iter().position(|f| f.module == "core::pipeline") else {
+        return Vec::new();
+    };
+    let Some((const_line, declared)) =
+        graph::parse_str_slice_const(&graph.files[pipeline].lexed, "WARM_PATH_MODULES")
+    else {
+        return Vec::new();
+    };
+    let mut entries: Vec<usize> = Vec::new();
+    for (module, name) in WARM_ENTRY_FNS {
+        entries.extend(graph.fns_in_module_named(module, name));
+    }
+    if entries.is_empty() {
+        return Vec::new();
+    }
+
+    // Derived set: modules containing a warm-shaped function reachable
+    // from the entry points. Restricted to warm-shaped fns so batch
+    // helpers a warm fn can name (error paths, cold setup) don't drag
+    // their modules into the per-trip list.
+    let reach = graph.reach(&entries);
+    let derived: std::collections::BTreeSet<String> = reach
+        .keys()
+        .filter(|&&f| graph.fns[f].warm_shape)
+        .map(|&f| graph.files[graph.fns[f].file].module.clone())
+        .filter(|m| m.split("::").count() == 2)
+        .collect();
+
+    let path = graph.files[pipeline].path.clone();
+    let mut out = Vec::new();
+    for m in &derived {
+        if !declared.iter().any(|d| d == m) {
+            out.push((
+                path.clone(),
+                Diagnostic {
+                    rule: rules::RULE_WARM_PATH_DRIFT,
+                    line: const_line,
+                    msg: format!(
+                        "call graph derives warm module `{m}` (a `_into`/scratch fn there is \
+                         reachable from the warm entry points) but WARM_PATH_MODULES does not \
+                         declare it"
+                    ),
+                },
+            ));
+        }
+    }
+    for d in &declared {
+        if !warm_modules.iter().any(|m| m == d) {
+            out.push((
+                path.clone(),
+                Diagnostic {
+                    rule: rules::RULE_WARM_PATH_DRIFT,
+                    line: const_line,
+                    msg: format!(
+                        "WARM_PATH_MODULES declares `{d}` but the lint's \
+                         WARM_ALLOC_GATED_MODULES does not gate it"
+                    ),
+                },
+            ));
+        }
+    }
+    for m in warm_modules {
+        if !declared.iter().any(|d| d == m) {
+            out.push((
+                path.clone(),
+                Diagnostic {
+                    rule: rules::RULE_WARM_PATH_DRIFT,
+                    line: const_line,
+                    msg: format!(
+                        "the lint gates `{m}` for warm allocations but \
+                         WARM_PATH_MODULES does not declare it"
+                    ),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Identifier corpus over the whole repo (tests, benches, examples
+/// included — a test-only consumer still counts as a use) for the
+/// unused-`pub` audit. Skips vendored shims and build output.
+fn ident_corpus(
+    root: &Path,
+) -> std::collections::BTreeMap<PathBuf, std::collections::BTreeSet<String>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !matches!(name.as_ref(), "target" | ".git" | "shims") {
+                    walk(&path, out);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    walk(root, &mut files);
+    let mut corpus = std::collections::BTreeMap::new();
+    for file in files {
+        let Ok(src) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        let idents: std::collections::BTreeSet<String> = lexer::lex(&src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == lexer::TokKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        corpus.insert(rel, idents);
+    }
+    corpus
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {

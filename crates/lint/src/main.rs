@@ -1,24 +1,45 @@
 //! CLI for the workspace invariant checker.
 //!
 //! ```text
-//! cargo run -p gradest-lint                 # scan the workspace, exit 1 on findings
-//! cargo run -p gradest-lint -- <root>       # scan an explicit root
-//! cargo run -p gradest-lint -- --print-hot-modules    # machine-readable lists
-//! cargo run -p gradest-lint -- --print-warm-modules
+//! cargo run -p gradest-lint                   # interprocedural scan, exit 1 on errors
+//! cargo run -p gradest-lint -- <root>         # scan an explicit root
+//! cargo run -p gradest-lint -- --report LINT_REPORT.json
+//! cargo run -p gradest-lint -- --baseline LINT_REPORT.json   # fail on NEW errors only
+//! cargo run -p gradest-lint -- --inject-violation            # gate self-test
+//! cargo run -p gradest-lint -- --local-only                  # PR-3 token rules only
+//! cargo run -p gradest-lint -- --print-hot-modules --print-warm-modules
 //! ```
 
-use std::path::PathBuf;
+use gradest_lint::report::{diff, Report};
+use gradest_lint::rules::{Severity, RULE_TRANSITIVE_ALLOC, RULE_TRANSITIVE_PANIC};
+use gradest_lint::AnalyzeOptions;
+use std::path::{Path, PathBuf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "gradest-lint: workspace invariant checker\n\n\
-             USAGE: gradest-lint [ROOT] [--print-hot-modules] [--print-warm-modules]\n\n\
+            "gradest-lint: workspace invariant checker (see DESIGN.md §8, §13)\n\n\
+             USAGE: gradest-lint [ROOT] [OPTIONS]\n\n\
              Scans crates/*/src and src/ under ROOT (default: the workspace root)\n\
-             for violations of the four rule families; see DESIGN.md §8.\n\
-             Suppress a finding with `// lint:allow(<rule>) reason` on or above\n\
-             the offending line. Exits nonzero if any finding remains."
+             with the local token rules plus the interprocedural call-graph pass\n\
+             (transitive no-alloc/no-panic taint, ambiguous-call audit, warm-path\n\
+             drift check, unused-pub notes). Suppress an error finding with\n\
+             `// lint:allow(<rule>) reason` on or above the offending line;\n\
+             stale allows are themselves errors.\n\n\
+             OPTIONS:\n\
+               --report <path>      write the machine-readable JSON report\n\
+               --baseline <path>    diff against an accepted report: only NEW\n\
+                                    error findings fail; fixed ones are counted\n\
+               --inject-violation   self-test: seed a cross-module warm-path\n\
+                                    allocation + panic and verify the gate\n\
+                                    reports both with multi-hop call chains\n\
+               --local-only         skip the call-graph pass (PR-3 behavior)\n\
+               --no-unused-pub      skip the unused-pub note audit\n\
+               --print-hot-modules  print the hot module list and exit\n\
+               --print-warm-modules print the warm module list and exit\n\n\
+             Exit status: 0 clean (notes allowed), 1 errors (or self-test\n\
+             failure), 2 usage/baseline errors."
         );
         return;
     }
@@ -35,25 +56,173 @@ fn main() {
         return;
     }
 
-    let root = args
-        .iter()
-        .find(|a| !a.starts_with('-'))
-        .map(PathBuf::from)
-        // The crate lives at <root>/crates/lint, so the default
-        // workspace root is two levels up from the manifest.
-        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
-
-    let findings = gradest_lint::scan_workspace(&root);
-    let mut total = 0usize;
-    for file in &findings {
-        for d in &file.diagnostics {
-            println!("{}:{}: [{}] {}", file.path.display(), d.line, d.rule, d.msg);
-            total += 1;
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut inject = false;
+    let mut local_only = false;
+    let mut unused_pub = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--report" | "--baseline" => {
+                let Some(val) = it.next() else {
+                    eprintln!("gradest-lint: {arg} requires a path argument");
+                    std::process::exit(2);
+                };
+                if arg == "--report" {
+                    report_path = Some(PathBuf::from(val));
+                } else {
+                    baseline_path = Some(PathBuf::from(val));
+                }
+            }
+            "--inject-violation" => inject = true,
+            "--local-only" => local_only = true,
+            "--no-unused-pub" => unused_pub = false,
+            a if a.starts_with('-') => {
+                eprintln!("gradest-lint: unknown option `{a}` (see --help)");
+                std::process::exit(2);
+            }
+            a => root = Some(PathBuf::from(a)),
         }
     }
-    if total > 0 {
-        eprintln!("gradest-lint: {total} finding(s)");
-        std::process::exit(1);
+    // The crate lives at <root>/crates/lint, so the default workspace
+    // root is two levels up from the manifest.
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    if local_only {
+        let findings = gradest_lint::scan_workspace(&root);
+        let mut total = 0usize;
+        for file in &findings {
+            for d in &file.diagnostics {
+                println!("{}:{}: [{}] {}", file.path.display(), d.line, d.rule, d.msg);
+                total += 1;
+            }
+        }
+        if total > 0 {
+            eprintln!("gradest-lint: {total} finding(s)");
+            std::process::exit(1);
+        }
+        println!("gradest-lint: clean (local rules)");
+        return;
     }
-    println!("gradest-lint: clean");
+
+    if inject {
+        return self_test(&root);
+    }
+
+    let opts = AnalyzeOptions { unused_pub, ..AnalyzeOptions::default() };
+    let findings = gradest_lint::analyze(&root, &opts);
+    let report = Report::from_diagnostics(&findings);
+
+    for f in &report.findings {
+        let tag = match f.severity {
+            Severity::Error => "",
+            Severity::Note => "note: ",
+        };
+        println!("{}:{}: [{}] {}{}", f.path, f.line, f.rule, tag, f.msg);
+    }
+
+    if let Some(path) = &report_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("gradest-lint: cannot write report {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("gradest-lint: report written to {}", path.display());
+    }
+
+    let errors = report.error_count();
+    let notes = report.findings.len() - errors;
+    match &baseline_path {
+        Some(path) => {
+            let baseline = match std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|s| Report::from_json(&s))
+            {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("gradest-lint: cannot load baseline {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            let d = diff(&baseline, &report);
+            let new_errors = d.new.iter().filter(|f| f.severity == Severity::Error).count();
+            println!(
+                "gradest-lint: baseline diff: {} new, {} unchanged, {} fixed",
+                d.new.len(),
+                d.unchanged.len(),
+                d.fixed
+            );
+            if new_errors > 0 {
+                for f in d.new.iter().filter(|f| f.severity == Severity::Error) {
+                    eprintln!("NEW {}:{}: [{}] {}", f.path, f.line, f.rule, f.msg);
+                }
+                eprintln!("gradest-lint: {new_errors} new error(s) vs baseline");
+                std::process::exit(1);
+            }
+        }
+        None => {
+            if errors > 0 {
+                eprintln!("gradest-lint: {errors} error(s), {notes} note(s)");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("gradest-lint: clean ({notes} note(s))");
+}
+
+/// `--inject-violation`: proves the interprocedural gate actually fires.
+/// Seeds a virtual warm entry in `core` calling a virtual `geo` helper
+/// that both allocates and unwraps, then requires a transitive-alloc
+/// AND a transitive-panic finding, each with a multi-hop call chain.
+fn self_test(root: &Path) {
+    let mut opts = AnalyzeOptions {
+        // Virtual files only — nothing written to the working tree.
+        extra_sources: vec![
+            (
+                PathBuf::from("crates/core/src/__lint_selftest.rs"),
+                "pub fn seeded_estimate_into(out: &mut [f64]) {\n    \
+                 gradest_geo::__lint_selftest_helper::seeded_leaf(out);\n}\n"
+                    .to_string(),
+            ),
+            (
+                PathBuf::from("crates/geo/src/__lint_selftest_helper.rs"),
+                "pub fn seeded_leaf(out: &mut [f64]) {\n    \
+                 let v: Vec<f64> = vec![1.0];\n    \
+                 out[0] = *v.first().unwrap();\n}\n"
+                    .to_string(),
+            ),
+        ],
+        unused_pub: false,
+        ..AnalyzeOptions::default()
+    };
+    opts.hot_modules.push("core::__lint_selftest".to_string());
+    opts.warm_modules.push("core::__lint_selftest".to_string());
+
+    let findings = gradest_lint::analyze(root, &opts);
+    let seeded: Vec<&gradest_lint::Diagnostic> = findings
+        .iter()
+        .filter(|f| f.path.to_string_lossy().contains("__lint_selftest_helper"))
+        .flat_map(|f| f.diagnostics.iter())
+        .collect();
+    let chained_alloc =
+        seeded.iter().any(|d| d.rule == RULE_TRANSITIVE_ALLOC && d.msg.contains("->"));
+    let chained_panic =
+        seeded.iter().any(|d| d.rule == RULE_TRANSITIVE_PANIC && d.msg.contains("->"));
+    if chained_alloc && chained_panic {
+        println!(
+            "gradest-lint: self-test OK — seeded cross-module allocation and panic both \
+             reported with call chains ({} finding(s) on the seeded helper)",
+            seeded.len()
+        );
+        return;
+    }
+    for d in &seeded {
+        eprintln!("self-test saw: [{}] {}", d.rule, d.msg);
+    }
+    eprintln!(
+        "gradest-lint: SELF-TEST FAILED — transitive-alloc chained: {chained_alloc}, \
+         transitive-panic chained: {chained_panic}"
+    );
+    std::process::exit(1);
 }

@@ -25,11 +25,31 @@ pub const RULE_SYNC_COMMENT: &str = "sync-comment";
 /// Rule: a `#[cfg(feature = "simd")]`-gated function with no
 /// `#[cfg(not(..))]` scalar twin of the same name in the same file.
 pub const RULE_SIMD_TWIN: &str = "simd-twin";
+/// Rule: an allocation in a function transitively reachable from a
+/// warm-path root (`*_into` / scratch-taking) via the workspace call
+/// graph. The diagnostic carries the full call chain.
+pub const RULE_TRANSITIVE_ALLOC: &str = "transitive-alloc";
+/// Rule: a panic site (or computed index) in a function transitively
+/// reachable from a hot-path module via the workspace call graph.
+pub const RULE_TRANSITIVE_PANIC: &str = "transitive-panic";
+/// Rule: a call from taint-checked code that name-matches several
+/// definitions with *different* taint verdicts — the conservative
+/// resolution decided the outcome, so the call needs a disambiguating
+/// path qualifier (or an audited allow).
+pub const RULE_AMBIGUOUS_CALL: &str = "ambiguous-call";
+/// Rule: `pipeline::WARM_PATH_MODULES` disagrees with the module set
+/// derived from the call graph (or with the lint's own gated list).
+/// Not suppressible: fix the list, not the messenger.
+pub const RULE_WARM_PATH_DRIFT: &str = "warm-path-drift";
+/// Note-severity rule: a `pub` item in an internal crate with no
+/// reference anywhere else in the repository.
+pub const RULE_UNUSED_PUB: &str = "unused-pub";
 /// Pseudo-rule for allowlist bookkeeping errors (missing reason,
 /// stale allow, unknown rule name).
 pub const RULE_ALLOWLIST: &str = "allowlist";
 
-/// All suppressible rule names (everything except [`RULE_ALLOWLIST`]).
+/// All suppressible rule names (everything except [`RULE_ALLOWLIST`],
+/// [`RULE_WARM_PATH_DRIFT`], and the note-severity [`RULE_UNUSED_PUB`]).
 pub const ALL_RULES: &[&str] = &[
     RULE_NO_PANIC,
     RULE_HOT_INDEX,
@@ -38,7 +58,29 @@ pub const ALL_RULES: &[&str] = &[
     RULE_TOTAL_CMP,
     RULE_SYNC_COMMENT,
     RULE_SIMD_TWIN,
+    RULE_TRANSITIVE_ALLOC,
+    RULE_TRANSITIVE_PANIC,
+    RULE_AMBIGUOUS_CALL,
 ];
+
+/// Diagnostic severity: errors gate CI, notes are advisory report
+/// entries (the unused-`pub` audit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint gate.
+    Error,
+    /// Reported (and written to the JSON report) but never fails.
+    Note,
+}
+
+/// The severity of a rule's findings.
+pub fn severity(rule: &str) -> Severity {
+    if rule == RULE_UNUSED_PUB {
+        Severity::Note
+    } else {
+        Severity::Error
+    }
+}
 
 /// Which rule families apply to a file (derived from the module lists
 /// in [`crate`], or set directly by the fixture tests).
@@ -74,6 +116,16 @@ pub struct Diagnostic {
 /// `#[cfg(test)]` items is skipped.
 pub fn scan_source(src: &str, scope: Scope) -> Vec<Diagnostic> {
     let lexed = lex(src);
+    let raw = raw_findings(&lexed, scope);
+    apply_allowlist(&lexed, raw)
+}
+
+/// The local (single-file) rule findings for one lexed file, *before*
+/// allowlist application. The workspace analyzer merges these with the
+/// interprocedural findings and applies the allowlist once per file, so
+/// a `lint:allow` can suppress either kind and stale allows are audited
+/// against the union.
+pub fn raw_findings(lexed: &Lexed, scope: Scope) -> Vec<Diagnostic> {
     let toks = &lexed.tokens;
     let excluded = test_excluded_mask(toks);
 
@@ -87,10 +139,9 @@ pub fn scan_source(src: &str, scope: Scope) -> Vec<Diagnostic> {
         check_no_alloc_into(toks, &excluded, &mut raw);
     }
     check_total_cmp(toks, &excluded, &mut raw);
-    check_sync_comment(&lexed, &excluded, &mut raw);
+    check_sync_comment(lexed, &excluded, &mut raw);
     check_simd_twin(toks, &excluded, &mut raw);
-
-    apply_allowlist(&lexed, raw)
+    raw
 }
 
 // ---------------------------------------------------------------------------
@@ -133,7 +184,7 @@ fn matching(toks: &[Tok], open: usize) -> usize {
 /// Marks token indices inside `#[cfg(test)]`-gated items (the
 /// following `mod`/`fn`/item body, brace-matched) so no rule fires on
 /// test code.
-fn test_excluded_mask(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_excluded_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -180,15 +231,28 @@ fn test_excluded_mask(toks: &[Tok]) -> Vec<bool> {
 }
 
 /// A function item's name, parameter tokens, and body token range.
-struct FnSpan {
-    name: String,
-    params: (usize, usize),
-    body: (usize, usize),
+pub(crate) struct FnSpan {
+    pub(crate) name: String,
+    pub(crate) params: (usize, usize),
+    pub(crate) body: (usize, usize),
+    /// Token index of the `fn` keyword.
+    pub(crate) kw: usize,
+    /// 1-based line of the `fn` keyword.
+    pub(crate) line: u32,
+}
+
+/// Whether a function span is under the warm no-alloc discipline: a
+/// `*_into` name or an `&mut EstimatorScratch` parameter.
+pub(crate) fn is_warm_fn(toks: &[Tok], span: &FnSpan) -> bool {
+    let takes_scratch = toks[span.params.0..span.params.1]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "EstimatorScratch");
+    span.name.ends_with("_into") || takes_scratch
 }
 
 /// Finds function items (including nested ones) by scanning for `fn`
 /// tokens and brace-matching their bodies.
-fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
+pub(crate) fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
     let mut spans = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
@@ -233,7 +297,7 @@ fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
                 }
             }
             if let Some(body) = body {
-                spans.push(FnSpan { name, params, body });
+                spans.push(FnSpan { name, params, body, kw: i, line: toks[i].line });
             }
         }
         i += 1;
@@ -242,48 +306,53 @@ fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
 }
 
 // ---------------------------------------------------------------------------
-// Rule (a): no-panic hot path
+// Leaf-site detectors (shared by the local rules and the taint pass)
 // ---------------------------------------------------------------------------
 
-fn check_no_panic(toks: &[Tok], excluded: &[bool], out: &mut Vec<Diagnostic>) {
-    for i in 0..toks.len() {
+/// One allocation or panic site inside a token range, with enough
+/// context to phrase both the local and the transitive diagnostic.
+pub(crate) struct LeafSite {
+    /// 1-based source line.
+    pub(crate) line: u32,
+    /// Short description of the offending construct, backtick-quoted
+    /// (`` `.unwrap()` ``, `` `Vec::new` ``, `` `vec!` ``, ...).
+    pub(crate) what: String,
+}
+
+/// Panic-family sites (`.unwrap()`/`.expect()` calls and the
+/// `panic!`-family macros) in `toks[lo..hi]`, skipping masked tokens.
+pub(crate) fn panic_sites(toks: &[Tok], lo: usize, hi: usize, excluded: &[bool]) -> Vec<LeafSite> {
+    let mut out = Vec::new();
+    for i in lo..hi.min(toks.len()) {
         if excluded[i] || toks[i].kind != TokKind::Ident {
             continue;
         }
         let t = toks[i].text.as_str();
-        let panicky_method = (t == "unwrap" || t == "expect")
+        if (t == "unwrap" || t == "expect")
             && text(toks, i.wrapping_sub(1)) == "."
-            && text(toks, i + 1) == "(";
-        if panicky_method {
-            out.push(Diagnostic {
-                rule: RULE_NO_PANIC,
-                line: toks[i].line,
-                msg: format!("`.{t}()` in a hot-path module; handle the None/Err case"),
-            });
+            && text(toks, i + 1) == "("
+        {
+            out.push(LeafSite { line: toks[i].line, what: format!("`.{t}()`") });
         }
-        let panicky_macro = matches!(t, "panic" | "todo" | "unimplemented" | "unreachable")
-            && text(toks, i + 1) == "!";
-        if panicky_macro {
-            out.push(Diagnostic {
-                rule: RULE_NO_PANIC,
-                line: toks[i].line,
-                msg: format!("`{t}!` in a hot-path module"),
-            });
+        if matches!(t, "panic" | "todo" | "unimplemented" | "unreachable")
+            && text(toks, i + 1) == "!"
+        {
+            out.push(LeafSite { line: toks[i].line, what: format!("`{t}!`") });
         }
     }
+    out
 }
 
-// ---------------------------------------------------------------------------
-// Rule (a'): computed indexing in hot path
-// ---------------------------------------------------------------------------
-
-/// Fires on index expressions whose bracket content performs
-/// arithmetic at the top level (`a[i + 1]`, `v[n.len() / 2]`,
-/// `s[lo..lo + w]`): exactly the off-by-one shapes that panic at the
-/// boundary. A plain `a[i]` is allowed — the index was computed
-/// elsewhere and bounds-checking every read would drown the signal.
-fn check_hot_index(toks: &[Tok], excluded: &[bool], out: &mut Vec<Diagnostic>) {
-    for i in 0..toks.len() {
+/// Computed-index sites (`a[i + 1]`-shaped expressions) in
+/// `toks[lo..hi]`; the same shape the local hot-index rule bans.
+pub(crate) fn computed_index_sites(
+    toks: &[Tok],
+    lo: usize,
+    hi: usize,
+    excluded: &[bool],
+) -> Vec<LeafSite> {
+    let mut out = Vec::new();
+    for i in lo..hi.min(toks.len()) {
         if excluded[i] || text(toks, i) != "[" {
             continue;
         }
@@ -311,14 +380,75 @@ fn check_hot_index(toks: &[Tok], excluded: &[bool], out: &mut Vec<Diagnostic>) {
             }
         }
         if arithmetic {
-            out.push(Diagnostic {
-                rule: RULE_HOT_INDEX,
+            out.push(LeafSite { line: toks[i].line, what: "computed index".to_string() });
+        }
+    }
+    out
+}
+
+/// Allocation sites (allocating method calls, `Type::ctor` pairs, and
+/// allocating macros) in `toks[lo..hi]`, skipping masked tokens.
+pub(crate) fn alloc_sites(toks: &[Tok], lo: usize, hi: usize, excluded: &[bool]) -> Vec<LeafSite> {
+    let mut out = Vec::new();
+    for i in lo..hi.min(toks.len()) {
+        if excluded[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = toks[i].text.as_str();
+        if ALLOC_METHODS.contains(&t)
+            && text(toks, i.wrapping_sub(1)) == "."
+            && text(toks, i + 1) == "("
+        {
+            out.push(LeafSite { line: toks[i].line, what: format!("`.{t}()`") });
+        }
+        if text(toks, i + 1) == "::"
+            && ALLOC_CTORS.iter().any(|(ty, m)| *ty == t && text(toks, i + 2) == *m)
+        {
+            out.push(LeafSite {
                 line: toks[i].line,
-                msg: "computed index in a hot-path module; use `.get()` or hoist the \
-                      bounds proof"
-                    .to_string(),
+                what: format!("`{t}::{}`", text(toks, i + 2)),
             });
         }
+        if ALLOC_MACROS.contains(&t) && text(toks, i + 1) == "!" {
+            out.push(LeafSite { line: toks[i].line, what: format!("`{t}!`") });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule (a): no-panic hot path
+// ---------------------------------------------------------------------------
+
+fn check_no_panic(toks: &[Tok], excluded: &[bool], out: &mut Vec<Diagnostic>) {
+    for site in panic_sites(toks, 0, toks.len(), excluded) {
+        let msg = if site.what.starts_with("`.") {
+            format!("{} in a hot-path module; handle the None/Err case", site.what)
+        } else {
+            format!("{} in a hot-path module", site.what)
+        };
+        out.push(Diagnostic { rule: RULE_NO_PANIC, line: site.line, msg });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule (a'): computed indexing in hot path
+// ---------------------------------------------------------------------------
+
+/// Fires on index expressions whose bracket content performs
+/// arithmetic at the top level (`a[i + 1]`, `v[n.len() / 2]`,
+/// `s[lo..lo + w]`): exactly the off-by-one shapes that panic at the
+/// boundary. A plain `a[i]` is allowed — the index was computed
+/// elsewhere and bounds-checking every read would drown the signal.
+fn check_hot_index(toks: &[Tok], excluded: &[bool], out: &mut Vec<Diagnostic>) {
+    for site in computed_index_sites(toks, 0, toks.len(), excluded) {
+        out.push(Diagnostic {
+            rule: RULE_HOT_INDEX,
+            line: site.line,
+            msg: "computed index in a hot-path module; use `.get()` or hoist the \
+                  bounds proof"
+                .to_string(),
+        });
     }
 }
 
@@ -342,50 +472,16 @@ const ALLOC_MACROS: &[&str] = &["vec", "format"];
 
 fn check_no_alloc_into(toks: &[Tok], excluded: &[bool], out: &mut Vec<Diagnostic>) {
     for span in fn_spans(toks) {
-        let takes_scratch = toks[span.params.0..span.params.1]
-            .iter()
-            .any(|t| t.kind == TokKind::Ident && t.text == "EstimatorScratch");
-        if !(span.name.ends_with("_into") || takes_scratch) {
+        if !is_warm_fn(toks, &span) {
             continue;
         }
-        for i in span.body.0..span.body.1 {
-            if excluded[i] || toks[i].kind != TokKind::Ident {
-                continue;
-            }
-            let t = toks[i].text.as_str();
-            if ALLOC_METHODS.contains(&t)
-                && text(toks, i.wrapping_sub(1)) == "."
-                && text(toks, i + 1) == "("
-            {
-                out.push(Diagnostic {
-                    rule: RULE_NO_ALLOC_INTO,
-                    line: toks[i].line,
-                    msg: format!(
-                        "`.{t}()` allocates inside `{}`; reuse the scratch buffers",
-                        span.name
-                    ),
-                });
-            }
-            if text(toks, i + 1) == "::"
-                && ALLOC_CTORS.iter().any(|(ty, m)| *ty == t && text(toks, i + 2) == *m)
-            {
-                out.push(Diagnostic {
-                    rule: RULE_NO_ALLOC_INTO,
-                    line: toks[i].line,
-                    msg: format!(
-                        "`{t}::{}` allocates inside `{}`; reuse the scratch buffers",
-                        text(toks, i + 2),
-                        span.name
-                    ),
-                });
-            }
-            if ALLOC_MACROS.contains(&t) && text(toks, i + 1) == "!" {
-                out.push(Diagnostic {
-                    rule: RULE_NO_ALLOC_INTO,
-                    line: toks[i].line,
-                    msg: format!("`{t}!` allocates inside `{}`", span.name),
-                });
-            }
+        for site in alloc_sites(toks, span.body.0, span.body.1, excluded) {
+            let msg = if site.what.ends_with("!`") {
+                format!("{} allocates inside `{}`", site.what, span.name)
+            } else {
+                format!("{} allocates inside `{}`; reuse the scratch buffers", site.what, span.name)
+            };
+            out.push(Diagnostic { rule: RULE_NO_ALLOC_INTO, line: site.line, msg });
         }
     }
 }
@@ -693,8 +789,10 @@ struct Allow {
 
 /// Parses `// lint:allow(rule) reason` comments, suppresses matching
 /// findings on the target line, and reports allowlist bookkeeping
-/// errors (missing reason, unknown rule, stale allow).
-fn apply_allowlist(lexed: &Lexed, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+/// errors (missing reason, unknown rule, stale allow). An allow whose
+/// target line has no finding of that rule is *dead* and reported as an
+/// error — the dead-suppression audit.
+pub fn apply_allowlist(lexed: &Lexed, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
     let mut allows: Vec<Allow> = Vec::new();
     let mut problems: Vec<Diagnostic> = Vec::new();
     for c in &lexed.comments {

@@ -1,0 +1,392 @@
+//! Transitive no-alloc / no-panic taint propagation over the
+//! workspace call graph.
+//!
+//! The local rules (PR 3) check function bodies token-by-token inside
+//! the gated modules; this pass closes the interprocedural gap: a warm
+//! `*_into` function calling an allocating helper in another module,
+//! or a hot-path function calling a panicking helper two hops away, is
+//! reported *with the full call chain* even though every individual
+//! file passes its local scan.
+//!
+//! Two taints, two root sets:
+//!
+//! * **alloc** — roots are the warm-shaped functions (`*_into` name or
+//!   `&mut EstimatorScratch` parameter) inside the warm module list.
+//!   Any reachable function containing an allocation leaf
+//!   (`.collect()`, `Vec::new`, `vec!`, ...) is a `transitive-alloc`
+//!   finding, unless that function is itself locally covered (warm
+//!   module + warm shape — the local rule already reports it).
+//! * **panic** — roots are *all* functions in the hot module list
+//!   (matching the module-wide local no-panic rule). Any reachable
+//!   function containing a panic leaf (`.unwrap()`, `panic!`, computed
+//!   index, ...) outside the hot list is a `transitive-panic` finding.
+//!
+//! Conservatism: ambiguous name-matched calls propagate taint through
+//! *all* candidates. When the candidates' downstream verdicts differ
+//! (some lead to a leaf, some do not), the ambiguity decided the
+//! outcome, and an `ambiguous-call` diagnostic points at the call site
+//! so a path qualifier (or audited allow) can settle it.
+//!
+//! Findings attach to the *leaf* line in the *callee's* file, so a
+//! `// lint:allow(transitive-alloc) reason` sits next to the code that
+//! actually allocates — and rots loudly (dead-suppression audit) when
+//! the leaf disappears.
+
+use crate::graph::Graph;
+use crate::rules::{
+    self, Diagnostic, RULE_AMBIGUOUS_CALL, RULE_TRANSITIVE_ALLOC, RULE_TRANSITIVE_PANIC,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// Which taint kind a pass propagates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Alloc,
+    Panic,
+}
+
+impl Kind {
+    fn rule(self) -> &'static str {
+        match self {
+            Kind::Alloc => RULE_TRANSITIVE_ALLOC,
+            Kind::Panic => RULE_TRANSITIVE_PANIC,
+        }
+    }
+
+    fn verb(self) -> &'static str {
+        match self {
+            Kind::Alloc => "allocates",
+            Kind::Panic => "can panic",
+        }
+    }
+}
+
+/// Transitive taint findings plus ambiguity diagnostics, grouped per
+/// file index (into `graph.files`). The caller merges these with the
+/// local findings and applies the allowlist once per file.
+pub fn transitive_findings(
+    graph: &Graph,
+    hot_modules: &[String],
+    warm_modules: &[String],
+) -> BTreeMap<usize, Vec<Diagnostic>> {
+    let mut out: BTreeMap<usize, Vec<Diagnostic>> = BTreeMap::new();
+
+    let leaf_alloc = leaf_sites(graph, Kind::Alloc);
+    let leaf_panic = leaf_sites(graph, Kind::Panic);
+
+    let alloc_roots: Vec<usize> = (0..graph.fns.len())
+        .filter(|&f| {
+            graph.fns[f].warm_shape && warm_modules.contains(&graph.files[graph.fns[f].file].module)
+        })
+        .collect();
+    let panic_roots: Vec<usize> = (0..graph.fns.len())
+        .filter(|&f| hot_modules.contains(&graph.files[graph.fns[f].file].module))
+        .collect();
+
+    run_kind(graph, Kind::Alloc, &alloc_roots, &leaf_alloc, warm_modules, hot_modules, &mut out);
+    run_kind(graph, Kind::Panic, &panic_roots, &leaf_panic, warm_modules, hot_modules, &mut out);
+
+    out
+}
+
+/// One taint pass: reach from `roots`, report leaves in functions not
+/// already covered by the corresponding local rule, then surface
+/// taint-deciding ambiguous calls.
+fn run_kind(
+    graph: &Graph,
+    kind: Kind,
+    roots: &[usize],
+    leaves: &[Vec<rules::LeafSite>],
+    warm_modules: &[String],
+    hot_modules: &[String],
+    out: &mut BTreeMap<usize, Vec<Diagnostic>>,
+) {
+    let parent = graph.reach(roots);
+
+    let locally_covered = |f: usize| -> bool {
+        let module = &graph.files[graph.fns[f].file].module;
+        match kind {
+            Kind::Alloc => graph.fns[f].warm_shape && warm_modules.contains(module),
+            Kind::Panic => hot_modules.contains(module),
+        }
+    };
+
+    // Deterministic order: fns are already in (file, token) order.
+    let mut reached: Vec<usize> = parent.keys().copied().collect();
+    reached.sort_unstable();
+
+    for &f in &reached {
+        if locally_covered(f) || leaves[f].is_empty() {
+            continue;
+        }
+        let chain = graph.chain(&parent, f);
+        let via_ambiguous = chain_is_ambiguous(graph, &parent, f);
+        let chain_str: Vec<String> = chain
+            .iter()
+            .map(|&g| {
+                format!(
+                    "{} ({}:{})",
+                    graph.fn_display(g),
+                    graph.files[graph.fns[g].file].path.display(),
+                    graph.fns[g].line
+                )
+            })
+            .collect();
+        let root_name = graph.fn_display(chain[0]);
+        for site in &leaves[f] {
+            let mut msg = format!(
+                "{} {} in `{}`, which is reachable from {} root `{}`: {}",
+                site.what,
+                kind.verb(),
+                graph.fn_display(f),
+                match kind {
+                    Kind::Alloc => "warm",
+                    Kind::Panic => "hot",
+                },
+                root_name,
+                chain_str.join(" -> "),
+            );
+            if via_ambiguous {
+                msg.push_str(" (chain crosses an ambiguous name-matched call)");
+            }
+            out.entry(graph.fns[f].file).or_default().push(Diagnostic {
+                rule: kind.rule(),
+                line: site.line,
+                msg,
+            });
+        }
+    }
+
+    // Ambiguity audit: a reachable ambiguous call whose candidates
+    // disagree on "leads to a leaf" decided the verdict by name
+    // matching alone — surface it.
+    let tainted_down = tainted_down(graph, leaves);
+    for call in &graph.calls {
+        if !call.ambiguous || !parent.contains_key(&call.caller) {
+            continue;
+        }
+        let hits = call.targets.iter().filter(|&&t| tainted_down[t]).count();
+        if hits == 0 || hits == call.targets.len() {
+            continue; // unanimous: ambiguity did not change the verdict
+        }
+        let mut cands: Vec<String> = call.targets.iter().map(|&t| graph.fn_display(t)).collect();
+        cands.sort();
+        out.entry(graph.fns[call.caller].file).or_default().push(Diagnostic {
+            rule: RULE_AMBIGUOUS_CALL,
+            line: call.line,
+            msg: format!(
+                "call `{}` in `{}` resolves by name to {} definitions with differing {} \
+                 verdicts ({}); qualify the path so the analysis can pick one",
+                call.display,
+                graph.fn_display(call.caller),
+                call.targets.len(),
+                match kind {
+                    Kind::Alloc => "allocation",
+                    Kind::Panic => "panic",
+                },
+                cands.join(", "),
+            ),
+        });
+    }
+}
+
+/// Per-function leaf sites for a kind, with nested-function bodies
+/// subtracted so a leaf inside a nested `fn` is attributed to the
+/// nested function only.
+fn leaf_sites(graph: &Graph, kind: Kind) -> Vec<Vec<rules::LeafSite>> {
+    let mut out: Vec<Vec<rules::LeafSite>> = Vec::with_capacity(graph.fns.len());
+    for (i, f) in graph.fns.iter().enumerate() {
+        let file = &graph.files[f.file];
+        let toks = &file.lexed.tokens;
+        // Mask out nested fn bodies (strictly inside this body).
+        let mut masked = file.excluded.clone();
+        for (j, g) in graph.fns.iter().enumerate() {
+            if j != i && g.file == f.file && g.body.0 > f.body.0 && g.body.1 <= f.body.1 {
+                for m in masked.iter_mut().take(g.body.1.min(toks.len())).skip(g.body.0) {
+                    *m = true;
+                }
+            }
+        }
+        let sites = match kind {
+            Kind::Alloc => rules::alloc_sites(toks, f.body.0, f.body.1, &masked),
+            Kind::Panic => {
+                let mut s = rules::panic_sites(toks, f.body.0, f.body.1, &masked);
+                s.extend(rules::computed_index_sites(toks, f.body.0, f.body.1, &masked));
+                s.sort_by_key(|x| x.line);
+                s
+            }
+        };
+        out.push(sites);
+    }
+    out
+}
+
+/// Whether the BFS chain from a root to `target` crosses an ambiguous
+/// call edge.
+fn chain_is_ambiguous(
+    graph: &Graph,
+    parent: &HashMap<usize, Option<usize>>,
+    target: usize,
+) -> bool {
+    let mut cur = target;
+    for _ in 0..graph.fns.len() + 1 {
+        match parent.get(&cur) {
+            Some(Some(call)) => {
+                if graph.calls[*call].ambiguous {
+                    return true;
+                }
+                cur = graph.calls[*call].caller;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Fixpoint: `tainted_down[f]` is true when `f` contains a leaf or can
+/// reach one through any call edge (ambiguous edges included).
+fn tainted_down(graph: &Graph, leaves: &[Vec<rules::LeafSite>]) -> Vec<bool> {
+    let mut tainted: Vec<bool> = leaves.iter().map(|l| !l.is_empty()).collect();
+    loop {
+        let mut changed = false;
+        for call in &graph.calls {
+            if tainted[call.caller] {
+                continue;
+            }
+            if call.targets.iter().any(|&t| tainted[t]) {
+                tainted[call.caller] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return tainted;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(files: &[(&str, &str)], hot: &[&str], warm: &[&str]) -> Vec<(String, Diagnostic)> {
+        let graph =
+            Graph::build(files.iter().map(|(p, s)| (PathBuf::from(p), s.to_string())).collect());
+        let hot: Vec<String> = hot.iter().map(|s| s.to_string()).collect();
+        let warm: Vec<String> = warm.iter().map(|s| s.to_string()).collect();
+        let by_file = transitive_findings(&graph, &hot, &warm);
+        let mut out = Vec::new();
+        for (fi, diags) in by_file {
+            for d in diags {
+                out.push((graph.files[fi].path.display().to_string(), d));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cross_module_alloc_reports_chain() {
+        let found = run(
+            &[
+                (
+                    "crates/core/src/pipeline.rs",
+                    "pub fn estimate_into(o: &mut [f64]) { gradest_geo::helper::scratchless(o); }",
+                ),
+                (
+                    "crates/geo/src/helper.rs",
+                    "pub fn scratchless(_o: &mut [f64]) { let v: Vec<u8> = Vec::new(); drop(v); }",
+                ),
+            ],
+            &["core::pipeline"],
+            &["core::pipeline"],
+        );
+        let alloc: Vec<_> = found.iter().filter(|(_, d)| d.rule == RULE_TRANSITIVE_ALLOC).collect();
+        assert_eq!(alloc.len(), 1, "{found:?}");
+        let (path, d) = alloc[0];
+        assert_eq!(path, "crates/geo/src/helper.rs");
+        assert!(d.msg.contains("core::pipeline::estimate_into"), "{}", d.msg);
+        assert!(d.msg.contains("->"), "chain missing: {}", d.msg);
+    }
+
+    #[test]
+    fn panic_two_hops_deep_reports_full_chain() {
+        let found = run(
+            &[
+                ("crates/core/src/ekf.rs", "pub fn predict(x: f64) -> f64 { mid_step(x) }"),
+                (
+                    "crates/math/src/midmod.rs",
+                    "pub fn mid_step(x: f64) -> f64 { gradest_math::deep::finish(x) }",
+                ),
+                (
+                    "crates/math/src/deep.rs",
+                    "pub fn finish(x: f64) -> f64 { let o: Option<f64> = Some(x); o.unwrap() }",
+                ),
+            ],
+            &["core::ekf"],
+            &[],
+        );
+        let panics: Vec<_> =
+            found.iter().filter(|(_, d)| d.rule == RULE_TRANSITIVE_PANIC).collect();
+        assert_eq!(panics.len(), 1, "{found:?}");
+        let (path, d) = panics[0];
+        assert_eq!(path, "crates/math/src/deep.rs");
+        // Full 3-link chain: predict -> mid_step -> finish.
+        assert!(d.msg.contains("core::ekf::predict"), "{}", d.msg);
+        assert!(d.msg.contains("math::midmod::mid_step"), "{}", d.msg);
+        assert!(d.msg.contains("math::deep::finish"), "{}", d.msg);
+    }
+
+    #[test]
+    fn locally_covered_leaves_are_not_double_reported() {
+        // The warm fn itself allocates: that is the local rule's
+        // finding, not a transitive one.
+        let found = run(
+            &[(
+                "crates/core/src/pipeline.rs",
+                "pub fn estimate_into(o: &mut Vec<u8>) { o.extend([1].to_vec()); }",
+            )],
+            &["core::pipeline"],
+            &["core::pipeline"],
+        );
+        assert!(found.iter().all(|(_, d)| d.rule != RULE_TRANSITIVE_ALLOC), "{found:?}");
+    }
+
+    #[test]
+    fn ambiguous_call_with_differing_verdicts_is_flagged() {
+        let found = run(
+            &[
+                (
+                    "crates/core/src/pipeline.rs",
+                    "pub fn estimate_into(o: &mut [f64]) { refill(o); }",
+                ),
+                (
+                    "crates/geo/src/cache.rs",
+                    "pub fn refill(_o: &mut [f64]) { let v = [0u8].to_vec(); drop(v); }",
+                ),
+                ("crates/sensors/src/buffer.rs", "pub fn refill(_o: &mut [f64]) { }"),
+            ],
+            &[],
+            &["core::pipeline"],
+        );
+        let amb: Vec<_> = found.iter().filter(|(_, d)| d.rule == RULE_AMBIGUOUS_CALL).collect();
+        assert_eq!(amb.len(), 1, "{found:?}");
+        assert!(amb[0].1.msg.contains("`refill`"), "{}", amb[0].1.msg);
+        // And the conservative union still reports the alloc leaf.
+        let alloc: Vec<_> = found.iter().filter(|(_, d)| d.rule == RULE_TRANSITIVE_ALLOC).collect();
+        assert_eq!(alloc.len(), 1, "{found:?}");
+        assert!(alloc[0].1.msg.contains("ambiguous"), "{}", alloc[0].1.msg);
+    }
+
+    #[test]
+    fn unreachable_allocations_stay_silent() {
+        let found = run(
+            &[
+                ("crates/core/src/pipeline.rs", "pub fn estimate_into(_o: &mut [f64]) { }"),
+                ("crates/geo/src/helper.rs", "pub fn unrelated() -> Vec<u8> { Vec::new() }"),
+            ],
+            &["core::pipeline"],
+            &["core::pipeline"],
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: unqualified call that name-matches two definitions with
+//! different allocation verdicts.
+pub fn estimate_into(out: &mut [f64]) {
+    refill(out);
+}

@@ -1,0 +1,5 @@
+//! Fixture: the allocating `refill` candidate.
+pub fn refill(out: &mut [f64]) {
+    let staged = out.to_vec();
+    out.copy_from_slice(&staged);
+}

@@ -1,0 +1,6 @@
+//! Fixture: the clean `refill` candidate.
+pub fn refill(out: &mut [f64]) {
+    for x in out.iter_mut() {
+        *x = 0.0;
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: warm entry point whose only sin is calling a helper in
+//! another crate that allocates. Locally clean — the violation is
+//! visible only to the interprocedural pass.
+pub fn estimate_into(out: &mut [f64]) {
+    gradest_geo::helper::refill_scratchless(out);
+}

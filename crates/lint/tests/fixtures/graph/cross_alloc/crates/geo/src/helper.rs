@@ -1,0 +1,6 @@
+//! Fixture: the allocating helper (not itself warm-shaped, module not
+//! alloc-gated, so the local rules never see it).
+pub fn refill_scratchless(out: &mut [f64]) {
+    let staged: Vec<f64> = out.iter().map(|x| x * 2.0).collect();
+    out.copy_from_slice(&staged);
+}

@@ -1,0 +1,8 @@
+//! Fixture: an allow for a transitive rule on a line where nothing
+//! fires — the dead-suppression audit must flag it as stale.
+pub fn estimate_into(out: &mut [f64]) {
+    // lint:allow(transitive-alloc) helper used to allocate before the scratch refactor
+    for x in out.iter_mut() {
+        *x += 1.0;
+    }
+}

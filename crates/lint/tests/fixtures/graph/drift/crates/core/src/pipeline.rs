@@ -1,0 +1,7 @@
+//! Fixture: the declared warm-path list is missing `math::lowess`,
+//! which the call graph derives as reachable — drift.
+pub const WARM_PATH_MODULES: &[&str] = &["core::pipeline"];
+
+pub fn estimate_into(out: &mut [f64]) {
+    gradest_math::lowess::smooth_into(out);
+}

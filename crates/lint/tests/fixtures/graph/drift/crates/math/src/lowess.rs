@@ -1,0 +1,7 @@
+//! Fixture: warm-shaped helper in a module absent from the declared
+//! list.
+pub fn smooth_into(out: &mut [f64]) {
+    for x in out.iter_mut() {
+        *x *= 0.5;
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: hot module function two calls away from an unwrap.
+pub fn predict(x: f64) -> f64 {
+    gradest_math::stage::mid_step(x)
+}

@@ -1,0 +1,5 @@
+//! Fixture: the panicking leaf, two hops from the hot root.
+pub fn finish(x: f64) -> f64 {
+    let checked: Option<f64> = Some(x);
+    checked.unwrap()
+}

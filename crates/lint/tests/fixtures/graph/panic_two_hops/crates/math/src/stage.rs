@@ -1,0 +1,4 @@
+//! Fixture: clean middle hop.
+pub fn mid_step(x: f64) -> f64 {
+    crate::deep::finish(x)
+}

@@ -1,0 +1,5 @@
+//! Fixture: same shape as cross_alloc, but the leaf carries a
+//! justified allow — the finding is suppressed and the allow is live.
+pub fn estimate_into(out: &mut [f64]) {
+    gradest_geo::helper::refill_scratchless(out);
+}

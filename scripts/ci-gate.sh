@@ -13,21 +13,42 @@
 #   3. gradest-lint                    — workspace invariants (no-panic /
 #                                        no-alloc-into / float hygiene /
 #                                        sync-comment audit / simd scalar
-#                                        twins), deny-by-default
+#                                        twins) plus the interprocedural
+#                                        pass: call-graph transitive
+#                                        no-alloc/no-panic taint from the
+#                                        warm/hot roots, ambiguous-call
+#                                        audit, dead-suppression audit,
+#                                        warm-path drift check. Writes
+#                                        target/lint/LINT_REPORT.json
+#                                        (machine-readable, uploaded as a
+#                                        CI artifact)
 #   4. gradest-core --features simd    — both cfg halves of the SoA EKF
 #                                        lanes: the featureless steps
 #                                        above cover the scalar fallback;
 #                                        this one tests the SSE2 twins
 #
 # Default path adds:
-#   5. pipeline_hotpath_smoke          — zero warm-path allocations (plain AND
+#   5. gradest-lint self-test          — --inject-violation seeds a virtual
+#                                        cross-module warm-path allocation and
+#                                        hot-path panic; the gate must catch
+#                                        both with full call chains or this
+#                                        step fails (proves the taint pass is
+#                                        actually wired in, not a no-op)
+#   6. gradest-lint baseline           — re-runs the analyzer diffing against
+#                                        the report from step 3; a clean tree
+#                                        must produce zero NEW findings
+#                                        (round-trips the JSON report schema)
+#   7. pipeline_hotpath_smoke          — zero warm-path allocations (plain AND
 #                                        recorded), fast-vs-generic LOWESS
 #                                        agreement, recorder bit-identity,
-#                                        lint/runtime module-list agreement
-#   6. geo index property tests        — packed R-tree nearest/bbox queries
+#                                        call-graph-derived warm-path module
+#                                        drift check (graph reachability vs
+#                                        pipeline::WARM_PATH_MODULES vs the
+#                                        lint's alloc-gated list)
+#   8. geo index property tests        — packed R-tree nearest/bbox queries
 #                                        pinned against brute-force oracles
 #                                        on randomized segment sets
-#   7. geo_index_smoke                 — country-scale (≥1e5-segment) network:
+#   9. geo_index_smoke                 — country-scale (≥1e5-segment) network:
 #                                        indexed nearest must match the oracle
 #                                        exactly, beat it ≥10x, and allocate
 #                                        nothing per warm query
@@ -98,8 +119,12 @@ skip_step() { # skip_step <name> <reason>
 run_step "clippy" cargo clippy --workspace --all-targets -- -D warnings
 run_step "fmt" cargo fmt --check
 # Workspace invariant linter: deny-by-default, every suppression needs
-# an in-source `lint:allow(<rule>) reason`.
-run_step "gradest-lint" cargo run --release -q -p gradest-lint
+# an in-source `lint:allow(<rule>) reason`. Runs the interprocedural
+# pass (call graph + transitive taint + drift + dead-suppression audit)
+# and writes the machine-readable report CI uploads as an artifact.
+mkdir -p target/lint
+run_step "gradest-lint" \
+  cargo run --release -q -p gradest-lint -- --report target/lint/LINT_REPORT.json
 # The EKF-lane kernels carry scalar/SSE2 twins behind the `simd`
 # feature. The featureless steps above already exercise the scalar
 # fallback (the default build); this step compiles and tests the
@@ -108,11 +133,26 @@ run_step "gradest-core (--features simd)" cargo test -q -p gradest-core --featur
 
 # --- default steps -----------------------------------------------------------
 if [[ "$MODE" != quick ]]; then
+  # Linter self-test: seed a virtual cross-module warm-path allocation
+  # and a hot-path panic two hops deep, then require the transitive
+  # pass to report both with full call chains. Guards against the
+  # interprocedural gate silently rotting into a no-op.
+  run_step "gradest-lint --inject-violation" \
+    cargo run --release -q -p gradest-lint -- --inject-violation
+
+  # Baseline round-trip: diff a fresh run against the report step 3
+  # just wrote. On a clean tree this must report zero NEW findings —
+  # exercising the JSON parse/serialize cycle and fingerprint
+  # stability that downstream baseline-diff users rely on.
+  run_step "gradest-lint --baseline round-trip" \
+    cargo run --release -q -p gradest-lint -- --baseline target/lint/LINT_REPORT.json
+
   # Hot-path smoke: one trip through the pipeline benchmark; the binary
   # asserts zero warm-path allocations (with and without a live
   # recorder), fast-vs-generic LOWESS agreement, warm-scratch and
-  # recorded bit-identity, and that the linter's alloc-gated module
-  # list matches the pipeline's declared warm path.
+  # recorded bit-identity, and zero drift between the call-graph-derived
+  # warm-path module set, pipeline::WARM_PATH_MODULES, and the linter's
+  # alloc-gated list.
   run_step "pipeline_hotpath_smoke" \
     cargo run --release -p gradest-bench --bin gradest-experiments -- pipeline_hotpath_smoke
 
