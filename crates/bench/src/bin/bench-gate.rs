@@ -8,13 +8,15 @@
 //! ```
 //!
 //! Re-runs the `pipeline_hotpath`, `fleet_scaling`,
-//! `kernel_microbench`, and `geo_index` experiments, extracts the
-//! gated latency metrics (benchmark medians plus the per-stage span
-//! means from each result's embedded obs `RunReport`), and diffs them
-//! against `BENCH_pipeline.json` / `BENCH_fleet.json` /
-//! `BENCH_kernels.json` / `BENCH_geo.json` at the repository root. Exit codes: 0 all metrics within tolerance,
+//! `kernel_microbench`, `geo_index`, and `service_soak` experiments,
+//! extracts the gated latency metrics (benchmark medians plus the
+//! per-stage span means from each result's embedded obs `RunReport`),
+//! and diffs them against `BENCH_pipeline.json` / `BENCH_fleet.json` /
+//! `BENCH_kernels.json` / `BENCH_geo.json` / `BENCH_service.json` at
+//! the repository root. Exit codes: 0 all metrics within tolerance,
 //! 1 at least one regression or missing metric, 2 usage or missing
-//! baseline files.
+//! baseline files (the error names each absent baseline and the
+//! `--update` command that regenerates it).
 //!
 //! Like `gradest-experiments`, this binary installs a counting global
 //! allocator, so the baselines it writes carry measured
@@ -27,7 +29,7 @@
 //! after measurement — a self-test hook proving the gate actually
 //! fails (used by `scripts/bench-gate.sh --self-test`).
 
-use gradest_bench::experiments::{fleet_bench, geo_index, kernels, pipeline_hotpath};
+use gradest_bench::experiments::{fleet_bench, geo_index, kernels, pipeline_hotpath, service_soak};
 use gradest_bench::gate::{self, GateReport, MetricSpec, DEFAULT_TOLERANCE};
 use gradest_bench::perfbench::alloc_counter;
 use gradest_bench::report::print_table;
@@ -81,6 +83,12 @@ const KERNEL_SAMPLES: usize = 5;
 const GEO_SEED: u64 = 77;
 const GEO_TARGET_KM: f64 = 200.0;
 const GEO_SAMPLES: usize = 3;
+/// Ingestion-service soak seed; phones/trips-per-phone are read from
+/// the committed baseline so the gate replays its workload shape. The
+/// defaults keep the gate's soak a fraction of the CI smoke's 64-phone
+/// run while exercising the same concurrent decode → estimate → fuse
+/// path.
+const SERVICE_SEED: u64 = 77;
 
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -171,18 +179,30 @@ fn main() -> ExitCode {
     let fleet_path = root.join("BENCH_fleet.json");
     let kernels_path = root.join("BENCH_kernels.json");
     let geo_path = root.join("BENCH_geo.json");
+    let service_path = root.join("BENCH_service.json");
 
-    let (baseline_pipeline, baseline_fleet, baseline_kernels, baseline_geo) = match (
-        load_baseline(&pipeline_path),
-        load_baseline(&fleet_path),
-        load_baseline(&kernels_path),
-        load_baseline(&geo_path),
-    ) {
-        (Ok(p), Ok(f), Ok(k), Ok(g)) => (p, f, k, g),
-        (Err(e), _, _, _) | (_, Err(e), _, _) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
+    let load = |path: &Path| match load_baseline(path) {
+        Ok(doc) => Some(doc),
+        Err(e) => {
             eprintln!("bench-gate: {e}");
-            return ExitCode::from(2);
+            None
         }
+    };
+    let (
+        Some(baseline_pipeline),
+        Some(baseline_fleet),
+        Some(baseline_kernels),
+        Some(baseline_geo),
+        Some(baseline_service),
+    ) = (
+        load(&pipeline_path),
+        load(&fleet_path),
+        load(&kernels_path),
+        load(&geo_path),
+        load(&service_path),
+    )
+    else {
+        return ExitCode::from(2);
     };
 
     // Replay the baseline's fleet workload shape; fall back to the
@@ -197,20 +217,36 @@ fn main() -> ExitCode {
         .unwrap_or_else(|| cpus.clamp(1, 4))
         .clamp(1, cpus.max(1));
 
+    // Same idea for the service soak: replay the committed workload
+    // shape so baseline and gate measure identical fleets.
+    let phones = baseline_service
+        .as_ref()
+        .and_then(|b| b["phones"].as_u64())
+        .map(|p| p as usize)
+        .unwrap_or(8);
+    let trips_per_phone = baseline_service
+        .as_ref()
+        .and_then(|b| b["trips_per_phone"].as_u64())
+        .map(|t| t as usize)
+        .unwrap_or(8);
+
     println!(
         "bench-gate: pipeline(seed={PIPELINE_SEED}, samples={PIPELINE_SAMPLES}), \
          fleet(seed={FLEET_SEED}, trips={trips}, workers={workers}), \
          kernels(seed={KERNEL_SEED}, samples={KERNEL_SAMPLES}), \
-         geo(seed={GEO_SEED}, target_km={GEO_TARGET_KM}, samples={GEO_SAMPLES})"
+         geo(seed={GEO_SEED}, target_km={GEO_TARGET_KM}, samples={GEO_SAMPLES}), \
+         service(seed={SERVICE_SEED}, phones={phones}, trips_per_phone={trips_per_phone})"
     );
     let pipeline_run = pipeline_hotpath::run(PIPELINE_SEED, PIPELINE_SAMPLES);
     let fleet_run = fleet_bench::run(FLEET_SEED, trips, workers);
     let kernels_run = kernels::run(KERNEL_SEED, KERNEL_SAMPLES);
     let geo_run = geo_index::run(GEO_SEED, GEO_TARGET_KM, GEO_SAMPLES);
+    let service_run = service_soak::run(SERVICE_SEED, phones, trips_per_phone);
     let current_pipeline = serde_json::to_value(&pipeline_run);
     let current_fleet = serde_json::to_value(&fleet_run);
     let current_kernels = serde_json::to_value(&kernels_run);
     let current_geo = serde_json::to_value(&geo_run);
+    let current_service = serde_json::to_value(&service_run);
 
     if args.update {
         let write = |path: &Path, value: &Value| match std::fs::write(
@@ -229,21 +265,46 @@ fn main() -> ExitCode {
         let ok = write(&pipeline_path, &current_pipeline)
             & write(&fleet_path, &current_fleet)
             & write(&kernels_path, &current_kernels)
-            & write(&geo_path, &current_geo);
+            & write(&geo_path, &current_geo)
+            & write(&service_path, &current_service);
         return if ok { ExitCode::SUCCESS } else { ExitCode::from(2) };
     }
 
-    let (Some(baseline_pipeline), Some(baseline_fleet), Some(baseline_kernels), Some(baseline_geo)) =
-        (baseline_pipeline, baseline_fleet, baseline_kernels, baseline_geo)
-    else {
+    // Name each absent baseline individually: "some baseline is
+    // missing" sends people hunting through five files, while the
+    // actual fix is one command away.
+    let absent: Vec<&Path> = [
+        (&baseline_pipeline, pipeline_path.as_path()),
+        (&baseline_fleet, fleet_path.as_path()),
+        (&baseline_kernels, kernels_path.as_path()),
+        (&baseline_geo, geo_path.as_path()),
+        (&baseline_service, service_path.as_path()),
+    ]
+    .into_iter()
+    .filter(|(doc, _)| doc.is_none())
+    .map(|(_, path)| path)
+    .collect();
+    if !absent.is_empty() {
+        for path in &absent {
+            eprintln!("bench-gate: baseline {} does not exist", path.display());
+        }
         eprintln!(
-            "bench-gate: missing baseline(s) {} / {} / {} / {} — run with --update to create them",
-            pipeline_path.display(),
-            fleet_path.display(),
-            kernels_path.display(),
-            geo_path.display()
+            "bench-gate: {n} baseline(s) missing — regenerate with\n  \
+             cargo run --release -p gradest-bench --bin bench-gate -- --update\n\
+             then commit the refreshed BENCH_*.json file(s)",
+            n = absent.len()
         );
         return ExitCode::from(2);
+    }
+    let (
+        Some(baseline_pipeline),
+        Some(baseline_fleet),
+        Some(baseline_kernels),
+        Some(baseline_geo),
+        Some(baseline_service),
+    ) = (baseline_pipeline, baseline_fleet, baseline_kernels, baseline_geo, baseline_service)
+    else {
+        unreachable!("absent baselines were reported above");
     };
 
     let inject = if args.inject_regression {
@@ -284,11 +345,20 @@ fn main() -> ExitCode {
         args.tolerance,
         inject,
     );
+    let service_report = gate_suite(
+        "Ingestion service vs BENCH_service.json",
+        &baseline_service,
+        &current_service,
+        gate::SERVICE_METRICS,
+        args.tolerance,
+        inject,
+    );
 
     let failures = pipeline_report.failures()
         + fleet_report.failures()
         + kernels_report.failures()
-        + geo_report.failures();
+        + geo_report.failures()
+        + service_report.failures();
     if failures == 0 {
         println!("\nbench-gate: PASS — all metrics within ±{:.0}%", args.tolerance * 100.0);
         ExitCode::SUCCESS

@@ -96,6 +96,7 @@ fn main() {
     });
     run_exp("kernel_microbench", &mut || kernels::print_report(&kernels::run(77, 5)));
     run_exp("geo_index", &mut || geo_index::print_report(&geo_index::run(77, 200.0, 3)));
+    run_exp("service_soak", &mut || service_soak::print_report(&service_soak::run(77, 8, 8)));
 
     // CI smoke gate: exact-name only, so plain `pipeline_hotpath` runs
     // don't trigger it. One trip, and the warm path must not allocate —
@@ -140,6 +141,33 @@ fn main() {
         );
         assert_eq!(r.allocs_per_query_warm, Some(0), "warm nearest query allocated");
         geo_index::print_report(&r);
+        ran += 1;
+    }
+
+    // Ingestion-service smoke gate: exact-name only. 64 simulated
+    // phones over loopback must sustain >= 500 trips/s into the
+    // service, tiles served over the wire must be bit-identical to
+    // direct aggregation, ~2x overload must answer typed BUSY rejects
+    // with every client terminating, the drain must complete cleanly
+    // (including one raced by a live uploader), and the warm
+    // decode → estimate window must not allocate.
+    if filter.iter().any(|f| f == "service_soak_smoke") {
+        println!("\n################ service_soak_smoke ################");
+        let r = service_soak::run(77, 64, 3);
+        assert!(
+            r.sustained_trips_per_sec >= 500.0,
+            "service sustained only {:.0} trips/s",
+            r.sustained_trips_per_sec
+        );
+        assert!(r.tiles_bit_identical, "served tiles diverged from direct aggregation");
+        assert_eq!(r.uploads_acked, r.trips_total as u64, "service dropped uploads");
+        assert_eq!(r.frames_rejected, 0, "well-formed fleet saw rejects");
+        assert!(r.overload_busy_rejects > 0, "overload produced no BUSY rejects");
+        assert!(r.overload_clients_finished, "an overloaded client wedged");
+        assert!(r.drain_clean, "shutdown left uploads in flight");
+        assert!(r.prometheus_valid, "METRICS frame failed the Prometheus grammar check");
+        assert_eq!(r.allocs_per_frame_warm, Some(0), "warm decode->estimate window allocated");
+        service_soak::print_report(&r);
         ran += 1;
     }
 

@@ -20,6 +20,7 @@ pub mod kernels;
 pub mod lane_accuracy;
 pub mod motivating;
 pub mod pipeline_hotpath;
+pub mod service_soak;
 pub mod table1;
 pub mod table2;
 pub mod table3;

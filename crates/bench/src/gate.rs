@@ -133,6 +133,26 @@ pub const GEO_METRICS: &[MetricSpec] = &[
     },
 ];
 
+/// Gated metrics of the `service_soak` experiment
+/// (`BENCH_service.json`): sustained ingestion cost per trip, the
+/// client-observed frame latency percentiles, the warm tile-query
+/// round trip, and the server-side `service-frame` span mean from the
+/// embedded obs report. Throughput is gated as its inverse
+/// (`sustained_ns_per_trip`) so "lower is better" holds for every row.
+pub const SERVICE_METRICS: &[MetricSpec] = &[
+    MetricSpec {
+        name: "service/sustained_ns_per_trip",
+        source: MetricSource::Path(&["sustained_ns_per_trip"]),
+    },
+    MetricSpec { name: "service/frame_p50", source: MetricSource::Path(&["frame_p50_ns"]) },
+    MetricSpec { name: "service/frame_p99", source: MetricSource::Path(&["frame_p99_ns"]) },
+    MetricSpec {
+        name: "service/tile_query",
+        source: MetricSource::Path(&["tile_query", "median_ns_per_op"]),
+    },
+    MetricSpec { name: "service/span/frame", source: MetricSource::ObsSpanMean("service-frame") },
+];
+
 /// Reads the metrics named by `specs` out of an experiment document.
 /// A metric the document does not contain extracts as `None` (and
 /// later fails the comparison) rather than aborting the whole gate.

@@ -104,7 +104,8 @@ impl CloudAggregator {
         // Mix the high bits in so sequential road ids still spread when
         // callers batch them in aligned blocks.
         let h = road_id ^ (road_id >> 7);
-        &self.stripes[(h as usize) % STRIPES]
+        let idx = (h as usize) % STRIPES;
+        &self.stripes[idx]
     }
 
     /// Number of roads with at least one upload.
@@ -199,6 +200,30 @@ impl CloudAggregator {
         }
     }
 
+    /// [`Self::road_profile`] without the per-call allocations: fills
+    /// `out` (cleared first, label untouched) and returns whether the
+    /// road produced any fused cells. The numbers written are the exact
+    /// same `(s, θ, P)` values `road_profile` computes, so wire
+    /// encodings built from either are byte-identical — this is the
+    /// ingestion service's warm tile read path.
+    pub fn road_profile_into(&self, road_id: u64, out: &mut GradientTrack) -> bool {
+        out.s.clear();
+        out.theta.clear();
+        out.variance.clear();
+        let shard = self.stripe(road_id).read();
+        let Some(acc) = shard.get(&road_id) else {
+            return false;
+        };
+        for (i, cell) in acc.cells.iter().enumerate() {
+            if cell.inv_variance <= 0.0 {
+                continue;
+            }
+            let s = (i as f64 + 0.5) * self.grid_ds;
+            out.push(s, cell.weighted_theta / cell.inv_variance, 1.0 / cell.inv_variance);
+        }
+        !out.is_empty()
+    }
+
     /// Number of vehicles' estimates that contributed to the road's cell
     /// containing `s` (coverage diagnostics).
     pub fn coverage_at(&self, road_id: u64, s: f64) -> u32 {
@@ -273,6 +298,22 @@ mod tests {
         assert_eq!(report.counter("cloud-uploads"), Some(1));
         assert_eq!(report.counter("cloud-cells-touched"), Some(10));
         assert_eq!(report.span("cloud-upload").map(|s| s.count), Some(1));
+    }
+
+    #[test]
+    fn road_profile_into_matches_allocating_read() {
+        let cloud = CloudAggregator::new(5.0);
+        cloud.upload(1, &track(0.02, 1e-4, 10));
+        cloud.upload(1, &track(0.05, 2e-4, 6));
+        let alloc = cloud.road_profile(1).unwrap();
+        let mut warm = GradientTrack::new("tile");
+        assert!(cloud.road_profile_into(1, &mut warm));
+        assert_eq!(warm.s, alloc.s);
+        assert_eq!(warm.theta, alloc.theta);
+        assert_eq!(warm.variance, alloc.variance);
+        // Unknown road clears the scratch and reports absence.
+        assert!(!cloud.road_profile_into(404, &mut warm));
+        assert!(warm.is_empty());
     }
 
     #[test]

@@ -189,6 +189,7 @@ pub const WARM_PATH_MODULES: &[&str] = &[
     "obs::trace",
     "sensors::alignment",
     "sensors::columnar",
+    "serve::protocol",
 ];
 
 /// Reusable working memory for [`GradientEstimator::estimate_into`].

@@ -20,6 +20,8 @@
 //! * [`index`] — packed static R-tree spatial index over network edges
 //!   and centerline segments (nearest-edge / bbox queries, no per-query
 //!   allocation).
+//! * [`tile`] — bbox tile bounds wire codec + deterministic (sorted)
+//!   edge-set assembly for the ingestion service.
 //! * [`generate`] — procedural presets: the Table III red road, S-curve
 //!   roads, and a Charlottesville-scale synthetic city network.
 //! * [`refgrade`] — the paper's Section III-D reference gradient profiler
@@ -50,6 +52,7 @@ pub mod refgrade;
 pub mod road;
 pub mod route;
 pub mod terrain;
+pub mod tile;
 
 pub use index::{Aabb, NetworkIndex, QueryScratch, SegmentHit, SegmentIndex};
 pub use latlon::LatLon;

@@ -54,6 +54,7 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "core::track",
     "core::fleet",
     "geo::index",
+    "geo::tile",
     "math::lowess",
     "math::interp",
     "math::signal",
@@ -63,6 +64,9 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "obs::trace",
     "sensors::alignment",
     "sensors::columnar",
+    "serve::drain",
+    "serve::protocol",
+    "serve::server",
 ];
 
 /// Modules under the zero-allocation `_into` discipline (the warm
@@ -90,6 +94,7 @@ pub const WARM_ALLOC_GATED_MODULES: &[&str] = &[
     "obs::trace",
     "sensors::alignment",
     "sensors::columnar",
+    "serve::protocol",
 ];
 
 /// Maps a workspace-relative source path to its `<crate>::<module>`
@@ -201,8 +206,11 @@ impl Default for AnalyzeOptions {
 
 /// Entry points whose reachability defines the warm per-trip surface
 /// for the drift check: `(module, fn name)`.
-pub const WARM_ENTRY_FNS: &[(&str, &str)] =
-    &[("core::pipeline", "estimate_into"), ("core::pipeline", "estimate_into_recorded")];
+pub const WARM_ENTRY_FNS: &[(&str, &str)] = &[
+    ("core::pipeline", "estimate_into"),
+    ("core::pipeline", "estimate_into_recorded"),
+    ("serve::protocol", "decode_upload_into"),
+];
 
 /// The full interprocedural pass: local token rules plus call-graph
 /// taint, allowlist applied once over the merged findings (so
@@ -455,12 +463,18 @@ mod tests {
         for m in WARM_ALLOC_GATED_MODULES {
             assert!(HOT_PATH_MODULES.contains(m), "{m} warm but not hot");
         }
-        // Exactly two hot modules sit outside the warm no-alloc gate:
-        // the batch-allocating fleet engine and the report-building
-        // side of obs.
+        // Hot modules outside the warm no-alloc gate: the
+        // batch-allocating fleet engine, the report-building side of
+        // obs, tile serialization (grows the caller's byte buffer),
+        // and the service's connection/drain layers (allocate at
+        // accept/shutdown, never per frame — serve::protocol is the
+        // per-frame piece and IS warm-gated).
         let hot_only: Vec<&&str> =
             HOT_PATH_MODULES.iter().filter(|m| !WARM_ALLOC_GATED_MODULES.contains(m)).collect();
-        assert_eq!(hot_only, vec![&"core::fleet", &"obs::run"]);
+        assert_eq!(
+            hot_only,
+            vec![&"core::fleet", &"geo::tile", &"obs::run", &"serve::drain", &"serve::server"]
+        );
     }
 
     #[test]

@@ -179,6 +179,17 @@ fn instant_args(ev: TraceEvent) -> String {
         TraceEvent::CloudUpload { road_id, cells } => {
             format!("\"road_id\": {road_id}, \"cells\": {cells}")
         }
+        TraceEvent::ServiceConnOpened { conn } => format!("\"conn\": {conn}"),
+        TraceEvent::ServiceConnClosed { conn, frames } => {
+            format!("\"conn\": {conn}, \"frames\": {frames}")
+        }
+        TraceEvent::ServiceBusy { conn, reason } => {
+            format!("\"conn\": {conn}, \"reason\": {reason}")
+        }
+        TraceEvent::ServiceFrameRejected { conn, code } => {
+            format!("\"conn\": {conn}, \"code\": {code}")
+        }
+        TraceEvent::ServiceDrain { in_flight } => format!("\"in_flight\": {in_flight}"),
         // Handled by dedicated phases above; kept total for safety.
         TraceEvent::FusionWeights { .. } | TraceEvent::SpanEnd { .. } => String::new(),
     }

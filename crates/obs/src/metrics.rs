@@ -68,11 +68,17 @@ pub enum Span {
     GeoIndexBuild,
     /// One trip map-matched against a whole network (free-space).
     NetworkMatchTrip,
+    /// One request frame handled end-to-end by a `gradest-serve` worker.
+    ServiceFrame,
+    /// Wire-decode of one upload frame into the worker's scratch.
+    ServiceDecode,
+    /// One bbox tile query answered from the fused map.
+    ServiceTileQuery,
 }
 
 impl Span {
     /// Every span, in report order.
-    pub const ALL: [Span; 14] = [
+    pub const ALL: [Span; 17] = [
         Span::Trip,
         Span::Steering,
         Span::Detection,
@@ -87,6 +93,9 @@ impl Span {
         Span::CloudUpload,
         Span::GeoIndexBuild,
         Span::NetworkMatchTrip,
+        Span::ServiceFrame,
+        Span::ServiceDecode,
+        Span::ServiceTileQuery,
     ];
 
     /// Number of spans (array-slot count for recorders).
@@ -109,13 +118,20 @@ impl Span {
             Span::CloudUpload => "cloud-upload",
             Span::GeoIndexBuild => "geo-index-build",
             Span::NetworkMatchTrip => "network-match-trip",
+            Span::ServiceFrame => "service-frame",
+            Span::ServiceDecode => "service-decode",
+            Span::ServiceTileQuery => "service-tile-query",
         }
     }
 
     /// The enclosing span, or `None` for a root.
     pub fn parent(self) -> Option<Span> {
         match self {
-            Span::Trip | Span::FleetBatch | Span::CloudUpload | Span::GeoIndexBuild => None,
+            Span::Trip
+            | Span::FleetBatch
+            | Span::CloudUpload
+            | Span::GeoIndexBuild
+            | Span::ServiceFrame => None,
             Span::Steering | Span::Detection | Span::Tracks | Span::Fusion => Some(Span::Trip),
             Span::TrackGps
             | Span::TrackSpeedometer
@@ -123,6 +139,7 @@ impl Span {
             | Span::TrackAccelerometer => Some(Span::Tracks),
             Span::FleetWorkerTrip => Some(Span::FleetBatch),
             Span::NetworkMatchTrip => Some(Span::FleetWorkerTrip),
+            Span::ServiceDecode | Span::ServiceTileQuery => Some(Span::ServiceFrame),
         }
     }
 
@@ -178,11 +195,22 @@ pub enum Counter {
     TracksDiverged,
     /// Gaps between valid GPS fixes longer than the dropout threshold.
     GpsGaps,
+    /// Client connections accepted by `gradest-serve`.
+    ServiceConnections,
+    /// Request frames handled successfully (ACK/TILE/METRICS sent).
+    ServiceFramesOk,
+    /// Request frames rejected with a typed ERR frame (decode failure).
+    ServiceFramesRejected,
+    /// Connections or frames refused with a BUSY frame (queue full or
+    /// draining).
+    ServiceBusyRejects,
+    /// Bbox tile queries answered.
+    ServiceTileQueries,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 23] = [
         Counter::TripsProcessed,
         Counter::LaneChangesDetected,
         Counter::LaneChangesRejected,
@@ -201,6 +229,11 @@ impl Counter {
         Counter::TracksDegraded,
         Counter::TracksDiverged,
         Counter::GpsGaps,
+        Counter::ServiceConnections,
+        Counter::ServiceFramesOk,
+        Counter::ServiceFramesRejected,
+        Counter::ServiceBusyRejects,
+        Counter::ServiceTileQueries,
     ];
 
     /// Number of counters (array-slot count for recorders).
@@ -227,6 +260,11 @@ impl Counter {
             Counter::TracksDegraded => "tracks-degraded",
             Counter::TracksDiverged => "tracks-diverged",
             Counter::GpsGaps => "gps-gaps",
+            Counter::ServiceConnections => "service-connections",
+            Counter::ServiceFramesOk => "service-frames-ok",
+            Counter::ServiceFramesRejected => "service-frames-rejected",
+            Counter::ServiceBusyRejects => "service-busy-rejects",
+            Counter::ServiceTileQueries => "service-tile-queries",
         }
     }
 }

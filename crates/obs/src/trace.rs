@@ -163,6 +163,39 @@ pub enum TraceEvent {
         /// Its duration, nanoseconds.
         dur_ns: u64,
     },
+    /// `gradest-serve` accepted a client connection.
+    ServiceConnOpened {
+        /// Accept-order connection index.
+        conn: u32,
+    },
+    /// A `gradest-serve` connection closed (client EOF, error, or drain).
+    ServiceConnClosed {
+        /// Accept-order connection index.
+        conn: u32,
+        /// Request frames handled on the connection.
+        frames: u32,
+    },
+    /// `gradest-serve` refused work with a BUSY frame.
+    ServiceBusy {
+        /// Accept-order connection index (the accept counter when the
+        /// refusal happened at accept time).
+        conn: u32,
+        /// Typed busy reason code (`protocol::BUSY_QUEUE_FULL` /
+        /// `protocol::BUSY_DRAINING` in `gradest-serve`).
+        reason: u8,
+    },
+    /// `gradest-serve` rejected a malformed frame with a typed ERR frame.
+    ServiceFrameRejected {
+        /// Accept-order connection index.
+        conn: u32,
+        /// Typed decode-error code (`protocol::DecodeError::code`).
+        code: u8,
+    },
+    /// `gradest-serve` began its shutdown drain.
+    ServiceDrain {
+        /// Uploads still in flight when the drain gate closed.
+        in_flight: u32,
+    },
 }
 
 impl TraceEvent {
@@ -182,6 +215,11 @@ impl TraceEvent {
             TraceEvent::FleetJobEnd { .. } => "fleet-job-end",
             TraceEvent::CloudUpload { .. } => "cloud-upload",
             TraceEvent::SpanEnd { .. } => "span-end",
+            TraceEvent::ServiceConnOpened { .. } => "service-conn-opened",
+            TraceEvent::ServiceConnClosed { .. } => "service-conn-closed",
+            TraceEvent::ServiceBusy { .. } => "service-busy",
+            TraceEvent::ServiceFrameRejected { .. } => "service-frame-rejected",
+            TraceEvent::ServiceDrain { .. } => "service-drain",
         }
     }
 
@@ -221,6 +259,21 @@ impl TraceEvent {
                 format!("cloud-upload road={road_id} cells={cells}")
             }
             TraceEvent::SpanEnd { span, .. } => format!("span-end {}", span.name()),
+            TraceEvent::ServiceConnOpened { conn } => {
+                format!("service-conn-opened conn={conn}")
+            }
+            TraceEvent::ServiceConnClosed { conn, frames } => {
+                format!("service-conn-closed conn={conn} frames={frames}")
+            }
+            TraceEvent::ServiceBusy { conn, reason } => {
+                format!("service-busy conn={conn} reason={reason}")
+            }
+            TraceEvent::ServiceFrameRejected { conn, code } => {
+                format!("service-frame-rejected conn={conn} code={code}")
+            }
+            TraceEvent::ServiceDrain { in_flight } => {
+                format!("service-drain in-flight={in_flight}")
+            }
         }
     }
 }
@@ -601,6 +654,11 @@ mod tests {
             TraceEvent::FleetJobEnd { job: 0 },
             TraceEvent::CloudUpload { road_id: 0, cells: 0 },
             TraceEvent::SpanEnd { span: Span::Trip, dur_ns: 0 },
+            TraceEvent::ServiceConnOpened { conn: 0 },
+            TraceEvent::ServiceConnClosed { conn: 0, frames: 0 },
+            TraceEvent::ServiceBusy { conn: 0, reason: 0 },
+            TraceEvent::ServiceFrameRejected { conn: 0, code: 0 },
+            TraceEvent::ServiceDrain { in_flight: 0 },
         ];
         let mut kinds: Vec<&str> = samples.iter().map(|e| e.kind()).collect();
         let total = kinds.len();

@@ -1,0 +1,17 @@
+//! Swappable synchronisation primitives (the `gradest-core::sync`
+//! pattern): under the default cfg the names below are the `std`
+//! atomics; under `--cfg loom` they resolve to the loom shim's
+//! instrumented wrappers so the drain-gate model check in
+//! `tests/loom.rs` explores many interleavings.
+//!
+//! Run the model checks with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p gradest-serve --test loom
+//! ```
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};

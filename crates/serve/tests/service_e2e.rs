@@ -1,0 +1,260 @@
+//! End-to-end loopback tests for the ingestion service: the exact
+//! correctness bar of DESIGN.md §14 — tiles served over the wire must
+//! be *bit-identical* to direct `FleetEngine` + `CloudAggregator`
+//! aggregation over the same trips, shutdown must drain cleanly, and
+//! the backpressure/error paths must answer with typed frames.
+
+use gradest_core::cloud::CloudAggregator;
+use gradest_core::fleet::FleetEngine;
+use gradest_core::pipeline::{EstimatorConfig, GradientEstimator};
+use gradest_core::track::GradientTrack;
+use gradest_geo::road::{build_from_sections, RoadClass, SectionSpec};
+use gradest_geo::tile::edges_in_tile_into;
+use gradest_geo::{NetworkIndex, QueryScratch, RoadNetwork, Route};
+use gradest_obs::{validate_prometheus_text, NoopRecorder, RunRecorder, TraceRing};
+use gradest_sensors::suite::{SensorConfig, SensorLog, SensorSuite};
+use gradest_serve::client::{Client, ServerReply};
+use gradest_serve::protocol::{
+    decode_tile, TileWriter, BUSY_QUEUE_FULL, HEADER_BYTES, MAX_PAYLOAD_LEN, TAG_UPLOAD,
+};
+use gradest_serve::server::{start, ServeConfig};
+use gradest_sim::trip::{simulate_trip, TripConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A network of `n` disjoint straight roads stacked 120 m apart, each
+/// 300 m with its own gradient — short enough that a warm estimate is
+/// a fraction of a millisecond even on one core.
+fn parallel_roads_network(n: usize) -> RoadNetwork {
+    let mut net = RoadNetwork::new();
+    for i in 0..n {
+        let spec = SectionSpec {
+            length_m: 300.0,
+            gradient_deg: 0.8 + 0.3 * i as f64,
+            lanes: 1,
+            curvature: 0.0,
+        };
+        let road = build_from_sections(
+            100 + i as u64,
+            format!("r{i}"),
+            gradest_math::Vec2::new(0.0, i as f64 * 120.0),
+            0.0,
+            &[spec],
+            5.0,
+            100.0,
+            RoadClass::Collector.default_speed_limit(),
+            RoadClass::Collector,
+        )
+        .expect("straight section is valid");
+        let a = net.add_node(road.point_at(0.0));
+        let b = net.add_node(road.point_at(road.length()));
+        net.add_edge(a, b, road).expect("endpoints coincide with nodes");
+    }
+    net
+}
+
+/// Simulates one trip along edge `edge` of `net`, deterministic in
+/// `seed`.
+fn trip_log(net: &RoadNetwork, edge: usize, seed: u64) -> SensorLog {
+    let route = Route::new(vec![net.edges()[edge].road.clone()]).expect("single-road route");
+    let traj = simulate_trip(&route, &TripConfig::default(), seed);
+    SensorSuite::new(SensorConfig::default()).run(&traj, seed.wrapping_mul(31).wrapping_add(7))
+}
+
+/// The reference tile: direct fleet aggregation over the same trips,
+/// serialized through the same `TileWriter`.
+fn reference_tile_payload(
+    net: &RoadNetwork,
+    logs: &[SensorLog],
+    road_ids: &[u64],
+    config: &EstimatorConfig,
+    grid_ds: f64,
+) -> Vec<u8> {
+    let cloud = CloudAggregator::new(grid_ds);
+    let engine = FleetEngine::new(GradientEstimator::new(config.clone()), 2);
+    let _ = engine.process_batch_to_cloud_recorded(logs, road_ids, None, &cloud, &NoopRecorder);
+    let index = NetworkIndex::build(net);
+    let mut edges = Vec::new();
+    let mut query = QueryScratch::new();
+    edges_in_tile_into(&index, index.bounds(), &mut query, &mut edges);
+    let mut payload = Vec::new();
+    let mut track = GradientTrack::new("");
+    let mut writer = TileWriter::begin(&mut payload);
+    for edge in &edges {
+        if cloud.road_profile_into(u64::from(*edge), &mut track) {
+            writer.push_edge(*edge, &track);
+        }
+    }
+    writer.finish();
+    payload
+}
+
+#[test]
+fn served_tiles_are_bit_identical_to_direct_aggregation() {
+    let net = parallel_roads_network(4);
+    let cfg = ServeConfig { workers: 2, ..Default::default() };
+    let trips: Vec<(u64, SensorLog)> = (0..12u64)
+        .map(|i| {
+            let edge = (i % 4) as usize;
+            (edge as u64, trip_log(&net, edge, 1000 + i))
+        })
+        .collect();
+
+    let rec = Arc::new(RunRecorder::new());
+    let server = start(&cfg, "127.0.0.1:0", &net, Arc::clone(&rec)).expect("bind loopback");
+    let mut client = Client::connect(server.addr(), TIMEOUT).expect("connect");
+    for (road_id, log) in &trips {
+        match client.upload(*road_id, log).expect("upload") {
+            ServerReply::Ack { road_id: acked } => assert_eq!(acked, *road_id),
+            other => panic!("unexpected upload reply: {other:?}"),
+        }
+    }
+
+    let index = NetworkIndex::build(&net);
+    let served = match client.tile_query(&index.bounds()).expect("tile query") {
+        ServerReply::Tile(payload) => payload,
+        other => panic!("unexpected tile reply: {other:?}"),
+    };
+
+    let logs: Vec<SensorLog> = trips.iter().map(|(_, log)| log.clone()).collect();
+    let road_ids: Vec<u64> = trips.iter().map(|(id, _)| *id).collect();
+    let reference = reference_tile_payload(&net, &logs, &road_ids, &cfg.estimator, cfg.grid_ds);
+    assert_eq!(served, reference, "served tile bytes differ from direct aggregation");
+
+    let decoded = decode_tile(&served).expect("tile decodes");
+    assert_eq!(decoded.len(), 4, "one fused profile per road");
+    for (_, track) in &decoded {
+        assert!(!track.is_empty());
+    }
+
+    drop(client);
+    let report = server.shutdown();
+    assert!(report.is_clean(), "drain left uploads in flight: {report:?}");
+    assert_eq!(report.stats.uploads_acked, 12);
+    assert_eq!(report.stats.tile_queries, 1);
+    assert_eq!(report.stats.frames_rejected, 0);
+    let obs = rec.report();
+    assert!(obs.spans.iter().any(|s| s.name == "service-frame" && s.count == 13));
+}
+
+#[test]
+fn metrics_frame_serves_valid_prometheus() {
+    let net = parallel_roads_network(1);
+    let server = start(&ServeConfig::default(), "127.0.0.1:0", &net, Arc::new(NoopRecorder))
+        .expect("bind loopback");
+    let mut client = Client::connect(server.addr(), TIMEOUT).expect("connect");
+    let log = trip_log(&net, 0, 42);
+    client.upload(0, &log).expect("upload");
+    let text = match client.metrics().expect("metrics") {
+        ServerReply::Metrics(text) => text,
+        other => panic!("unexpected metrics reply: {other:?}"),
+    };
+    validate_prometheus_text(&text).expect("exposition grammar");
+    assert!(text.contains("gradest_service_uploads_acked_total 1"));
+    assert!(text.contains("gradest_service_in_flight 0"));
+    drop(client);
+    assert!(server.shutdown().is_clean());
+}
+
+#[test]
+fn hostile_frames_get_typed_errors_and_the_server_survives() {
+    let net = parallel_roads_network(1);
+    let rec = Arc::new(TraceRing::with_capacity(256));
+    let server = start(&ServeConfig::default(), "127.0.0.1:0", &net, Arc::clone(&rec))
+        .expect("bind loopback");
+
+    // Garbage tag → ERR(unknown-tag); the server closes that conn.
+    let mut hostile = Client::connect(server.addr(), TIMEOUT).expect("connect");
+    let frame = [0x7f, 0, 0, 0, 0];
+    match hostile.send_raw(&frame).expect("reply") {
+        ServerReply::Err { code } => assert_eq!(code, 1, "unknown-tag code"),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    // Oversized declared length → ERR(oversized).
+    let mut hostile = Client::connect(server.addr(), TIMEOUT).expect("connect");
+    let mut frame = vec![TAG_UPLOAD];
+    frame.extend_from_slice(&(MAX_PAYLOAD_LEN as u32 + 1).to_le_bytes());
+    match hostile.send_raw(&frame).expect("reply") {
+        ServerReply::Err { code } => assert_eq!(code, 2, "oversized code"),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    // Structurally broken upload (one IMU sample) → ERR(malformed).
+    let mut hostile = Client::connect(server.addr(), TIMEOUT).expect("connect");
+    let mut log = SensorLog::default();
+    log.imu.push(gradest_sensors::samples::ImuSample {
+        t: 0.0,
+        accel_long: 0.0,
+        accel_lat: 0.0,
+        gyro_z: 0.0,
+    });
+    match hostile.upload(5, &log).expect("reply") {
+        ServerReply::Err { code } => assert_eq!(code, 4, "malformed code"),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    // A frame that lies about its length (more declared than sent):
+    // the read times out server-side and the conn is dropped without a
+    // reply — the server itself must keep serving.
+    let mut liar = Client::connect(server.addr(), TIMEOUT).expect("connect");
+    let mut frame = vec![TAG_UPLOAD];
+    frame.extend_from_slice(&1024u32.to_le_bytes());
+    frame.extend_from_slice(&[0u8; 16]);
+    assert!(liar.send_raw(&frame).is_err(), "no reply for a half-delivered frame");
+
+    // The server is still healthy: a well-formed upload round-trips.
+    let mut client = Client::connect(server.addr(), TIMEOUT).expect("connect");
+    let log = trip_log(&net, 0, 9);
+    match client.upload(0, &log).expect("upload after hostility") {
+        ServerReply::Ack { road_id } => assert_eq!(road_id, 0),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    drop(client);
+    let report = server.shutdown();
+    assert!(report.is_clean());
+    assert_eq!(report.stats.frames_rejected, 3);
+    assert_eq!(report.stats.uploads_acked, 1);
+    let trace = rec.snapshot().sequence_string();
+    assert!(trace.contains("service-frame-rejected"), "rejections traced:\n{trace}");
+}
+
+#[test]
+fn full_accept_queue_answers_busy() {
+    let net = parallel_roads_network(1);
+    // One worker and a one-slot queue: the third concurrent idle
+    // connection cannot fit anywhere and must be refused at accept.
+    let cfg = ServeConfig { workers: 1, queue_depth: 1, ..Default::default() };
+    let server = start(&cfg, "127.0.0.1:0", &net, Arc::new(NoopRecorder)).expect("bind loopback");
+
+    let _held_by_worker = Client::connect(server.addr(), TIMEOUT).expect("connect");
+    std::thread::sleep(Duration::from_millis(50));
+    let _queued = Client::connect(server.addr(), TIMEOUT).expect("connect");
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut overflow = Client::connect(server.addr(), TIMEOUT).expect("connect");
+    match overflow.metrics().expect("busy reply") {
+        ServerReply::Busy { reason } => assert_eq!(reason, BUSY_QUEUE_FULL),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    let report = server.shutdown();
+    assert!(report.is_clean());
+    assert!(report.stats.busy_rejects >= 1, "stats: {:?}", report.stats);
+}
+
+#[test]
+fn upload_wire_overhead_is_modest() {
+    // Sanity-pin the frame size: a trip's wire frame must stay within
+    // the payload cap with generous headroom (half-hour-trip sizing is
+    // documented on MAX_PAYLOAD_LEN).
+    let net = parallel_roads_network(1);
+    let log = trip_log(&net, 0, 3);
+    let mut wire = Vec::new();
+    gradest_serve::protocol::encode_upload_frame(0, &log, &mut wire);
+    assert!(wire.len() > HEADER_BYTES);
+    assert!(wire.len() < MAX_PAYLOAD_LEN / 8, "300 m trip frame is {} bytes", wire.len());
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Perf-regression gate: re-runs the pipeline_hotpath and fleet_scaling
-# experiments and diffs their latency metrics against the committed
-# baselines (BENCH_pipeline.json / BENCH_fleet.json at the repo root).
+# Perf-regression gate: re-runs the pipeline_hotpath, fleet_scaling,
+# kernel_microbench, geo_index, and service_soak experiments and diffs
+# their latency metrics against the committed baselines
+# (BENCH_pipeline.json / BENCH_fleet.json / BENCH_kernels.json /
+# BENCH_geo.json / BENCH_service.json at the repo root).
 #
 #   ./scripts/bench-gate.sh                 # gate HEAD vs baselines (±20%)
 #   ./scripts/bench-gate.sh --update        # refresh the baselines from HEAD

@@ -52,10 +52,29 @@
 #                                        indexed nearest must match the oracle
 #                                        exactly, beat it ≥10x, and allocate
 #                                        nothing per warm query
+#  10. serve protocol robustness       — wire-codec property tests: truncated /
+#                                        oversized / garbage-tagged /
+#                                        length-lying frames must produce typed
+#                                        errors, never panic, never allocate
+#                                        past the frame cap
+#  11. service_soak_smoke              — gradest-serve on an ephemeral loopback
+#                                        port under 64 simulated phones: ≥500
+#                                        trips/s sustained, tiles bit-identical
+#                                        to direct aggregation, typed BUSY
+#                                        rejects at ~2x overload, clean
+#                                        drain-on-shutdown, zero warm
+#                                        decode→estimate allocations. Runs
+#                                        under a hard `timeout` so a wedged
+#                                        accept loop fails the gate instead of
+#                                        hanging it. Writes the Prometheus
+#                                        exposition + trace ring to
+#                                        target/experiment-results/ (uploaded
+#                                        as CI artifacts)
 #
 # Deep path (--deep, opt-in because of runtime) adds:
-#   6. loom model checks               — CloudAggregator upload shard protocol
-#                                        and fleet shutdown/drain ordering under
+#   6. loom model checks               — CloudAggregator upload shard protocol,
+#                                        fleet shutdown/drain ordering, and the
+#                                        gradest-serve drain gate under
 #                                        randomised schedule perturbation
 #   7. Miri (subset)                   — UB check on gradest-core; probed and
 #                                        SKIPped when the nightly component is
@@ -167,6 +186,23 @@ if [[ "$MODE" != quick ]]; then
   # linear scan, and zero heap allocations per warm nearest query.
   run_step "geo_index_smoke" \
     cargo run --release -p gradest-bench --bin gradest-experiments -- geo_index_smoke
+
+  # Wire-protocol robustness: proptest suite feeding the frame decoder
+  # truncated, oversized, bit-flipped, and length-lying inputs; every
+  # outcome must be a typed error with bounded allocation, never a
+  # panic.
+  run_step "serve protocol robustness" \
+    cargo test -q -p gradest-serve --test protocol_robustness
+
+  # Service soak smoke: gradest-serve on an ephemeral loopback port,
+  # 64 simulated phones. The binary asserts sustained throughput,
+  # byte-identical tiles vs direct aggregation, typed BUSY rejects
+  # under ~2x overload, a clean drain (including one raced by a live
+  # uploader), and a zero-allocation warm decode→estimate window. The
+  # hard timeout turns a wedged accept/drain into a FAIL instead of a
+  # hung gate.
+  run_step "service_soak_smoke" \
+    timeout 300 cargo run --release -p gradest-bench --bin gradest-experiments -- service_soak_smoke
 fi
 
 # --- deep steps --------------------------------------------------------------
@@ -182,6 +218,12 @@ if [[ "$MODE" == deep ]]; then
   # gradest-core::sync onto the instrumented shim primitives.
   run_step "loom (LOOM_ITERATIONS=${LOOM_ITERATIONS:-512})" \
     env RUSTFLAGS="--cfg loom" cargo test -p gradest-core --test loom
+
+  # Loom on the ingestion service's drain gate: every admitted upload
+  # completes before shutdown reports drained, under exhaustive
+  # schedule interleaving.
+  run_step "loom (gradest-serve drain gate)" \
+    env RUSTFLAGS="--cfg loom" cargo test -p gradest-serve --test loom
 
   # Miri: interpret the gradest-core unit tests looking for UB. The
   # nightly component cannot be installed in offline containers, so

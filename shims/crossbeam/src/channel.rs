@@ -1,4 +1,4 @@
-//! Unbounded multi-producer multi-consumer FIFO channels.
+//! Unbounded and bounded multi-producer multi-consumer FIFO channels.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -6,9 +6,24 @@ use std::sync::{Arc, Condvar, Mutex};
 
 /// Creates an unbounded MPMC channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Creates a bounded MPMC channel holding at most `cap` queued messages.
+///
+/// [`Sender::send`] blocks while the queue is full; [`Sender::try_send`]
+/// fails fast with [`TrySendError::Full`] instead — the backpressure
+/// primitive the ingestion service's accept queue is built on.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap))
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let inner = Arc::new(Inner {
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
+        space: Condvar::new(),
+        cap,
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
     });
@@ -18,6 +33,10 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
 struct Inner<T> {
     queue: Mutex<VecDeque<T>>,
     ready: Condvar,
+    /// Signalled on every pop so bounded senders blocked in `send` retry.
+    space: Condvar,
+    /// `None` for unbounded channels.
+    cap: Option<usize>,
     senders: AtomicUsize,
     receivers: AtomicUsize,
 }
@@ -78,6 +97,40 @@ impl std::fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Reason a [`Sender::try_send`] rejected the message; carries it back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity.
+    Full(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the message that could not be enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+        }
+    }
+
+    /// True when the rejection was a full queue (not a disconnect).
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
 /// The sending half; cloneable for multiple producers.
 pub struct Sender<T> {
     inner: Arc<Inner<T>>,
@@ -93,7 +146,40 @@ impl<T> Sender<T> {
         if self.inner.receivers.load(Ordering::Acquire) == 0 {
             return Err(SendError(msg));
         }
-        self.inner.lock().push_back(msg);
+        let mut queue = self.inner.lock();
+        if let Some(cap) = self.inner.cap {
+            while queue.len() >= cap {
+                if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(msg));
+                }
+                queue =
+                    self.inner.space.wait(queue).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        queue.push_back(msg);
+        drop(queue);
+        self.inner.ready.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues a message without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when a bounded queue is at capacity,
+    /// [`TrySendError::Disconnected`] when every receiver is gone.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        if self.inner.receivers.load(Ordering::Acquire) == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        let mut queue = self.inner.lock();
+        if let Some(cap) = self.inner.cap {
+            if queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        queue.push_back(msg);
+        drop(queue);
         self.inner.ready.notify_one();
         Ok(())
     }
@@ -131,6 +217,8 @@ impl<T> Receiver<T> {
         let mut queue = self.inner.lock();
         loop {
             if let Some(msg) = queue.pop_front() {
+                drop(queue);
+                self.inner.space.notify_one();
                 return Ok(msg);
             }
             if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -149,6 +237,8 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut queue = self.inner.lock();
         if let Some(msg) = queue.pop_front() {
+            drop(queue);
+            self.inner.space.notify_one();
             return Ok(msg);
         }
         if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -173,7 +263,11 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+        if self.inner.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last receiver gone: wake bounded senders blocked on space so
+            // they can observe the disconnect.
+            self.inner.space.notify_all();
+        }
     }
 }
 
@@ -255,5 +349,50 @@ mod tests {
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_send_rejects_when_full_and_recovers_after_pop() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert!(tx.try_send(3).unwrap_err().is_full());
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn try_send_reports_disconnect_over_full() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+        assert_eq!(TrySendError::Disconnected(9).into_inner(), 9);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(0).unwrap();
+        let producer = std::thread::spawn(move || {
+            for i in 1..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_send_errors_when_receiver_drops_mid_wait() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let blocked = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(blocked.join().unwrap(), Err(SendError(2)));
     }
 }

@@ -1,5 +1,5 @@
 //! Vendored offline subset of `crossbeam`: the `channel` module with
-//! unbounded MPMC channels.
+//! unbounded and bounded MPMC channels.
 //!
 //! Built on `Mutex<VecDeque>` + `Condvar` instead of crossbeam's
 //! lock-free queues, so throughput is lower, but the semantics match:

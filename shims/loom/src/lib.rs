@@ -263,6 +263,22 @@ pub mod sync {
                 crate::schedule_noise();
                 prev
             }
+
+            /// Atomic subtract-and-fetch-previous with scheduling noise.
+            pub fn fetch_sub(&self, v: u64, order: Ordering) -> u64 {
+                crate::schedule_noise();
+                let prev = self.inner.fetch_sub(v, order);
+                crate::schedule_noise();
+                prev
+            }
+
+            /// Atomic max-and-fetch-previous with scheduling noise.
+            pub fn fetch_max(&self, v: u64, order: Ordering) -> u64 {
+                crate::schedule_noise();
+                let prev = self.inner.fetch_max(v, order);
+                crate::schedule_noise();
+                prev
+            }
         }
 
         impl AtomicUsize {

@@ -18,6 +18,10 @@
 //! * [`emissions`] — VSP fuel model, emission factors, traffic maps.
 //! * [`obs`] — spans/counters/histograms over the pipeline and fleet;
 //!   the no-op recorder is erased at compile time.
+//! * [`serve`] — the crowd-scale ingestion service: a length-prefixed
+//!   binary protocol over TCP feeding phone uploads into the fused
+//!   gradient map, with bbox tile queries back out (see the
+//!   `gradest-serve` binary).
 //!
 //! # Quickstart
 //!
@@ -46,6 +50,7 @@ pub use gradest_geo as geo;
 pub use gradest_math as math;
 pub use gradest_obs as obs;
 pub use gradest_sensors as sensors;
+pub use gradest_serve as serve;
 pub use gradest_sim as sim;
 
 /// Convenience re-exports for the common end-to-end flow.
