@@ -18,6 +18,11 @@
 //! baseline files (the error names each absent baseline and the
 //! `--update` command that regenerates it).
 //!
+//! Every `--update` also appends one compact JSON line (timestamp,
+//! git commit, all gated metrics) to `BENCH_HISTORY.jsonl` at the
+//! repository root — commit it alongside the refreshed baselines so
+//! the perf trajectory across refreshes stays in one greppable file.
+//!
 //! Like `gradest-experiments`, this binary installs a counting global
 //! allocator, so the baselines it writes carry measured
 //! `allocs_per_trip_warm*` counts (the hot-path JSON asserts 0)
@@ -33,10 +38,11 @@ use gradest_bench::experiments::{fleet_bench, geo_index, kernels, pipeline_hotpa
 use gradest_bench::gate::{self, GateReport, MetricSpec, DEFAULT_TOLERANCE};
 use gradest_bench::perfbench::alloc_counter;
 use gradest_bench::report::print_table;
-use serde_json::Value;
+use serde_json::{Map, Number, Value};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 /// System allocator wrapped to count allocations (see the identical
 /// wrapper in `gradest-experiments`): the hot-path benchmark can only
@@ -123,6 +129,50 @@ fn parse_args() -> Result<Args, String> {
         return Err(format!("tolerance must be a finite non-negative ratio, got {tolerance}"));
     }
     Ok(Args { tolerance, update, inject_regression })
+}
+
+/// Appends one compact JSON line summarising a baseline refresh to the
+/// committed `BENCH_HISTORY.jsonl`: a unix timestamp, the current git
+/// commit (best effort — `null` outside a git checkout), and every
+/// gated metric's measured value in nanoseconds. One object per
+/// `--update`, newest last, so the machine's perf trajectory stays
+/// greppable from the repository itself without spelunking git history
+/// of the full BENCH_*.json documents.
+fn append_history(root: &Path, suites: &[(&Value, &[MetricSpec])]) -> Result<PathBuf, String> {
+    let mut metrics = Map::new();
+    for (doc, specs) in suites {
+        for (name, value) in gate::extract(doc, specs) {
+            metrics.insert(name, value.map(Value::from).unwrap_or(Value::Null));
+        }
+    }
+    let unix_s = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .map_err(|e| format!("system clock before the unix epoch: {e}"))?;
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(root)
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|sha| Value::String(sha.trim().to_string()))
+        .unwrap_or(Value::Null);
+    let mut line = Map::new();
+    line.insert("unix_time_s", Value::Number(Number::from(unix_s)));
+    line.insert("commit", commit);
+    line.insert("metrics", Value::Object(metrics));
+    let path = root.join("BENCH_HISTORY.jsonl");
+    let mut body = Value::Object(line).to_string();
+    body.push('\n');
+    use std::io::Write;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(body.as_bytes()))
+        .map_err(|e| format!("cannot append to {}: {e}", path.display()))?;
+    Ok(path)
 }
 
 /// Loads a committed baseline document, or `None` when the file is
@@ -267,7 +317,26 @@ fn main() -> ExitCode {
             & write(&kernels_path, &current_kernels)
             & write(&geo_path, &current_geo)
             & write(&service_path, &current_service);
-        return if ok { ExitCode::SUCCESS } else { ExitCode::from(2) };
+        let history_ok = match append_history(
+            &root,
+            &[
+                (&current_pipeline, gate::PIPELINE_METRICS),
+                (&current_fleet, gate::FLEET_METRICS),
+                (&current_kernels, gate::KERNEL_METRICS),
+                (&current_geo, gate::GEO_METRICS),
+                (&current_service, gate::SERVICE_METRICS),
+            ],
+        ) {
+            Ok(path) => {
+                println!("bench-gate: appended refresh summary to {}", path.display());
+                true
+            }
+            Err(e) => {
+                eprintln!("bench-gate: {e}");
+                false
+            }
+        };
+        return if ok && history_ok { ExitCode::SUCCESS } else { ExitCode::from(2) };
     }
 
     // Name each absent baseline individually: "some baseline is

@@ -149,8 +149,11 @@ fn main() {
     // service, tiles served over the wire must be bit-identical to
     // direct aggregation, ~2x overload must answer typed BUSY rejects
     // with every client terminating, the drain must complete cleanly
-    // (including one raced by a live uploader), and the warm
-    // decode → estimate window must not allocate.
+    // (including one raced by a live uploader), the warm
+    // decode → estimate window must not allocate (with the live
+    // time-series recorder wired in), healthy traffic must stay
+    // drift-free with STATUS quantiles inside the sketch bound, and
+    // degraded sensors must trip a quality alert within the deadline.
     if filter.iter().any(|f| f == "service_soak_smoke") {
         println!("\n################ service_soak_smoke ################");
         let r = service_soak::run(77, 64, 3);
@@ -167,6 +170,17 @@ fn main() {
         assert!(r.drain_clean, "shutdown left uploads in flight");
         assert!(r.prometheus_valid, "METRICS frame failed the Prometheus grammar check");
         assert_eq!(r.allocs_per_frame_warm, Some(0), "warm decode->estimate window allocated");
+        assert!(r.status_healthy_drift_free, "drift alert false-positive during healthy traffic");
+        assert!(
+            r.status_quantiles_in_bounds,
+            "STATUS latency quantiles left the sketch error bound"
+        );
+        assert!(
+            r.drift_alert_fired,
+            "degraded sensors raised no drift alert within the deadline \
+             ({:.1} windows elapsed)",
+            r.alert_latency_windows
+        );
         service_soak::print_report(&r);
         ran += 1;
     }

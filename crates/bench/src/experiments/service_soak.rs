@@ -11,7 +11,18 @@
 //! `CloudAggregator` aggregation, typed BUSY rejects under overload
 //! with every client terminating, a clean drain-on-shutdown while
 //! uploads are in flight, and (when the counting allocator is
-//! installed) zero allocations in the warm decode → estimate window.
+//! installed) zero allocations in the warm decode → estimate window —
+//! measured with the live time-series recorder wired in, since
+//! `start` always fans recording into the telemetry ring.
+//!
+//! A final telemetry phase exercises DESIGN.md §15's judgment loop
+//! end to end: a healthy stretch must stay drift-free at every STATUS
+//! poll and serve latency quantiles inside the sketch's error bound
+//! of the exact span extremes, then degraded sensor logs (starved
+//! noisy IMU, long GPS outages) must trip a quality drift alert
+//! within `ALERT_DEADLINE_WINDOWS` windows; the detection latency is
+//! gated as `alert_latency_ns` and the final STATUS snapshot is saved
+//! as `service_soak_status.json`.
 
 use crate::perfbench::{alloc_counter, run_bench, BenchReport};
 use crate::report::{print_table, results_dir, save_json};
@@ -23,13 +34,17 @@ use gradest_geo::road::{build_from_sections, RoadClass, SectionSpec};
 use gradest_geo::tile::edges_in_tile_into;
 use gradest_geo::{NetworkIndex, QueryScratch, RoadNetwork, Route};
 use gradest_math::Vec2;
-use gradest_obs::{validate_prometheus_text, NoopRecorder, RunRecorder, RunReport, Tee, TraceRing};
+use gradest_obs::{
+    validate_prometheus_text, NoopRecorder, RunRecorder, RunReport, Tee, TimeSeriesConfig,
+    TraceRing, SKETCH_RELATIVE_ERROR,
+};
 use gradest_sensors::suite::{SensorConfig, SensorLog, SensorSuite};
 use gradest_serve::client::{Client, ServerReply};
 use gradest_serve::protocol::TileWriter;
 use gradest_serve::server::{install_alloc_probe, start, ServeConfig};
 use gradest_sim::trip::{simulate_trip, TripConfig};
 use serde::{Deserialize, Serialize};
+use serde_json::Value;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,6 +56,21 @@ const POOL: usize = 16;
 /// Client-side socket timeout. Generous: on one core, 64 phone
 /// threads plus the server share the CPU.
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+/// Window width of the telemetry phase's time-series ring: short, so
+/// dozens of windows elapse inside the phase.
+const TELEMETRY_WINDOW_NS: u64 = 25_000_000;
+/// Ring length of the telemetry phase (25 ms × 120 = a 3 s horizon).
+const TELEMETRY_WINDOWS: usize = 120;
+/// Complete windows of healthy traffic before degradation starts.
+const HEALTHY_WINDOWS: u64 = 14;
+/// Degraded windows after which an unfired drift alert is a failure.
+const ALERT_DEADLINE_WINDOWS: u64 = 40;
+/// Floor (in windows) applied to the *gated* alert latency: the alarm
+/// lands on a window boundary ±1 window of alignment jitter, so
+/// latencies under the floor are quantization noise, not signal. The
+/// gate then only fails on real detector regressions (past
+/// `floor × (1 + tolerance)`), while the raw latency stays reported.
+const GATE_LATENCY_FLOOR_WINDOWS: u64 = 8;
 
 /// Ingestion-service soak result (`BENCH_service.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -100,6 +130,28 @@ pub struct ServiceSoakBench {
     /// Whether the METRICS frame's exposition passed the Prometheus
     /// grammar check.
     pub prometheus_valid: bool,
+    /// Whether the healthy stretch of the telemetry phase stayed
+    /// drift-free at every STATUS poll (no false positives).
+    pub status_healthy_drift_free: bool,
+    /// Whether the STATUS frame latency quantiles were monotone and
+    /// inside the sketch's relative-error bound of the exact
+    /// server-side span extremes.
+    pub status_quantiles_in_bounds: bool,
+    /// Whether a drift alert fired after sensor degradation.
+    pub drift_alert_fired: bool,
+    /// Signals reporting drift when the alert fired (per-signal names
+    /// from the STATUS quality array).
+    pub drift_signals: Vec<String>,
+    /// Wall-clock from the first degraded upload to the first STATUS
+    /// poll reporting drift (the deadline is `ALERT_DEADLINE_WINDOWS`
+    /// windows).
+    pub alert_latency_ns: f64,
+    /// The same latency in telemetry windows.
+    pub alert_latency_windows: f64,
+    /// The gated detection latency: `alert_latency_ns` floored to
+    /// `GATE_LATENCY_FLOOR_WINDOWS` windows so window-boundary jitter
+    /// cannot fail the perf gate (see the constant's doc).
+    pub alert_latency_gate_ns: f64,
     /// Observability report of the throughput server: service-frame /
     /// service-decode / service-tile-query spans, service counters,
     /// and the per-trip pipeline spans under them.
@@ -150,6 +202,69 @@ fn trip_pool(net: &RoadNetwork, seed: u64) -> Vec<SensorLog> {
                 .run(&traj, trip_seed.wrapping_mul(31).wrapping_add(7))
         })
         .collect()
+}
+
+/// Degraded-sensor logs for the telemetry phase: a starved IMU (the
+/// accelerometer fusion weight collapses against the dense sources),
+/// a much noisier accelerometer (per-trip mean NIS leaves the
+/// consistency band), and two long GPS outages per trip (the dropout
+/// counter jumps from zero).
+fn degraded_pool(net: &RoadNetwork, seed: u64) -> Vec<SensorLog> {
+    let mut cfg = SensorConfig {
+        imu_rate_hz: 5.0,
+        gps_outages: vec![(3.0, 8.0), (12.0, 18.0)],
+        ..Default::default()
+    };
+    cfg.accel_noise.white_sd *= 25.0;
+    cfg.accel_noise.bias_init_sd *= 25.0;
+    (0..8)
+        .map(|i| {
+            let road = net.edges()[i % ROADS].road.clone();
+            let route = Route::new(vec![road]).expect("single-road route");
+            let trip_seed = seed.wrapping_add(i as u64);
+            let traj = simulate_trip(&route, &TripConfig::default(), trip_seed);
+            SensorSuite::new(cfg.clone()).run(&traj, trip_seed.wrapping_mul(31).wrapping_add(7))
+        })
+        .collect()
+}
+
+/// One decoded STATUS snapshot: the fields the telemetry phase judges.
+struct StatusSnapshot {
+    drifting: bool,
+    drift_signals: Vec<String>,
+    frame_count: u64,
+    p50_ns: Option<f64>,
+    p90_ns: Option<f64>,
+    p99_ns: Option<f64>,
+    raw: String,
+}
+
+/// Fetches and decodes one STATUS frame.
+fn poll_status(client: &mut Client) -> StatusSnapshot {
+    let raw = match client.status().expect("status poll") {
+        ServerReply::Status(text) => text,
+        other => panic!("unexpected status reply: {other:?}"),
+    };
+    let doc: Value = serde_json::from_str(&raw).expect("STATUS frame carries valid JSON");
+    let drift_signals = doc["quality"]
+        .as_array()
+        .map(|signals| {
+            signals
+                .iter()
+                .filter(|s| s["drifting"].as_bool() == Some(true))
+                .filter_map(|s| s["signal"].as_str().map(|n| n.to_string()))
+                .collect()
+        })
+        .unwrap_or_default();
+    StatusSnapshot {
+        drifting: doc["drifting"].as_bool() == Some(true),
+        drift_signals,
+        frame_count: doc["frame"]["count"].as_u64().unwrap_or(0),
+        p50_ns: doc["frame"]["p50_ns"].as_f64(),
+        p90_ns: doc["frame"]["p90_ns"].as_f64(),
+        p99_ns: doc["frame"]["p99_ns"].as_f64(),
+        raw,
+    }
 }
 
 /// The reference tile: the same `(road_id, log)` multiset pushed
@@ -375,6 +490,99 @@ pub fn run(seed: u64, phones: usize, trips_per_phone: usize) -> ServiceSoakBench
     });
     drain_clean &= drained_mid_upload;
 
+    // ---- Phase 5: live telemetry + drift detection --------------------
+    // A dedicated server with short windows so the ring, the SLO table,
+    // and the drift monitors all see dozens of completed windows inside
+    // the phase. A healthy stretch must stay alert-free, then degraded
+    // sensor logs must trip a quality alert within the deadline.
+    let telemetry_cfg = ServeConfig {
+        workers: 1,
+        timeseries: TimeSeriesConfig { window_ns: TELEMETRY_WINDOW_NS, windows: TELEMETRY_WINDOWS },
+        ..Default::default()
+    };
+    let tele_rec = Arc::new(RunRecorder::new());
+    let tele_server =
+        start(&telemetry_cfg, "127.0.0.1:0", &net, Arc::clone(&tele_rec)).expect("bind loopback");
+    let mut phone = Client::connect(tele_server.addr(), CLIENT_TIMEOUT).expect("connect");
+
+    // Healthy stretch: clean uploads until HEALTHY_WINDOWS complete
+    // windows have elapsed, polling STATUS along the way — every poll
+    // must be drift-free.
+    let healthy_start_w = tele_server.telemetry_now_ns() / TELEMETRY_WINDOW_NS;
+    let mut status_healthy_drift_free = true;
+    let mut k = 0u64;
+    while tele_server.telemetry_now_ns() / TELEMETRY_WINDOW_NS < healthy_start_w + HEALTHY_WINDOWS {
+        match phone.upload(4_000_000 + k, &pool[(k as usize) % pool.len()]).expect("upload") {
+            ServerReply::Ack { .. } => {}
+            other => panic!("unexpected telemetry-phase reply: {other:?}"),
+        }
+        if k % 8 == 7 {
+            status_healthy_drift_free &= !poll_status(&mut phone).drifting;
+        }
+        k += 1;
+    }
+    let healthy_status = poll_status(&mut phone);
+    status_healthy_drift_free &= !healthy_status.drifting;
+
+    // Oracle check: the STATUS quantiles come from the windowed
+    // sketches, the Tee'd RunRecorder aggregates the very same
+    // `service-frame` span durations exactly. The estimates must be
+    // monotone and inside the sketch's relative-error bound of the
+    // exact extremes.
+    let status_quantiles_in_bounds = match (
+        healthy_status.p50_ns,
+        healthy_status.p90_ns,
+        healthy_status.p99_ns,
+        tele_rec.report().span("service-frame"),
+    ) {
+        (Some(p50), Some(p90), Some(p99), Some(frame)) => {
+            let lo = frame.min_ns as f64 * (1.0 - SKETCH_RELATIVE_ERROR);
+            let hi = frame.max_ns as f64 * (1.0 + SKETCH_RELATIVE_ERROR);
+            let count_ok =
+                healthy_status.frame_count > 0 && healthy_status.frame_count <= frame.count;
+            p50 <= p90 && p90 <= p99 && p50 >= lo && p99 <= hi && count_ok
+        }
+        _ => false,
+    };
+
+    // Degraded stretch: upload broken-sensor trips until a STATUS poll
+    // reports drift (or the deadline passes with no alert).
+    let degraded = degraded_pool(&net, seed.wrapping_add(0x5EED));
+    let degrade_start_ns = tele_server.telemetry_now_ns();
+    let mut drift_alert_fired = false;
+    let mut drift_signals = Vec::new();
+    let alert_latency_ns;
+    let mut final_status_raw = healthy_status.raw;
+    let mut k = 0u64;
+    loop {
+        let now_ns = tele_server.telemetry_now_ns();
+        if now_ns.saturating_sub(degrade_start_ns) / TELEMETRY_WINDOW_NS > ALERT_DEADLINE_WINDOWS {
+            alert_latency_ns = now_ns - degrade_start_ns;
+            break;
+        }
+        match phone.upload(5_000_000 + k, &degraded[(k as usize) % degraded.len()]).expect("upload")
+        {
+            ServerReply::Ack { .. } => {}
+            other => panic!("unexpected degraded-phase reply: {other:?}"),
+        }
+        if k % 4 == 3 {
+            let status = poll_status(&mut phone);
+            if status.drifting {
+                drift_alert_fired = true;
+                drift_signals = status.drift_signals;
+                alert_latency_ns = tele_server.telemetry_now_ns() - degrade_start_ns;
+                final_status_raw = status.raw;
+                break;
+            }
+        }
+        k += 1;
+    }
+    save_artifact("service_soak_status.json", &final_status_raw);
+
+    drop(phone);
+    let tele_report = tele_server.shutdown();
+    drain_clean &= tele_report.is_clean();
+
     ServiceSoakBench {
         seed,
         phones,
@@ -400,6 +608,15 @@ pub fn run(seed: u64, phones: usize, trips_per_phone: usize) -> ServiceSoakBench
         allocs_per_frame_warm,
         drain_clean,
         prometheus_valid,
+        status_healthy_drift_free,
+        status_quantiles_in_bounds,
+        drift_alert_fired,
+        drift_signals,
+        alert_latency_ns: alert_latency_ns as f64,
+        alert_latency_windows: alert_latency_ns as f64 / TELEMETRY_WINDOW_NS as f64,
+        alert_latency_gate_ns: alert_latency_ns
+            .max(GATE_LATENCY_FLOOR_WINDOWS * TELEMETRY_WINDOW_NS)
+            as f64,
         obs: rec.a.report(),
     }
 }
@@ -444,6 +661,21 @@ pub fn print_report(r: &ServiceSoakBench) {
         ],
         vec!["drain clean".to_string(), r.drain_clean.to_string()],
         vec!["prometheus valid".to_string(), r.prometheus_valid.to_string()],
+        vec!["healthy phase drift-free".to_string(), r.status_healthy_drift_free.to_string()],
+        vec!["status quantiles in bounds".to_string(), r.status_quantiles_in_bounds.to_string()],
+        vec![
+            "drift alert".to_string(),
+            if r.drift_alert_fired {
+                format!(
+                    "fired after {:.1} windows ({:.0} ms): {}",
+                    r.alert_latency_windows,
+                    r.alert_latency_ns / 1e6,
+                    r.drift_signals.join(", ")
+                )
+            } else {
+                format!("MISSED deadline of {ALERT_DEADLINE_WINDOWS} windows")
+            },
+        ],
     ];
     print_table("Ingestion service soak (loopback)", &["metric", "value"], &rows);
     save_json("service_soak", r);

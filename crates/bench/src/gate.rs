@@ -137,8 +137,11 @@ pub const GEO_METRICS: &[MetricSpec] = &[
 /// (`BENCH_service.json`): sustained ingestion cost per trip, the
 /// client-observed frame latency percentiles, the warm tile-query
 /// round trip, and the server-side `service-frame` span mean from the
-/// embedded obs report. Throughput is gated as its inverse
-/// (`sustained_ns_per_trip`) so "lower is better" holds for every row.
+/// embedded obs report, plus the floored drift-alert detection latency
+/// (`alert_latency_gate_ns` — the raw latency clamped to a few
+/// telemetry windows so window-boundary jitter can't flake the gate).
+/// Throughput is gated as its inverse (`sustained_ns_per_trip`) so
+/// "lower is better" holds for every row.
 pub const SERVICE_METRICS: &[MetricSpec] = &[
     MetricSpec {
         name: "service/sustained_ns_per_trip",
@@ -151,6 +154,10 @@ pub const SERVICE_METRICS: &[MetricSpec] = &[
         source: MetricSource::Path(&["tile_query", "median_ns_per_op"]),
     },
     MetricSpec { name: "service/span/frame", source: MetricSource::ObsSpanMean("service-frame") },
+    MetricSpec {
+        name: "service/alert_latency",
+        source: MetricSource::Path(&["alert_latency_gate_ns"]),
+    },
 ];
 
 /// Reads the metrics named by `specs` out of an experiment document.

@@ -186,6 +186,7 @@ pub const WARM_PATH_MODULES: &[&str] = &[
     "math::signal",
     "obs::metrics",
     "obs::recorder",
+    "obs::timeseries",
     "obs::trace",
     "sensors::alignment",
     "sensors::columnar",

@@ -59,8 +59,11 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "math::interp",
     "math::signal",
     "obs::metrics",
+    "obs::quality",
     "obs::recorder",
     "obs::run",
+    "obs::slo",
+    "obs::timeseries",
     "obs::trace",
     "sensors::alignment",
     "sensors::columnar",
@@ -70,12 +73,15 @@ pub const HOT_PATH_MODULES: &[&str] = &[
 ];
 
 /// Modules under the zero-allocation `_into` discipline (the warm
-/// per-trip path). [`HOT_PATH_MODULES`] minus `core::fleet` and
-/// `obs::run`: the fleet engine allocates per batch (channels, result
-/// buffers) by design and its per-trip work happens inside these
-/// modules; `obs::run` allocates only when *building* a `RunReport`
-/// after the measured work — its recording sinks are allocation-free
-/// and the warm path only traverses `obs::recorder` / `obs::metrics`.
+/// per-trip path). [`HOT_PATH_MODULES`] minus `core::fleet`,
+/// `obs::run`, `obs::quality`, and `obs::slo`: the fleet engine
+/// allocates per batch (channels, result buffers) by design and its
+/// per-trip work happens inside these modules; `obs::run` allocates
+/// only when *building* a `RunReport` after the measured work;
+/// `obs::quality` / `obs::slo` allocate when building reports off the
+/// record path (the per-frame tick itself is allocation-free). The
+/// time-series ring's record path (`obs::timeseries`) IS on the warm
+/// path via `TimeSeriesRecorder`, so it stays gated.
 pub const WARM_ALLOC_GATED_MODULES: &[&str] = &[
     "core::pipeline",
     "core::ekf",
@@ -91,6 +97,7 @@ pub const WARM_ALLOC_GATED_MODULES: &[&str] = &[
     "math::signal",
     "obs::metrics",
     "obs::recorder",
+    "obs::timeseries",
     "obs::trace",
     "sensors::alignment",
     "sensors::columnar",
@@ -465,7 +472,9 @@ mod tests {
         }
         // Hot modules outside the warm no-alloc gate: the
         // batch-allocating fleet engine, the report-building side of
-        // obs, tile serialization (grows the caller's byte buffer),
+        // obs (run summaries, drift monitors, SLO tables — their
+        // record/tick paths are alloc-free but report construction is
+        // not), tile serialization (grows the caller's byte buffer),
         // and the service's connection/drain layers (allocate at
         // accept/shutdown, never per frame — serve::protocol is the
         // per-frame piece and IS warm-gated).
@@ -473,7 +482,15 @@ mod tests {
             HOT_PATH_MODULES.iter().filter(|m| !WARM_ALLOC_GATED_MODULES.contains(m)).collect();
         assert_eq!(
             hot_only,
-            vec![&"core::fleet", &"geo::tile", &"obs::run", &"serve::drain", &"serve::server"]
+            vec![
+                &"core::fleet",
+                &"geo::tile",
+                &"obs::quality",
+                &"obs::run",
+                &"obs::slo",
+                &"serve::drain",
+                &"serve::server"
+            ]
         );
     }
 

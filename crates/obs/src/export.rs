@@ -190,6 +190,9 @@ fn instant_args(ev: TraceEvent) -> String {
             format!("\"conn\": {conn}, \"code\": {code}")
         }
         TraceEvent::ServiceDrain { in_flight } => format!("\"in_flight\": {in_flight}"),
+        TraceEvent::QualityAlert { signal, raised } => {
+            format!("\"signal\": \"{}\", \"raised\": {raised}", signal.name())
+        }
         // Handled by dedicated phases above; kept total for safety.
         TraceEvent::FusionWeights { .. } | TraceEvent::SpanEnd { .. } => String::new(),
     }
@@ -561,6 +564,14 @@ mod tests {
         assert!(validate_prometheus_text("m +Inf\n").is_ok());
         assert!(validate_prometheus_text("m 1 1700000000000\n").is_ok(), "timestamp allowed");
         assert!(validate_prometheus_text("m 1 t\n").is_err());
+        // Gauge samples with labels keep their optional timestamp too —
+        // the service's uptime gauge exports this exact shape.
+        assert!(validate_prometheus_text(
+            "# TYPE gradest_service_uptime_seconds gauge\n\
+             gradest_service_uptime_seconds{instance=\"a\"} 12.5 1700000000000\n"
+        )
+        .is_ok());
+        assert!(validate_prometheus_text("m 1 1.5\n").is_err(), "timestamps are integral ms");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `gradest-obs` — the observability substrate for the gradient
 //! estimation stack.
 //!
-//! Six pieces (DESIGN.md §9–§10):
+//! Nine pieces (DESIGN.md §9–§10, §15):
 //!
 //! - [`metrics`]: the closed taxonomy of [`Span`]s (a static forest of
 //!   timed regions: trip stages, per-source EKF tracks, fleet workers,
@@ -25,6 +25,17 @@
 //! - [`export`]: standard telemetry formats — Perfetto/Chrome
 //!   `trace_event` JSON for trace snapshots and Prometheus text
 //!   exposition for reports and fleet health.
+//! - [`timeseries`]: the live-telemetry ring — fixed windows of
+//!   counters-as-rates and log-linear quantile sketches behind
+//!   [`TimeSeries`]/[`TimeSeriesRecorder`], answering "what is p99
+//!   frame latency *right now*" for the `STATUS` frame.
+//! - [`quality`]: fleet-wide estimation-quality drift monitors —
+//!   EWMA + Page–Hinkley detectors over mean fusion weight, NIS
+//!   out-of-band fraction, and GPS-dropout rate, emitting
+//!   [`TraceEvent::QualityAlert`] transitions.
+//! - [`slo`]: a small declarative SLO table evaluated over the
+//!   time-series ring with burn-rate thresholds, driving the
+//!   `Healthy`/`Warn`/`Page` states the service reports.
 //!
 //! The crate depends only on the vendored serde shims, so every layer
 //! from `gradest-math` up can adopt it without dependency cycles.
@@ -44,13 +55,21 @@
 pub mod export;
 pub mod health;
 pub mod metrics;
+pub mod quality;
 pub mod recorder;
 pub mod run;
+pub mod slo;
+pub mod timeseries;
 pub mod trace;
 
 pub use export::{chrome_trace_json, prometheus_text, validate_prometheus_text};
 pub use health::FleetHealth;
 pub use metrics::{Counter, Histogram, Span, StageNanos};
+pub use quality::{QualityConfig, QualityMonitors, QualityReport, SignalReport};
 pub use recorder::{saturating_ns, NoopRecorder, Recorder, SpanTimer};
 pub use run::{CounterReport, HistogramReport, RunRecorder, RunReport, SpanReport};
-pub use trace::{Tee, TraceEvent, TraceHealth, TraceRecord, TraceRing, TraceSnapshot, TraceSource};
+pub use slo::{SloKind, SloReport, SloSpec, SloState, SloTable};
+pub use timeseries::{TimeSeries, TimeSeriesConfig, TimeSeriesRecorder, SKETCH_RELATIVE_ERROR};
+pub use trace::{
+    QualitySignal, Tee, TraceEvent, TraceHealth, TraceRecord, TraceRing, TraceSnapshot, TraceSource,
+};

@@ -74,11 +74,13 @@ pub enum Span {
     ServiceDecode,
     /// One bbox tile query answered from the fused map.
     ServiceTileQuery,
+    /// One STATUS frame answered (SLO/drift/quantile snapshot build).
+    ServiceStatus,
 }
 
 impl Span {
     /// Every span, in report order.
-    pub const ALL: [Span; 17] = [
+    pub const ALL: [Span; 18] = [
         Span::Trip,
         Span::Steering,
         Span::Detection,
@@ -96,6 +98,7 @@ impl Span {
         Span::ServiceFrame,
         Span::ServiceDecode,
         Span::ServiceTileQuery,
+        Span::ServiceStatus,
     ];
 
     /// Number of spans (array-slot count for recorders).
@@ -121,6 +124,7 @@ impl Span {
             Span::ServiceFrame => "service-frame",
             Span::ServiceDecode => "service-decode",
             Span::ServiceTileQuery => "service-tile-query",
+            Span::ServiceStatus => "service-status",
         }
     }
 
@@ -139,7 +143,9 @@ impl Span {
             | Span::TrackAccelerometer => Some(Span::Tracks),
             Span::FleetWorkerTrip => Some(Span::FleetBatch),
             Span::NetworkMatchTrip => Some(Span::FleetWorkerTrip),
-            Span::ServiceDecode | Span::ServiceTileQuery => Some(Span::ServiceFrame),
+            Span::ServiceDecode | Span::ServiceTileQuery | Span::ServiceStatus => {
+                Some(Span::ServiceFrame)
+            }
         }
     }
 
@@ -206,11 +212,17 @@ pub enum Counter {
     ServiceBusyRejects,
     /// Bbox tile queries answered.
     ServiceTileQueries,
+    /// STATUS frames answered.
+    ServiceStatusQueries,
+    /// Quality drift alerts raised (any signal entering `Drifting`).
+    QualityAlertsRaised,
+    /// Quality drift alerts cleared (any signal returning to `Ok`).
+    QualityAlertsCleared,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 26] = [
         Counter::TripsProcessed,
         Counter::LaneChangesDetected,
         Counter::LaneChangesRejected,
@@ -234,6 +246,9 @@ impl Counter {
         Counter::ServiceFramesRejected,
         Counter::ServiceBusyRejects,
         Counter::ServiceTileQueries,
+        Counter::ServiceStatusQueries,
+        Counter::QualityAlertsRaised,
+        Counter::QualityAlertsCleared,
     ];
 
     /// Number of counters (array-slot count for recorders).
@@ -265,6 +280,9 @@ impl Counter {
             Counter::ServiceFramesRejected => "service-frames-rejected",
             Counter::ServiceBusyRejects => "service-busy-rejects",
             Counter::ServiceTileQueries => "service-tile-queries",
+            Counter::ServiceStatusQueries => "service-status-queries",
+            Counter::QualityAlertsRaised => "quality-alerts-raised",
+            Counter::QualityAlertsCleared => "quality-alerts-cleared",
         }
     }
 }

@@ -49,6 +49,15 @@ pub trait Recorder: Sync {
     fn event(&self, ev: TraceEvent) {
         let _ = ev;
     }
+
+    /// How many records this sink has silently discarded (ring
+    /// overflow, late time-series windows). Lossless sinks report 0;
+    /// `Tee` sums its halves. Exposed so exporters (the service's
+    /// Prometheus frame) can surface telemetry loss without knowing
+    /// the concrete recorder type.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
 }
 
 // sync: forwarding impl — `&R` shares the underlying sink, which is
@@ -72,6 +81,10 @@ impl<R: Recorder + ?Sized> Recorder for &R {
 
     fn event(&self, ev: TraceEvent) {
         (**self).event(ev);
+    }
+
+    fn dropped_events(&self) -> u64 {
+        (**self).dropped_events()
     }
 }
 

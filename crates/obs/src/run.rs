@@ -160,6 +160,7 @@ impl RunRecorder {
                     stddev: var.max(0.0).sqrt(),
                     min: cell.min,
                     max: cell.max,
+                    decades: cell.buckets,
                 });
             }
         }
@@ -300,6 +301,12 @@ pub struct HistogramReport {
     pub min: f64,
     /// Largest observed value.
     pub max: f64,
+    /// Decade-band counts (see [`RunRecorder::histogram_decades`]):
+    /// slot `i` counts magnitudes with decade exponent
+    /// `i + DECADE_MIN_EXP`, clamped at the ends. Carried in reports so
+    /// multi-run merges keep banded distributions (NIS health bands)
+    /// instead of collapsing to summary moments.
+    pub decades: [u64; DECADE_BUCKETS],
 }
 
 /// Everything one run recorded, in serializable form. Only ids that
@@ -378,22 +385,35 @@ impl RunReport {
         let mut histograms: Vec<HistogramReport> = self.histograms.clone();
         for oh in &other.histograms {
             if let Some(h) = histograms.iter_mut().find(|h| h.name == oh.name) {
+                // Empty-vs-nonempty is asymmetric: an empty side has
+                // no observations, so its moments, extremes, and
+                // decade bands are placeholders that must not dilute
+                // the populated side (folding them used to zero the
+                // band counts and corrupt min/max).
+                if oh.count == 0 {
+                    continue;
+                }
+                if h.count == 0 {
+                    *h = oh.clone();
+                    continue;
+                }
                 let (n1, n2) = (h.count as f64, oh.count as f64);
                 let n = n1 + n2;
-                if n > 0.0 {
-                    // Recover E[x] and E[x²] per side, combine
-                    // count-weighted, and rebuild mean/stddev — exact
-                    // for the population statistics the reports carry.
-                    let mean = (n1 * h.mean + n2 * oh.mean) / n;
-                    let e2_1 = h.stddev * h.stddev + h.mean * h.mean;
-                    let e2_2 = oh.stddev * oh.stddev + oh.mean * oh.mean;
-                    let e2 = (n1 * e2_1 + n2 * e2_2) / n;
-                    h.mean = mean;
-                    h.stddev = (e2 - mean * mean).max(0.0).sqrt();
-                }
+                // Recover E[x] and E[x²] per side, combine
+                // count-weighted, and rebuild mean/stddev — exact
+                // for the population statistics the reports carry.
+                let mean = (n1 * h.mean + n2 * oh.mean) / n;
+                let e2_1 = h.stddev * h.stddev + h.mean * h.mean;
+                let e2_2 = oh.stddev * oh.stddev + oh.mean * oh.mean;
+                let e2 = (n1 * e2_1 + n2 * e2_2) / n;
+                h.mean = mean;
+                h.stddev = (e2 - mean * mean).max(0.0).sqrt();
                 h.count += oh.count;
                 h.min = h.min.min(oh.min);
                 h.max = h.max.max(oh.max);
+                for (band, extra) in h.decades.iter_mut().zip(oh.decades.iter()) {
+                    *band += extra;
+                }
             } else {
                 histograms.push(oh.clone());
             }
@@ -627,6 +647,60 @@ mod tests {
         let report = a.report();
         assert_eq!(report.merge(&RunReport::default()), report);
         assert_eq!(RunReport::default().merge(&report), report);
+    }
+
+    #[test]
+    fn merge_folds_decade_bands_elementwise() {
+        let a = RunRecorder::new();
+        a.observe(Histogram::EkfMeanNis, 0.5); // decade -1
+        a.observe(Histogram::EkfMeanNis, 1.5); // decade 0
+        let b = RunRecorder::new();
+        b.observe(Histogram::EkfMeanNis, 2.5); // decade 0
+        b.observe(Histogram::EkfMeanNis, 250.0); // decade 2
+
+        let merged = a.report().merge(&b.report());
+        let h = merged.histogram(Histogram::EkfMeanNis.name()).expect("merged hist");
+        assert_eq!(h.decades[(-1 - DECADE_MIN_EXP) as usize], 1);
+        assert_eq!(h.decades[(0 - DECADE_MIN_EXP) as usize], 2);
+        assert_eq!(h.decades[(2 - DECADE_MIN_EXP) as usize], 1);
+        assert_eq!(h.decades.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn merge_empty_histogram_entry_is_asymmetric() {
+        // Regression: an entry that exists but recorded nothing used to
+        // have its placeholder extremes folded in (and, once bands were
+        // carried, would have diluted them). Empty-vs-nonempty must
+        // keep the populated side untouched in both directions.
+        let a = RunRecorder::new();
+        a.observe(Histogram::EkfMeanNis, 0.5); // decade -1
+        a.observe(Histogram::EkfMeanNis, 250.0); // decade 2
+        let populated = a.report();
+
+        let empty_entry = RunReport {
+            histograms: vec![HistogramReport {
+                name: Histogram::EkfMeanNis.name().to_string(),
+                count: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                decades: [0; DECADE_BUCKETS],
+            }],
+            ..RunReport::default()
+        };
+
+        let kept = populated.merge(&empty_entry);
+        assert_eq!(
+            kept.histogram(Histogram::EkfMeanNis.name()),
+            populated.histogram(Histogram::EkfMeanNis.name())
+        );
+
+        let adopted = empty_entry.merge(&populated);
+        assert_eq!(
+            adopted.histogram(Histogram::EkfMeanNis.name()),
+            populated.histogram(Histogram::EkfMeanNis.name())
+        );
     }
 
     #[test]

@@ -62,6 +62,38 @@ impl TraceSource {
     }
 }
 
+/// The fleet-quality signal a [`TraceEvent::QualityAlert`] transition
+/// refers to, mirroring `obs::quality`'s monitored signals (defined
+/// here so the event stays a leaf type with no module cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QualitySignal {
+    /// Per-window mean Eq-6 fusion weight of the monitored source.
+    MeanFusionWeight,
+    /// Fraction of per-track windowed mean-NIS observations outside
+    /// the consistency band.
+    NisOutOfBand,
+    /// GPS dropout events per processed trip.
+    GpsDropoutRate,
+}
+
+impl QualitySignal {
+    /// All monitored signals, in report order.
+    pub const ALL: [QualitySignal; 3] = [
+        QualitySignal::MeanFusionWeight,
+        QualitySignal::NisOutOfBand,
+        QualitySignal::GpsDropoutRate,
+    ];
+
+    /// Stable label (trace lines, STATUS JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            QualitySignal::MeanFusionWeight => "mean-fusion-weight",
+            QualitySignal::NisOutOfBand => "nis-out-of-band",
+            QualitySignal::GpsDropoutRate => "gps-dropout-rate",
+        }
+    }
+}
+
 /// Health verdict carried by [`TraceEvent::EkfHealth`] transitions,
 /// mirroring `gradest_core::diagnostics::FilterHealth`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -196,6 +228,14 @@ pub enum TraceEvent {
         /// Uploads still in flight when the drain gate closed.
         in_flight: u32,
     },
+    /// A quality drift monitor crossed its Page–Hinkley threshold
+    /// (`raised`) or returned below it (`!raised`).
+    QualityAlert {
+        /// The monitored signal that transitioned.
+        signal: QualitySignal,
+        /// `true` when the alert raised, `false` when it cleared.
+        raised: bool,
+    },
 }
 
 impl TraceEvent {
@@ -220,6 +260,7 @@ impl TraceEvent {
             TraceEvent::ServiceBusy { .. } => "service-busy",
             TraceEvent::ServiceFrameRejected { .. } => "service-frame-rejected",
             TraceEvent::ServiceDrain { .. } => "service-drain",
+            TraceEvent::QualityAlert { .. } => "quality-alert",
         }
     }
 
@@ -273,6 +314,10 @@ impl TraceEvent {
             }
             TraceEvent::ServiceDrain { in_flight } => {
                 format!("service-drain in-flight={in_flight}")
+            }
+            TraceEvent::QualityAlert { signal, raised } => {
+                let edge = if raised { "raised" } else { "cleared" };
+                format!("quality-alert {} {edge}", signal.name())
             }
         }
     }
@@ -423,6 +468,10 @@ impl Recorder for TraceRing {
     fn event(&self, ev: TraceEvent) {
         self.push(ev);
     }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped()
+    }
 }
 
 /// A point-in-time copy of a [`TraceRing`]'s contents, ready for
@@ -519,6 +568,10 @@ impl<A: Recorder, B: Recorder> Recorder for Tee<A, B> {
     fn event(&self, ev: TraceEvent) {
         self.a.event(ev);
         self.b.event(ev);
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.a.dropped_events() + self.b.dropped_events()
     }
 }
 
@@ -659,6 +712,7 @@ mod tests {
             TraceEvent::ServiceBusy { conn: 0, reason: 0 },
             TraceEvent::ServiceFrameRejected { conn: 0, code: 0 },
             TraceEvent::ServiceDrain { in_flight: 0 },
+            TraceEvent::QualityAlert { signal: QualitySignal::MeanFusionWeight, raised: true },
         ];
         let mut kinds: Vec<&str> = samples.iter().map(|e| e.kind()).collect();
         let total = kinds.len();

@@ -1,0 +1,144 @@
+//! Property tests for `obs::timeseries`: the log-linear sketch's
+//! quantile estimates stay inside the advertised relative-error bound
+//! against an exact nearest-rank oracle, and the ring's rotation /
+//! `delta()` bookkeeping matches a straightforward per-window model
+//! across window boundaries.
+
+use gradest_obs::timeseries::{
+    TimeSeries, TimeSeriesConfig, SKETCH_MAX_MAGNITUDE, SKETCH_MIN_MAGNITUDE, SKETCH_RELATIVE_ERROR,
+};
+use gradest_obs::{Counter, Histogram};
+use proptest::prelude::*;
+
+/// Positive magnitudes inside the sketch's representable range (with a
+/// little margin off both ends), spread across many decades so the
+/// generated sets exercise far-apart buckets, not one octave.
+fn sketch_value() -> impl Strategy<Value = f64> {
+    (-5.0..12.0f64, 1.0..10.0f64).prop_map(|(exp, mantissa)| {
+        let v = mantissa * 10.0f64.powf(exp);
+        v.clamp(SKETCH_MIN_MAGNITUDE * 2.0, SKETCH_MAX_MAGNITUDE / 2.0)
+    })
+}
+
+/// Exact nearest-rank quantile over `sorted`: the `max(⌈q·n⌉, 1)`-th
+/// smallest value — the same rank convention the sketch uses.
+fn oracle_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1).min(sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every quantile estimate is within `SKETCH_RELATIVE_ERROR` of the
+    /// exact nearest-rank value, for arbitrary positive value sets and
+    /// arbitrary q.
+    #[test]
+    fn quantile_estimates_stay_inside_relative_error_bound(
+        values in prop::collection::vec(sketch_value(), 1..200),
+        q in 0.001..1.0f64,
+    ) {
+        let ts = TimeSeries::new(TimeSeriesConfig::default());
+        let t = 10; // all observations in one live window
+        for &v in &values {
+            ts.observe_at(t, Histogram::EkfMeanNis, v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let exact = oracle_quantile(&sorted, q);
+        let est = ts
+            .hist_quantile(Histogram::EkfMeanNis, q, 1, t)
+            .expect("populated sketch has quantiles");
+        prop_assert!(
+            (est - exact).abs() <= SKETCH_RELATIVE_ERROR * exact.abs(),
+            "q={q}: estimate {est} deviates from exact {exact} by more than {}",
+            SKETCH_RELATIVE_ERROR
+        );
+    }
+
+    /// The median and the extremes never cross: p0.01 ≤ p0.5 ≤ p0.99 on
+    /// the same merged sketch (monotonicity of the cumulative walk).
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in prop::collection::vec(sketch_value(), 1..100),
+    ) {
+        let ts = TimeSeries::new(TimeSeriesConfig::default());
+        for &v in &values {
+            ts.observe_at(5, Histogram::GpsGapSeconds, v);
+        }
+        let p01 = ts.hist_quantile(Histogram::GpsGapSeconds, 0.01, 1, 5).expect("p01");
+        let p50 = ts.hist_quantile(Histogram::GpsGapSeconds, 0.5, 1, 5).expect("p50");
+        let p99 = ts.hist_quantile(Histogram::GpsGapSeconds, 0.99, 1, 5).expect("p99");
+        prop_assert!(p01 <= p50 && p50 <= p99, "p01={p01} p50={p50} p99={p99}");
+    }
+
+    /// `delta()` over the last k windows equals a straightforward
+    /// per-window model, for monotone event streams that cross many
+    /// ring-rotation boundaries (offsets range over 3× the ring size).
+    #[test]
+    fn delta_matches_per_window_model_across_rotations(
+        events in prop::collection::vec((0..24u64, 1..100u64), 1..60),
+        lookback in 1..8usize,
+    ) {
+        const WINDOW_NS: u64 = 1_000;
+        const WINDOWS: usize = 8;
+        let ts = TimeSeries::new(TimeSeriesConfig { window_ns: WINDOW_NS, windows: WINDOWS });
+        // The ring only moves forward; feed events in time order so
+        // none are late-dropped (late arrival is pinned separately).
+        let mut events = events;
+        events.sort_by_key(|(w, _)| *w);
+        for &(w, by) in &events {
+            ts.incr_at(w * WINDOW_NS + WINDOW_NS / 2, Counter::TripsProcessed, by);
+        }
+        let newest = events.last().map(|(w, _)| *w).unwrap_or(0);
+        let now = newest * WINDOW_NS + WINDOW_NS / 2;
+        // Model: the k windows ending at (and including) the live one.
+        let oldest_counted = (newest + 1).saturating_sub(lookback as u64);
+        let expected: u64 = events
+            .iter()
+            .filter(|(w, _)| *w >= oldest_counted && *w <= newest)
+            .map(|(_, by)| *by)
+            .sum();
+        prop_assert_eq!(ts.delta(Counter::TripsProcessed, lookback, now), expected);
+        prop_assert_eq!(ts.late_drops(), 0);
+    }
+
+    /// Advancing a full ring past the newest event clears every window:
+    /// the delta over the whole ring drains to zero and no spurious
+    /// counts survive rotation.
+    #[test]
+    fn advancing_a_full_ring_forgets_everything(
+        events in prop::collection::vec((0..8u64, 1..100u64), 1..30),
+    ) {
+        const WINDOW_NS: u64 = 1_000;
+        const WINDOWS: usize = 8;
+        let ts = TimeSeries::new(TimeSeriesConfig { window_ns: WINDOW_NS, windows: WINDOWS });
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|(w, _)| *w);
+        for &(w, by) in &sorted {
+            ts.incr_at(w * WINDOW_NS, Counter::TripsProcessed, by);
+        }
+        let far = (8 + WINDOWS as u64 + 1) * WINDOW_NS;
+        ts.advance_to(far);
+        prop_assert_eq!(ts.delta(Counter::TripsProcessed, WINDOWS, far), 0);
+    }
+
+    /// An event older than the whole ring is dropped, counted in
+    /// `late_drops`, and never resurrects an evicted window.
+    #[test]
+    fn late_events_are_dropped_not_misfiled(
+        newest in 20..40u64,
+        by in 1..100u64,
+    ) {
+        const WINDOW_NS: u64 = 1_000;
+        const WINDOWS: usize = 8;
+        let ts = TimeSeries::new(TimeSeriesConfig { window_ns: WINDOW_NS, windows: WINDOWS });
+        let now = newest * WINDOW_NS;
+        ts.incr_at(now, Counter::TripsProcessed, 1);
+        // A timestamp from before the ring's horizon: window 0 was
+        // evicted long ago.
+        ts.incr_at(0, Counter::TripsProcessed, by);
+        prop_assert_eq!(ts.late_drops(), 1);
+        prop_assert_eq!(ts.delta(Counter::TripsProcessed, WINDOWS, now), 1);
+    }
+}

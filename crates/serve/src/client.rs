@@ -3,8 +3,9 @@
 //! for anyone speaking the wire format from another process.
 
 use crate::protocol::{
-    decode_ack, decode_header, encode_metrics_frame, encode_tile_query_frame, encode_upload_frame,
-    DecodeError, FrameHeader, HEADER_BYTES, TAG_ACK, TAG_BUSY, TAG_ERR, TAG_METRICS_TEXT, TAG_TILE,
+    decode_ack, decode_header, encode_metrics_frame, encode_status_frame, encode_tile_query_frame,
+    encode_upload_frame, DecodeError, FrameHeader, HEADER_BYTES, TAG_ACK, TAG_BUSY, TAG_ERR,
+    TAG_METRICS_TEXT, TAG_STATUS_TEXT, TAG_TILE,
 };
 use gradest_geo::Aabb;
 use gradest_sensors::suite::SensorLog;
@@ -25,6 +26,9 @@ pub enum ServerReply {
     Tile(Vec<u8>),
     /// Prometheus exposition text.
     Metrics(String),
+    /// Live-telemetry status snapshot (JSON: per-SLO state, drift
+    /// flags, window quantiles, uptime).
+    Status(String),
     /// The server refused the request under backpressure.
     Busy {
         /// `BUSY_QUEUE_FULL` or `BUSY_DRAINING`.
@@ -106,6 +110,10 @@ impl Client {
                 Ok(text) => Ok(ServerReply::Metrics(text)),
                 Err(_) => Err(ClientError::BadReply(DecodeError::Malformed("metrics not utf8"))),
             },
+            TAG_STATUS_TEXT => match String::from_utf8(payload) {
+                Ok(text) => Ok(ServerReply::Status(text)),
+                Err(_) => Err(ClientError::BadReply(DecodeError::Malformed("status not utf8"))),
+            },
             TAG_BUSY => match payload.first() {
                 Some(reason) => Ok(ServerReply::Busy { reason: *reason }),
                 None => Err(ClientError::BadReply(DecodeError::Truncated)),
@@ -133,6 +141,13 @@ impl Client {
     /// Fetches the server's Prometheus exposition.
     pub fn metrics(&mut self) -> Result<ServerReply, ClientError> {
         encode_metrics_frame(&mut self.buf);
+        self.request()
+    }
+
+    /// Fetches the server's live status snapshot (SLO states, drift
+    /// flags, window quantiles, uptime) as JSON.
+    pub fn status(&mut self) -> Result<ServerReply, ClientError> {
+        encode_status_frame(&mut self.buf);
         self.request()
     }
 

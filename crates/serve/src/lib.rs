@@ -12,20 +12,22 @@
 //!
 //! Four pieces:
 //!
-//! - [`protocol`]: the wire grammar (UPLOAD / TILE_QUERY / METRICS
-//!   requests; ACK / TILE / METRICS / BUSY / ERR replies), total
-//!   decoding with typed [`protocol::DecodeError`]s, and the
-//!   [`protocol::TileWriter`] both the server and the soak-test
-//!   reference path use, so "bit-identical tiles" compares fusion
-//!   output rather than formatting.
+//! - [`protocol`]: the wire grammar (UPLOAD / TILE_QUERY / METRICS /
+//!   STATUS requests; ACK / TILE / METRICS / BUSY / ERR / STATUS
+//!   replies), total decoding with typed [`protocol::DecodeError`]s,
+//!   and the [`protocol::TileWriter`] both the server and the
+//!   soak-test reference path use, so "bit-identical tiles" compares
+//!   fusion output rather than formatting.
 //! - [`server`]: accept/worker threads, explicit backpressure (BUSY
 //!   frames at both the accept queue and the drain gate), per-frame
-//!   observability spans/counters/events, and a drain-on-shutdown
-//!   that provably abandons no upload.
+//!   observability spans/counters/events, a live windowed time-series
+//!   ring feeding SLO burn rates and gradient-quality drift monitors
+//!   (served by the STATUS frame — DESIGN.md §15), and a
+//!   drain-on-shutdown that provably abandons no upload.
 //! - [`drain`]: the two-word stop/in-flight gate behind that proof,
 //!   loom-model-checked under `--cfg loom`.
 //! - [`client`]: a small blocking client used by the soak bench, the
-//!   CI smoke, and external callers.
+//!   CI smoke, the `gradest-top` example, and external callers.
 //!
 //! # Quickstart
 //!

@@ -9,6 +9,7 @@
 //! request  := UPLOAD(0x01)   payload = road_id:u64le streams
 //!           | TILE(0x02)     payload = bounds (32 B, geo::tile codec)
 //!           | METRICS(0x03)  payload = empty
+//!           | STATUS(0x04)   payload = empty
 //! streams  := imu gps speedometer can barometer
 //!             each: count:u32le then `count` fixed-width samples
 //!
@@ -18,6 +19,8 @@
 //!           | METRICS(0x83)  payload = utf8 Prometheus exposition
 //!           | BUSY(0x84)     payload = reason:u8
 //!           | ERR(0x85)      payload = code:u8 (DecodeError::code)
+//!           | STATUS(0x86)   payload = utf8 JSON (live SLO states,
+//!                            drift flags, window quantiles, uptime)
 //! ```
 //!
 //! All multi-byte integers and every `f64` are little-endian; an `f64`
@@ -56,6 +59,9 @@ pub const TAG_UPLOAD: u8 = 0x01;
 pub const TAG_TILE_QUERY: u8 = 0x02;
 /// Request: Prometheus exposition of the service counters.
 pub const TAG_METRICS: u8 = 0x03;
+/// Request: live-telemetry status snapshot (SLO states, drift flags,
+/// window quantiles, uptime).
+pub const TAG_STATUS: u8 = 0x04;
 /// Reply: upload accepted and fused.
 pub const TAG_ACK: u8 = 0x81;
 /// Reply: tile payload.
@@ -66,6 +72,8 @@ pub const TAG_METRICS_TEXT: u8 = 0x83;
 pub const TAG_BUSY: u8 = 0x84;
 /// Reply: request rejected as malformed (payload carries the code).
 pub const TAG_ERR: u8 = 0x85;
+/// Reply: status snapshot as UTF-8 JSON.
+pub const TAG_STATUS_TEXT: u8 = 0x86;
 
 /// BUSY reason: the accept queue was full.
 pub const BUSY_QUEUE_FULL: u8 = 0;
@@ -224,6 +232,12 @@ pub fn encode_tile_query_frame(bounds: &gradest_geo::Aabb, out: &mut Vec<u8>) {
 /// Encodes a METRICS request frame into `out` (cleared).
 pub fn encode_metrics_frame(out: &mut Vec<u8>) {
     begin_frame(TAG_METRICS, out);
+    finish_frame(out);
+}
+
+/// Encodes a STATUS request frame into `out` (cleared).
+pub fn encode_status_frame(out: &mut Vec<u8>) {
+    begin_frame(TAG_STATUS, out);
     finish_frame(out);
 }
 
@@ -596,6 +610,18 @@ mod tests {
         assert_eq!(tiles[0].1.theta, a.theta);
         assert_eq!(tiles[1].1.len(), 0);
         assert_eq!(tiles[2].1.variance, c.variance);
+    }
+
+    #[test]
+    fn status_request_frame_is_empty_and_tagged() {
+        let mut wire = Vec::new();
+        encode_status_frame(&mut wire);
+        assert_eq!(wire.len(), HEADER_BYTES);
+        let mut header = [0u8; HEADER_BYTES];
+        header.copy_from_slice(&wire);
+        let hdr = decode_header(header).unwrap();
+        assert_eq!(hdr.tag, TAG_STATUS);
+        assert_eq!(hdr.len, 0);
     }
 
     #[test]

@@ -20,6 +20,20 @@
 //! same discipline as the fleet pool, measured live by the soak bench
 //! through [`install_alloc_probe`].
 //!
+//! # Live telemetry
+//!
+//! Next to the caller-supplied recorder, every server carries a
+//! [`TimeSeriesRecorder`] (DESIGN.md §15): each span, counter, and
+//! histogram a worker records also lands in a windowed ring, and each
+//! handled frame ticks the ring plus the [`QualityMonitors`] drift
+//! detectors. The `STATUS` frame serves a JSON snapshot of the
+//! resulting live state — per-SLO burn rates and escalation
+//! ([`SloTable`]), per-signal drift flags, window quantiles of the
+//! frame path, dropped-record counts, and uptime — without touching
+//! the cumulative `RunRecorder` report. The time-series record path is
+//! allocation-free (fixed ring slots), so attaching it does not relax
+//! the warm-frame 0-alloc gate.
+//!
 //! # Shutdown
 //!
 //! [`ServerHandle::shutdown`] stops the [`DrainGate`], wakes the accept
@@ -33,7 +47,8 @@ use crate::drain::DrainGate;
 use crate::protocol::{
     decode_header, decode_upload_into, encode_ack_frame, encode_busy_frame, encode_err_frame,
     finish_frame, DecodeError, TileWriter, UploadScratch, BUSY_DRAINING, BUSY_QUEUE_FULL,
-    HEADER_BYTES, TAG_METRICS, TAG_METRICS_TEXT, TAG_TILE, TAG_TILE_QUERY, TAG_UPLOAD,
+    HEADER_BYTES, TAG_METRICS, TAG_METRICS_TEXT, TAG_STATUS, TAG_STATUS_TEXT, TAG_TILE,
+    TAG_TILE_QUERY, TAG_UPLOAD,
 };
 use crate::sync::{AtomicU64, Ordering};
 use crossbeam::channel::{bounded, Receiver, TrySendError};
@@ -44,14 +59,17 @@ use gradest_core::pipeline::{
 use gradest_core::track::GradientTrack;
 use gradest_geo::tile::{decode_tile_bounds, edges_in_tile_into};
 use gradest_geo::{NetworkIndex, QueryScratch, RoadNetwork};
-use gradest_obs::{saturating_ns, Counter, Recorder, Span, SpanTimer, TraceEvent};
+use gradest_obs::{
+    saturating_ns, Counter, Histogram, QualityConfig, QualityMonitors, Recorder, SloTable, Span,
+    SpanTimer, TimeSeries, TimeSeriesConfig, TimeSeriesRecorder, TraceEvent,
+};
 use std::fmt::Write as _;
 use std::io::Read;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Optional allocation probe for the warm-path discipline measurement.
 /// Library crates here forbid `unsafe`, so the counting allocator lives
@@ -82,6 +100,15 @@ pub struct ServeConfig {
     /// client is closed after this long, so it can never wedge a
     /// worker or the shutdown drain.
     pub read_timeout: Duration,
+    /// Live time-series ring shape (window width × count). Tests and
+    /// soaks shrink the window so drift and SLO behaviour plays out in
+    /// milliseconds.
+    pub timeseries: TimeSeriesConfig,
+    /// Gradient-quality drift-monitor tuning.
+    pub quality: QualityConfig,
+    /// The SLO table the `STATUS` frame evaluates. Lookbacks are in
+    /// ring windows, so retune them when `timeseries` changes.
+    pub slo: SloTable,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +119,10 @@ impl Default for ServeConfig {
             grid_ds: 5.0,
             estimator: EstimatorConfig::default(),
             read_timeout: Duration::from_millis(500),
+            timeseries: TimeSeriesConfig::default(),
+            quality: QualityConfig::default(),
+            // 1 s windows: page on 10 s of hot burn, warn over a minute.
+            slo: SloTable::service_default(50.0e6, 10, 60),
         }
     }
 }
@@ -109,6 +140,8 @@ pub struct ServerStats {
     pub busy_rejects: u64,
     /// Tile queries answered.
     pub tile_queries: u64,
+    /// STATUS snapshots served.
+    pub status_queries: u64,
     /// Uploads acknowledged (fused into the cloud aggregator).
     pub uploads_acked: u64,
     /// Worst-case allocations in one warm frame's decode → estimate
@@ -132,6 +165,8 @@ struct Stats {
     // sync: see struct comment.
     tile_queries: AtomicU64,
     // sync: see struct comment.
+    status_queries: AtomicU64,
+    // sync: see struct comment.
     uploads_acked: AtomicU64,
     // sync: fetch_max keeps the worst warm-frame allocation diff;
     // Relaxed for the same reason as the counters.
@@ -141,17 +176,58 @@ struct Stats {
     warm_frames_measured: AtomicU64,
 }
 
+/// The server's composite sink: fans every record out to the
+/// caller-supplied recorder *and* the live time-series ring. Always
+/// enabled — the ring powers the `STATUS` frame regardless of whether
+/// the caller wants cumulative metrics.
+struct ServiceRecorder<R> {
+    inner: Arc<R>,
+    ts: TimeSeriesRecorder,
+}
+
+impl<R: Recorder + Send + Sync> Recorder for ServiceRecorder<R> {
+    fn record_span(&self, span: Span, ns: u64) {
+        self.inner.record_span(span, ns);
+        self.ts.record_span(span, ns);
+    }
+
+    fn incr(&self, counter: Counter, by: u64) {
+        self.inner.incr(counter, by);
+        self.ts.incr(counter, by);
+    }
+
+    fn observe(&self, hist: Histogram, value: f64) {
+        self.inner.observe(hist, value);
+        self.ts.observe(hist, value);
+    }
+
+    fn event(&self, ev: TraceEvent) {
+        self.inner.event(ev);
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.inner.dropped_events() + self.ts.dropped_events()
+    }
+}
+
 struct Shared<R> {
     cloud: CloudAggregator,
     index: NetworkIndex,
     gate: DrainGate,
     stats: Stats,
-    rec: Arc<R>,
+    rec: ServiceRecorder<R>,
     estimator: GradientEstimator,
     read_timeout: Duration,
+    started: Instant,
+    // sync: single-owner drift state ticked by whichever worker crosses
+    // a window boundary first; the tick is cheap and idempotent within
+    // a window, so plain mutual exclusion is enough. Poisoning is
+    // ignored (skip the tick), matching the obs lock idiom.
+    quality: Mutex<QualityMonitors>,
+    slo: SloTable,
 }
 
-impl<R: Recorder> Shared<R> {
+impl<R: Recorder + Send + Sync> Shared<R> {
     fn stats_snapshot(&self) -> ServerStats {
         // sync: Relaxed statistic reads (see Stats).
         let measured = self.stats.warm_frames_measured.load(Ordering::Relaxed);
@@ -163,6 +239,7 @@ impl<R: Recorder> Shared<R> {
             // sync: Relaxed statistic reads (see Stats).
             busy_rejects: self.stats.busy_rejects.load(Ordering::Relaxed),
             tile_queries: self.stats.tile_queries.load(Ordering::Relaxed),
+            status_queries: self.stats.status_queries.load(Ordering::Relaxed),
             uploads_acked: self.stats.uploads_acked.load(Ordering::Relaxed),
             max_warm_frame_allocs: if measured > 0 {
                 // sync: Relaxed statistic reads (see Stats).
@@ -179,13 +256,18 @@ impl<R: Recorder> Shared<R> {
     fn prometheus(&self) -> String {
         let s = self.stats_snapshot();
         let mut out = String::new();
-        let counters: [(&str, u64); 6] = [
+        let counters: [(&str, u64); 8] = [
             ("gradest_service_connections_total", s.connections),
             ("gradest_service_frames_ok_total", s.frames_ok),
             ("gradest_service_frames_rejected_total", s.frames_rejected),
             ("gradest_service_busy_rejects_total", s.busy_rejects),
             ("gradest_service_tile_queries_total", s.tile_queries),
+            ("gradest_service_status_queries_total", s.status_queries),
             ("gradest_service_uploads_acked_total", s.uploads_acked),
+            // Telemetry loss across every attached sink (trace-ring
+            // overflow, time-series late windows) — scrape this to know
+            // when the rest of the exposition under-counts.
+            ("gradest_trace_dropped_events_total", self.rec.dropped_events()),
         ];
         for (name, value) in counters {
             let _ = writeln!(out, "# TYPE {name} counter");
@@ -195,7 +277,118 @@ impl<R: Recorder> Shared<R> {
         let _ = writeln!(out, "gradest_service_in_flight {}", self.gate.in_flight());
         let _ = writeln!(out, "# TYPE gradest_service_roads gauge");
         let _ = writeln!(out, "gradest_service_roads {}", self.cloud.road_count());
+        // The uptime gauge carries an explicit scrape timestamp
+        // (epoch milliseconds) so downstream stores can align samples
+        // pulled through relays.
+        let _ = writeln!(out, "# TYPE gradest_service_uptime_seconds gauge");
+        let _ = writeln!(
+            out,
+            "gradest_service_uptime_seconds {} {}",
+            self.started.elapsed().as_secs_f64(),
+            epoch_millis()
+        );
         out
+    }
+
+    /// Advances the live ring to "now" and runs the drift monitors
+    /// over any newly completed windows. Called once per handled frame
+    /// by whichever worker gets there first; idempotent within a
+    /// window.
+    fn tick_telemetry(&self) {
+        let now = self.rec.ts.now_ns();
+        let series = self.rec.ts.series();
+        series.advance_to(now);
+        if let Ok(mut quality) = self.quality.lock() {
+            quality.tick(series, now, &self.rec);
+        }
+    }
+
+    /// The STATUS frame payload: a JSON snapshot of the live SLO
+    /// states, drift monitors, frame-path window quantiles, telemetry
+    /// loss, and uptime. Report-side allocation only.
+    fn status_json(&self) -> String {
+        let now = self.rec.ts.now_ns();
+        let series = self.rec.ts.series();
+        let windows = series.config().windows;
+        let mut out = String::new();
+        out.push('{');
+        let _ = write!(out, "\"uptime_seconds\":");
+        push_json_f64(&mut out, self.started.elapsed().as_secs_f64());
+        let _ = write!(out, ",\"window_seconds\":");
+        push_json_f64(&mut out, series.window_secs());
+        let _ = write!(out, ",\"windows\":{windows}");
+        let _ = write!(out, ",\"dropped_events\":{}", self.rec.dropped_events());
+        let worst = self.slo.worst_state(series, now);
+        let _ = write!(out, ",\"state\":\"{}\"", worst.name());
+        let (drifting, quality) = match self.quality.lock() {
+            Ok(q) => (q.any_drifting(), Some(q.report())),
+            Err(_) => (false, None),
+        };
+        let _ = write!(out, ",\"drifting\":{drifting}");
+        out.push_str(",\"slos\":[");
+        for (i, slo) in self.slo.evaluate(series, now).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",\"state\":\"{}\"", slo.name, slo.state.name());
+            let _ = write!(out, ",\"target\":");
+            push_json_f64(&mut out, slo.target);
+            let _ = write!(out, ",\"error_short\":");
+            push_json_f64(&mut out, slo.error_short);
+            let _ = write!(out, ",\"error_long\":");
+            push_json_f64(&mut out, slo.error_long);
+            let _ = write!(out, ",\"burn_short\":");
+            push_json_f64(&mut out, slo.burn_short);
+            let _ = write!(out, ",\"burn_long\":");
+            push_json_f64(&mut out, slo.burn_long);
+            out.push('}');
+        }
+        out.push_str("],\"quality\":[");
+        if let Some(report) = quality {
+            for (i, sig) in report.signals.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"signal\":\"{}\"", sig.signal.name());
+                let _ = write!(out, ",\"drifting\":{}", sig.drifting);
+                let _ = write!(out, ",\"value\":");
+                push_json_f64(&mut out, sig.value);
+                let _ = write!(out, ",\"ewma\":");
+                push_json_f64(&mut out, sig.ewma);
+                let _ = write!(out, ",\"excursion\":");
+                push_json_f64(&mut out, sig.excursion);
+                let _ = write!(out, ",\"windows\":{}", sig.windows);
+                out.push('}');
+            }
+        }
+        out.push_str("],\"frame\":{");
+        let _ = write!(out, "\"count\":{}", series.span_count(Span::ServiceFrame, windows, now));
+        let _ = write!(out, ",\"rate_per_sec\":");
+        push_json_f64(&mut out, series.rate(Counter::ServiceFramesOk, windows, now));
+        for (key, q) in [("p50_ns", 0.5), ("p90_ns", 0.9), ("p99_ns", 0.99)] {
+            let _ = write!(out, ",\"{key}\":");
+            match series.span_quantile(Span::ServiceFrame, q, windows, now) {
+                Some(v) => push_json_f64(&mut out, v),
+                None => out.push_str("null"),
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+fn epoch_millis() -> u128 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis()).unwrap_or(0)
+}
+
+/// Writes `v` as a JSON number, mapping non-finite values to `null`
+/// (JSON has no NaN/Inf).
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
     }
 }
 
@@ -241,15 +434,19 @@ pub fn start<R: Recorder + Send + Sync + 'static>(
     let local = listener.local_addr()?;
     let build_start = Instant::now();
     let index = NetworkIndex::build(net);
-    rec.record_span(Span::GeoIndexBuild, saturating_ns(build_start));
+    let service_rec = ServiceRecorder { inner: rec, ts: TimeSeriesRecorder::new(cfg.timeseries) };
+    service_rec.record_span(Span::GeoIndexBuild, saturating_ns(build_start));
     let shared = Arc::new(Shared {
         cloud: CloudAggregator::new(cfg.grid_ds),
         index,
         gate: DrainGate::new(),
         stats: Stats::default(),
-        rec,
+        rec: service_rec,
         estimator: GradientEstimator::new(cfg.estimator.clone()),
         read_timeout: cfg.read_timeout,
+        started: Instant::now(),
+        quality: Mutex::new(QualityMonitors::new(cfg.quality)),
+        slo: cfg.slo.clone(),
     });
     let workers = cfg.workers.max(1);
     let (conn_tx, conn_rx) = bounded::<(u32, TcpStream)>(cfg.queue_depth.max(1));
@@ -287,6 +484,22 @@ impl<R: Recorder + Send + Sync + 'static> ServerHandle<R> {
         self.shared.prometheus()
     }
 
+    /// The live status snapshot (same JSON the STATUS frame serves).
+    pub fn status_json(&self) -> String {
+        self.shared.status_json()
+    }
+
+    /// The live time-series ring (for in-process oracles: pass
+    /// [`ServerHandle::telemetry_now_ns`] as the query timestamp).
+    pub fn timeseries(&self) -> &TimeSeries {
+        self.shared.rec.ts.series()
+    }
+
+    /// "Now" on the telemetry clock (nanoseconds since server start).
+    pub fn telemetry_now_ns(&self) -> u64 {
+        self.shared.rec.ts.now_ns()
+    }
+
     /// Fused profile of one road from the server's aggregator (test /
     /// diagnostics access mirroring `CloudAggregator::road_profile`).
     pub fn road_profile(&self, road_id: u64) -> Option<GradientTrack> {
@@ -318,7 +531,7 @@ impl<R: Recorder + Send + Sync + 'static> ServerHandle<R> {
     }
 }
 
-fn accept_loop<R: Recorder>(
+fn accept_loop<R: Recorder + Send + Sync>(
     shared: &Shared<R>,
     listener: &TcpListener,
     conn_tx: &crossbeam::channel::Sender<(u32, TcpStream)>,
@@ -396,7 +609,7 @@ impl WorkerScratch {
     }
 }
 
-fn worker_loop<R: Recorder>(shared: &Shared<R>, rx: &Receiver<(u32, TcpStream)>) {
+fn worker_loop<R: Recorder + Send + Sync>(shared: &Shared<R>, rx: &Receiver<(u32, TcpStream)>) {
     let mut scratch = WorkerScratch::new();
     let mut warm_frames = 0u64;
     for (conn, stream) in rx.iter() {
@@ -421,7 +634,7 @@ fn read_header(stream: &mut TcpStream) -> std::io::Result<Option<[u8; HEADER_BYT
     Ok(Some(hdr))
 }
 
-fn reject_frame<R: Recorder>(
+fn reject_frame<R: Recorder + Send + Sync>(
     shared: &Shared<R>,
     conn: u32,
     stream: &mut TcpStream,
@@ -438,7 +651,7 @@ fn reject_frame<R: Recorder>(
     let _ = stream.write_all(reply);
 }
 
-fn handle_conn<R: Recorder>(
+fn handle_conn<R: Recorder + Send + Sync>(
     shared: &Shared<R>,
     conn: u32,
     mut stream: TcpStream,
@@ -459,7 +672,7 @@ fn handle_conn<R: Recorder>(
         if stream.read_exact(&mut scratch.payload).is_err() {
             break;
         }
-        let frame_timer = SpanTimer::start(shared.rec.as_ref());
+        let frame_timer = SpanTimer::start(&shared.rec);
         let ok = match header.tag {
             TAG_UPLOAD => handle_upload(shared, conn, &mut stream, scratch, warm_frames),
             TAG_TILE_QUERY => handle_tile_query(shared, conn, &mut stream, scratch),
@@ -468,6 +681,18 @@ fn handle_conn<R: Recorder>(
                 crate::protocol::begin_frame(TAG_METRICS_TEXT, &mut scratch.reply);
                 scratch.reply.extend_from_slice(text.as_bytes());
                 finish_frame(&mut scratch.reply);
+                stream.write_all(&scratch.reply).is_ok()
+            }
+            TAG_STATUS => {
+                let status_timer = SpanTimer::start(&shared.rec);
+                let text = shared.status_json();
+                crate::protocol::begin_frame(TAG_STATUS_TEXT, &mut scratch.reply);
+                scratch.reply.extend_from_slice(text.as_bytes());
+                finish_frame(&mut scratch.reply);
+                status_timer.finish(&shared.rec, Span::ServiceStatus);
+                // sync: Relaxed statistic (see Stats).
+                shared.stats.status_queries.fetch_add(1, Ordering::Relaxed);
+                shared.rec.incr(Counter::ServiceStatusQueries, 1);
                 stream.write_all(&scratch.reply).is_ok()
             }
             tag => {
@@ -481,7 +706,7 @@ fn handle_conn<R: Recorder>(
                 false
             }
         };
-        frame_timer.finish(shared.rec.as_ref(), Span::ServiceFrame);
+        frame_timer.finish(&shared.rec, Span::ServiceFrame);
         if !ok {
             break;
         }
@@ -489,6 +714,7 @@ fn handle_conn<R: Recorder>(
         shared.stats.frames_ok.fetch_add(1, Ordering::Relaxed);
         shared.rec.incr(Counter::ServiceFramesOk, 1);
         frames += 1;
+        shared.tick_telemetry();
     }
     if shared.rec.enabled() {
         shared.rec.event(TraceEvent::ServiceConnClosed { conn, frames });
@@ -496,7 +722,7 @@ fn handle_conn<R: Recorder>(
 }
 
 /// Handles one UPLOAD frame. Returns whether the connection stays open.
-fn handle_upload<R: Recorder>(
+fn handle_upload<R: Recorder + Send + Sync>(
     shared: &Shared<R>,
     conn: u32,
     stream: &mut TcpStream,
@@ -516,9 +742,9 @@ fn handle_upload<R: Recorder>(
     }
     let probe = ALLOC_PROBE.get().copied();
     let allocs_before = probe.map(|p| p()).unwrap_or(0);
-    let decode_timer = SpanTimer::start(shared.rec.as_ref());
+    let decode_timer = SpanTimer::start(&shared.rec);
     let decoded = decode_upload_into(&scratch.payload, &mut scratch.upload);
-    decode_timer.finish(shared.rec.as_ref(), Span::ServiceDecode);
+    decode_timer.finish(&shared.rec, Span::ServiceDecode);
     if let Err(err) = decoded {
         shared.gate.end();
         reject_frame(shared, conn, stream, &mut scratch.reply, err);
@@ -529,7 +755,7 @@ fn handle_upload<R: Recorder>(
         None,
         &mut scratch.est,
         &mut scratch.out,
-        shared.rec.as_ref(),
+        &shared.rec,
     );
     if let Some(p) = probe {
         let diff = p().saturating_sub(allocs_before);
@@ -542,7 +768,7 @@ fn handle_upload<R: Recorder>(
         }
         *warm_frames += 1;
     }
-    shared.cloud.upload_recorded(scratch.upload.road_id, &scratch.out.fused, shared.rec.as_ref());
+    shared.cloud.upload_recorded(scratch.upload.road_id, &scratch.out.fused, &shared.rec);
     shared.gate.end();
     // sync: Relaxed statistic (see Stats).
     shared.stats.uploads_acked.fetch_add(1, Ordering::Relaxed);
@@ -552,7 +778,7 @@ fn handle_upload<R: Recorder>(
 
 /// Handles one TILE_QUERY frame. Returns whether the connection stays
 /// open.
-fn handle_tile_query<R: Recorder>(
+fn handle_tile_query<R: Recorder + Send + Sync>(
     shared: &Shared<R>,
     conn: u32,
     stream: &mut TcpStream,
@@ -568,7 +794,7 @@ fn handle_tile_query<R: Recorder>(
         );
         return false;
     };
-    let tile_timer = SpanTimer::start(shared.rec.as_ref());
+    let tile_timer = SpanTimer::start(&shared.rec);
     edges_in_tile_into(&shared.index, bounds, &mut scratch.query, &mut scratch.tile_edges);
     crate::protocol::begin_frame(TAG_TILE, &mut scratch.reply);
     // TileWriter writes the bare payload; splice it after the header
@@ -586,7 +812,7 @@ fn handle_tile_query<R: Recorder>(
     }
     scratch.reply.extend_from_slice(&scratch.payload);
     finish_frame(&mut scratch.reply);
-    tile_timer.finish(shared.rec.as_ref(), Span::ServiceTileQuery);
+    tile_timer.finish(&shared.rec, Span::ServiceTileQuery);
     // sync: Relaxed statistic (see Stats).
     shared.stats.tile_queries.fetch_add(1, Ordering::Relaxed);
     shared.rec.incr(Counter::ServiceTileQueries, 1);

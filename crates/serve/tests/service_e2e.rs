@@ -154,8 +154,46 @@ fn metrics_frame_serves_valid_prometheus() {
     validate_prometheus_text(&text).expect("exposition grammar");
     assert!(text.contains("gradest_service_uploads_acked_total 1"));
     assert!(text.contains("gradest_service_in_flight 0"));
+    // Telemetry-loss counter and the timestamped uptime gauge are part
+    // of the exposition (the validator accepts the explicit timestamp).
+    assert!(text.contains("gradest_trace_dropped_events_total 0"));
+    assert!(text.contains("gradest_service_uptime_seconds "));
     drop(client);
     assert!(server.shutdown().is_clean());
+}
+
+#[test]
+fn status_frame_serves_live_slo_and_drift_state() {
+    let net = parallel_roads_network(1);
+    let server = start(&ServeConfig::default(), "127.0.0.1:0", &net, Arc::new(NoopRecorder))
+        .expect("bind loopback");
+    let mut client = Client::connect(server.addr(), TIMEOUT).expect("connect");
+    let log = trip_log(&net, 0, 77);
+    for _ in 0..3 {
+        client.upload(0, &log).expect("upload");
+    }
+    let text = match client.status().expect("status") {
+        ServerReply::Status(text) => text,
+        other => panic!("unexpected status reply: {other:?}"),
+    };
+    let v: serde_json::Value = serde_json::from_str(&text).expect("status is valid JSON");
+    assert_eq!(v["state"], serde_json::Value::String("healthy".into()), "idle fleet: {text}");
+    assert_eq!(v["drifting"], serde_json::Value::Bool(false));
+    let slos = v["slos"].as_array().expect("slos array");
+    assert_eq!(slos.len(), 3, "default SLO table");
+    for slo in slos {
+        assert_eq!(slo["state"], serde_json::Value::String("healthy".into()), "{text}");
+    }
+    assert_eq!(v["quality"].as_array().expect("quality array").len(), 3);
+    assert!(v["uptime_seconds"].as_f64().expect("uptime") >= 0.0);
+    // The three uploads were recorded into the live ring.
+    let frame = &v["frame"];
+    assert!(frame["count"].as_f64().expect("frame count") >= 3.0, "{text}");
+    assert!(frame["p50_ns"].as_f64().expect("p50") > 0.0);
+    drop(client);
+    let report = server.shutdown();
+    assert!(report.is_clean());
+    assert_eq!(report.stats.status_queries, 1);
 }
 
 #[test]

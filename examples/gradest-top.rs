@@ -1,0 +1,193 @@
+//! `gradest-top` — a `top`-style live view of a running gradest-serve
+//! instance, driven entirely by the STATUS and METRICS frames
+//! (DESIGN.md §15).
+//!
+//! ```text
+//! # watch a server you already started:
+//! cargo run --release --example gradest-top -- 127.0.0.1:7070
+//!
+//! # or self-host a demo: spins up an in-process server, streams
+//! # simulated uploads at it, and watches its own telemetry.
+//! cargo run --release --example gradest-top
+//! ```
+//!
+//! Optional second argument caps the number of refresh cycles
+//! (default 8 in demo mode, unbounded against a remote server).
+
+use gradest::obs::{NoopRecorder, TimeSeriesConfig};
+use gradest::prelude::*;
+use gradest::serve::client::{Client, ServerReply};
+use gradest::serve::server::{start, ServeConfig};
+use serde_json::Value;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const POLL: Duration = Duration::from_millis(500);
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next();
+    let iters: Option<u64> = args.next().and_then(|s| s.parse().ok());
+
+    match addr {
+        Some(addr) => watch(&addr, iters.map(|n| n.max(1))),
+        None => demo(iters.unwrap_or(8).max(1)),
+    }
+}
+
+/// Self-hosted mode: start a server on a loopback port, keep a
+/// background thread uploading simulated trips, and watch it.
+fn demo(iters: u64) {
+    let route = Route::new(vec![red_road()]).expect("red road is drivable");
+    let mut net = RoadNetwork::new();
+    let road = route.roads()[0].clone();
+    let a = net.add_node(road.point_at(0.0));
+    let b = net.add_node(road.point_at(road.length()));
+    let road_id = net.add_edge(a, b, road).expect("edge insert") as u64;
+
+    // Short windows so the demo's ring visibly fills within seconds.
+    let cfg = ServeConfig {
+        timeseries: TimeSeriesConfig { window_ns: 250_000_000, windows: 120 },
+        ..Default::default()
+    };
+    let server = start(&cfg, "127.0.0.1:0", &net, Arc::new(NoopRecorder)).expect("server start");
+    let addr = server.addr();
+    println!("gradest-top: self-hosted demo server on {addr}\n");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let uploader = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = match Client::connect(addr, Duration::from_secs(2)) {
+                Ok(c) => c,
+                Err(err) => {
+                    eprintln!("uploader: connect failed: {err}");
+                    return;
+                }
+            };
+            let mut seed = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                let traj = simulate_trip(&route, &TripConfig::default(), seed);
+                let log = SensorSuite::new(SensorConfig::default()).run(&traj, seed);
+                if client.upload(road_id, &log).is_err() {
+                    break;
+                }
+                seed += 1;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        })
+    };
+
+    watch(&addr.to_string(), Some(iters));
+
+    stop.store(true, Ordering::Relaxed);
+    let _ = uploader.join();
+    let report = server.shutdown();
+    println!("\ndemo server drained cleanly: {}", report.is_clean());
+}
+
+/// Poll STATUS on an interval and render each snapshot. `iters` of
+/// `None` polls until the connection drops.
+fn watch(addr: &str, iters: Option<u64>) {
+    let mut client = match Client::connect(addr, Duration::from_secs(2)) {
+        Ok(c) => c,
+        Err(err) => {
+            eprintln!("gradest-top: cannot connect to {addr}: {err}");
+            std::process::exit(1);
+        }
+    };
+    let mut cycle = 0u64;
+    loop {
+        let status = match client.status() {
+            Ok(ServerReply::Status(text)) => text,
+            Ok(other) => {
+                eprintln!("gradest-top: unexpected reply {other:?}");
+                return;
+            }
+            Err(err) => {
+                eprintln!("gradest-top: status poll failed: {err}");
+                return;
+            }
+        };
+        match serde_json::from_str::<Value>(&status) {
+            Ok(json) => render(addr, &json),
+            Err(err) => eprintln!("gradest-top: undecodable status JSON: {err}"),
+        }
+        cycle += 1;
+        if let Some(n) = iters {
+            if cycle >= n {
+                return;
+            }
+        }
+        std::thread::sleep(POLL);
+    }
+}
+
+/// Render one STATUS snapshot as a compact dashboard.
+fn render(addr: &str, json: &Value) {
+    let uptime = num(json, "uptime_seconds");
+    let state = text(json, "state");
+    let drifting = json["drifting"].as_bool().unwrap_or(false);
+    let dropped = json["dropped_events"].as_u64().unwrap_or(0);
+    println!(
+        "── gradest-top  {addr}  up {uptime:7.1}s  state {}  drift {}  dropped {dropped}",
+        state.to_uppercase(),
+        if drifting { "YES" } else { "no" },
+    );
+
+    let frame = &json["frame"];
+    println!(
+        "   frames {:>6}  {:6.1}/s  p50 {}  p90 {}  p99 {}",
+        frame["count"].as_u64().unwrap_or(0),
+        num(frame, "rate_per_sec"),
+        millis(frame, "p50_ns"),
+        millis(frame, "p90_ns"),
+        millis(frame, "p99_ns"),
+    );
+
+    println!(
+        "   {:<20} {:<8} {:>9} {:>9} {:>7} {:>7}",
+        "SLO", "STATE", "err(s)", "err(l)", "burn(s)", "burn(l)"
+    );
+    for slo in json["slos"].as_array().into_iter().flatten() {
+        println!(
+            "   {:<20} {:<8} {:>9.4} {:>9.4} {:>7.2} {:>7.2}",
+            text(slo, "name"),
+            text(slo, "state"),
+            num(slo, "error_short"),
+            num(slo, "error_long"),
+            num(slo, "burn_short"),
+            num(slo, "burn_long"),
+        );
+    }
+
+    println!("   {:<20} {:<8} {:>9} {:>9} {:>7}", "QUALITY", "DRIFT", "value", "ewma", "windows");
+    for sig in json["quality"].as_array().into_iter().flatten() {
+        println!(
+            "   {:<20} {:<8} {:>9.4} {:>9.4} {:>7}",
+            text(sig, "signal"),
+            if sig["drifting"].as_bool().unwrap_or(false) { "YES" } else { "no" },
+            num(sig, "value"),
+            num(sig, "ewma"),
+            sig["windows"].as_u64().unwrap_or(0),
+        );
+    }
+    println!();
+}
+
+fn num(json: &Value, key: &str) -> f64 {
+    json[key].as_f64().unwrap_or(f64::NAN)
+}
+
+fn text<'j>(json: &'j Value, key: &str) -> &'j str {
+    json[key].as_str().unwrap_or("?")
+}
+
+/// Format a nanosecond quantile (possibly null) as milliseconds.
+fn millis(json: &Value, key: &str) -> String {
+    match json[key].as_f64() {
+        Some(ns) => format!("{:6.2}ms", ns / 1.0e6),
+        None => "     --".to_string(),
+    }
+}

@@ -7,6 +7,8 @@
 #
 #   ./scripts/bench-gate.sh                 # gate HEAD vs baselines (±20%)
 #   ./scripts/bench-gate.sh --update        # refresh the baselines from HEAD
+#                                           #   (also appends a one-line run
+#                                           #   summary to BENCH_HISTORY.jsonl)
 #   ./scripts/bench-gate.sh --self-test     # prove the gate can fail: inject a
 #                                           #   synthetic 3x regression and
 #                                           #   require a non-zero exit

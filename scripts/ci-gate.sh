@@ -63,11 +63,16 @@
 #                                        to direct aggregation, typed BUSY
 #                                        rejects at ~2x overload, clean
 #                                        drain-on-shutdown, zero warm
-#                                        decode→estimate allocations. Runs
-#                                        under a hard `timeout` so a wedged
-#                                        accept loop fails the gate instead of
-#                                        hanging it. Writes the Prometheus
-#                                        exposition + trace ring to
+#                                        decode→estimate allocations (live
+#                                        telemetry ring wired in), drift-free
+#                                        healthy STATUS polls with quantiles
+#                                        inside the sketch bound, and a drift
+#                                        alert within the deadline once sensors
+#                                        degrade. Runs under a hard `timeout`
+#                                        so a wedged accept loop fails the gate
+#                                        instead of hanging it. Writes the
+#                                        Prometheus exposition + trace ring +
+#                                        final STATUS snapshot to
 #                                        target/experiment-results/ (uploaded
 #                                        as CI artifacts)
 #
@@ -198,9 +203,12 @@ if [[ "$MODE" != quick ]]; then
   # 64 simulated phones. The binary asserts sustained throughput,
   # byte-identical tiles vs direct aggregation, typed BUSY rejects
   # under ~2x overload, a clean drain (including one raced by a live
-  # uploader), and a zero-allocation warm decode→estimate window. The
-  # hard timeout turns a wedged accept/drain into a FAIL instead of a
-  # hung gate.
+  # uploader), a zero-allocation warm decode→estimate window with the
+  # live telemetry ring recording, drift-free healthy STATUS polls
+  # with latency quantiles inside the sketch bound, and a quality
+  # drift alert within the deadline once degraded sensor logs arrive.
+  # The hard timeout turns a wedged accept/drain into a FAIL instead
+  # of a hung gate.
   run_step "service_soak_smoke" \
     timeout 300 cargo run --release -p gradest-bench --bin gradest-experiments -- service_soak_smoke
 fi
